@@ -1,0 +1,280 @@
+(* peak-tune: command-line front end to the PEAK tuning system.
+
+     peak-tune list                         enumerate benchmarks
+     peak-tune flags                        enumerate the 38 -O3 flags
+     peak-tune analyze SWIM                 profile + consultant report
+     peak-tune tune ART -m pentium4 -r rbr  run one tuning session
+     peak-tune consistency APSI             Table-1-style consistency row *)
+
+open Cmdliner
+open Peak_util
+open Peak_machine
+open Peak_compiler
+open Peak_workload
+open Peak
+
+let find_benchmark name =
+  match Registry.by_name name with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %s (try: %s)" name
+           (String.concat ", " (List.map (fun b -> b.Benchmark.name) Registry.all)))
+
+let find_machine name =
+  match Machine.by_name name with
+  | Some m -> Ok m
+  | None -> (
+      match String.lowercase_ascii name with
+      | "sparc2" | "sparc" -> Ok Machine.sparc2
+      | "pentium4" | "p4" -> Ok Machine.pentium4
+      | _ -> Error (Printf.sprintf "unknown machine %s (sparc2 | pentium4)" name))
+
+(* ---------------- arguments ---------------- *)
+
+let benchmark_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see $(b,list)).")
+
+let machine_arg =
+  Arg.(value & opt string "sparc2" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Target machine: sparc2 or pentium4.")
+
+let method_arg =
+  Arg.(
+    value
+    & opt string "auto"
+    & info [ "r"; "rating" ] ~docv:"METHOD"
+        ~doc:"Rating method: auto, cbr, mbr, rbr, avg or whl.")
+
+let dataset_arg =
+  Arg.(
+    value
+    & opt string "train"
+    & info [ "d"; "dataset" ] ~docv:"DATASET" ~doc:"Tuning data set: train or ref.")
+
+let seed_arg =
+  Arg.(value & opt int 11 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Experiment seed.")
+
+let search_arg =
+  Arg.(
+    value
+    & opt string "ie"
+    & info [ "search" ] ~docv:"ALGO" ~doc:"Search: ie, be, ce, random, ff or ose.")
+
+(* ---------------- subcommands ---------------- *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Table.create
+        ~header:[ "Benchmark"; "Kind"; "Tuning section"; "Paper #invoc."; "Scale"; "Paper method" ]
+        ()
+    in
+    List.iter
+      (fun (b : Benchmark.t) ->
+        Table.add_row t
+          [
+            b.Benchmark.name;
+            Benchmark.kind_name b.Benchmark.kind;
+            b.Benchmark.ts_name;
+            b.Benchmark.paper_invocations;
+            b.Benchmark.scale;
+            b.Benchmark.paper_method;
+          ])
+      Registry.all;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the SPEC-like benchmarks.") Term.(const run $ const ())
+
+let flags_cmd =
+  let run () =
+    let t = Table.create ~header:[ "Flag"; "-O level"; "Description" ] () in
+    Array.iter
+      (fun (f : Flags.t) ->
+        Table.add_row t
+          [ Flags.gcc_name f; Printf.sprintf "-O%d" f.Flags.level; f.Flags.description ])
+      Flags.all;
+    Table.print t
+  in
+  Cmd.v
+    (Cmd.info "flags" ~doc:"List the 38 optimization flags implied by GCC 3.3 -O3.")
+    Term.(const run $ const ())
+
+let analyze_cmd =
+  let run name machine_name seed =
+    match (find_benchmark name, find_machine machine_name) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok b, Ok machine ->
+        let tsec = Tsection.make b.Benchmark.ts in
+        let trace = b.Benchmark.trace Trace.Train ~seed in
+        Printf.printf "Tuning section %s of %s on %s\n" b.Benchmark.ts_name b.Benchmark.name
+          machine.Machine.name;
+        Printf.printf "  CFG blocks: %d   max pressure: %d   save/restore: %d bytes\n"
+          (Peak_ir.Cfg.n_blocks tsec.Tsection.cfg)
+          tsec.Tsection.features.Peak_ir.Features.max_pressure
+          (Tsection.save_restore_bytes tsec);
+        let profile = Profile.run ~seed tsec trace machine in
+        let advice = Consultant.advise tsec profile in
+        Printf.printf "  Invocations per train run: %d   mean invocation: %.0f cycles\n"
+          profile.Profile.n_invocations profile.Profile.avg_invocation_cycles;
+        (match profile.Profile.context with
+        | Profile.Cbr_ok { sources; stats; runtime_constant_arrays; pruned } ->
+            Printf.printf "  Context variables: [%s]"
+              (String.concat "; "
+                 (List.map
+                    (function
+                      | Peak_ir.Expr.Scalar v -> v
+                      | Peak_ir.Expr.Array_elem (a, Some k) -> Printf.sprintf "%s[%d]" a k
+                      | Peak_ir.Expr.Array_elem (a, None) -> a ^ "[*]"
+                      | Peak_ir.Expr.Pointer_deref p -> "*" ^ p)
+                    sources));
+            if pruned <> [] then
+              Printf.printf "  (+%d pruned run-time constants)" (List.length pruned);
+            if runtime_constant_arrays <> [] then
+              Printf.printf "  (run-time-constant arrays: %s)"
+                (String.concat ", " runtime_constant_arrays);
+            Printf.printf "\n  Distinct contexts: %d" (List.length stats);
+            (match stats with
+            | s :: _ -> Printf.printf "   dominant share: %.0f%%\n" (s.Profile.time_share *. 100.0)
+            | [] -> print_newline ())
+        | Profile.Cbr_no reason -> Printf.printf "  CBR inapplicable: %s\n" reason);
+        Printf.printf "  MBR components: %d\n"
+          (Component_analysis.n_components profile.Profile.components);
+        Printf.printf "  Applicable methods: %s\n"
+          (String.concat ", " (List.map Consultant.method_name advice.Consultant.applicable));
+        List.iter (fun r -> Printf.printf "    - %s\n" r) advice.Consultant.reasons;
+        Printf.printf "  Consultant's choice: %s (paper: %s)\n"
+          (Consultant.method_name advice.Consultant.chosen)
+          b.Benchmark.paper_method
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Profile a benchmark and report the consultant's advice.")
+    Term.(const run $ benchmark_arg $ machine_arg $ seed_arg)
+
+let tune_cmd =
+  let run name machine_name method_name dataset_name search_name seed =
+    let ( let* ) r f = match r with Error e -> prerr_endline e; exit 1 | Ok v -> f v in
+    let* b = find_benchmark name in
+    let* machine = find_machine machine_name in
+    let* dataset =
+      match String.lowercase_ascii dataset_name with
+      | "train" -> Ok Trace.Train
+      | "ref" -> Ok Trace.Ref
+      | other -> Error ("unknown dataset " ^ other)
+    in
+    let* search =
+      match String.lowercase_ascii search_name with
+      | "ie" -> Ok Driver.Ie
+      | "be" -> Ok Driver.Be
+      | "ce" -> Ok Driver.Ce
+      | "random" -> Ok (Driver.Random 100)
+      | "ff" -> Ok Driver.Ff
+      | "ose" -> Ok Driver.Ose
+      | other -> Error ("unknown search " ^ other)
+    in
+    let* method_ =
+      if String.lowercase_ascii method_name = "auto" then begin
+        let tsec = Tsection.make b.Benchmark.ts in
+        let trace = b.Benchmark.trace dataset ~seed in
+        let profile = Profile.run ~seed tsec trace machine in
+        Ok (Driver.auto_method profile tsec)
+      end
+      else
+        match Driver.method_of_string method_name with
+        | Some m -> Ok m
+        | None -> Error ("unknown rating method " ^ method_name)
+    in
+    Printf.printf "Tuning %s (%s) on %s with %s, %s data set...\n%!" b.Benchmark.name
+      b.Benchmark.ts_name machine.Machine.name (Driver.method_name method_)
+      (Trace.dataset_name dataset);
+    let r = Driver.tune ~seed ~search ~method_ b machine dataset in
+    Printf.printf "Best configuration: %s\n" (Optconfig.to_string r.Driver.best_config);
+    Printf.printf "Search: %d ratings over %d iterations, %d invocations, %d program runs\n"
+      r.Driver.search_stats.Search.ratings r.Driver.search_stats.Search.iterations
+      r.Driver.invocations r.Driver.passes;
+    Printf.printf "Tuning time: %.2f simulated seconds (%.3f of the WHL-equivalent cost)\n"
+      r.Driver.tuning_seconds (Report.normalized_tuning_time r);
+    let imp = Driver.improvement_pct b machine ~best:r.Driver.best_config Trace.Ref in
+    Printf.printf "Whole-program improvement over -O3 (ref data set): %.1f%%\n" imp
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Run one offline tuning session (the Figure 7 experiment).")
+    Term.(const run $ benchmark_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg $ seed_arg)
+
+let consistency_cmd =
+  let run name machine_name seed =
+    match (find_benchmark name, find_machine machine_name) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok b, Ok machine ->
+        let rows = Consistency.measure ~seed ~n_ratings:20 b machine in
+        let t =
+          Table.create
+            ~header:[ "Tuning Section"; "Approach"; "w=10"; "w=20"; "w=40"; "w=80"; "w=160" ]
+            ()
+        in
+        List.iter
+          (fun (row : Consistency.row) ->
+            Table.add_row t
+              ((match row.Consistency.context_label with
+               | Some l -> Printf.sprintf "%s(%s)" b.Benchmark.ts_name l
+               | None -> b.Benchmark.ts_name)
+               :: Driver.method_name row.Consistency.method_used
+               :: List.map
+                    (fun (c : Consistency.cell) ->
+                      Printf.sprintf "%.2f(%.2f)" c.Consistency.mean_x100 c.Consistency.stddev_x100)
+                    row.Consistency.cells))
+          rows;
+        Table.print t
+  in
+  Cmd.v
+    (Cmd.info "consistency" ~doc:"Measure rating consistency (one Table 1 row).")
+    Term.(const run $ benchmark_arg $ machine_arg $ seed_arg)
+
+let instrument_cmd =
+  let run name machine_name seed =
+    match (find_benchmark name, find_machine machine_name) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok b, Ok machine ->
+        let tsec = Tsection.make b.Benchmark.ts in
+        let trace = b.Benchmark.trace Trace.Train ~seed in
+        let profile = Profile.run ~seed tsec trace machine in
+        let advice = Consultant.advise tsec profile in
+        print_string (Instrument.render tsec profile advice)
+  in
+  Cmd.v
+    (Cmd.info "instrument"
+       ~doc:"Show the instrumented tuning section (the PEAK Instrumentation Tool's output).")
+    Term.(const run $ benchmark_arg $ machine_arg $ seed_arg)
+
+let show_cmd =
+  let optimize_arg =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:"Apply the IR-level constant propagation and dead-assignment elimination first.")
+  in
+  let run name optimize =
+    match find_benchmark name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok b ->
+        let ts = b.Benchmark.ts in
+        let ts = if optimize then Peak_ir.Transform.optimize ts else ts in
+        print_string (Peak_ir.Pretty.ts_to_c ts)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a benchmark's tuning section as pseudo-C.")
+    Term.(const run $ benchmark_arg $ optimize_arg)
+
+let main =
+  let doc = "PEAK: rating compiler optimizations for automatic performance tuning" in
+  Cmd.group (Cmd.info "peak-tune" ~version:"1.0.0" ~doc)
+    [ list_cmd; flags_cmd; analyze_cmd; tune_cmd; consistency_cmd; instrument_cmd; show_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adaptive_online.mli:

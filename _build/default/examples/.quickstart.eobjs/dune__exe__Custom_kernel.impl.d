@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Benchmark Builder Consultant Driver Interp List Machine Optconfig Option Peak Peak_compiler Peak_ir Peak_machine Peak_util Peak_workload Printf Profile Trace Tsection

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Benchmark Consultant Driver List Machine Optconfig Option Peak Peak_compiler Peak_ir Peak_machine Peak_workload Printf Profile Registry Search String Trace Tsection

@@ -1,0 +1,1 @@
+examples/whole_program.ml: Driver List Machine Partitioner Peak Peak_compiler Peak_machine Peak_workload Printf Program String Swim_program Trace

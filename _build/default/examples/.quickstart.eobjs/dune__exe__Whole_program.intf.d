@@ -1,0 +1,1 @@
+examples/whole_program.mli:

@@ -1,0 +1,41 @@
+(* Whole-program tuning: partition, select, tune every hot section.
+
+     dune exec examples/whole_program.exe
+
+   The paper's Section 4.1 partitions the application into tuning
+   sections and tunes the most time-consuming ones.  This example runs
+   that pipeline on SWIM as a whole program — its three time-stepping
+   routines calc1/calc2/calc3 — on both simulated machines, composing the
+   per-section winners into a whole-program improvement. *)
+
+open Peak_machine
+open Peak_workload
+open Peak
+
+let () =
+  let program = Swim_program.program in
+  Printf.printf "Program %s: candidate sections %s, serial fraction %.0f%%\n\n"
+    program.Program.name
+    (String.concat ", " (Program.section_names program))
+    (program.Program.serial_fraction *. 100.0);
+  List.iter
+    (fun machine ->
+      Printf.printf "== %s ==\n" machine.Machine.name;
+      let profiles = Partitioner.profile_program program machine Trace.Train in
+      List.iter
+        (fun (sp : Partitioner.section_profile) ->
+          Printf.printf "  %-6s %4.0f%% of program time\n" sp.Partitioner.section.Program.name
+            (sp.Partitioner.time_share *. 100.0))
+        profiles;
+      let r = Partitioner.tune_program program machine Trace.Train in
+      List.iter
+        (fun (sr : Partitioner.section_result) ->
+          Printf.printf "  tuned %-6s with %s: %+.1f%%  (%s)\n"
+            sr.Partitioner.sp.Partitioner.section.Program.name
+            (Driver.method_name sr.Partitioner.method_used)
+            sr.Partitioner.section_improvement_pct
+            (Peak_compiler.Optconfig.to_string sr.Partitioner.result.Driver.best_config))
+        r.Partitioner.sections;
+      Printf.printf "  => whole-program improvement: %+.1f%% (tuning cost %.1f sim-seconds)\n\n"
+        r.Partitioner.program_improvement_pct r.Partitioner.tuning_seconds)
+    [ Machine.sparc2; Machine.pentium4 ]

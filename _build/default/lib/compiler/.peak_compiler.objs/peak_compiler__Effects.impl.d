@@ -1,0 +1,1 @@
+lib/compiler/effects.ml: Array Cost Flags Float List Machine Optconfig Peak_ir Peak_machine

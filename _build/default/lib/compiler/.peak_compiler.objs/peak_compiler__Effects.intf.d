@@ -1,0 +1,1 @@
+lib/compiler/effects.mli: Optconfig Peak_ir Peak_machine

@@ -1,0 +1,1 @@
+lib/compiler/flags.ml: Array Seq

@@ -1,0 +1,1 @@
+lib/compiler/optconfig.ml: Array Flags Format Int List String

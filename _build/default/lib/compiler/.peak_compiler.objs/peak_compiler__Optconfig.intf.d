@@ -1,0 +1,1 @@
+lib/compiler/optconfig.mli: Flags Format

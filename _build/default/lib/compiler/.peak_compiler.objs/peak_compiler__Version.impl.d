@@ -1,0 +1,1 @@
+lib/compiler/version.ml: Array Effects Optconfig Peak_machine

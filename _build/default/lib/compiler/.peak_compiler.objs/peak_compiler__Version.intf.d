@@ -1,0 +1,1 @@
+lib/compiler/version.mli: Optconfig Peak_ir Peak_machine

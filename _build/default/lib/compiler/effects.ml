@@ -1,0 +1,269 @@
+open Peak_machine
+
+let flag name =
+  match Flags.by_name name with
+  | Some f -> f
+  | None -> invalid_arg ("Effects: unknown flag " ^ name)
+
+(* Model constants, named so the bench calibration and the ablation
+   discussion can refer to them. *)
+module K = struct
+  let cse_follow_jumps = 0.30
+  let cse_skip_blocks = 0.12
+  let gcse = 0.45
+  let rerun_cse = 0.13
+  let cse_pressure_per_op = 0.25
+  let expensive_amplifier = 1.2
+  let loop_overhead_cut = 0.65
+  let invariant_motion = 0.94
+  let strength_reduce_moved = 0.65
+  let sched1_ilp = 0.55
+  let sched1_pressure = 1.2
+  let sched2_ilp = 0.25
+  let sched2_pressure = 0.5
+  let interblock_ilp = 0.12
+  let spec_ilp = 0.10
+  let rename_ilp = 0.18
+  let guess_branch_cut = 0.70
+  let reorder_blocks_cut = 0.80
+  let ifcvt_alu_cost = 2.0
+  let ifcvt_max_ops = 5.0
+  let strict_alias_mem = 0.85
+  let strict_alias_ilp = 0.25
+  let strict_alias_pressure_per_pointer = 6.6
+  let spill_coefficient = 0.30
+  let inline_overhead_cut = 0.35
+  let inline_pressure = 0.5
+end
+
+type ctx = {
+  machine : Machine.t;
+  ts : Peak_ir.Features.ts;
+  config : Optconfig.t;
+  on : string -> bool;
+  amplify : float;
+}
+
+let make_ctx machine ts config =
+  let on name = Optconfig.is_enabled config (flag name) in
+  {
+    machine;
+    ts;
+    config;
+    on;
+    amplify = (if on "expensive-optimizations" then K.expensive_amplifier else 1.0);
+  }
+
+(* Mutable working copy of one block's state under optimization. *)
+type work = {
+  mutable alu : float;
+  mutable muldiv : float;
+  mutable transcendental : float;
+  mutable mem : float;
+  mutable branches : float;
+  mutable mispredict : float;
+  mutable ilp : float;
+  mutable overhead : float;
+  mutable pressure : float;
+}
+
+let work_of_block (b : Peak_ir.Features.block) =
+  let base = Cost.of_features b in
+  {
+    alu = base.alu;
+    muldiv = base.muldiv;
+    transcendental = base.transcendental;
+    mem = base.mem;
+    branches = base.branches;
+    mispredict = base.mispredict_rate;
+    ilp = base.ilp;
+    overhead = base.overhead;
+    pressure = float_of_int b.pressure;
+  }
+
+let apply_scalar_cleanups ctx w =
+  if ctx.on "cprop-registers" then w.alu <- w.alu *. 0.97;
+  if ctx.on "regmove" then begin
+    w.alu <- w.alu *. 0.98;
+    w.pressure <- Float.max 0.0 (w.pressure -. 0.5)
+  end;
+  if ctx.on "peephole2" then begin
+    w.alu <- w.alu *. 0.97;
+    w.mem <- w.mem *. 0.99
+  end;
+  if ctx.on "merge-constants" then w.mem <- w.mem *. 0.995;
+  if ctx.on "defer-pop" then w.overhead <- Float.max 0.0 (w.overhead -. 0.05);
+  if ctx.on "force-mem" then begin
+    w.alu <- w.alu *. 0.97;
+    w.pressure <- w.pressure +. 0.5
+  end;
+  if ctx.on "delete-null-pointer-checks" && w.mem > 0.0 then
+    w.alu <- Float.max 0.0 (w.alu -. 0.2);
+  if ctx.on "reorder-functions" then w.overhead <- w.overhead *. 0.995
+
+let apply_cse ctx (b : Peak_ir.Features.block) w =
+  let power = ref 0.0 in
+  if ctx.on "cse-follow-jumps" then power := !power +. K.cse_follow_jumps;
+  if ctx.on "cse-skip-blocks" then power := !power +. K.cse_skip_blocks;
+  if ctx.on "gcse" then power := !power +. K.gcse;
+  if
+    ctx.on "rerun-cse-after-loop" && b.loop_depth > 0
+    && (ctx.on "gcse" || ctx.on "cse-follow-jumps")
+  then power := !power +. K.rerun_cse;
+  let fraction = Float.min 0.9 (!power *. ctx.amplify) in
+  if fraction > 0.0 && b.redundancy > 0 then begin
+    let eliminated = float_of_int b.redundancy *. fraction in
+    let ops = w.alu +. w.muldiv in
+    if ops > 0.0 then begin
+      let cut_alu = eliminated *. (w.alu /. ops) in
+      let cut_muldiv = eliminated *. (w.muldiv /. ops) in
+      (* CSE cannot remove more than 60% of a block's arithmetic *)
+      w.alu <- Float.max (w.alu *. 0.4) (w.alu -. cut_alu);
+      w.muldiv <- Float.max (w.muldiv *. 0.4) (w.muldiv -. cut_muldiv)
+    end;
+    w.pressure <- w.pressure +. (eliminated *. K.cse_pressure_per_op)
+  end;
+  if ctx.on "gcse" && b.loop_depth > 0 then begin
+    if ctx.on "gcse-lm" then w.mem <- w.mem *. 0.93;
+    if ctx.on "gcse-sm" then w.mem <- w.mem *. 0.97
+  end
+
+let apply_loop ctx (b : Peak_ir.Features.block) w =
+  if b.loop_depth > 0 || b.is_loop_header then begin
+    if ctx.on "loop-optimize" then begin
+      w.overhead <- w.overhead *. K.loop_overhead_cut;
+      w.alu <- w.alu *. K.invariant_motion;
+      w.pressure <- w.pressure +. 0.5;
+      if ctx.on "rerun-loop-opt" then w.alu <- w.alu *. 0.985
+    end;
+    if ctx.on "strength-reduce" && w.muldiv > 0.0 then begin
+      let moved = w.muldiv *. K.strength_reduce_moved in
+      w.muldiv <- w.muldiv -. moved;
+      w.alu <- w.alu +. moved;
+      w.pressure <- w.pressure +. 0.5
+    end;
+    if ctx.on "align-loops" && b.is_loop_header then
+      w.overhead <- Float.max 0.0 (w.overhead -. 0.05)
+  end
+
+let apply_branches ctx (b : Peak_ir.Features.block) w =
+  if w.branches > 0.0 then begin
+    (* if-conversion first: a converted branch leaves nothing for the
+       layout/prediction flags to improve *)
+    let convertible =
+      ctx.on "if-conversion" && (not b.is_loop_header)
+      && w.alu +. w.muldiv <= K.ifcvt_max_ops
+      && w.mem <= 2.0
+    in
+    if convertible then begin
+      w.branches <- 0.0;
+      w.alu <- w.alu +. K.ifcvt_alu_cost;
+      w.mispredict <- 0.0;
+      if ctx.on "if-conversion2" then w.alu <- Float.max 0.0 (w.alu -. 0.5)
+    end
+    else begin
+      if ctx.on "guess-branch-probability" then
+        w.mispredict <- w.mispredict *. K.guess_branch_cut;
+      if ctx.on "reorder-blocks" && ctx.on "guess-branch-probability" then begin
+        w.mispredict <- w.mispredict *. K.reorder_blocks_cut;
+        w.overhead <- Float.max 0.0 (w.overhead -. 0.05)
+      end;
+      if ctx.on "thread-jumps" then begin
+        w.overhead <- w.overhead *. 0.97;
+        w.mispredict <- w.mispredict *. 0.97
+      end;
+      if ctx.on "delayed-branch" && ctx.machine.branch_penalty <= 5.0 then
+        w.overhead <- Float.max 0.0 (w.overhead -. 0.4);
+      if ctx.on "align-jumps" then w.overhead <- Float.max 0.0 (w.overhead -. 0.01)
+    end
+  end
+
+let apply_scheduling ctx w =
+  if ctx.on "schedule-insns" then begin
+    w.ilp <- w.ilp +. (K.sched1_ilp *. ctx.amplify);
+    w.pressure <- w.pressure +. K.sched1_pressure;
+    if ctx.on "sched-interblock" then w.ilp <- w.ilp +. K.interblock_ilp;
+    if ctx.on "sched-spec" then begin
+      w.ilp <- w.ilp +. K.spec_ilp;
+      w.mem <- w.mem *. 1.02 (* speculative loads sometimes waste traffic *)
+    end
+  end;
+  if ctx.on "schedule-insns2" then begin
+    w.ilp <- w.ilp +. K.sched2_ilp;
+    w.pressure <- w.pressure +. K.sched2_pressure
+  end;
+  if ctx.on "rename-registers" then w.ilp <- w.ilp +. K.rename_ilp
+
+let apply_strict_aliasing ctx (b : Peak_ir.Features.block) w =
+  let n_bases = List.length b.bases in
+  let n_pointers = List.length b.pointer_bases in
+  if ctx.on "strict-aliasing" && n_bases >= 2 then begin
+    (* type-based disambiguation removes redundant reloads and lets loads
+       move; with pointer-heavy code the disambiguated values live in
+       registers across the ambiguous region, extending live ranges —
+       the ART mechanism of Section 5.2 *)
+    w.mem <- w.mem *. K.strict_alias_mem;
+    w.ilp <- w.ilp +. K.strict_alias_ilp;
+    w.pressure <- w.pressure +. (K.strict_alias_pressure_per_pointer *. float_of_int n_pointers)
+  end
+
+let apply_calls_and_alignment ctx (b : Peak_ir.Features.block) w =
+  let has_calls = b.impure_calls > 0 || b.transcendental > 0 in
+  if ctx.on "optimize-sibling-calls" && has_calls then
+    w.overhead <- Float.max 0.0 (w.overhead -. 0.1);
+  if ctx.on "inline-functions" && has_calls then begin
+    w.overhead <- Float.max 0.0 (w.overhead -. K.inline_overhead_cut);
+    w.pressure <- w.pressure +. K.inline_pressure
+  end;
+  if ctx.on "align-functions" then w.overhead <- w.overhead *. 0.995;
+  if ctx.on "align-labels" then w.overhead <- w.overhead +. 0.005
+(* label alignment pads straightline code: a (tiny) net loss *)
+
+let available_registers ctx =
+  let base = ctx.machine.int_registers in
+  let base = if ctx.on "omit-frame-pointer" then base + 1 else base in
+  if ctx.on "caller-saves" then base + 1 else base
+
+let spill_traffic ctx w =
+  let regs = float_of_int (available_registers ctx) in
+  let excess = Float.max 0.0 (w.pressure -. regs) in
+  if excess = 0.0 then 0.0
+  else begin
+    (* Quadratic in the excess: allocators shed a little pressure almost
+       for free (rematerialization, coldest-first spilling), but traffic
+       explodes once many hot values fight for the file.  Busier blocks
+       re-touch spilled values more often. *)
+    let density = Float.min 2.0 (Float.max 0.5 ((w.alu +. w.muldiv +. w.mem) /. 6.0)) in
+    K.spill_coefficient *. excess *. excess /. regs *. density
+  end
+
+let optimize_block ctx (b : Peak_ir.Features.block) =
+  let w = work_of_block b in
+  apply_scalar_cleanups ctx w;
+  apply_cse ctx b w;
+  apply_loop ctx b w;
+  apply_branches ctx b w;
+  apply_scheduling ctx w;
+  apply_strict_aliasing ctx b w;
+  apply_calls_and_alignment ctx b w;
+  let spill = spill_traffic ctx w in
+  ( {
+      Cost.alu = w.alu;
+      muldiv = w.muldiv;
+      transcendental = w.transcendental;
+      mem = w.mem;
+      spill_mem = spill;
+      branches = w.branches;
+      mispredict_rate = w.mispredict;
+      ilp = w.ilp;
+      overhead = w.overhead;
+    },
+    w.pressure )
+
+let optimize machine ts config =
+  let ctx = make_ctx machine ts config in
+  Array.map (fun b -> fst (optimize_block ctx b)) ts.Peak_ir.Features.blocks
+
+let effective_pressure machine ts config block_id =
+  let ctx = make_ctx machine ts config in
+  snd (optimize_block ctx ts.Peak_ir.Features.blocks.(block_id))

@@ -1,0 +1,37 @@
+(** Flag effect engine: how a configuration reshapes each block's cost.
+
+    The paper treats the backend compiler as a black box from flag sets
+    to differently-performing code.  This module is that black box's
+    behavioural model: each of the 38 flags transforms the per-block
+    workload derived from static features, with the interactions the
+    paper's experiments depend on —
+
+    - CSE-family flags remove redundant operations but lengthen live
+      ranges (register pressure);
+    - instruction scheduling raises ILP at a pressure cost, which is
+      profitable on a machine with many registers and can backfire on
+      one with eight;
+    - strict aliasing removes redundant memory traffic and unlocks load
+      motion, but extends live ranges across ambiguous accesses — the
+      Section 5.2 mechanism behind ART's 178% improvement on Pentium IV
+      when it is turned {e off};
+    - if-conversion trades branch misprediction for extra ALU work, a
+      win only where branches are unpredictable;
+    - prerequisite flags ([gcse-lm] without [gcse], [reorder-blocks]
+      without branch probabilities, …) do nothing alone.
+
+    The model is deterministic: a (machine, TS, configuration) triple
+    always yields the same per-block workloads.  Measurement noise is
+    injected later by the machine's noise model, never here. *)
+
+val optimize :
+  Peak_machine.Machine.t ->
+  Peak_ir.Features.ts ->
+  Optconfig.t ->
+  Peak_machine.Cost.workload array
+(** Per-block optimized workloads, indexed by CFG block id. *)
+
+val effective_pressure :
+  Peak_machine.Machine.t -> Peak_ir.Features.ts -> Optconfig.t -> int -> float
+(** The register pressure of a block after flag effects (exposed so tests
+    and the strict-aliasing ablation can observe the mechanism). *)

@@ -1,0 +1,87 @@
+(* A configuration is a bitmask over flag indices; 38 flags fit easily in
+   one native int. *)
+type t = int
+
+let full_mask = (1 lsl Flags.count) - 1
+
+let o3 = full_mask
+let o0 = 0
+
+let bit (f : Flags.t) = 1 lsl f.index
+
+let is_enabled t f = t land bit f <> 0
+let enable t f = t lor bit f
+let disable t f = t land lnot (bit f)
+let toggle t f = t lxor bit f
+
+let of_names names =
+  List.fold_left
+    (fun acc name ->
+      match Flags.by_name name with
+      | Some f -> enable acc f
+      | None -> invalid_arg ("Optconfig.of_names: unknown flag " ^ name))
+    o0 names
+
+let o_level k =
+  if k < 0 || k > 3 then invalid_arg "Optconfig.o_level: level must be in [0, 3]";
+  Array.fold_left
+    (fun acc (f : Flags.t) -> if f.Flags.level <= k then enable acc f else acc)
+    o0 Flags.all
+
+let of_string s =
+  let tokens =
+    String.split_on_char ' ' (String.trim s) |> List.filter (fun t -> t <> "")
+  in
+  match tokens with
+  | [] -> invalid_arg "Optconfig.of_string: empty string"
+  | base :: rest ->
+      let start =
+        match base with
+        | "-O0" | "-O0(+none)" -> o0
+        | "-O1" -> o_level 1
+        | "-O2" -> o_level 2
+        | "-O3" -> full_mask
+        | other -> invalid_arg ("Optconfig.of_string: unknown base " ^ other)
+      in
+      List.fold_left
+        (fun acc token ->
+          let apply prefix act =
+            let n = String.length prefix in
+            if String.length token > n && String.sub token 0 n = prefix then
+              let name = String.sub token n (String.length token - n) in
+              match Flags.by_name name with
+              | Some f -> Some (act acc f)
+              | None -> invalid_arg ("Optconfig.of_string: unknown flag " ^ token)
+            else None
+          in
+          match apply "-fno-" disable with
+          | Some c -> c
+          | None -> (
+              match apply "-f" enable with
+              | Some c -> c
+              | None -> invalid_arg ("Optconfig.of_string: unknown token " ^ token)))
+        start rest
+
+let enabled t = Array.to_list Flags.all |> List.filter (is_enabled t)
+let disabled t = Array.to_list Flags.all |> List.filter (fun f -> not (is_enabled t f))
+
+let cardinal t =
+  let rec pop acc n = if n = 0 then acc else pop (acc + (n land 1)) (n lsr 1) in
+  pop 0 t
+
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+
+let to_string t =
+  if t = o3 then "-O3"
+  else if t = o0 then "-O0(+none)"
+  else begin
+    let off = disabled t in
+    if List.length off <= Flags.count / 2 then
+      "-O3 " ^ String.concat " " (List.map (fun f -> "-fno-" ^ f.Flags.name) off)
+    else
+      "-O0 " ^ String.concat " " (List.map (fun f -> Flags.gcc_name f) (enabled t))
+  end
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,50 @@
+(** Optimization configurations: subsets of the 38 [-O3] flags.
+
+    A configuration is the coordinate the tuning search moves in; each
+    distinct configuration compiled for a tuning section yields one code
+    {!Version}. *)
+
+type t
+
+val o3 : t
+(** All 38 flags on — the baseline every improvement is measured
+    against. *)
+
+val o0 : t
+(** All flags off. *)
+
+val o_level : int -> t
+(** [o_level k] enables every flag whose GCC optimization level is at most
+    [k]: [o_level 0 = o0], [o_level 3 = o3], and [o_level 1]/[o_level 2]
+    are the -O1/-O2 presets.  @raise Invalid_argument outside [0, 3]. *)
+
+val of_string : string -> t
+(** Parse the {!to_string} syntax: ["-O3"], ["-O0(+none)"],
+    ["-O3 -fno-gcse ..."], ["-O0 -fgcse ..."], or ["-O1"]/["-O2"] level
+    presets optionally followed by [-f]/[-fno-] adjustments.
+    @raise Invalid_argument on unknown syntax or flag names. *)
+
+val is_enabled : t -> Flags.t -> bool
+val enable : t -> Flags.t -> t
+val disable : t -> Flags.t -> t
+val toggle : t -> Flags.t -> t
+
+val of_names : string list -> t
+(** Configuration with exactly the named flags on.
+    @raise Invalid_argument on an unknown flag name. *)
+
+val enabled : t -> Flags.t list
+val disabled : t -> Flags.t list
+
+val cardinal : t -> int
+(** Number of enabled flags. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_string : t -> string
+(** Compact description relative to -O3, e.g.
+    ["-O3 -fno-strict-aliasing -fno-gcse"]; plain ["-O3"] when complete. *)
+
+val pp : Format.formatter -> t -> unit

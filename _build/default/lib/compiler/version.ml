@@ -1,0 +1,21 @@
+type t = {
+  config : Optconfig.t;
+  machine : Peak_machine.Machine.t;
+  block_cycles : float array;
+  workloads : Peak_machine.Cost.workload array;
+}
+
+let compile machine ts config =
+  let workloads = Effects.optimize machine ts config in
+  let block_cycles = Array.map (Peak_machine.Cost.cycles machine) workloads in
+  { config; machine; block_cycles; workloads }
+
+let invocation_cycles t ~counts =
+  if Array.length counts <> Array.length t.block_cycles then
+    invalid_arg "Version.invocation_cycles: block count mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i c -> acc := !acc +. (float_of_int c *. t.block_cycles.(i))) counts;
+  !acc
+
+let compare_speed a b ~counts =
+  invocation_cycles a ~counts /. invocation_cycles b ~counts

@@ -1,0 +1,26 @@
+(** Code versions.
+
+    "We call the generated code for a TS under one set of optimization
+    options one version" (Section 4.1).  A version here is the per-block
+    cycle table produced by pricing the flag-transformed workloads on a
+    machine description.  Timing an invocation is then a dot product with
+    the interpreter's block-entry counts — cache and noise terms are
+    added by the execution harness. *)
+
+type t = {
+  config : Optconfig.t;
+  machine : Peak_machine.Machine.t;
+  block_cycles : float array;  (** Cycles per entry, by CFG block id. *)
+  workloads : Peak_machine.Cost.workload array;
+}
+
+val compile : Peak_machine.Machine.t -> Peak_ir.Features.ts -> Optconfig.t -> t
+(** Deterministic: equal inputs produce equal versions. *)
+
+val invocation_cycles : t -> counts:int array -> float
+(** [Σ_b counts(b) · cycles(b)] — Eq. 1 of the paper with the version's
+    block times.  @raise Invalid_argument on a count/block mismatch. *)
+
+val compare_speed : t -> t -> counts:int array -> float
+(** Ratio [time(first) / time(second)] on the given workload counts;
+    > 1 means the second version is faster. *)

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Context_analysis Float Hashtbl List Optconfig Peak_compiler Peak_ir Peak_machine Peak_util Peak_workload Runner Stats Trace Tsection Version

@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Peak_compiler Peak_machine Peak_workload Tsection

@@ -1,0 +1,1 @@
+lib/core/avg.ml: Option Rating Runner

@@ -1,0 +1,1 @@
+lib/core/avg.mli: Peak_compiler Rating Runner

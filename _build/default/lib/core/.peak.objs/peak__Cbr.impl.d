@@ -1,0 +1,1 @@
+lib/core/cbr.ml: Hashtbl Option Rating Runner

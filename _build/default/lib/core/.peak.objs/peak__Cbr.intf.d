@@ -1,0 +1,1 @@
+lib/core/cbr.mli: Peak_compiler Peak_ir Rating Runner

@@ -1,0 +1,1 @@
+lib/core/component_analysis.ml: Array List Matrix Peak_util Regression Stats

@@ -1,0 +1,1 @@
+lib/core/component_analysis.mli:

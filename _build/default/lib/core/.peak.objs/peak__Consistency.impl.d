@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Array Benchmark Cbr Consultant Driver List Mbr Optconfig Peak_compiler Peak_util Peak_workload Printf Profile Rating Rbr Runner Stats Trace Tsection Version

@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Driver Peak_machine Peak_workload

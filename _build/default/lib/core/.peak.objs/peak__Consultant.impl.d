@@ -1,0 +1,1 @@
+lib/core/consultant.ml: Component_analysis Float List Option Printf Profile Tsection

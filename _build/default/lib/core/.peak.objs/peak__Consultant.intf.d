@@ -1,0 +1,1 @@
+lib/core/consultant.mli: Profile Tsection

@@ -1,0 +1,1 @@
+lib/core/context_analysis.ml: Array Cfg Defuse Expr Hashtbl List Liveness Loc Peak_ir Pointsto Printf Tsection Types

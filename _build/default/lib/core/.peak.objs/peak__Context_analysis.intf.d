@@ -1,0 +1,1 @@
+lib/core/context_analysis.mli: Peak_ir Tsection

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Consultant Optimizer Peak_compiler Peak_machine Peak_workload Profile Rating Search Tsection

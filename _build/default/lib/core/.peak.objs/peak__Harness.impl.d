@@ -1,0 +1,1 @@
+lib/core/harness.ml: Cbr Consultant List Mbr Profile Rating Rbr

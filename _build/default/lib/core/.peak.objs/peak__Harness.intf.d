@@ -1,0 +1,1 @@
+lib/core/harness.mli: Consultant Peak_compiler Profile Rating Runner

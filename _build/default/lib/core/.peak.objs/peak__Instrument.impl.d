@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Buffer Component_analysis Consultant Expr List Liveness Loc Peak_ir Pretty Printf Profile String Tsection Types

@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Consultant Profile Tsection

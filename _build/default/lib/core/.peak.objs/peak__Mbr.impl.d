@@ -1,0 +1,1 @@
+lib/core/mbr.ml: Array Component_analysis List Option Peak_util Rating Runner

@@ -1,0 +1,1 @@
+lib/core/mbr.mli: Component_analysis Peak_compiler Rating Runner

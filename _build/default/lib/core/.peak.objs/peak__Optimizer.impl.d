@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Float Hashtbl Optconfig Peak_compiler Peak_machine

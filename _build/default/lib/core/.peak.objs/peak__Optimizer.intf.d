@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Peak_compiler Peak_machine

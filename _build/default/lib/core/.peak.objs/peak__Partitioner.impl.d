@@ -1,0 +1,1 @@
+lib/core/partitioner.ml: Benchmark Driver Float List Peak_compiler Peak_machine Peak_workload Profile Program Runner Trace Tsection

@@ -1,0 +1,1 @@
+lib/core/partitioner.mli: Driver Peak_machine Peak_workload Profile Tsection

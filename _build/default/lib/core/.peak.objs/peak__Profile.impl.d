@@ -1,0 +1,1 @@
+lib/core/profile.ml: Array Component_analysis Context_analysis Expr Float Hashtbl List Optconfig Option Peak_compiler Peak_ir Peak_util Peak_workload Runner Trace Tsection Version

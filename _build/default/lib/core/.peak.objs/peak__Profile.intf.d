@@ -1,0 +1,1 @@
+lib/core/profile.mli: Component_analysis Peak_ir Peak_machine Peak_workload Tsection

@@ -1,0 +1,1 @@
+lib/core/rating.ml: Array Float Peak_util Stats

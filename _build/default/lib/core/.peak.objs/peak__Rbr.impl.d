@@ -1,0 +1,1 @@
+lib/core/rbr.ml: Array List Option Rating Runner

@@ -1,0 +1,1 @@
+lib/core/rbr.mli: Peak_compiler Rating Runner

@@ -1,0 +1,1 @@
+lib/core/report.ml: Benchmark Component_analysis Consultant Driver List Peak_workload Profile Search Trace Tsection

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Hashtbl Interp List Machine Memsys Noise Peak_compiler Peak_ir Peak_machine Peak_util Peak_workload Rng Snapshot Trace Tsection

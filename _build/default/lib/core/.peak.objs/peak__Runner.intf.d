@@ -1,0 +1,1 @@
+lib/core/runner.mli: Peak_compiler Peak_ir Peak_machine Peak_workload Tsection

@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Flags List Optconfig Peak_compiler Peak_util

@@ -1,0 +1,1 @@
+lib/core/search.mli: Peak_compiler Peak_util

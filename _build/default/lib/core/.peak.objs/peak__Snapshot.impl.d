@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Hashtbl Interp List Liveness Loc Peak_ir Tsection

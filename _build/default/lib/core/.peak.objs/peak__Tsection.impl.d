@@ -1,0 +1,1 @@
+lib/core/tsection.ml: Array Cfg Defuse Features Liveness Peak_ir Pointsto Types

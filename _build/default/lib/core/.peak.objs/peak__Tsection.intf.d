@@ -1,0 +1,1 @@
+lib/core/tsection.mli: Cfg Defuse Features Liveness Peak_ir Pointsto Types

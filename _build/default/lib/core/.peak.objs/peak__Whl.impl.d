@@ -1,0 +1,1 @@
+lib/core/whl.ml: Rating Runner

@@ -1,0 +1,1 @@
+lib/core/whl.mli: Peak_compiler Rating Runner

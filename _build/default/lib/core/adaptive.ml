@@ -1,0 +1,169 @@
+open Peak_util
+open Peak_compiler
+open Peak_workload
+
+type slot = {
+  mutable best : Optconfig.t;
+  mutable best_stats : Stats.Welford.t;
+  mutable experimental : (Optconfig.t * Stats.Welford.t) option;
+  mutable pending : Optconfig.t list;
+  mutable ready_at : int;  (** invocation when the next compile lands *)
+  mutable swaps : int;
+}
+
+type t = {
+  tsec : Tsection.t;
+  runner : Runner.t;
+  machine : Peak_machine.Machine.t;
+  window : int;
+  compile_latency : int;
+  candidates : Optconfig.t list;
+  context_sources : Peak_ir.Expr.source list;
+  versions : (Optconfig.t, Version.t) Hashtbl.t;
+  slots : (float array, slot) Hashtbl.t;
+}
+
+type stats = {
+  invocations : int;
+  total_cycles : float;
+  o3_cycles : float;
+  oracle_cycles : float;
+  swaps : int;
+  contexts_seen : int;
+  choices : (float array * Optconfig.t) list;
+}
+
+let create ?(seed = 17) ?(window = 12) ?(compile_latency = 25) tsec trace machine
+    ~candidates =
+  let context_sources =
+    match Context_analysis.analyze tsec ~mutated_arrays:trace.Trace.mutated_arrays with
+    | Context_analysis.Applicable { sources; _ } -> sources
+    | Context_analysis.Not_applicable _ -> []
+  in
+  {
+    tsec;
+    runner = Runner.create ~seed tsec trace machine;
+    machine;
+    window;
+    compile_latency;
+    candidates;
+    context_sources;
+    versions = Hashtbl.create 16;
+    slots = Hashtbl.create 8;
+  }
+
+let version t config =
+  match Hashtbl.find_opt t.versions config with
+  | Some v -> v
+  | None ->
+      let v = Version.compile t.machine t.tsec.Tsection.features config in
+      Hashtbl.add t.versions config v;
+      v
+
+let slot t now key =
+  match Hashtbl.find_opt t.slots key with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          best = Optconfig.o3;
+          best_stats = Stats.Welford.create ();
+          experimental = None;
+          pending = t.candidates;
+          ready_at = now + t.compile_latency;
+          swaps = 0;
+        }
+      in
+      Hashtbl.add t.slots key s;
+      s
+
+(* Decide which version to run under this context, and which statistics
+   bucket the measurement belongs to. *)
+let choose_for t now s =
+  (* launch the next experiment once its compile has landed *)
+  (match (s.experimental, s.pending) with
+  | None, next :: rest when now >= s.ready_at ->
+      s.experimental <- Some (next, Stats.Welford.create ());
+      s.pending <- rest
+  | _ -> ());
+  match s.experimental with
+  | Some (config, w)
+    when Stats.Welford.count w < t.window
+         || Stats.Welford.count s.best_stats < t.window ->
+      (* alternate so both versions sample the same context mix *)
+      if
+        Stats.Welford.count w <= Stats.Welford.count s.best_stats
+        && Stats.Welford.count w < t.window
+      then `Experimental config
+      else `Best
+  | Some (config, w) ->
+      (* both windows full: swap only on a statistically credible win
+         (Welch's test at 97.5% one-sided), so measurement noise does not
+         thrash the installed version *)
+      let wins =
+        Stats.significantly_less
+          ~mean1:(Stats.Welford.mean w)
+          ~var1:(Stats.Welford.variance w)
+          ~n1:(Stats.Welford.count w)
+          ~mean2:(Stats.Welford.mean s.best_stats)
+          ~var2:(Stats.Welford.variance s.best_stats)
+          ~n2:(Stats.Welford.count s.best_stats)
+      in
+      if wins then begin
+        s.best <- config;
+        s.best_stats <- w;
+        s.swaps <- s.swaps + 1
+      end;
+      s.experimental <- None;
+      s.ready_at <- now + t.compile_latency;
+      `Best
+  | None -> `Best
+
+let run t ~invocations =
+  let total = ref 0.0 in
+  let o3_total = ref 0.0 in
+  let oracle_total = ref 0.0 in
+  let o3_version = version t Optconfig.o3 in
+  let all_versions = o3_version :: List.map (version t) t.candidates in
+  for now = 0 to invocations - 1 do
+    let bucket = ref `Best in
+    let chosen_slot = ref None in
+    let chosen_version = ref o3_version in
+    let sample =
+      Runner.step_choose ~context:t.context_sources t.runner (fun key ->
+          let s = slot t now key in
+          chosen_slot := Some s;
+          let choice = choose_for t now s in
+          bucket := choice;
+          let config = match choice with `Best -> s.best | `Experimental c -> c in
+          let v = version t config in
+          chosen_version := v;
+          v)
+    in
+    (* record the (noisy) measurement in the right bucket *)
+    (match (!chosen_slot, !bucket) with
+    | Some s, `Best -> Stats.Welford.add s.best_stats sample.Runner.time
+    | Some s, `Experimental _ -> (
+        match s.experimental with
+        | Some (_, w) -> Stats.Welford.add w sample.Runner.time
+        | None -> ())
+    | None, _ -> ());
+    (* noise-free accounting for the comparison *)
+    let counts = sample.Runner.counts in
+    let cycles v = Version.invocation_cycles v ~counts in
+    total := !total +. cycles !chosen_version;
+    o3_total := !o3_total +. cycles o3_version;
+    oracle_total :=
+      !oracle_total +. List.fold_left (fun acc v -> Float.min acc (cycles v)) infinity all_versions
+  done;
+  let swaps = Hashtbl.fold (fun _ (s : slot) acc -> acc + s.swaps) t.slots 0 in
+  let choices = Hashtbl.fold (fun key (s : slot) acc -> (key, s.best) :: acc) t.slots [] in
+  {
+    invocations;
+    total_cycles = !total;
+    o3_cycles = !o3_total;
+    oracle_cycles = !oracle_total;
+    swaps;
+    contexts_seen = Hashtbl.length t.slots;
+    choices;
+  }

@@ -1,0 +1,52 @@
+(** Online, adaptive tuning — the scenario of Section 6.
+
+    The paper demonstrates offline tuning but stresses that the rating
+    methods "are also applicable to an online, adaptive optimization
+    scenario ... facilitating dynamic tuning of applications that are
+    very long running, or that exhibit different behavior across their
+    execution time."  This engine realizes that scenario on the ADAPT
+    mechanism of Figure 6: per context, a {e best} and an {e experimental}
+    code version are kept and dynamically swapped; new experimental
+    versions arrive asynchronously from a remote optimizer with a compile
+    latency, are rated in place with the context-aware machinery, and
+    replace the best on a win.
+
+    Unlike the offline driver there is no separate tuning phase: every
+    invocation is production work, and the engine's quality measure is
+    the total cycles the application spent, compared against running -O3
+    throughout and against an oracle that knew each context's best
+    version from the start. *)
+
+type t
+
+type stats = {
+  invocations : int;
+  total_cycles : float;  (** Everything the application spent, experiments included. *)
+  o3_cycles : float;  (** The same invocations under -O3 throughout. *)
+  oracle_cycles : float;
+      (** The same invocations under each context's best candidate
+          (selected by noise-free evaluation) — the adaptivity target. *)
+  swaps : int;  (** Times a context's best version changed. *)
+  contexts_seen : int;
+  choices : (float array * Peak_compiler.Optconfig.t) list;
+      (** Final best configuration per context key. *)
+}
+
+val create :
+  ?seed:int ->
+  ?window:int ->
+  ?compile_latency:int ->
+  Tsection.t ->
+  Peak_workload.Trace.t ->
+  Peak_machine.Machine.t ->
+  candidates:Peak_compiler.Optconfig.t list ->
+  t
+(** [window] is the samples needed per (context, version) rating before a
+    swap decision (default 12); [compile_latency] the invocations a
+    requested version spends at the remote optimizer before it can be
+    swapped in (default 25, per ADAPT's asynchronous dynamic
+    compilation).  [candidates] are explored in order, per context, with
+    -O3 as the initial best. *)
+
+val run : t -> invocations:int -> stats
+(** Drive the application for the given number of invocations. *)

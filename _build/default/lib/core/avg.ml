@@ -1,0 +1,29 @@
+(** The AVG strawman (Section 5.2).
+
+    "AVG simply takes the timing average of a number of invocations,
+    regardless of the TS's context."  Cheap, but the sample's context mix
+    depends on where in the program the window lands, so two versions
+    can be compared on different workloads — the unfairness the three
+    real rating methods exist to prevent.  Included as the paper's
+    baseline. *)
+
+let rate ?(params = Rating.default_params) runner version =
+  let samples = ref [] in
+  let consumed = ref 0 in
+  let result = ref None in
+  while !result = None do
+    let added = ref 0 in
+    while !added < params.Rating.window && !consumed < params.Rating.max_invocations do
+      let s = Runner.step runner version in
+      incr consumed;
+      incr added;
+      samples := s.Runner.time :: !samples
+    done;
+    let eval, var, n, converged = Rating.summarize ~params !samples in
+    (* AVG ships after one window regardless of convergence when the mix
+       is unstable, mirroring its naive usage; it still reports the
+       convergence flag honestly. *)
+    if converged || !consumed >= params.Rating.max_invocations || !consumed >= 4 * params.Rating.window
+    then result := Some { Rating.eval; var; samples = n; invocations = !consumed; converged }
+  done;
+  Option.get !result

@@ -1,0 +1,5 @@
+(** The AVG strawman (Section 5.2): average invocation times regardless
+    of context.  Cheap but unfair when the context mix drifts — the
+    baseline the paper's three rating methods are measured against. *)
+
+val rate : ?params:Rating.params -> Runner.t -> Peak_compiler.Version.t -> Rating.t

@@ -1,0 +1,55 @@
+(** Context-based rating (Section 2.2).
+
+    Rate a version by averaging the execution times of invocations that
+    occur under one specific context — the fair comparison comes from
+    only ever comparing like workloads.  Invocations under other
+    contexts still execute (and are charged to tuning time); they simply
+    contribute no sample.  The tuning flow rates versions under the most
+    important context (by time share); an adaptive system would keep
+    per-context winners. *)
+
+let rate ?(params = Rating.default_params) runner ~sources ~target version =
+  let samples = ref [] in
+  let consumed = ref 0 in
+  let result = ref None in
+  while !result = None do
+    (* gather one window's worth of matching invocations *)
+    let matched = ref 0 in
+    while !matched < params.Rating.window && !consumed < params.Rating.max_invocations do
+      let s = Runner.step ~context:sources runner version in
+      incr consumed;
+      if s.Runner.context = target then begin
+        incr matched;
+        samples := s.Runner.time :: !samples
+      end
+    done;
+    let eval, var, n, converged = Rating.summarize ~params !samples in
+    if converged || !consumed >= params.Rating.max_invocations then
+      result :=
+        Some
+          {
+            Rating.eval;
+            var;
+            samples = n;
+            invocations = !consumed;
+            converged;
+          }
+  done;
+  Option.get !result
+
+(** Rating per context: the adaptive-scenario variant that reports every
+    context's EVAL.  Contexts are identified by their value vectors. *)
+let rate_all_contexts ?(params = Rating.default_params) runner ~sources version =
+  let by_context = Hashtbl.create 8 in
+  let consumed = ref 0 in
+  while !consumed < params.Rating.max_invocations do
+    let s = Runner.step ~context:sources runner version in
+    incr consumed;
+    let existing = Option.value ~default:[] (Hashtbl.find_opt by_context s.Runner.context) in
+    Hashtbl.replace by_context s.Runner.context (s.Runner.time :: existing)
+  done;
+  Hashtbl.fold
+    (fun ctx times acc ->
+      let eval, var, n, converged = Rating.summarize ~params times in
+      (ctx, { Rating.eval; var; samples = n; invocations = !consumed; converged }) :: acc)
+    by_context []

@@ -1,0 +1,149 @@
+open Peak_util
+
+type group = { representative : int; members : int list }
+
+type t = {
+  n_blocks : int;
+  groups : group array;  (** Varying groups, before independence filtering. *)
+  independent : int array;  (** Indices into [groups] of selected components. *)
+  folded_reps : int list;
+  constant_blocks : int list;
+  group_index : int option array;  (** block id -> group index *)
+  mean_counts : float array;  (** mean entry count per block over the sample *)
+}
+
+let vector_of samples block = Array.map (fun inv -> float_of_int inv.(block)) samples
+
+let is_constant v = Array.for_all (fun x -> x = v.(0)) v
+
+(* Relative residual of least-squares projecting y onto span(basis). *)
+let relative_residual basis y =
+  let n = Array.length y in
+  let k = List.length basis in
+  let y_norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 y) in
+  if y_norm = 0.0 then 0.0
+  else if k = 0 then 1.0
+  else if n < k then 1.0
+  else begin
+    let basis = Array.of_list basis in
+    let a = Matrix.init ~rows:n ~cols:k ~f:(fun r c -> basis.(c).(r)) in
+    match Matrix.least_squares a y with
+    | exception Failure _ -> 1.0
+    | coeff ->
+        let resid = ref 0.0 in
+        for r = 0 to n - 1 do
+          let pred = ref 0.0 in
+          Array.iteri (fun c b -> pred := !pred +. (coeff.(c) *. b.(r))) basis;
+          let d = y.(r) -. !pred in
+          resid := !resid +. (d *. d)
+        done;
+        sqrt !resid /. y_norm
+  end
+
+let analyze ~samples =
+  let n_inv = Array.length samples in
+  if n_inv = 0 then invalid_arg "Component_analysis.analyze: no samples";
+  let n_blocks = Array.length samples.(0) in
+  if n_blocks = 0 then invalid_arg "Component_analysis.analyze: no blocks";
+  Array.iter
+    (fun s ->
+      if Array.length s <> n_blocks then invalid_arg "Component_analysis.analyze: ragged samples")
+    samples;
+  let vectors = Array.init n_blocks (fun b -> vector_of samples b) in
+  let mean_counts = Array.map Stats.mean vectors in
+  let constant_blocks = ref [] in
+  let varying = ref [] in
+  for b = n_blocks - 1 downto 0 do
+    if is_constant vectors.(b) then constant_blocks := b :: !constant_blocks
+    else varying := b :: !varying
+  done;
+  (* pairwise merging by exact linear relation (the paper's α,β rule) *)
+  let groups : group list ref = ref [] in
+  List.iter
+    (fun b ->
+      let rec place = function
+        | [] -> [ { representative = b; members = [ b ] } ]
+        | g :: rest -> (
+            match Regression.linear_relation vectors.(g.representative) vectors.(b) with
+            | Some _ -> { g with members = g.members @ [ b ] } :: rest
+            | None -> g :: place rest)
+      in
+      groups := place !groups)
+    !varying;
+  let groups = Array.of_list !groups in
+  let group_index = Array.make n_blocks None in
+  Array.iteri (fun gi g -> List.iter (fun b -> group_index.(b) <- Some gi) g.members) groups;
+  (* independence filtering: keep groups whose count vector is not in the
+     span of the constant vector plus already-selected vectors.  Heavier
+     groups (by mean entry count) are considered first so that when a
+     loop nest's count vectors are linearly dependent, the hot inner body
+     stays a component in its own right and the cheap bookkeeping blocks
+     are the ones folded into the others' coefficients. *)
+  let ones = Array.make n_inv 1.0 in
+  let order = Array.init (Array.length groups) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      compare mean_counts.(groups.(b).representative) mean_counts.(groups.(a).representative))
+    order;
+  let selected = ref [] in
+  let folded = ref [] in
+  Array.iter
+    (fun gi ->
+      let g = groups.(gi) in
+      let basis = ones :: List.map (fun i -> vectors.(groups.(i).representative)) !selected in
+      if relative_residual basis vectors.(g.representative) > 1e-6 then
+        selected := !selected @ [ gi ]
+      else folded := g.representative :: !folded)
+    order;
+  {
+    n_blocks;
+    groups;
+    independent = Array.of_list !selected;
+    folded_reps = List.rev !folded;
+    constant_blocks = !constant_blocks;
+    group_index;
+    mean_counts;
+  }
+
+let n_components t = Array.length t.independent + 1
+
+let representatives t =
+  Array.to_list (Array.map (fun gi -> t.groups.(gi).representative) t.independent)
+
+let folded t = t.folded_reps
+
+let group_of t block = if block < t.n_blocks && block >= 0 then t.group_index.(block) else None
+
+let counts t block_counts =
+  if Array.length block_counts <> t.n_blocks then
+    invalid_arg "Component_analysis.counts: block count length mismatch";
+  let k = Array.length t.independent in
+  Array.init (k + 1) (fun i ->
+      if i = k then 1.0
+      else float_of_int block_counts.(t.groups.(t.independent.(i)).representative))
+
+let avg_counts t ~samples =
+  let k = n_components t in
+  let acc = Array.make k 0.0 in
+  Array.iter (fun inv -> Array.iteri (fun i c -> acc.(i) <- acc.(i) +. c) (counts t inv)) samples;
+  Array.map (fun x -> x /. float_of_int (Array.length samples)) acc
+
+let dominant t ~weights =
+  if Array.length weights <> t.n_blocks then
+    invalid_arg "Component_analysis.dominant: weight length mismatch";
+  let k = Array.length t.independent in
+  let contributions = Array.make (k + 1) 0.0 in
+  let add slot b = contributions.(slot) <- contributions.(slot) +. (weights.(b) *. t.mean_counts.(b)) in
+  List.iter (add k) t.constant_blocks;
+  (* folded groups contribute wherever the regression absorbs them; for
+     dominance purposes charge them to the constant slot, which only errs
+     toward conservatism *)
+  List.iter
+    (fun rep -> match t.group_index.(rep) with Some _ -> add k rep | None -> ())
+    t.folded_reps;
+  Array.iteri
+    (fun i gi -> List.iter (add i) t.groups.(gi).members)
+    t.independent;
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > contributions.(!best) then best := i) contributions;
+  !best

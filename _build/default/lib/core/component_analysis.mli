@@ -1,0 +1,55 @@
+(** MBR component analysis — Section 2.3.
+
+    From a profile sample of per-invocation basic-block entry counts,
+    build the execution-time model [T_TS = Σ T_i · C_i]:
+
+    - blocks whose counts never vary go into the {e constant} component
+      (the paper's [T_n] with [C_n = 1]);
+    - blocks whose counts are pairwise linearly dependent across all
+      sampled invocations merge into one component (the paper's
+      [C_b1 = α·C_b2 + β] rule);
+    - beyond the paper, components whose count vectors are linear
+      combinations of already-selected components are {e folded}: their
+      time is absorbed by the regression coefficients of the components
+      that span them.  Without this the count matrix of a loop nest
+      (whose block counts are 1, T, T², T²+T, …) is exactly singular and
+      Eq. 3 has no unique solution.
+
+    The number of independent components is the MBR applicability
+    criterion the consultant checks: past a handful, the regression
+    needs too many invocations to converge and MBR is rejected. *)
+
+type t
+
+val analyze : samples:int array array -> t
+(** [samples.(j)] is the block-count vector of sampled invocation [j].
+    @raise Invalid_argument on an empty or ragged sample. *)
+
+val n_components : t -> int
+(** Independent varying components + 1 (the constant component). *)
+
+val representatives : t -> int list
+(** Block id representing each independent varying component, in
+    component order. *)
+
+val folded : t -> int list
+(** Representative block ids whose count vectors were linear
+    combinations of the selected components. *)
+
+val group_of : t -> int -> int option
+(** [group_of t block] is the index of the merged group containing the
+    block, if the block's count varies. *)
+
+val counts : t -> int array -> float array
+(** Component-count vector of one invocation (from its block counts);
+    the constant component's 1.0 is last.  Length [n_components]. *)
+
+val avg_counts : t -> samples:int array array -> float array
+(** The paper's [C_avg]: mean component counts over a profile run. *)
+
+val dominant : t -> weights:float array -> int
+(** Index (into {!counts} vectors) of the component with the largest
+    average time contribution, where [weights] gives per-block cycle
+    estimates — the component whose [T_i] rates the version when it
+    dominates (Section 2.3 (a)).  The constant component can be dominant
+    for straight-line sections. *)

@@ -1,0 +1,31 @@
+(** The rating-consistency experiment of Table 1 (Section 5.1).
+
+    For each tuning section: rate a single experimental version (compiled
+    under -O3, identical to the base) repeatedly across the run with
+    fixed window sizes, and report the mean and standard deviation of the
+    rating errors ×100 — [V_i/mean(V) − 1] for CBR/MBR, [V_i − 1] for RBR
+    (whose ideal rating against an identical base is exactly 1). *)
+
+type cell = { window : int; mean_x100 : float; stddev_x100 : float }
+
+type row = {
+  benchmark : Peak_workload.Benchmark.t;
+  method_used : Driver.rating_method;
+  context_label : string option;
+      (** ["Context k"] for multi-context CBR sections (APSI, WUPWISE). *)
+  n_invocations : int;  (** Trace length (Table 1's scaled column). *)
+  cells : cell list;  (** One per window size. *)
+}
+
+val default_windows : int list
+(** The paper's w ∈ \{10, 20, 40, 80, 160\}. *)
+
+val measure :
+  ?seed:int ->
+  ?n_ratings:int ->
+  ?windows:int list ->
+  Peak_workload.Benchmark.t ->
+  Peak_machine.Machine.t ->
+  row list
+(** One or more rows (one per CBR context) using the consultant-chosen
+    method. *)

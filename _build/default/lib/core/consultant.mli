@@ -1,0 +1,42 @@
+(** The Rating Approach Consultant (Sections 3 and 4.2).
+
+    Decides, per tuning section, which rating methods are applicable and
+    which to try first:
+
+    - {b CBR} needs the Figure-1 analysis to succeed and the number of
+      observed contexts to stay small ("to keep the number of contexts
+      reasonable", Section 2.2);
+    - {b MBR} needs the component model to stay small, or the regression
+      would demand too many invocations (Section 2.3);
+    - {b RBR} is applicable to almost everything — only sections calling
+      side-effecting externals are excluded (Section 2.4.1).
+
+    The initial choice follows the paper's preference order CBR, MBR,
+    RBR; at tuning time {!Harness.rate_with_fallback} falls back along
+    the applicable list if the chosen method fails to converge. *)
+
+type method_kind = Cbr | Mbr | Rbr
+
+val method_name : method_kind -> string
+
+type advice = {
+  applicable : method_kind list;  (** In preference order. *)
+  chosen : method_kind;
+  n_contexts : int option;  (** When the context analysis succeeded. *)
+  dominant_share : float option;  (** Time share of the dominant context. *)
+  n_components : int;
+  estimates : (method_kind * float) list;
+      (** Estimated invocations consumed per version rating. *)
+  reasons : string list;  (** Why methods were excluded. *)
+}
+
+val default_max_contexts : int
+(** 4 — chosen so the Table 1 benchmarks partition as in the paper. *)
+
+val default_max_components : int
+(** 5. *)
+
+val advise :
+  ?max_contexts:int -> ?max_components:int -> ?window:int -> Tsection.t -> Profile.t -> advice
+(** @raise Invalid_argument if no method is applicable (cannot happen for
+    sections without impure calls). *)

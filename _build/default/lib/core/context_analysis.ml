@@ -1,0 +1,85 @@
+open Peak_ir
+
+type verdict =
+  | Applicable of {
+      sources : Expr.source list;
+      runtime_constant_arrays : string list;
+    }
+  | Not_applicable of string
+
+exception Fail of string
+
+(* The recursive GetStmtContextSet walk of Figure 1, with the paper's
+   "done" marking realized as a visited set over (site, source) pairs so
+   that loop-carried chains terminate. *)
+let analyze (tsec : Tsection.t) ~mutated_arrays =
+  let cfg = tsec.Tsection.cfg in
+  let du = tsec.defuse in
+  let pts = tsec.pointsto in
+  let context = ref [] in
+  let rt_arrays = ref [] in
+  let visited = Hashtbl.create 64 in
+  let add_context src = if not (List.mem src !context) then context := src :: !context in
+  let add_rt_array a = if not (List.mem a !rt_arrays) then rt_arrays := a :: !rt_arrays in
+  let array_is_immutable a =
+    (not (Loc.Set.mem (Loc.Array a) (Liveness.def_set tsec.liveness)))
+    && not (List.mem a mutated_arrays)
+  in
+  let rec process_source (site : Defuse.site) (src : Expr.source) =
+    let key = (site, src) in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key ();
+      match src with
+      | Expr.Scalar v -> follow_defs site (Loc.Scalar v) src
+      | Expr.Array_elem (a, _) ->
+          (* the element's value may come from entry (array input) or from
+             stores inside the TS *)
+          follow_defs site (Loc.Array a) src
+      | Expr.Pointer_deref p ->
+          if Pointsto.is_retargeted pts p then
+            raise
+              (Fail (Printf.sprintf "pointer %s is retargeted within the tuning section" p));
+          (* the dereference reads the pointee scalar(s) *)
+          List.iter (fun target -> follow_defs site (Loc.Scalar target) src) (Pointsto.targets pts p)
+    end
+  and follow_defs site loc src =
+    let defs = Defuse.reaching du site loc in
+    List.iter
+      (fun def ->
+        match def with
+        | Defuse.Entry -> source_reaches_entry src
+        | Defuse.At (b, i) -> process_statement b i)
+      defs
+  and source_reaches_entry src =
+    (* "v is in Input(TS)": admit it as a context variable if scalar in
+       the paper's extended sense. *)
+    match src with
+    | Expr.Scalar _ -> add_context src
+    | Expr.Array_elem (_, Some _) -> add_context src
+    | Expr.Array_elem (a, None) ->
+        if array_is_immutable a then add_rt_array a
+        else
+          raise
+            (Fail
+               (Printf.sprintf
+                  "control depends on varying array %s through a non-constant subscript" a))
+    | Expr.Pointer_deref p ->
+        if Pointsto.pointee_written pts p then
+          raise (Fail (Printf.sprintf "pointee of %s is written within the tuning section" p))
+        else add_context src
+  and process_statement b i =
+    let stmt = (Cfg.block cfg b).stmts.(i) in
+    match stmt with
+    | Cfg.SCall f when not (Types.is_pure_external f) ->
+        raise (Fail (Printf.sprintf "control value may be defined by opaque call %s" f))
+    | _ ->
+        let site = Defuse.Stmt (b, i) in
+        List.iter (process_source site) (Defuse.value_sources stmt)
+  in
+  try
+    List.iter
+      (fun (block_id, cond) ->
+        List.iter (process_source (Defuse.Term block_id)) (Expr.sources cond))
+      (Cfg.control_conditions cfg);
+    Applicable { sources = List.rev !context; runtime_constant_arrays = List.rev !rt_arrays }
+  with Fail reason -> Not_applicable reason

@@ -1,0 +1,32 @@
+(** Context-variable analysis — Figure 1 of the paper.
+
+    For every control statement of the tuning section, walk the UD chains
+    of every value it reads back to the section entry.  Values that reach
+    the entry are inputs: if they are "scalar" in the paper's extended
+    sense — plain scalars, array references with constant subscripts, or
+    dereferences of pointers the TS never retargets — they become context
+    variables; any other input reaching a control statement makes CBR
+    inapplicable.
+
+    One extension beyond the paper's figure, taken from its own
+    run-time-constant rule: an {e array} whose contents influence control
+    (e.g. the sparse row-pointer array of EQUAKE's [smvp]) is tolerated
+    when nothing can change it — the TS never writes it and the enclosing
+    program (the trace) declares it unmutated.  Such arrays are reported
+    as [runtime_constant_arrays] rather than failing the analysis;
+    together with constant-valued scalar pruning (done by the profiler),
+    this is what gives EQUAKE its single context. *)
+
+type verdict =
+  | Applicable of {
+      sources : Peak_ir.Expr.source list;
+          (** Candidate context variables, before run-time-constant
+              pruning of scalars. *)
+      runtime_constant_arrays : string list;
+          (** Arrays feeding control flow that were proven immutable. *)
+    }
+  | Not_applicable of string  (** Human-readable reason. *)
+
+val analyze : Tsection.t -> mutated_arrays:string list -> verdict
+(** [mutated_arrays] is the trace's declaration of arrays rewritten
+    between invocations (see {!Peak_workload.Trace}). *)

@@ -1,0 +1,198 @@
+open Peak_machine
+open Peak_compiler
+open Peak_workload
+
+type rating_method = Cbr | Mbr | Rbr | Avg | Whl
+
+let method_name = function
+  | Cbr -> "CBR"
+  | Mbr -> "MBR"
+  | Rbr -> "RBR"
+  | Avg -> "AVG"
+  | Whl -> "WHL"
+
+let method_of_string s =
+  match String.uppercase_ascii s with
+  | "CBR" -> Some Cbr
+  | "MBR" -> Some Mbr
+  | "RBR" -> Some Rbr
+  | "AVG" -> Some Avg
+  | "WHL" -> Some Whl
+  | _ -> None
+
+type search_algo = Ie | Be | Ce | Random of int | Ff | Ose
+
+type result = {
+  benchmark : Benchmark.t;
+  machine : Machine.t;
+  dataset : Trace.dataset;
+  method_used : rating_method;
+  best_config : Optconfig.t;
+  search_stats : Search.stats;
+  tuning_cycles : float;
+  tuning_seconds : float;
+  passes : int;
+  invocations : int;
+  profile : Profile.t;
+  advice : Consultant.advice;
+}
+
+let non_ts_cycles_of (benchmark : Benchmark.t) (profile : Profile.t) =
+  let share = benchmark.Benchmark.time_share in
+  profile.Profile.ts_pass_cycles *. (1.0 -. share) /. share
+
+let auto_method profile tsec =
+  let advice = Consultant.advise tsec profile in
+  match advice.Consultant.chosen with
+  | Consultant.Cbr -> Cbr
+  | Consultant.Mbr -> Mbr
+  | Consultant.Rbr -> Rbr
+
+let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
+    ?(threshold = 0.005) ?compile ~method_ (benchmark : Benchmark.t) machine dataset =
+  let tsec = Tsection.make benchmark.Benchmark.ts in
+  let trace = benchmark.Benchmark.trace dataset ~seed in
+  let profile = Profile.run ~seed:(seed + 1) tsec trace machine in
+  let advice = Consultant.advise tsec profile in
+  let non_ts = non_ts_cycles_of benchmark profile in
+  let runner = Runner.create ~seed:(seed + 2) tsec trace machine in
+  (* the Remote Optimizer of Figure 6: versions must be compiled before
+     they can be swapped in; Local blocks tuning, Remote overlaps *)
+  let optimizer =
+    Option.map (fun (mode, seconds) -> Optimizer.create ~compile_seconds:seconds mode machine)
+      compile
+  in
+  let await_compiled config =
+    match optimizer with
+    | None -> ()
+    | Some opt ->
+        let stall = Optimizer.stall_for opt ~now:(Runner.tuning_cycles runner) config in
+        if stall > 0.0 then Runner.charge_overhead runner stall
+  in
+  let prepare configs =
+    match optimizer with
+    | None -> ()
+    | Some opt ->
+        List.iter (fun c -> Optimizer.request opt ~now:(Runner.tuning_cycles runner) c) configs
+  in
+  let versions = Hashtbl.create 64 in
+  let version config =
+    match Hashtbl.find_opt versions config with
+    | Some v -> v
+    | None ->
+        await_compiled config;
+        let v = Version.compile machine tsec.Tsection.features config in
+        Hashtbl.add versions config v;
+        v
+  in
+  let params = rating_params in
+  (* CBR target context *)
+  let cbr_info =
+    match profile.Profile.context with
+    | Profile.Cbr_ok { sources; stats = s :: _; _ } -> Some (sources, s.Profile.values)
+    | Profile.Cbr_ok { sources; stats = []; _ } -> Some (sources, [||])
+    | Profile.Cbr_no _ -> None
+  in
+  let eval_cache = Hashtbl.create 64 in
+  let eval_with f config =
+    match Hashtbl.find_opt eval_cache config with
+    | Some e -> e
+    | None ->
+        let e = f config in
+        Hashtbl.add eval_cache config e;
+        e
+  in
+  let relative : Search.relative =
+    match method_ with
+    | Rbr ->
+        fun ~base candidate ->
+          (Rbr.rate ~params runner ~base:(version base) (version candidate)).Rating.eval
+    | Cbr ->
+        let sources, target =
+          match cbr_info with
+          | Some info -> info
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Driver.tune: CBR not applicable to %s"
+                   benchmark.Benchmark.name)
+        in
+        let eval =
+          eval_with (fun c -> (Cbr.rate ~params runner ~sources ~target (version c)).Rating.eval)
+        in
+        fun ~base candidate -> eval candidate /. eval base
+    | Mbr ->
+        let components = profile.Profile.components in
+        let avg_counts = profile.Profile.avg_component_counts in
+        let dominant = profile.Profile.dominant_component in
+        let eval =
+          eval_with (fun c ->
+              (Mbr.rate ~params runner ~components ~avg_counts ~dominant (version c))
+                .Rating.eval)
+        in
+        fun ~base candidate -> eval candidate /. eval base
+    | Avg ->
+        let eval = eval_with (fun c -> (Avg.rate ~params runner (version c)).Rating.eval) in
+        fun ~base candidate -> eval candidate /. eval base
+    | Whl ->
+        let eval =
+          eval_with (fun c -> (Whl.rate runner ~non_ts_cycles:non_ts (version c)).Rating.eval)
+        in
+        fun ~base candidate -> eval candidate /. eval base
+  in
+  let best_config, search_stats =
+    match search with
+    | Ie -> Search.iterative_elimination ~threshold ~prepare ~relative Optconfig.o3
+    | Be -> Search.batch_elimination ~threshold ~prepare ~relative Optconfig.o3
+    | Ce -> Search.combined_elimination ~threshold ~prepare ~relative Optconfig.o3
+    | Random n ->
+        Search.random_search ~samples:n
+          ~rng:(Peak_util.Rng.create ~seed:(seed + 3))
+          ~relative Optconfig.o3
+    | Ff ->
+        Search.fractional_factorial ~threshold
+          ~rng:(Peak_util.Rng.create ~seed:(seed + 3))
+          ~relative Optconfig.o3
+    | Ose -> Search.ose ~threshold ~relative Optconfig.o3
+  in
+  let passes = Runner.passes_started runner in
+  let tuning_cycles =
+    Runner.tuning_cycles runner +. (float_of_int passes *. non_ts)
+  in
+  {
+    benchmark;
+    machine;
+    dataset;
+    method_used = method_;
+    best_config;
+    search_stats;
+    tuning_cycles;
+    tuning_seconds = Machine.seconds_of_cycles machine tuning_cycles;
+    passes;
+    invocations = Runner.invocations_consumed runner;
+    profile;
+    advice;
+  }
+
+(* Deterministic evaluation: same machinery, but a noise-free machine and
+   no cache-flushing perturbations. *)
+let ts_pass_cycles ?(seed = 5) (benchmark : Benchmark.t) machine config dataset =
+  let machine = { machine with Machine.noise_sigma = 0.0; spike_probability = 0.0 } in
+  let tsec = Tsection.make benchmark.Benchmark.ts in
+  let trace = benchmark.Benchmark.trace dataset ~seed in
+  let runner = Runner.create ~seed ~context_switch_rate:0.0 tsec trace machine in
+  let v = Version.compile machine tsec.Tsection.features config in
+  Runner.run_full_pass runner v
+
+let evaluate_program_cycles ?(seed = 5) benchmark machine config dataset =
+  let ts = ts_pass_cycles ~seed benchmark machine config dataset in
+  let ts_o3 =
+    if Optconfig.equal config Optconfig.o3 then ts
+    else ts_pass_cycles ~seed benchmark machine Optconfig.o3 dataset
+  in
+  let share = benchmark.Benchmark.time_share in
+  ts +. (ts_o3 *. (1.0 -. share) /. share)
+
+let improvement_pct ?(seed = 5) benchmark machine ~best dataset =
+  let t_best = evaluate_program_cycles ~seed benchmark machine best dataset in
+  let t_o3 = evaluate_program_cycles ~seed benchmark machine Optconfig.o3 dataset in
+  ((t_o3 /. t_best) -. 1.0) *. 100.0

@@ -1,0 +1,75 @@
+(** The Performance Tuning Driver (Section 4.2, step 5).
+
+    Ties everything together for one (benchmark, machine, rating method,
+    dataset) cell of the paper's Figure 7: profile the tuning section,
+    consult on rating methods, then drive the optimization-space search,
+    rating every candidate version with the selected method and charging
+    every simulated cycle — TS executions, instrumentation, RBR
+    re-execution overheads, and the non-TS portion of each program pass —
+    to the tuning-time ledger. *)
+
+type rating_method = Cbr | Mbr | Rbr | Avg | Whl
+
+val method_name : rating_method -> string
+val method_of_string : string -> rating_method option
+
+type search_algo = Ie | Be | Ce | Random of int | Ff | Ose
+
+type result = {
+  benchmark : Peak_workload.Benchmark.t;
+  machine : Peak_machine.Machine.t;
+  dataset : Peak_workload.Trace.dataset;
+  method_used : rating_method;
+  best_config : Peak_compiler.Optconfig.t;
+  search_stats : Search.stats;
+  tuning_cycles : float;  (** Simulated cycles spent tuning. *)
+  tuning_seconds : float;
+  passes : int;  (** Program runs consumed. *)
+  invocations : int;
+  profile : Profile.t;
+  advice : Consultant.advice;
+}
+
+val tune :
+  ?seed:int ->
+  ?search:search_algo ->
+  ?rating_params:Rating.params ->
+  ?threshold:float ->
+  ?compile:Optimizer.mode * float ->
+  method_:rating_method ->
+  Peak_workload.Benchmark.t ->
+  Peak_machine.Machine.t ->
+  Peak_workload.Trace.dataset ->
+  result
+(** Run one full offline tuning session.  [method_] may force a method
+    the consultant would not choose (the Figure-7 bars include such
+    cells, e.g. MGRID under CBR); forcing CBR on a section whose context
+    analysis failed raises [Invalid_argument].  [compile] models the
+    Remote Optimizer: (mode, seconds-per-version); omitted, compiles are
+    free (the default the Figure-7 numbers use, matching the paper's
+    tuning-time accounting, which counts program runs). *)
+
+val auto_method : Profile.t -> Tsection.t -> rating_method
+(** The consultant's choice, as a driver method. *)
+
+val evaluate_program_cycles :
+  ?seed:int ->
+  Peak_workload.Benchmark.t ->
+  Peak_machine.Machine.t ->
+  Peak_compiler.Optconfig.t ->
+  Peak_workload.Trace.dataset ->
+  float
+(** Deterministic (noise-free) whole-program cycles under a
+    configuration: TS time measured over one pass plus the program's
+    non-TS time (which is configuration-independent, since only the TS is
+    re-optimized). *)
+
+val improvement_pct :
+  ?seed:int ->
+  Peak_workload.Benchmark.t ->
+  Peak_machine.Machine.t ->
+  best:Peak_compiler.Optconfig.t ->
+  Peak_workload.Trace.dataset ->
+  float
+(** Whole-program improvement of [best] over -O3 in percent —
+    [ (T(-O3)/T(best) - 1) · 100 ], the quantity of Figure 7 (a)/(b). *)

@@ -1,0 +1,44 @@
+(** Method fallback (Section 3).
+
+    "If the system cannot achieve enough accuracy, i.e. get a small VAR,
+    within some number of invocations, it switches to the next applicable
+    rating method."  This wrapper tries the consultant's applicable
+    methods in order and returns the first converged rating, recording
+    every attempt for the ablation bench. *)
+
+type outcome = {
+  method_used : Consultant.method_kind;
+  rating : Rating.t;
+  attempts : (Consultant.method_kind * Rating.t) list;
+}
+
+let rate_one ?(params = Rating.default_params) runner (profile : Profile.t) ~base version =
+  function
+  | Consultant.Cbr -> (
+      match profile.Profile.context with
+      | Profile.Cbr_ok { sources; stats; _ } ->
+          let target =
+            match stats with s :: _ -> s.Profile.values | [] -> [||]
+          in
+          Cbr.rate ~params runner ~sources ~target version
+      | Profile.Cbr_no reason -> invalid_arg ("Harness: CBR not applicable: " ^ reason))
+  | Consultant.Mbr ->
+      Mbr.rate ~params runner ~components:profile.Profile.components
+        ~avg_counts:profile.Profile.avg_component_counts
+        ~dominant:profile.Profile.dominant_component version
+  | Consultant.Rbr -> Rbr.rate ~params runner ~base version
+
+let rate_with_fallback ?(params = Rating.default_params) runner profile
+    (advice : Consultant.advice) ~base version =
+  let rec go attempts = function
+    | [] -> (
+        match attempts with
+        | (m, r) :: _ -> { method_used = m; rating = r; attempts = List.rev attempts }
+        | [] -> invalid_arg "Harness.rate_with_fallback: no applicable method")
+    | m :: rest ->
+        let r = rate_one ~params runner profile ~base version m in
+        if r.Rating.converged then
+          { method_used = m; rating = r; attempts = List.rev ((m, r) :: attempts) }
+        else go ((m, r) :: attempts) rest
+  in
+  go [] advice.Consultant.applicable

@@ -1,0 +1,33 @@
+(** Method fallback (Section 3): "if the system cannot achieve enough
+    accuracy ... within some number of invocations, it switches to the
+    next applicable rating method." *)
+
+type outcome = {
+  method_used : Consultant.method_kind;
+  rating : Rating.t;
+  attempts : (Consultant.method_kind * Rating.t) list;
+      (** Every method tried, in order, the used one last. *)
+}
+
+val rate_one :
+  ?params:Rating.params ->
+  Runner.t ->
+  Profile.t ->
+  base:Peak_compiler.Version.t ->
+  Peak_compiler.Version.t ->
+  Consultant.method_kind ->
+  Rating.t
+(** Rate with one specific method, using the profile's context/component
+    data.  @raise Invalid_argument for CBR on a section whose context
+    analysis failed. *)
+
+val rate_with_fallback :
+  ?params:Rating.params ->
+  Runner.t ->
+  Profile.t ->
+  Consultant.advice ->
+  base:Peak_compiler.Version.t ->
+  Peak_compiler.Version.t ->
+  outcome
+(** Try the consultant's applicable methods in order; return the first
+    converged rating (or the last attempt if none converged). *)

@@ -1,0 +1,15 @@
+(** The PEAK Instrumentation Tool's output (Sections 3 and 4.2, step 3).
+
+    At compile time PEAK performs five insertions around each tuning
+    section: (1) save/restore and precondition code for RBR, (2) context
+    variable capture for CBR, (3) counters and the performance model for
+    MBR, (4) execution timing that triggers the rating, and (5) the
+    activation hook in the main program.  This module renders the
+    instrumented section as annotated pseudo-C — the file the paper's
+    tool would hand to the backend compiler — driven by the real
+    analyses: the save/restore list comes from liveness and range
+    analysis, the context variables from the Figure-1 analysis, and the
+    counter placement from the profiled component model. *)
+
+val render : Tsection.t -> Profile.t -> Consultant.advice -> string
+(** Annotated pseudo-C of the instrumented tuning section. *)

@@ -1,0 +1,29 @@
+(** Model-based rating — Section 2.3.
+
+    Every invocation contributes an observation (component counts,
+    time); solving the regression [Y = T·C] (Eq. 3) yields the
+    component-time vector, after residual-based outlier elimination.
+    VAR is the residual-to-total sum-of-squares ratio (Section 3). *)
+
+type mode =
+  | Dominant
+      (** The paper's rule (a): the dominant component's [T_i], fitted as
+          a two-column regression (dominant count + constant) — valid
+          when that component consumes ~all the time. *)
+  | Avg  (** Rule (b): [T_avg = Σ T_i · C_avg,i] (Eq. 4). *)
+
+val counter_cost_per_entry : float
+(** Cycles charged per counted block entry for the counter
+    instrumentation left after the profile-driven merge. *)
+
+val rate :
+  ?params:Rating.params ->
+  ?mode:mode ->
+  Runner.t ->
+  components:Component_analysis.t ->
+  avg_counts:float array ->
+  dominant:int ->
+  Peak_compiler.Version.t ->
+  Rating.t
+(** [avg_counts] and [dominant] come from the profile ([C_avg] and the
+    dominant component index). *)

@@ -1,0 +1,58 @@
+(** Program partitioning — the TS Selector of Section 4.1/4.2 step (1).
+
+    "We choose as TS's the most time-consuming functions and loops,
+    according to the program execution profiles."  Given a whole program,
+    profile every candidate section, compute its share of program time,
+    keep the sections above a share threshold, and tune each selected
+    section independently with its consultant-chosen rating method.  The
+    whole-program improvement composes the per-section wins with the
+    untouched serial remainder (Amdahl). *)
+
+type section_profile = {
+  section : Peak_workload.Program.section;
+  tsec : Tsection.t;
+  profile : Profile.t;
+  time_share : float;  (** Of whole-program time, serial code included. *)
+}
+
+val profile_program :
+  ?seed:int ->
+  Peak_workload.Program.t ->
+  Peak_machine.Machine.t ->
+  Peak_workload.Trace.dataset ->
+  section_profile list
+(** Profiles sorted by descending time share; shares sum to
+    [1 - serial_fraction]. *)
+
+val select :
+  ?min_share:float -> ?max_sections:int -> section_profile list -> section_profile list
+(** The sections worth tuning (default: share >= 0.10, at most 8). *)
+
+type section_result = {
+  sp : section_profile;
+  method_used : Driver.rating_method;
+  result : Driver.result;
+  section_improvement_pct : float;
+      (** TS-level (section-only, pre-Amdahl) improvement of the found
+          configuration, noise-free on the ref data set. *)
+}
+
+type program_result = {
+  sections : section_result list;
+  skipped : section_profile list;
+  program_improvement_pct : float;
+      (** Whole-program improvement with every tuned section's winner
+          installed, serial code unchanged. *)
+  tuning_seconds : float;  (** Summed over the tuned sections. *)
+}
+
+val tune_program :
+  ?seed:int ->
+  ?min_share:float ->
+  ?max_sections:int ->
+  Peak_workload.Program.t ->
+  Peak_machine.Machine.t ->
+  Peak_workload.Trace.dataset ->
+  program_result
+(** The full Section 4.2 pipeline over a program: select, consult, tune
+    each section with its own method, compose the result. *)

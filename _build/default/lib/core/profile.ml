@@ -1,0 +1,126 @@
+open Peak_ir
+open Peak_workload
+open Peak_compiler
+
+type context_stat = { values : float array; count : int; time_share : float }
+
+type context_info =
+  | Cbr_ok of {
+      sources : Expr.source list;
+      stats : context_stat list;
+      runtime_constant_arrays : string list;
+      pruned : Expr.source list;
+    }
+  | Cbr_no of string
+
+type t = {
+  n_invocations : int;
+  avg_invocation_cycles : float;
+  context : context_info;
+  components : Component_analysis.t;
+  count_samples : int array array;
+  impure_calls : bool;
+  block_weights : float array;
+  avg_component_counts : float array;
+  dominant_component : int;
+  ts_pass_cycles : float;
+}
+
+let run ?(seed = 7) ?(max_count_samples = 240) tsec trace machine =
+  let o3 = Version.compile machine tsec.Tsection.features Optconfig.o3 in
+  let runner = Runner.create ~seed ~context_switch_rate:0.0 tsec trace machine in
+  let verdict =
+    Context_analysis.analyze tsec ~mutated_arrays:trace.Trace.mutated_arrays
+  in
+  let candidate_sources =
+    match verdict with
+    | Context_analysis.Applicable { sources; _ } -> sources
+    | Context_analysis.Not_applicable _ -> []
+  in
+  let n = trace.Trace.length in
+  (* Sample invocations for the count model at pseudo-random positions: a
+     regular stride can alias with periodic context patterns (e.g. a
+     multigrid V-cycle) and hide count variation entirely. *)
+  let sample_here =
+    let marks = Array.make n false in
+    let order = Array.init n (fun i -> i) in
+    Peak_util.Rng.shuffle (Peak_util.Rng.create ~seed:(seed * 31)) order;
+    for j = 0 to min n max_count_samples - 1 do
+      marks.(order.(j)) <- true
+    done;
+    marks
+  in
+  let samples = ref [] in
+  let ctx_values = Array.make n [||] in
+  let times = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    let s = Runner.step ~context:candidate_sources runner o3 in
+    times.(i) <- s.Runner.time;
+    total := !total +. s.Runner.time;
+    ctx_values.(i) <- s.Runner.context;
+    if sample_here.(i) then samples := s.Runner.counts :: !samples
+  done;
+  let count_samples = Array.of_list (List.rev !samples) in
+  let components = Component_analysis.analyze ~samples:count_samples in
+  let context =
+    match verdict with
+    | Context_analysis.Not_applicable reason -> Cbr_no reason
+    | Context_analysis.Applicable { sources; runtime_constant_arrays } ->
+        (* run-time-constant pruning: drop sources whose observed value
+           never changes *)
+        let n_src = List.length sources in
+        let keep = Array.make n_src false in
+        if n > 0 then
+          for j = 0 to n_src - 1 do
+            let first = ctx_values.(0).(j) in
+            for i = 1 to n - 1 do
+              if ctx_values.(i).(j) <> first then keep.(j) <- true
+            done
+          done;
+        let kept_sources = List.filteri (fun j _ -> keep.(j)) sources in
+        let pruned = List.filteri (fun j _ -> not keep.(j)) sources in
+        let tbl = Hashtbl.create 16 in
+        for i = 0 to n - 1 do
+          let key =
+            Array.of_list
+              (List.filteri (fun j _ -> keep.(j)) (Array.to_list ctx_values.(i)))
+          in
+          let count, time =
+            Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl key)
+          in
+          Hashtbl.replace tbl key (count + 1, time +. times.(i))
+        done;
+        let stats =
+          Hashtbl.fold
+            (fun values (count, time) acc ->
+              { values; count; time_share = time /. Float.max 1.0 !total } :: acc)
+            tbl []
+          |> List.sort (fun a b -> compare b.time_share a.time_share)
+        in
+        Cbr_ok { sources = kept_sources; stats; runtime_constant_arrays; pruned }
+  in
+  let avg_component_counts = Component_analysis.avg_counts components ~samples:count_samples in
+  let block_weights = o3.Version.block_cycles in
+  {
+    n_invocations = n;
+    avg_invocation_cycles = !total /. float_of_int (max 1 n);
+    context;
+    components;
+    count_samples;
+    impure_calls = Tsection.has_impure_calls tsec;
+    block_weights;
+    avg_component_counts;
+    dominant_component = Component_analysis.dominant components ~weights:block_weights;
+    ts_pass_cycles = !total;
+  }
+
+let n_contexts t =
+  match t.context with Cbr_ok { stats; _ } -> Some (List.length stats) | Cbr_no _ -> None
+
+let dominant_context t =
+  match t.context with
+  | Cbr_ok { stats = s :: _; _ } -> Some s
+  | Cbr_ok { stats = []; _ } | Cbr_no _ -> None
+
+let dominant_share t = Option.map (fun s -> s.time_share) (dominant_context t)

@@ -1,0 +1,52 @@
+(** The offline profile run (Section 3).
+
+    "For off-line tuning, our compiler chooses the appropriate rating
+    method by doing a profile run using the tuning input."  One pass over
+    the train trace under the [-O3] version gathers everything the
+    consultant and the raters need: the observed contexts and their time
+    shares (CBR), the block-count samples and component model (MBR), the
+    average invocation cost, and the per-pass totals used for tuning-time
+    accounting. *)
+
+type context_stat = {
+  values : float array;  (** The context variables' values. *)
+  count : int;
+  time_share : float;  (** Fraction of TS time spent under this context. *)
+}
+
+type context_info =
+  | Cbr_ok of {
+      sources : Peak_ir.Expr.source list;
+          (** Context variables after run-time-constant pruning. *)
+      stats : context_stat list;  (** Sorted by descending time share. *)
+      runtime_constant_arrays : string list;
+      pruned : Peak_ir.Expr.source list;  (** Dropped run-time constants. *)
+    }
+  | Cbr_no of string
+
+type t = {
+  n_invocations : int;
+  avg_invocation_cycles : float;
+  context : context_info;
+  components : Component_analysis.t;
+  count_samples : int array array;
+  impure_calls : bool;
+  block_weights : float array;  (** -O3 cycles per entry, per block. *)
+  avg_component_counts : float array;
+  dominant_component : int;
+  ts_pass_cycles : float;  (** TS cycles in one train pass under -O3. *)
+}
+
+val run :
+  ?seed:int ->
+  ?max_count_samples:int ->
+  Tsection.t ->
+  Peak_workload.Trace.t ->
+  Peak_machine.Machine.t ->
+  t
+
+val n_contexts : t -> int option
+(** Number of distinct contexts, when CBR's analysis succeeded. *)
+
+val dominant_context : t -> context_stat option
+val dominant_share : t -> float option

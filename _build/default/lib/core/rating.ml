@@ -1,0 +1,43 @@
+(** Shared rating types (Section 3).
+
+    Every rating method reduces a window of measurements to an EVAL (the
+    rating — a time-like score where {e lower is better}; for RBR it is
+    the relative time of the experimental version vs the base, so 1.0
+    means parity) and a VAR (the confidence measure whose convergence
+    stops the window growth).  Outliers are eliminated before the
+    statistics, per the paper's measurement-perturbation discussion. *)
+
+type t = {
+  eval : float;  (** The rating; lower is better. *)
+  var : float;  (** Variance measure (method-specific, see paper §3). *)
+  samples : int;  (** Measurements used (after outlier elimination). *)
+  invocations : int;  (** Trace invocations consumed to produce it. *)
+  converged : bool;  (** VAR fell under the threshold before the cap. *)
+}
+
+type params = {
+  window : int;  (** Samples added per convergence check. *)
+  rel_threshold : float;
+      (** Convergence: stderr(EVAL)/EVAL must fall below this. *)
+  max_invocations : int;  (** Hard cap per rating. *)
+  outlier_k : float;  (** Robust-sigma multiplier for outlier dropping. *)
+}
+
+let default_params =
+  { window = 40; rel_threshold = 0.01; max_invocations = 20_000; outlier_k = 3.5 }
+
+(* Reduce a set of raw samples to (eval, var, n, converged). *)
+let summarize ~params values =
+  let open Peak_util in
+  let kept = Stats.drop_outliers ~k:params.outlier_k (Array.of_list values) in
+  let n = Array.length kept in
+  if n = 0 then (nan, infinity, 0, false)
+  else begin
+    let eval = Stats.mean kept in
+    let var = Stats.variance kept in
+    let stderr = sqrt (var /. float_of_int n) in
+    let converged =
+      n >= params.window && stderr <= params.rel_threshold *. Float.max 1e-9 (abs_float eval)
+    in
+    (eval, var, n, converged)
+  end

@@ -1,0 +1,31 @@
+(** Shared rating types (Section 3).
+
+    Every rating method reduces a window of measurements to an EVAL (the
+    rating — a time-like score where {e lower is better}; for RBR it is
+    the relative time of the experimental version vs the base, so 1.0
+    means parity) and a VAR (the confidence measure whose convergence
+    stops the window growth).  Outliers are eliminated before the
+    statistics, per the paper's measurement-perturbation discussion. *)
+
+type t = {
+  eval : float;  (** The rating; lower is better. *)
+  var : float;  (** Variance measure (method-specific, see paper §3). *)
+  samples : int;  (** Measurements used (after outlier elimination). *)
+  invocations : int;  (** Trace invocations consumed to produce it. *)
+  converged : bool;  (** VAR fell under the threshold before the cap. *)
+}
+
+type params = {
+  window : int;  (** Samples added per convergence check. *)
+  rel_threshold : float;
+      (** Convergence: stderr(EVAL)/EVAL must fall below this. *)
+  max_invocations : int;  (** Hard cap per rating. *)
+  outlier_k : float;  (** Robust-sigma multiplier for outlier dropping. *)
+}
+
+val default_params : params
+(** window 40, threshold 1%, cap 20k invocations, k 3.5. *)
+
+val summarize : params:params -> float list -> float * float * int * bool
+(** [(eval, var, kept, converged)] of a sample list after outlier
+    elimination. *)

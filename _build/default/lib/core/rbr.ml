@@ -1,0 +1,65 @@
+(** Re-execution-based rating (Section 2.4).
+
+    Each invocation times the base and the experimental version back to
+    back under the bit-identical (saved and restored) context; the sample
+    is the relative time [T_exp / T_base].  EVAL is the mean relative
+    time (1.0 = parity, below 1.0 = experimental faster — the reciprocal
+    of the paper's improvement ratio, kept time-like so that lower is
+    better across all raters); VAR its variance.
+
+    [improved] (the Section 2.4.2 method, default) adds the cache
+    preconditioning execution and alternates the execution order across
+    invocations; the basic method times the versions in fixed order with
+    no preconditioning and inherits whatever cache state the previous
+    invocation left — its measurable bias is the subject of the RBR
+    ablation bench. *)
+
+(** Batched rating (Section 2.4.2's batching optimization): rate several
+    experimental versions against the base with one save/precondition per
+    invocation, amortizing RBR's fixed overheads across the whole batch.
+    All versions are sampled under the identical contexts, so the ratings
+    are mutually comparable as well as base-relative. *)
+let rate_many ?(params = Rating.default_params) runner ~base versions =
+  let n = List.length versions in
+  if n = 0 then []
+  else begin
+    let samples = Array.make n [] in
+    let consumed = ref 0 in
+    let finished = ref false in
+    let summaries = Array.make n (nan, infinity, 0, false) in
+    while not !finished do
+      for _ = 1 to params.Rating.window do
+        if !consumed < params.Rating.max_invocations then begin
+          let t_base, t_exps = Runner.step_batch runner ~base ~experimentals:versions in
+          incr consumed;
+          List.iteri (fun i t -> samples.(i) <- (t /. t_base) :: samples.(i)) t_exps
+        end
+      done;
+      Array.iteri (fun i s -> summaries.(i) <- Rating.summarize ~params s) samples;
+      let all_converged = Array.for_all (fun (_, _, _, c) -> c) summaries in
+      finished := all_converged || !consumed >= params.Rating.max_invocations
+    done;
+    Array.to_list
+      (Array.map
+         (fun (eval, var, n_kept, converged) ->
+           { Rating.eval; var; samples = n_kept; invocations = !consumed; converged })
+         summaries)
+  end
+
+let rate ?(params = Rating.default_params) ?(improved = true) runner ~base version =
+  let samples = ref [] in
+  let consumed = ref 0 in
+  let result = ref None in
+  while !result = None do
+    let added = ref 0 in
+    while !added < params.Rating.window && !consumed < params.Rating.max_invocations do
+      let t_base, t_exp = Runner.step_pair ~improved runner ~base ~experimental:version in
+      incr consumed;
+      incr added;
+      samples := (t_exp /. t_base) :: !samples
+    done;
+    let eval, var, n, converged = Rating.summarize ~params !samples in
+    if converged || !consumed >= params.Rating.max_invocations then
+      result := Some { Rating.eval; var; samples = n; invocations = !consumed; converged }
+  done;
+  Option.get !result

@@ -1,0 +1,28 @@
+(** Re-execution-based rating — Section 2.4.
+
+    Each invocation times the base and the experimental version back to
+    back under the bit-identical (saved and restored) context; the
+    sample is the relative time [T_exp / T_base], so the EVAL's ideal
+    value for identical versions is exactly 1. *)
+
+val rate :
+  ?params:Rating.params ->
+  ?improved:bool ->
+  Runner.t ->
+  base:Peak_compiler.Version.t ->
+  Peak_compiler.Version.t ->
+  Rating.t
+(** [improved] (default true) uses the Section 2.4.2 method: cache
+    preconditioning plus execution-order alternation. *)
+
+val rate_many :
+  ?params:Rating.params ->
+  Runner.t ->
+  base:Peak_compiler.Version.t ->
+  Peak_compiler.Version.t list ->
+  Rating.t list
+(** Batched rating (Section 2.4.2's batching optimization): one
+    save/precondition per invocation serves the base plus every
+    experimental version, so the fixed RBR overheads are amortized
+    across the batch and all versions are sampled under identical
+    contexts. *)

@@ -1,0 +1,228 @@
+open Peak_util
+open Peak_ir
+open Peak_machine
+open Peak_workload
+
+type sample = {
+  index : int;
+  time : float;
+  counts : int array;
+  context : float array;
+}
+
+type t = {
+  tsec : Tsection.t;
+  trace : Trace.t;
+  machine : Machine.t;
+  memsys : Memsys.t;
+  noise : Noise.t;
+  perturb_rng : Rng.t;
+  env : Interp.env;
+  array_bytes : (string * int) list;
+  class_cache : (int, Interp.result) Hashtbl.t;
+  context_switch_rate : float;
+  timer_overhead : float;
+  save_words : int;
+  mutable pos : int;
+  mutable passes : int;
+  mutable invocations : int;
+  mutable tuning_cycles : float;
+  mutable interp_steps : int;
+  mutable initialized : bool;
+}
+
+let create ?(seed = 42) ?(context_switch_rate = 0.02) tsec trace machine =
+  (* fold the trace identity into the seed: distinct benchmarks must not
+     share a measurement-noise stream *)
+  let root = Rng.create ~seed:(seed + (Hashtbl.hash trace.Trace.name * 7919)) in
+  let noise_rng = Rng.split root in
+  let perturb_rng = Rng.split root in
+  (* a noise-free machine (used by deterministic evaluation) also turns
+     off the memory system's conflict jitter *)
+  let memsys_rng =
+    if machine.Machine.noise_sigma > 0.0 then Some (Rng.split root) else None
+  in
+  {
+    tsec;
+    trace;
+    machine;
+    memsys = Memsys.create ?rng:memsys_rng machine;
+    noise = Noise.create ~rng:noise_rng machine;
+    perturb_rng;
+    env = Interp.make_env tsec.Tsection.ts;
+    array_bytes =
+      List.map (fun (a, n) -> (a, 8 * n)) tsec.Tsection.ts.Peak_ir.Types.arrays;
+    class_cache = Hashtbl.create 16;
+    context_switch_rate;
+    timer_overhead = 40.0;
+    save_words = (Tsection.save_restore_bytes tsec + 7) / 8;
+    pos = 0;
+    passes = 0;
+    invocations = 0;
+    tuning_cycles = 0.0;
+    interp_steps = 0;
+    initialized = false;
+  }
+
+let machine t = t.machine
+let tsection t = t.tsec
+
+(* Move to the next invocation: handle pass wrap, program init, the
+   occasional cache-flushing perturbation, and the trace's setup. *)
+let advance t =
+  if (not t.initialized) || t.pos >= t.trace.Trace.length then begin
+    t.trace.Trace.init t.env;
+    Memsys.flush t.memsys;
+    if t.initialized then t.passes <- t.passes + 1 else t.passes <- 1;
+    t.initialized <- true;
+    t.pos <- 0
+  end;
+  if Rng.float t.perturb_rng < t.context_switch_rate then Memsys.flush t.memsys;
+  t.trace.Trace.setup t.pos t.env;
+  t.invocations <- t.invocations + 1;
+  t.pos <- t.pos + 1
+
+let interp_result t =
+  let index = t.pos - 1 in
+  let run () =
+    let r = Interp.run t.tsec.Tsection.cfg t.env in
+    t.interp_steps <- t.interp_steps + Array.fold_left ( + ) 0 r.Interp.block_counts;
+    r
+  in
+  match t.trace.Trace.class_of with
+  | None -> run ()
+  | Some class_of -> (
+      let k = class_of index in
+      match Hashtbl.find_opt t.class_cache k with
+      | Some r -> r
+      | None ->
+          let r = run () in
+          Hashtbl.add t.class_cache k r;
+          r)
+
+let accesses_of t (r : Interp.result) =
+  List.filter_map
+    (fun (base, touches) ->
+      let bytes =
+        match List.assoc_opt base t.array_bytes with Some b -> b | None -> 8
+        (* pointer pointee *)
+      in
+      if touches > 0 then Some { Memsys.base; bytes; touches } else None)
+    r.Interp.array_accesses
+
+(* Time one execution of [version] on the already-set-up invocation. *)
+let time_execution t version (r : Interp.result) =
+  let base = Peak_compiler.Version.invocation_cycles version ~counts:r.Interp.block_counts in
+  let mem = Memsys.charge t.memsys (accesses_of t r) in
+  let time = Noise.apply t.noise (base +. mem) in
+  t.tuning_cycles <- t.tuning_cycles +. time +. t.timer_overhead;
+  time
+
+let read_context t sources =
+  Array.of_list (List.map (Interp.read_source t.env) sources)
+
+let step ?(context = []) t version =
+  advance t;
+  let ctx = read_context t context in
+  if context <> [] then begin
+    (* context-read instrumentation: a few cycles per variable *)
+    t.tuning_cycles <- t.tuning_cycles +. (4.0 *. float_of_int (List.length context))
+  end;
+  let r = interp_result t in
+  let time = time_execution t version r in
+  { index = t.pos - 1; time; counts = r.Interp.block_counts; context = ctx }
+
+(* Like [step], but the version is chosen after the invocation's context
+   is known — the dynamic swapping of the adaptive scenario. *)
+let step_choose ~context t choose =
+  advance t;
+  let ctx = read_context t context in
+  if context <> [] then
+    t.tuning_cycles <- t.tuning_cycles +. (4.0 *. float_of_int (List.length context));
+  let version = choose ctx in
+  let r = interp_result t in
+  let time = time_execution t version r in
+  { index = t.pos - 1; time; counts = r.Interp.block_counts; context = ctx }
+
+(* Cycles to copy the modified-input set once (a load+store per word).
+   The payload is measured against the live environment, so symbolic
+   store spans (the Section 2.4.2 range-analysis optimization) shrink the
+   copy to the cells the invocation can actually write.  [use_ranges]
+   exists for the ablation that runs without the optimization. *)
+let copy_cycles ?(use_ranges = true) t =
+  let words =
+    if use_ranges then (Snapshot.measure_bytes t.tsec t.env + 7) / 8 else t.save_words
+  in
+  float_of_int words *. 2.0 *. t.machine.Machine.l1_hit_cycles
+
+let step_pair ?(improved = true) ?(use_ranges = true) t ~base ~experimental =
+  advance t;
+  let r = interp_result t in
+  let charge c = t.tuning_cycles <- t.tuning_cycles +. c in
+  let copy_cycles t = copy_cycles ~use_ranges t in
+  charge (copy_cycles t);
+  (* save *)
+  if improved then begin
+    (* precondition execution: bring the data into the cache; its cost is
+       that of a stripped version, charged but not timed *)
+    let pre_cycles =
+      0.6 *. Peak_compiler.Version.invocation_cycles base ~counts:r.Interp.block_counts
+    in
+    let mem = Memsys.charge t.memsys (accesses_of t r) in
+    charge (pre_cycles +. mem);
+    charge (copy_cycles t) (* restore *)
+  end;
+  let first_is_base = (not improved) || t.invocations mod 2 = 0 in
+  let v1, v2 = if first_is_base then (base, experimental) else (experimental, base) in
+  let t1 = time_execution t v1 r in
+  charge (copy_cycles t);
+  (* restore between the two timed runs *)
+  let t2 = time_execution t v2 r in
+  if first_is_base then (t1, t2) else (t2, t1)
+
+(* Batched re-execution (Section 2.4.2's "combination of a number of
+   experimental runs into a batch"): one invocation rates the base and k
+   experimental versions, amortizing the save and the preconditioning
+   over the whole batch — each extra version costs one restore and one
+   timed execution. *)
+let step_batch ?(use_ranges = true) t ~base ~experimentals =
+  advance t;
+  let r = interp_result t in
+  let charge c = t.tuning_cycles <- t.tuning_cycles +. c in
+  let copy = copy_cycles ~use_ranges t in
+  charge copy;
+  (* save *)
+  let pre_cycles =
+    0.6 *. Peak_compiler.Version.invocation_cycles base ~counts:r.Interp.block_counts
+  in
+  let mem = Memsys.charge t.memsys (accesses_of t r) in
+  charge (pre_cycles +. mem);
+  charge copy;
+  (* restore before the first timed run *)
+  let t_base = time_execution t base r in
+  let t_exps =
+    List.map
+      (fun version ->
+        charge copy;
+        time_execution t version r)
+      experimentals
+  in
+  (t_base, t_exps)
+
+let charge_overhead t c = t.tuning_cycles <- t.tuning_cycles +. c
+
+let run_full_pass t version =
+  let total = ref 0.0 in
+  let remaining = t.trace.Trace.length - t.pos in
+  let n = if t.initialized && remaining > 0 then remaining else t.trace.Trace.length in
+  for _ = 1 to n do
+    let s = step t version in
+    total := !total +. s.time
+  done;
+  !total
+
+let invocations_consumed t = t.invocations
+let passes_started t = t.passes
+let tuning_cycles t = t.tuning_cycles
+let tuning_seconds t = Machine.seconds_of_cycles t.machine t.tuning_cycles
+let interp_steps_hint t = t.interp_steps

@@ -1,0 +1,97 @@
+(** Execution harness: drives a tuning section through its invocation
+    trace under dynamically swapped code versions, the way PEAK's
+    instrumented application does during tuning (Section 4.2).
+
+    The runner owns the simulated machine state (memory system, noise
+    stream) and the tuning-time ledger.  All raters consume invocations
+    through {!step} (one timed execution of one version) or {!step_pair}
+    (RBR's save / precondition / restore / time / restore / time
+    sequence).  Interpreter results are cached per workload class when
+    the trace declares classes, which is what makes whole-search sweeps
+    cheap for regular codes.
+
+    Pass boundaries rerun the trace initializer and flush the memory
+    system (a fresh program run starts cold).  Mid-pass, rare simulated
+    context switches flush the cache too — the perturbation that biases
+    basic RBR and that the improved method's preconditioning execution
+    absorbs (Section 2.4.2). *)
+
+type t
+
+type sample = {
+  index : int;  (** Invocation index within the pass. *)
+  time : float;  (** Measured (noisy) cycles. *)
+  counts : int array;  (** Block entry counts. *)
+  context : float array;  (** Context-variable values, if requested. *)
+}
+
+val create :
+  ?seed:int ->
+  ?context_switch_rate:float ->
+  Tsection.t ->
+  Peak_workload.Trace.t ->
+  Peak_machine.Machine.t ->
+  t
+(** [context_switch_rate] is the per-invocation probability of a
+    cache-flushing perturbation (default 0.02). *)
+
+val machine : t -> Peak_machine.Machine.t
+val tsection : t -> Tsection.t
+
+val step :
+  ?context:Peak_ir.Expr.source list -> t -> Peak_compiler.Version.t -> sample
+(** Advance to the next invocation and execute it under the version. *)
+
+val step_choose :
+  context:Peak_ir.Expr.source list ->
+  t ->
+  (float array -> Peak_compiler.Version.t) ->
+  sample
+(** Advance, read the invocation's context, then execute the version the
+    callback picks for it — the dynamic swap of the online scenario. *)
+
+val step_pair :
+  ?improved:bool ->
+  ?use_ranges:bool ->
+  t ->
+  base:Peak_compiler.Version.t ->
+  experimental:Peak_compiler.Version.t ->
+  float * float
+(** One RBR invocation: returns (base time, experimental time).  With
+    [improved] (default true) a preconditioning execution warms the cache
+    first and the two versions alternate execution order across
+    invocations; without it, the first-executed version pays any cold
+    cache and the order is fixed — the bias the paper's Section 2.4.2
+    corrects.  Save/restore of the modified input set is charged per the
+    liveness analysis. *)
+
+val step_batch :
+  ?use_ranges:bool ->
+  t ->
+  base:Peak_compiler.Version.t ->
+  experimentals:Peak_compiler.Version.t list ->
+  float * float list
+(** One invocation rating the base and several experimental versions
+    back to back — Section 2.4.2's batching optimization.  One save and
+    one preconditioning run serve the whole batch; each version adds a
+    restore plus its timed execution.  Returns the base time and the
+    experimental times in order. *)
+
+val charge_overhead : t -> float -> unit
+(** Add instrumentation cycles (counter updates, context reads) to the
+    tuning-time ledger. *)
+
+val run_full_pass : t -> Peak_compiler.Version.t -> float
+(** Execute every remaining invocation of the current pass under one
+    version and return the summed TS time — the WHL primitive. *)
+
+(** {1 Accounting} *)
+
+val invocations_consumed : t -> int
+val passes_started : t -> int
+val tuning_cycles : t -> float
+val tuning_seconds : t -> float
+
+val interp_steps_hint : t -> int
+(** Total interpreter block entries executed (cache misses only) —
+    exposed for performance tests. *)

@@ -1,0 +1,286 @@
+open Peak_compiler
+
+type relative = base:Optconfig.t -> Optconfig.t -> float
+
+type prepare = Optconfig.t list -> unit
+
+type stats = {
+  ratings : int;
+  iterations : int;
+  trajectory : (Optconfig.t * float) list;
+}
+
+let iterative_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ~relative start =
+  let ratings = ref 0 in
+  let iterations = ref 0 in
+  let trajectory = ref [] in
+  let rate ~base c =
+    incr ratings;
+    relative ~base c
+  in
+  let current = ref start in
+  let continue_ = ref true in
+  while !continue_ do
+    incr iterations;
+    let candidates = List.map (Optconfig.disable !current) (Optconfig.enabled !current) in
+    prepare candidates;
+    let best = ref None in
+    List.iter
+      (fun f ->
+        let candidate = Optconfig.disable !current f in
+        let r = rate ~base:!current candidate in
+        if r < 1.0 -. threshold then
+          match !best with
+          | Some (_, best_r) when best_r <= r -> ()
+          | _ -> best := Some (candidate, r))
+      (Optconfig.enabled !current);
+    match !best with
+    | Some (candidate, r) ->
+        trajectory := (candidate, 1.0 -. r) :: !trajectory;
+        current := candidate
+    | None -> continue_ := false
+  done;
+  (!current, { ratings = !ratings; iterations = !iterations; trajectory = List.rev !trajectory })
+
+let batch_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ~relative start =
+  let ratings = ref 0 in
+  prepare (List.map (Optconfig.disable start) (Optconfig.enabled start));
+  let harmful =
+    List.filter_map
+      (fun f ->
+        incr ratings;
+        let r = relative ~base:start (Optconfig.disable start f) in
+        if r < 1.0 -. threshold then Some (f, 1.0 -. r) else None)
+      (Optconfig.enabled start)
+  in
+  let final = List.fold_left (fun c (f, _) -> Optconfig.disable c f) start harmful in
+  ( final,
+    {
+      ratings = !ratings;
+      iterations = 1;
+      trajectory = List.map (fun (f, gain) -> (Optconfig.disable start f, gain)) harmful;
+    } )
+
+let combined_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ~relative start =
+  let ratings = ref 0 in
+  let iterations = ref 0 in
+  prepare (List.map (Optconfig.disable start) (Optconfig.enabled start));
+  let trajectory = ref [] in
+  let rate ~base c =
+    incr ratings;
+    relative ~base c
+  in
+  (* first pass: find the initially harmful flags *)
+  incr iterations;
+  let candidates =
+    List.filter_map
+      (fun f ->
+        let r = rate ~base:start (Optconfig.disable start f) in
+        if r < 1.0 -. threshold then Some (f, r) else None)
+      (Optconfig.enabled start)
+  in
+  let current = ref start in
+  let remaining = ref (List.map fst candidates) in
+  (* remove the best first based on the initial measurement *)
+  (match List.sort (fun (_, a) (_, b) -> compare a b) candidates with
+  | (f, r) :: _ ->
+      current := Optconfig.disable !current f;
+      remaining := List.filter (fun g -> g <> f) !remaining;
+      trajectory := (!current, 1.0 -. r) :: !trajectory
+  | [] -> ());
+  let continue_ = ref (!remaining <> []) in
+  while !continue_ do
+    incr iterations;
+    let best = ref None in
+    List.iter
+      (fun f ->
+        let r = rate ~base:!current (Optconfig.disable !current f) in
+        if r < 1.0 -. threshold then
+          match !best with
+          | Some (_, best_r) when best_r <= r -> ()
+          | _ -> best := Some (f, r))
+      !remaining;
+    match !best with
+    | Some (f, r) ->
+        current := Optconfig.disable !current f;
+        remaining := List.filter (fun g -> g <> f) !remaining;
+        trajectory := (!current, 1.0 -. r) :: !trajectory;
+        continue_ := !remaining <> []
+    | None -> continue_ := false
+  done;
+  (!current, { ratings = !ratings; iterations = !iterations; trajectory = List.rev !trajectory })
+
+let random_search ?(samples = 100) ~rng ~relative start =
+  let ratings = ref 0 in
+  let best = ref (start, 1.0) in
+  for _ = 1 to samples do
+    let candidate =
+      Array.fold_left
+        (fun c f -> if Peak_util.Rng.bool rng then Optconfig.enable c f else Optconfig.disable c f)
+        Optconfig.o0 Flags.all
+    in
+    incr ratings;
+    let r = relative ~base:start candidate in
+    if r < snd !best then best := (candidate, r)
+  done;
+  let config, r = !best in
+  ( config,
+    {
+      ratings = !ratings;
+      iterations = 1;
+      trajectory = (if r < 1.0 then [ (config, 1.0 -. r) ] else []);
+    } )
+
+let fractional_factorial ?(runs = 20) ?(threshold = 0.005) ~rng ~relative start =
+  let ratings = ref 0 in
+  let rate c =
+    incr ratings;
+    relative ~base:start c
+  in
+  (* design matrix: random assignments plus their foldover complements,
+     so every flag sees a balanced on/off split *)
+  let designs =
+    List.concat
+      (List.init runs (fun _ ->
+           let c =
+             Array.fold_left
+               (fun acc f ->
+                 if Peak_util.Rng.bool rng then Optconfig.enable acc f
+                 else Optconfig.disable acc f)
+               Optconfig.o0 Flags.all
+           in
+           let complement =
+             Array.fold_left
+               (fun acc f ->
+                 if Optconfig.is_enabled c f then Optconfig.disable acc f
+                 else Optconfig.enable acc f)
+               Optconfig.o0 Flags.all
+           in
+           [ c; complement ]))
+  in
+  let rated = List.map (fun c -> (c, rate c)) designs in
+  (* main effect of each flag: mean rating with it on minus off *)
+  let effect f =
+    let on, off =
+      List.fold_left
+        (fun (on, off) (c, r) ->
+          if Optconfig.is_enabled c f then (r :: on, off) else (on, r :: off))
+        ([], []) rated
+    in
+    match (on, off) with
+    | [], _ | _, [] -> 0.0
+    | _ -> Peak_util.Stats.mean_list on -. Peak_util.Stats.mean_list off
+  in
+  (* screening: flags whose main effect says "slower when on", strongest
+     first; the random-background estimate is coarse, so each survivor is
+     then confirmed individually against the start configuration *)
+  let screened =
+    Array.to_list Flags.all
+    |> List.filter_map (fun f ->
+           if Optconfig.is_enabled start f then
+             let e = effect f in
+             if e > threshold then Some (f, e) else None
+           else None)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.filteri (fun i _ -> i < 10)
+  in
+  let rate_vs ~base c =
+    incr ratings;
+    relative ~base c
+  in
+  let confirmed =
+    List.filter
+      (fun (f, _) -> rate_vs ~base:start (Optconfig.disable start f) < 1.0 -. threshold)
+      screened
+  in
+  let final = List.fold_left (fun c (f, _) -> Optconfig.disable c f) start confirmed in
+  (* final sanity: the combination must beat the start too *)
+  let combined = if Optconfig.equal final start then 1.0 else rate_vs ~base:start final in
+  let final = if combined < 1.0 then final else start in
+  ( final,
+    {
+      ratings = !ratings;
+      iterations = 2;
+      trajectory = (if combined < 1.0 then [ (final, 1.0 -. combined) ] else []);
+    } )
+
+(* The OSE configuration groups: coarse knobs an expert would expose. *)
+let ose_groups =
+  [
+    ("scheduling", [ "schedule-insns"; "schedule-insns2"; "sched-interblock"; "sched-spec" ]);
+    ("cse", [ "gcse"; "gcse-lm"; "gcse-sm"; "cse-follow-jumps"; "cse-skip-blocks"; "rerun-cse-after-loop" ]);
+    ("aliasing", [ "strict-aliasing" ]);
+    ("loop", [ "loop-optimize"; "rerun-loop-opt"; "strength-reduce"; "force-mem" ]);
+    ("branch", [ "if-conversion"; "if-conversion2"; "reorder-blocks"; "guess-branch-probability" ]);
+    ("inlining", [ "inline-functions"; "optimize-sibling-calls" ]);
+  ]
+
+let disable_group config names =
+  List.fold_left
+    (fun acc name ->
+      match Flags.by_name name with Some f -> Optconfig.disable acc f | None -> acc)
+    config names
+
+let ose ?(threshold = 0.005) ~relative start =
+  let ratings = ref 0 in
+  let trajectory = ref [] in
+  let rate ~base c =
+    incr ratings;
+    relative ~base c
+  in
+  (* level 1: drop each group from the start configuration *)
+  let level1 =
+    List.map
+      (fun (name, flags) ->
+        let c = disable_group start flags in
+        (name, flags, rate ~base:start c))
+      ose_groups
+  in
+  let winners =
+    List.filter (fun (_, _, r) -> r < 1.0 -. threshold) level1
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+  in
+  (* level 2: greedily stack the winning group removals, re-rating each
+     combination against the current best *)
+  let current = ref start in
+  let iterations = ref 1 in
+  List.iter
+    (fun (_, flags, _) ->
+      incr iterations;
+      let candidate = disable_group !current flags in
+      if not (Optconfig.equal candidate !current) then begin
+        let r = rate ~base:!current candidate in
+        if r < 1.0 -. threshold then begin
+          trajectory := (candidate, 1.0 -. r) :: !trajectory;
+          current := candidate
+        end
+      end)
+    winners;
+  (!current, { ratings = !ratings; iterations = !iterations; trajectory = List.rev !trajectory })
+
+let exhaustive ~flags ~relative start =
+  let k = List.length flags in
+  if k > 16 then invalid_arg "Search.exhaustive: too many flags";
+  let ratings = ref 0 in
+  let best = ref (start, 1.0) in
+  for mask = 0 to (1 lsl k) - 1 do
+    let candidate =
+      List.fold_left
+        (fun (c, i) f ->
+          ((if mask land (1 lsl i) <> 0 then Optconfig.enable c f else Optconfig.disable c f), i + 1))
+        (start, 0) flags
+      |> fst
+    in
+    if not (Optconfig.equal candidate start) then begin
+      incr ratings;
+      let r = relative ~base:start candidate in
+      if r < snd !best then best := (candidate, r)
+    end
+  done;
+  let config, r = !best in
+  ( config,
+    {
+      ratings = !ratings;
+      iterations = 1;
+      trajectory = (if r < 1.0 then [ (config, 1.0 -. r) ] else []);
+    } )

@@ -1,0 +1,98 @@
+(** Optimization-space search (Section 5.2).
+
+    An exhaustive sweep of the 38-flag space is O(2^n); the paper uses
+    the authors' Iterative Elimination algorithm [11], which starts from
+    [-O3] and repeatedly removes the flag whose removal helps most, at
+    O(n²) ratings.  Batch Elimination and Combined Elimination (from the
+    same line of work) and two simple baselines are provided for the
+    search ablation bench.
+
+    All searches consume a [relative] oracle:
+    [relative ~base candidate] is the measured relative time
+    [T(candidate)/T(base)] — below 1.0 means the candidate is faster.
+    This is exactly what every rating method produces (RBR natively; the
+    others as a ratio of EVALs). *)
+
+type relative = base:Peak_compiler.Optconfig.t -> Peak_compiler.Optconfig.t -> float
+
+type prepare = Peak_compiler.Optconfig.t list -> unit
+(** Called with each iteration's candidate configurations before any of
+    them is rated — the hook the driver uses to prefetch compiles at the
+    remote optimizer (Figure 6) so they overlap with rating. *)
+
+type stats = {
+  ratings : int;  (** Rating-oracle invocations. *)
+  iterations : int;
+  trajectory : (Peak_compiler.Optconfig.t * float) list;
+      (** Accepted configurations with their relative gain vs the
+          previous baseline, in order. *)
+}
+
+val iterative_elimination :
+  ?threshold:float ->
+  ?prepare:prepare ->
+  relative:relative ->
+  Peak_compiler.Optconfig.t ->
+  Peak_compiler.Optconfig.t * stats
+(** Remove one worst flag per iteration until no removal improves by more
+    than [threshold] (default 0.005 relative). *)
+
+val batch_elimination :
+  ?threshold:float ->
+  ?prepare:prepare ->
+  relative:relative ->
+  Peak_compiler.Optconfig.t ->
+  Peak_compiler.Optconfig.t * stats
+(** Measure each flag's removal once against the start configuration and
+    drop every flag that helped — n+0 ratings, no interaction handling. *)
+
+val combined_elimination :
+  ?threshold:float ->
+  ?prepare:prepare ->
+  relative:relative ->
+  Peak_compiler.Optconfig.t ->
+  Peak_compiler.Optconfig.t * stats
+(** Batch-style first measurement, then iteratively re-test only the
+    initially-harmful flags against the evolving baseline. *)
+
+val random_search :
+  ?samples:int ->
+  rng:Peak_util.Rng.t ->
+  relative:relative ->
+  Peak_compiler.Optconfig.t ->
+  Peak_compiler.Optconfig.t * stats
+(** Uniformly random configurations, all rated against the start
+    configuration; returns the best found (default 100 samples). *)
+
+val exhaustive :
+  flags:Peak_compiler.Flags.t list ->
+  relative:relative ->
+  Peak_compiler.Optconfig.t ->
+  Peak_compiler.Optconfig.t * stats
+(** Enumerate all on/off assignments of [flags] (others untouched).
+    @raise Invalid_argument beyond 16 flags. *)
+
+val fractional_factorial :
+  ?runs:int ->
+  ?threshold:float ->
+  rng:Peak_util.Rng.t ->
+  relative:relative ->
+  Peak_compiler.Optconfig.t ->
+  Peak_compiler.Optconfig.t * stats
+(** Chow & Wu's fractional-factorial flag selection [2], foldover style:
+    rate [runs] random configurations together with their complements
+    (all against the start configuration), estimate each flag's main
+    effect as the mean rating difference between its on- and off-halves,
+    and disable the flags whose presence measurably slows the code.
+    2·[runs] + 1 ratings total (default [runs] = 20). *)
+
+val ose :
+  ?threshold:float ->
+  relative:relative ->
+  Peak_compiler.Optconfig.t ->
+  Peak_compiler.Optconfig.t * stats
+(** Optimization-Space Exploration [13]: walk a small predefined tree of
+    configurations — level one removes whole optimization groups
+    (scheduling, CSE, aliasing, loop, branch, inlining) from the start
+    configuration; subsequent levels combine the winning group removals —
+    keeping the best configuration seen.  A few dozen ratings at most. *)

@@ -1,0 +1,97 @@
+open Peak_ir
+
+type entry =
+  | Scalar of string * float
+  | Pointer of string * string
+  | Whole_array of string * float array
+  | Array_cells of string * (int * float) list
+  | Array_span of string * int * float array  (** base offset + saved slice *)
+
+type t = { entries : entry list; bytes : int }
+
+(* Evaluate a symbolic span against the environment, clamped to the
+   array's extent. *)
+let concrete_span env arr lo hi =
+  let n = Array.length arr in
+  let l = max 0 (min n (int_of_float (Interp.eval env lo))) in
+  let h = max l (min n (int_of_float (Interp.eval env hi))) in
+  (l, h)
+
+let save (tsec : Tsection.t) env =
+  let lv = tsec.Tsection.liveness in
+  let entries, bytes =
+    Loc.Set.fold
+      (fun loc (entries, bytes) ->
+        match loc with
+        | Loc.Scalar v -> (Scalar (v, Interp.get_scalar env v) :: entries, bytes + 8)
+        | Loc.Pointer p ->
+            let target = Hashtbl.find env.Interp.pointers p in
+            (Pointer (p, target) :: entries, bytes + 8)
+        | Loc.Array a ->
+            let arr = Interp.get_array env a in
+            let rec capture (entries, bytes) region =
+              match region with
+              | Liveness.Whole ->
+                  (Whole_array (a, Array.copy arr) :: entries, bytes + (8 * Array.length arr))
+              | Liveness.Cells cells ->
+                  let saved = List.map (fun i -> (i, arr.(i))) cells in
+                  (Array_cells (a, saved) :: entries, bytes + (8 * List.length cells))
+              | Liveness.Span (lo, hi) ->
+                  let l, h = concrete_span env arr lo hi in
+                  (Array_span (a, l, Array.sub arr l (h - l)) :: entries, bytes + (8 * (h - l)))
+              | Liveness.Union rs -> List.fold_left capture (entries, bytes) rs
+            in
+            capture (entries, bytes) (Liveness.modified_region lv loc))
+      (Liveness.modified_input lv)
+      ([], 0)
+  in
+  { entries; bytes }
+
+(** Dynamic payload size without performing the copy — what the execution
+    harness charges per RBR save/restore. *)
+let measure_bytes (tsec : Tsection.t) env =
+  let lv = tsec.Tsection.liveness in
+  Loc.Set.fold
+    (fun loc acc ->
+      match loc with
+      | Loc.Scalar _ | Loc.Pointer _ -> acc + 8
+      | Loc.Array a ->
+          let arr = Interp.get_array env a in
+          let rec size region =
+            match region with
+            | Liveness.Whole -> Array.length arr
+            | Liveness.Cells cells -> List.length cells
+            | Liveness.Span (lo, hi) ->
+                let l, h = concrete_span env arr lo hi in
+                h - l
+            | Liveness.Union rs -> List.fold_left (fun s r -> s + size r) 0 rs
+          in
+          acc + (8 * size (Liveness.modified_region lv loc)))
+    (Liveness.modified_input lv)
+    0
+
+let restore t env =
+  List.iter
+    (function
+      | Scalar (v, x) -> Interp.set_scalar env v x
+      | Pointer (p, target) -> Hashtbl.replace env.Interp.pointers p target
+      | Whole_array (a, saved) ->
+          let arr = Interp.get_array env a in
+          Array.blit saved 0 arr 0 (Array.length saved)
+      | Array_cells (a, cells) ->
+          let arr = Interp.get_array env a in
+          List.iter (fun (i, x) -> arr.(i) <- x) cells
+      | Array_span (a, offset, saved) ->
+          let arr = Interp.get_array env a in
+          Array.blit saved 0 arr offset (Array.length saved))
+    t.entries
+
+let bytes t = t.bytes
+
+let locations t =
+  List.map
+    (function
+      | Scalar (v, _) -> Loc.Scalar v
+      | Pointer (p, _) -> Loc.Pointer p
+      | Whole_array (a, _) | Array_cells (a, _) | Array_span (a, _, _) -> Loc.Array a)
+    t.entries

@@ -1,0 +1,32 @@
+(** Save and restore of the RBR modified-input set.
+
+    The re-execution method's correctness hinges on restoring exactly
+    [Modified_Input(TS) = Input(TS) ∩ Def(TS)] between the two timed
+    executions (paper Eq. 6): anything less and the second run sees
+    clobbered inputs; anything more wastes copy time.  This module
+    performs the copy concretely over interpreter environments, honouring
+    the array-region analysis (only the written cells of an array are
+    saved when the store subscripts are compile-time constants).
+
+    The execution harness prices these copies but reuses interpreter
+    results instead of physically re-running — an optimization licensed
+    by the property test that save → run → restore → run reproduces
+    identical block counts and final state. *)
+
+type t
+
+val save : Tsection.t -> Peak_ir.Interp.env -> t
+(** Capture the modified-input locations' current values. *)
+
+val restore : t -> Peak_ir.Interp.env -> unit
+(** Write the captured values back. *)
+
+val bytes : t -> int
+(** Payload size; at most {!Liveness.save_restore_bytes}'s static bound
+    (symbolic spans usually evaluate smaller). *)
+
+val measure_bytes : Tsection.t -> Peak_ir.Interp.env -> int
+(** Dynamic payload size without copying — the per-invocation cost the
+    execution harness charges for RBR's save/restore. *)
+
+val locations : t -> Peak_ir.Loc.t list

@@ -1,0 +1,20 @@
+(** The WHL baseline (Section 5.2): whole-program rating.
+
+    "WHL averages the TS's execution times over the entire application
+    ... The chief disadvantage of WHL is extremely long tuning times,
+    because every trial needs a full application run."  One rating = one
+    full pass over the trace (plus the program's non-TS time, charged to
+    the tuning ledger), and the EVAL is the whole run's time. *)
+
+(* The pass's non-TS time is part of the EVAL (a whole-program run) but
+   is charged to the tuning ledger by the driver's per-pass accounting,
+   not here, so WHL and the windowed methods are charged uniformly. *)
+let rate runner ~non_ts_cycles version =
+  let ts_cycles = Runner.run_full_pass runner version in
+  {
+    Rating.eval = ts_cycles +. non_ts_cycles;
+    var = 0.0;
+    samples = 1;
+    invocations = 0;
+    converged = true;
+  }

@@ -1,0 +1,6 @@
+(** The WHL baseline (Section 5.2): whole-program rating.  One rating =
+    one full pass over the trace; the EVAL is the whole run's time
+    including the program's non-TS portion. *)
+
+val rate :
+  Runner.t -> non_ts_cycles:float -> Peak_compiler.Version.t -> Rating.t

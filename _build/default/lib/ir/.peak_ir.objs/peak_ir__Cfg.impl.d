@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Expr Format Hashtbl List Printf String Types

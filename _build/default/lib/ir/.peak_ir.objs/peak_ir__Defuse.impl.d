@@ -1,0 +1,1 @@
+lib/ir/defuse.ml: Array Cfg Expr List Loc Pointsto Set Types

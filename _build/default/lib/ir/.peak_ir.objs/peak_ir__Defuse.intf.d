@@ -1,0 +1,1 @@
+lib/ir/defuse.mli: Cfg Expr Loc Pointsto

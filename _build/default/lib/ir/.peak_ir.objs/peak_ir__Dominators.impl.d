@@ -1,0 +1,1 @@
+lib/ir/dominators.ml: Array Cfg Hashtbl List Option

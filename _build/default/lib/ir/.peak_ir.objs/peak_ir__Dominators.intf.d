@@ -1,0 +1,1 @@
+lib/ir/dominators.mli: Cfg

@@ -1,0 +1,1 @@
+lib/ir/features.ml: Array Cfg Expr Hashtbl List Option Types

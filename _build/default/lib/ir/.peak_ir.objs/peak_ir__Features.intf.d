@@ -1,0 +1,1 @@
+lib/ir/features.mli: Cfg

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Cfg Expr Hashtbl List Option Printf Types

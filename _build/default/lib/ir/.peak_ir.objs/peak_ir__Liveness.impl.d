@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Cfg Expr List Loc Pointsto Rangean Types

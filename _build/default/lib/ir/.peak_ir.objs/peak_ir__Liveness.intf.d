@@ -1,0 +1,1 @@
+lib/ir/liveness.mli: Cfg Loc Pointsto Rangean Types

@@ -1,0 +1,1 @@
+lib/ir/pointsto.ml: Array Cfg Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/ir/pointsto.mli: Cfg Types

@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Buffer Expr List Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/pretty.mli: Types

@@ -1,0 +1,1 @@
+lib/ir/rangean.ml: Expr Hashtbl List Option Types

@@ -1,0 +1,1 @@
+lib/ir/rangean.mli: Hashtbl Types

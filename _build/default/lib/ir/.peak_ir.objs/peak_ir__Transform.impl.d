@@ -1,0 +1,1 @@
+lib/ir/transform.ml: Expr Hashtbl List Map Option Rangean String Types

@@ -1,0 +1,1 @@
+lib/ir/transform.mli: Types

@@ -1,0 +1,47 @@
+(** Combinators for writing tuning sections concisely.
+
+    The workload library defines each SPEC-like tuning section as an IR
+    program; these helpers keep those definitions close to the pseudo-code
+    in the paper (e.g. Figure 2's [for (i = 0; i < N; i++) ...]). *)
+
+open Types
+
+let c k = Const k
+let ci k = Const (float_of_int k)
+let v name = Var name
+let idx a e = Index (a, e)
+let deref p = Deref p
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( % ) a b = Binop (Mod, a, b)
+let min_ a b = Binop (Min, a, b)
+let max_ a b = Binop (Max, a, b)
+let neg e = Unop (Neg, e)
+let not_ e = Unop (Not, e)
+let abs_ e = Unop (Abs, e)
+let sqrt_ e = Unop (Sqrt, e)
+let floor_ e = Unop (Floor, e)
+(* Boolean connectives over 0/1-valued expressions. *)
+let and_ a b = Binop (Min, a, b)
+let or_ a b = Binop (Max, a, b)
+let ( = ) a b = Cmp (Eq, a, b)
+let ( <> ) a b = Cmp (Ne, a, b)
+let ( < ) a b = Cmp (Lt, a, b)
+let ( <= ) a b = Cmp (Le, a, b)
+let ( > ) a b = Cmp (Gt, a, b)
+let ( >= ) a b = Cmp (Ge, a, b)
+let ( := ) name e = Assign (name, e)
+let store a i e = Store (a, i, e)
+let ptr_store p e = PtrStore (p, e)
+let ptr_set p target = PtrSet (p, target)
+let if_ cond then_ else_ = If (cond, then_, else_)
+let when_ cond then_ = If (cond, then_, [])
+let for_ index ~lo ~hi body = For { index; lo; hi; body }
+let while_ cond body = While (cond, body)
+let call name = Call name
+let nop = Nop
+
+let ts ?(params = []) ?(arrays = []) ?(pointers = []) ?(locals = []) ~name body =
+  { name; params; arrays; pointers; locals; body }

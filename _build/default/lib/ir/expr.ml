@@ -1,0 +1,139 @@
+open Types
+
+type source =
+  | Scalar of var
+  | Array_elem of var * int option
+  | Pointer_deref of var
+
+let rec sources = function
+  | Const _ -> []
+  | Var v -> [ Scalar v ]
+  | Index (a, e) ->
+      let sub =
+        match e with
+        | Const k -> Some (int_of_float k)
+        | _ -> None
+      in
+      (Array_elem (a, sub) :: sources e)
+  | Deref p -> [ Pointer_deref p ]
+  | Unop (_, e) -> sources e
+  | Binop (_, a, b) | Cmp (_, a, b) -> sources a @ sources b
+
+let dedup l =
+  List.rev (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l)
+
+let scalar_uses e =
+  let rec go = function
+    | Const _ -> []
+    | Var v -> [ v ]
+    | Index (_, e) -> go e
+    | Deref p -> [ p ]
+    | Unop (_, e) -> go e
+    | Binop (_, a, b) | Cmp (_, a, b) -> go a @ go b
+  in
+  dedup (go e)
+
+let array_bases e =
+  let rec go = function
+    | Const _ | Var _ | Deref _ -> []
+    | Index (a, e) -> a :: go e
+    | Unop (_, e) -> go e
+    | Binop (_, a, b) | Cmp (_, a, b) -> go a @ go b
+  in
+  dedup (go e)
+
+let apply_binop op a b =
+  match op with
+  | Add -> a +. b
+  | Sub -> a -. b
+  | Mul -> a *. b
+  | Div -> a /. b
+  | Mod -> Float.rem a b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+
+let apply_cmp op a b =
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if r then 1.0 else 0.0
+
+let apply_unop op a =
+  match op with
+  | Neg -> -.a
+  | Not -> if a = 0.0 then 1.0 else 0.0
+  | Abs -> abs_float a
+  | Sqrt -> sqrt a
+  | Floor -> floor a
+
+let rec const_fold e =
+  match e with
+  | Const _ | Var _ | Deref _ -> e
+  | Index (a, e) -> Index (a, const_fold e)
+  | Unop (op, e) -> (
+      match const_fold e with
+      | Const k -> Const (apply_unop op k)
+      | e' -> Unop (op, e'))
+  | Binop (op, a, b) -> (
+      match (const_fold a, const_fold b, op) with
+      | Const x, Const y, (Div | Mod) when y = 0.0 -> Binop (op, Const x, Const y)
+      | Const x, Const y, _ -> Const (apply_binop op x y)
+      | a', b', _ -> Binop (op, a', b'))
+  | Cmp (op, a, b) -> (
+      match (const_fold a, const_fold b) with
+      | Const x, Const y -> Const (apply_cmp op x y)
+      | a', b' -> Cmp (op, a', b'))
+
+let is_const = function Const _ -> true | _ -> false
+
+let rec size = function
+  | Const _ | Var _ | Deref _ -> 1
+  | Index (_, e) | Unop (_, e) -> 1 + size e
+  | Binop (_, a, b) | Cmp (_, a, b) -> 1 + size a + size b
+
+let rec depth = function
+  | Const _ | Var _ | Deref _ -> 1
+  | Index (_, e) | Unop (_, e) -> 1 + depth e
+  | Binop (_, a, b) | Cmp (_, a, b) -> 1 + max (depth a) (depth b)
+
+let rec subexpressions e =
+  e
+  ::
+  (match e with
+  | Const _ | Var _ | Deref _ -> []
+  | Index (_, e) | Unop (_, e) -> subexpressions e
+  | Binop (_, a, b) | Cmp (_, a, b) -> subexpressions a @ subexpressions b)
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+
+let cmp_symbol = function Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp fmt = function
+  | Const k -> Format.fprintf fmt "%g" k
+  | Var v -> Format.fprintf fmt "%s" v
+  | Index (a, e) -> Format.fprintf fmt "%s[%a]" a pp e
+  | Deref p -> Format.fprintf fmt "*%s" p
+  | Unop (Neg, e) -> Format.fprintf fmt "(-%a)" pp e
+  | Unop (Not, e) -> Format.fprintf fmt "(!%a)" pp e
+  | Unop (Abs, e) -> Format.fprintf fmt "abs(%a)" pp e
+  | Unop (Sqrt, e) -> Format.fprintf fmt "sqrt(%a)" pp e
+  | Unop (Floor, e) -> Format.fprintf fmt "floor(%a)" pp e
+  | Binop ((Min | Max) as op, a, b) ->
+      Format.fprintf fmt "%s(%a, %a)" (binop_symbol op) pp a pp b
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp a (binop_symbol op) pp b
+  | Cmp (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp a (cmp_symbol op) pp b
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,46 @@
+(** Expression utilities: evaluation and syntactic queries. *)
+
+open Types
+
+(** A readable value source, as distinguished by the paper's scalar rule
+    (Section 2.2): plain scalars, array references with constant
+    subscripts, other array references, and pointer dereferences. *)
+type source =
+  | Scalar of var
+  | Array_elem of var * int option
+      (** [Array_elem (a, Some k)] is [a.(k)] with a constant subscript;
+          [None] means the subscript is not a compile-time constant. *)
+  | Pointer_deref of var
+
+val sources : expr -> source list
+(** All value sources read by the expression, in syntactic order,
+    duplicates preserved. *)
+
+val scalar_uses : expr -> var list
+(** Scalar variables read (directly, as subscripts, or as pointer names),
+    deduplicated. *)
+
+val array_bases : expr -> var list
+(** Array names read from, deduplicated. *)
+
+val apply_binop : binop -> float -> float -> float
+val apply_cmp : cmpop -> float -> float -> float
+val apply_unop : unop -> float -> float
+
+val const_fold : expr -> expr
+(** Bottom-up constant folding; preserves semantics including division by
+    zero (left unfolded). *)
+
+val is_const : expr -> bool
+val size : expr -> int
+(** Node count, used by static feature extraction. *)
+
+val depth : expr -> int
+(** Height of the expression tree — a Sethi–Ullman-style proxy for the
+    temporaries its evaluation keeps live. *)
+
+val subexpressions : expr -> expr list
+(** All proper and improper subexpressions (for redundancy counting). *)
+
+val pp : Format.formatter -> expr -> unit
+val to_string : expr -> string

@@ -1,0 +1,174 @@
+type env = {
+  scalars : (string, float) Hashtbl.t;
+  arrays : (string, float array) Hashtbl.t;
+  pointers : (string, string) Hashtbl.t;
+}
+
+type result = {
+  block_counts : int array;
+  mem_reads : int;
+  mem_writes : int;
+  flops : int;
+  array_accesses : (string * int) list;
+  impure_calls : int;
+}
+
+exception Out_of_bounds of string
+exception Step_limit_exceeded of string
+
+let make_env (ts : Types.ts) =
+  let scalars = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace scalars v 0.0) ts.params;
+  List.iter (fun v -> Hashtbl.replace scalars v 0.0) ts.locals;
+  let arrays = Hashtbl.create 8 in
+  List.iter (fun (a, n) -> Hashtbl.replace arrays a (Array.make n 0.0)) ts.arrays;
+  let pointers = Hashtbl.create 4 in
+  List.iter (fun (p, target) -> Hashtbl.replace pointers p target) ts.pointers;
+  { scalars; arrays; pointers }
+
+let copy_env env =
+  {
+    scalars = Hashtbl.copy env.scalars;
+    arrays =
+      (let t = Hashtbl.create (Hashtbl.length env.arrays) in
+       Hashtbl.iter (fun k v -> Hashtbl.replace t k (Array.copy v)) env.arrays;
+       t);
+    pointers = Hashtbl.copy env.pointers;
+  }
+
+let set_scalar env v x = Hashtbl.replace env.scalars v x
+
+let get_scalar env v =
+  match Hashtbl.find_opt env.scalars v with
+  | Some x -> x
+  | None -> raise (Out_of_bounds (Printf.sprintf "unknown scalar %s" v))
+
+let set_array env a x = Hashtbl.replace env.arrays a x
+
+let get_array env a =
+  match Hashtbl.find_opt env.arrays a with
+  | Some x -> x
+  | None -> raise (Out_of_bounds (Printf.sprintf "unknown array %s" a))
+
+(* Per-invocation dynamic counters, threaded as mutable state. *)
+type counters = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable flops : int;
+  mutable calls : int;
+  accesses : (string, int) Hashtbl.t;
+}
+
+let touch counters base =
+  Hashtbl.replace counters.accesses base
+    (1 + Option.value ~default:0 (Hashtbl.find_opt counters.accesses base))
+
+let array_ref env counters a i_float context =
+  let arr = get_array env a in
+  let i = int_of_float i_float in
+  if i < 0 || i >= Array.length arr then
+    raise
+      (Out_of_bounds (Printf.sprintf "%s[%d] out of [0,%d) in %s" a i (Array.length arr) context));
+  touch counters a;
+  (arr, i)
+
+let deref_target env p =
+  match Hashtbl.find_opt env.pointers p with
+  | Some target -> target
+  | None -> raise (Out_of_bounds (Printf.sprintf "unknown pointer %s" p))
+
+let rec eval_counted env counters e =
+  match e with
+  | Types.Const k -> k
+  | Types.Var v -> get_scalar env v
+  | Types.Index (a, sub) ->
+      let i = eval_counted env counters sub in
+      let arr, idx = array_ref env counters a i "read" in
+      counters.reads <- counters.reads + 1;
+      arr.(idx)
+  | Types.Deref p ->
+      let target = deref_target env p in
+      counters.reads <- counters.reads + 1;
+      touch counters p;
+      get_scalar env target
+  | Types.Unop (op, e) ->
+      counters.flops <- counters.flops + 1;
+      Expr.apply_unop op (eval_counted env counters e)
+  | Types.Binop (op, a, b) ->
+      let x = eval_counted env counters a in
+      let y = eval_counted env counters b in
+      counters.flops <- counters.flops + 1;
+      Expr.apply_binop op x y
+  | Types.Cmp (op, a, b) ->
+      let x = eval_counted env counters a in
+      let y = eval_counted env counters b in
+      counters.flops <- counters.flops + 1;
+      Expr.apply_cmp op x y
+
+let eval env e =
+  let counters =
+    { reads = 0; writes = 0; flops = 0; calls = 0; accesses = Hashtbl.create 4 }
+  in
+  eval_counted env counters e
+
+let read_source env = function
+  | Expr.Scalar v -> get_scalar env v
+  | Expr.Array_elem (a, Some k) ->
+      let arr = get_array env a in
+      if k < 0 || k >= Array.length arr then
+        raise (Out_of_bounds (Printf.sprintf "%s[%d] (context read)" a k));
+      arr.(k)
+  | Expr.Array_elem (a, None) ->
+      raise (Out_of_bounds (Printf.sprintf "%s[non-constant] is not a context source" a))
+  | Expr.Pointer_deref p -> get_scalar env (deref_target env p)
+
+let run ?(max_steps = 10_000_000) (cfg : Cfg.t) env =
+  let counters =
+    { reads = 0; writes = 0; flops = 0; calls = 0; accesses = Hashtbl.create 8 }
+  in
+  let n = Cfg.n_blocks cfg in
+  let block_counts = Array.make n 0 in
+  let steps = ref 0 in
+  let exec_simple (s : Cfg.simple) =
+    match s with
+    | SAssign (x, e) -> set_scalar env x (eval_counted env counters e)
+    | SStore (a, i, e) ->
+        let idx_v = eval_counted env counters i in
+        let value = eval_counted env counters e in
+        let arr, idx = array_ref env counters a idx_v "write" in
+        counters.writes <- counters.writes + 1;
+        arr.(idx) <- value
+    | SPtrStore (p, e) ->
+        let value = eval_counted env counters e in
+        let target = deref_target env p in
+        counters.writes <- counters.writes + 1;
+        touch counters p;
+        set_scalar env target value
+    | SPtrSet (p, v) -> Hashtbl.replace env.pointers p v
+    | SCall f ->
+        if not (Types.is_pure_external f) then counters.calls <- counters.calls + 1
+  in
+  let rec go id =
+    incr steps;
+    if !steps > max_steps then
+      raise (Step_limit_exceeded (Printf.sprintf "%s: > %d block entries" cfg.ts.name max_steps));
+    block_counts.(id) <- block_counts.(id) + 1;
+    let b = Cfg.block cfg id in
+    Array.iter exec_simple b.stmts;
+    match b.term with
+    | Goto next -> go next
+    | Branch (c, if_true, if_false) ->
+        let v = eval_counted env counters c in
+        counters.flops <- counters.flops + 1;
+        go (if v <> 0.0 then if_true else if_false)
+    | Exit -> ()
+  in
+  go cfg.entry;
+  {
+    block_counts;
+    mem_reads = counters.reads;
+    mem_writes = counters.writes;
+    flops = counters.flops;
+    array_accesses = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters.accesses [];
+    impure_calls = counters.calls;
+  }

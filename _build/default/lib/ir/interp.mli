@@ -1,0 +1,54 @@
+(** Counting interpreter.
+
+    One [run] is one invocation of the tuning section under a concrete
+    context.  The interpreter executes the CFG against a mutable
+    environment and records, per basic block, how many times the block
+    was entered — the [C_b] counts of the paper's Eq. 1 — plus dynamic
+    memory/arithmetic tallies used by the machine cost model.  Version
+    timing never re-executes the interpreter per version: a code
+    version's simulated time is a function of these counts and the
+    version's per-block cycle table, which is what makes full Figure-7
+    sweeps tractable. *)
+
+type env = {
+  scalars : (string, float) Hashtbl.t;
+  arrays : (string, float array) Hashtbl.t;
+  pointers : (string, string) Hashtbl.t;
+}
+
+type result = {
+  block_counts : int array;  (** Entry count per CFG block id. *)
+  mem_reads : int;
+  mem_writes : int;
+  flops : int;
+  array_accesses : (string * int) list;  (** Accesses per array/pointee base. *)
+  impure_calls : int;
+}
+
+exception Out_of_bounds of string
+(** Raised on an array access outside the declared extent. *)
+
+exception Step_limit_exceeded of string
+
+val make_env : Types.ts -> env
+(** Environment with params/locals at 0.0, arrays zero-filled at their
+    declared sizes, pointers at their declared pointees. *)
+
+val copy_env : env -> env
+(** Deep copy (used by RBR's save/restore and by tests). *)
+
+val set_scalar : env -> string -> float -> unit
+val get_scalar : env -> string -> float
+val set_array : env -> string -> float array -> unit
+val get_array : env -> string -> float array
+
+val read_source : env -> Expr.source -> float
+(** Current value of a context-variable source (scalar, constant-subscript
+    array element, or pointer dereference). *)
+
+val run : ?max_steps:int -> Cfg.t -> env -> result
+(** Execute one invocation, mutating [env].  [max_steps] (default 10e6
+    block transitions) guards against non-terminating sections. *)
+
+val eval : env -> Types.expr -> float
+(** Expression evaluation against the environment (exposed for tests). *)

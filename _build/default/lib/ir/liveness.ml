@@ -1,0 +1,161 @@
+type region = Rangean.region =
+  | Whole
+  | Cells of int list
+  | Span of Types.expr * Types.expr
+  | Union of region list
+
+type t = {
+  cfg : Cfg.t;
+  live_in : Loc.Set.t array;
+  defs : Loc.Set.t;
+  regions : region Loc.Map.t;
+}
+
+let source_loc = function
+  | Expr.Scalar v -> Loc.Scalar v
+  | Expr.Array_elem (a, _) -> Loc.Array a
+  | Expr.Pointer_deref p -> Loc.Pointer p
+
+(* Locations read by an expression, including the pointee scalars of any
+   dereferenced pointer (the value read depends on both). *)
+let expr_uses pts e =
+  List.fold_left
+    (fun acc src ->
+      let acc = Loc.Set.add (source_loc src) acc in
+      match src with
+      | Expr.Pointer_deref p ->
+          List.fold_left (fun acc v -> Loc.Set.add (Loc.Scalar v) acc) acc (Pointsto.targets pts p)
+      | _ -> acc)
+    Loc.Set.empty (Expr.sources e)
+
+let stmt_uses pts (s : Cfg.simple) =
+  match s with
+  | SAssign (_, e) -> expr_uses pts e
+  | SStore (_, i, e) -> Loc.Set.union (expr_uses pts i) (expr_uses pts e)
+  | SPtrStore (p, e) -> Loc.Set.add (Loc.Pointer p) (expr_uses pts e)
+  | SPtrSet _ -> Loc.Set.empty
+  | SCall f ->
+      if Types.is_pure_external f then Loc.Set.empty
+      else Loc.Set.empty (* uses handled conservatively by treating calls as barriers below *)
+
+let stmt_defs pts cfg (s : Cfg.simple) ~strong_only =
+  let all = ref Loc.Set.empty in
+  let strong = ref Loc.Set.empty in
+  (match s with
+  | Cfg.SAssign (x, _) ->
+      all := Loc.Set.add (Loc.Scalar x) !all;
+      strong := Loc.Set.add (Loc.Scalar x) !strong
+  | Cfg.SStore (a, i, _) ->
+      all := Loc.Set.add (Loc.Array a) !all;
+      (* a store to a[i] does not fully define the array; never strong *)
+      ignore i
+  | Cfg.SPtrStore (p, _) -> (
+      match Pointsto.targets pts p with
+      | [ v ] when not (Pointsto.is_retargeted pts p) ->
+          all := Loc.Set.add (Loc.Scalar v) !all;
+          strong := Loc.Set.add (Loc.Scalar v) !strong
+      | vs -> List.iter (fun v -> all := Loc.Set.add (Loc.Scalar v) !all) vs)
+  | Cfg.SPtrSet (p, _) ->
+      all := Loc.Set.add (Loc.Pointer p) !all;
+      strong := Loc.Set.add (Loc.Pointer p) !strong
+  | Cfg.SCall f ->
+      if not (Types.is_pure_external f) then begin
+        let ts = cfg.Cfg.ts in
+        List.iter (fun v -> all := Loc.Set.add (Loc.Scalar v) !all) ts.params;
+        List.iter (fun (a, _) -> all := Loc.Set.add (Loc.Array a) !all) ts.arrays;
+        List.iter (fun (p, _) -> all := Loc.Set.add (Loc.Pointer p) !all) ts.pointers
+      end);
+  if strong_only then !strong else !all
+
+let term_uses pts (b : Cfg.bblock) =
+  match b.term with
+  | Branch (c, _, _) -> expr_uses pts c
+  | Goto _ | Exit -> Loc.Set.empty
+
+(* Backward per-block transfer: live_in = use ∪ (live_out − strong_def),
+   computed statement by statement from the end. *)
+let block_live_in pts cfg (b : Cfg.bblock) live_out =
+  let live = ref (Loc.Set.union live_out (term_uses pts b)) in
+  for i = Array.length b.stmts - 1 downto 0 do
+    let s = b.stmts.(i) in
+    let kills = stmt_defs pts cfg s ~strong_only:true in
+    live := Loc.Set.union (stmt_uses pts s) (Loc.Set.diff !live kills);
+    (* impure calls may read anything: treat everything as live before *)
+    match s with
+    | Cfg.SCall f when not (Types.is_pure_external f) ->
+        let ts = cfg.Cfg.ts in
+        List.iter (fun v -> live := Loc.Set.add (Loc.Scalar v) !live) ts.params;
+        List.iter (fun (a, _) -> live := Loc.Set.add (Loc.Array a) !live) ts.arrays
+    | _ -> ()
+  done;
+  !live
+
+let analyze (cfg : Cfg.t) pts =
+  let n = Cfg.n_blocks cfg in
+  let live_in = Array.make n Loc.Set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for id = n - 1 downto 0 do
+      let b = Cfg.block cfg id in
+      let live_out =
+        List.fold_left
+          (fun acc succ -> Loc.Set.union acc live_in.(succ))
+          Loc.Set.empty (Cfg.successors b)
+      in
+      let li = block_live_in pts cfg b live_out in
+      if not (Loc.Set.equal li live_in.(id)) then begin
+        live_in.(id) <- li;
+        changed := true
+      end
+    done
+  done;
+  (* Def(TS): union of all (weak or strong) defs. *)
+  let defs = ref Loc.Set.empty in
+  Array.iter
+    (fun (b : Cfg.bblock) ->
+      Array.iter
+        (fun s -> defs := Loc.Set.union !defs (stmt_defs pts cfg s ~strong_only:false))
+        b.stmts)
+    cfg.blocks;
+  (* Array store regions come from the symbolic range analysis over the
+     structured body (constant cells, loop-bound spans, or whole). *)
+  let regions =
+    List.fold_left
+      (fun acc (a, r) -> Loc.Map.add (Loc.Array a) r acc)
+      Loc.Map.empty
+      (Rangean.store_regions cfg.ts)
+  in
+  { cfg; live_in; defs = !defs; regions }
+
+let live_in_entry t = t.live_in.(t.cfg.entry)
+let def_set t = t.defs
+let modified_input t = Loc.Set.inter (live_in_entry t) t.defs
+
+let modified_region t loc =
+  match Loc.Map.find_opt loc t.regions with Some r -> r | None -> Whole
+
+let array_size t name =
+  match List.assoc_opt name t.cfg.ts.arrays with Some n -> n | None -> 0
+
+let save_restore_bytes t =
+  Loc.Set.fold
+    (fun loc acc ->
+      match loc with
+      | Loc.Scalar _ | Loc.Pointer _ -> acc + 8
+      | Loc.Array a ->
+          let rec bound r =
+            match r with
+            | Whole -> array_size t a
+            | Cells cs -> List.length cs
+            | Span (lo, hi) -> (
+                match (Expr.const_fold lo, Expr.const_fold hi) with
+                | Types.Const l, Types.Const h -> max 0 (int_of_float h - int_of_float l)
+                | _ -> array_size t a)
+            | Union rs ->
+                min (array_size t a) (List.fold_left (fun s r -> s + bound r) 0 rs)
+          in
+          acc + (8 * bound (modified_region t loc)))
+    (modified_input t) 0
+
+let live_in t id = t.live_in.(id)

@@ -1,0 +1,47 @@
+(** Block-level liveness and the RBR input/def sets.
+
+    Re-execution-based rating needs [Input(TS) = LiveIn(entry)] (the
+    values the section reads before writing) and
+    [Modified_Input(TS) = Input(TS) ∩ Def(TS)] — the part that must be
+    saved and restored around re-execution (paper Eq. 6).  This module
+    computes both, plus a byte-size estimate of the save/restore payload
+    that the machine model charges as RBR overhead.  For arrays it also
+    performs the constant-subscript region analysis the paper sketches
+    under "symbolic range analysis": when every store to an array uses a
+    compile-time-constant subscript, only those cells are charged. *)
+
+type region = Rangean.region =
+  | Whole  (** The entire location must be saved. *)
+  | Cells of int list  (** Only these (constant) array indices are written. *)
+  | Span of Types.expr * Types.expr
+      (** Symbolic half-open index interval [lo, hi); evaluated against
+          the live environment at save time (Rangean analysis). *)
+  | Union of region list  (** Several cell/span parts. *)
+
+type t
+
+val analyze : Cfg.t -> Pointsto.t -> t
+
+val live_in_entry : t -> Loc.Set.t
+(** [Input(TS)]: locations live on entry. *)
+
+val def_set : t -> Loc.Set.t
+(** [Def(TS)]: locations written anywhere in the TS (through pointers
+    included, via points-to). *)
+
+val modified_input : t -> Loc.Set.t
+(** [Input(TS) ∩ Def(TS)]. *)
+
+val modified_region : t -> Loc.t -> region
+(** Region of the location actually written; meaningful for arrays in the
+    modified-input set. *)
+
+val save_restore_bytes : t -> int
+(** Static upper bound on the bytes the improved RBR method must save and
+    restore per experiment, assuming 8-byte elements and the per-location
+    regions; symbolic spans whose bounds are not compile-time constants
+    are charged at the whole array size.  {!Peak.Snapshot} computes the
+    exact dynamic payload. *)
+
+val live_in : t -> int -> Loc.Set.t
+(** Live-in set of an arbitrary block (exposed for tests). *)

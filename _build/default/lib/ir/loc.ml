@@ -1,0 +1,29 @@
+(** Abstract storage locations for dataflow analyses.
+
+    Scalars, whole arrays (array writes are weak updates at this
+    granularity) and pointer cells are the three location kinds the
+    paper's analyses distinguish. *)
+
+type t =
+  | Scalar of Types.var
+  | Array of Types.var
+  | Pointer of Types.var
+
+let compare = compare
+
+let to_string = function
+  | Scalar v -> v
+  | Array a -> a ^ "[]"
+  | Pointer p -> "&" ^ p
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

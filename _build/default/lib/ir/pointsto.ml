@@ -1,0 +1,50 @@
+type info = {
+  mutable targets : Types.var list;
+  mutable retargeted : bool;
+  mutable stored_through : bool;
+}
+
+type t = { table : (Types.var, info) Hashtbl.t; mutable direct_writes : Types.var list }
+
+let get_info t p =
+  match Hashtbl.find_opt t.table p with
+  | Some i -> i
+  | None ->
+      let i = { targets = []; retargeted = false; stored_through = false } in
+      Hashtbl.add t.table p i;
+      i
+
+let add_target i v = if not (List.mem v i.targets) then i.targets <- v :: i.targets
+
+let analyze (cfg : Cfg.t) =
+  let t = { table = Hashtbl.create 8; direct_writes = [] } in
+  List.iter
+    (fun (p, target) -> add_target (get_info t p) target)
+    cfg.ts.pointers;
+  Array.iter
+    (fun (b : Cfg.bblock) ->
+      Array.iter
+        (fun s ->
+          match s with
+          | Cfg.SPtrSet (p, v) ->
+              let i = get_info t p in
+              i.retargeted <- true;
+              add_target i v
+          | Cfg.SPtrStore (p, _) -> (get_info t p).stored_through <- true
+          | Cfg.SAssign (x, _) ->
+              if not (List.mem x t.direct_writes) then t.direct_writes <- x :: t.direct_writes
+          | Cfg.SStore _ | Cfg.SCall _ -> ())
+        b.stmts)
+    cfg.blocks;
+  t
+
+let targets t p = match Hashtbl.find_opt t.table p with Some i -> i.targets | None -> []
+
+let is_retargeted t p =
+  match Hashtbl.find_opt t.table p with Some i -> i.retargeted | None -> false
+
+let pointee_written t p =
+  match Hashtbl.find_opt t.table p with
+  | None -> false
+  | Some i ->
+      i.stored_through || List.exists (fun target -> List.mem target t.direct_writes) i.targets

@@ -1,0 +1,23 @@
+(** Flow-insensitive may-point-to analysis.
+
+    The paper notes (Section 2.2) that "simple points-to analysis is
+    sufficient" to classify pointer dereferences: a dereference counts as
+    a scalar context variable only when the pointer is not changed within
+    the tuning section.  This analysis computes, per pointer, the set of
+    scalar variables it may target, and whether it is retargeted inside
+    the TS. *)
+
+type t
+
+val analyze : Cfg.t -> t
+
+val targets : t -> Types.var -> Types.var list
+(** May-point-to set of the pointer (its declared initial pointee plus
+    every [PtrSet] target in the TS).  Unknown pointers map to []. *)
+
+val is_retargeted : t -> Types.var -> bool
+(** True when some [PtrSet] in the TS reassigns the pointer. *)
+
+val pointee_written : t -> Types.var -> bool
+(** True when some [PtrStore] writes through the pointer, or a direct
+    assignment writes to one of its possible targets. *)

@@ -1,0 +1,55 @@
+open Types
+
+let expr = Expr.to_string
+
+let rec stmt buf ~indent s =
+  let pad = String.make indent ' ' in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (pad ^ str ^ "\n")) fmt in
+  match s with
+  | Nop -> line ";"
+  | Assign (x, e) -> line "%s = %s;" x (expr e)
+  | Store (a, i, e) -> line "%s[%s] = %s;" a (expr i) (expr e)
+  | PtrStore (p, e) -> line "*%s = %s;" p (expr e)
+  | PtrSet (p, v) -> line "%s = &%s;" p v
+  | Call f -> line "%s();" f
+  | If (cond, then_, []) ->
+      line "if (%s) {" (expr cond);
+      block buf ~indent:(indent + 2) then_;
+      line "}"
+  | If (cond, then_, else_) ->
+      line "if (%s) {" (expr cond);
+      block buf ~indent:(indent + 2) then_;
+      line "} else {";
+      block buf ~indent:(indent + 2) else_;
+      line "}"
+  | For { index; lo; hi; body } ->
+      line "for (%s = %s; %s < %s; %s++) {" index (expr lo) index (expr hi) index;
+      block buf ~indent:(indent + 2) body;
+      line "}"
+  | While (cond, body) ->
+      line "while (%s) {" (expr cond);
+      block buf ~indent:(indent + 2) body;
+      line "}"
+
+and block buf ~indent stmts = List.iter (stmt buf ~indent) stmts
+
+let stmt_to_c ?(indent = 0) s =
+  let buf = Buffer.create 128 in
+  stmt buf ~indent s;
+  Buffer.contents buf
+
+let ts_to_c (ts : ts) =
+  let buf = Buffer.create 1024 in
+  let params =
+    List.map (fun v -> "double " ^ v) ts.params
+    @ List.map (fun (a, n) -> Printf.sprintf "double %s[%d]" a n) ts.arrays
+    @ List.map (fun (p, _) -> "double *" ^ p) ts.pointers
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "void %s(%s)\n{\n" ts.name (String.concat ", " params));
+  (match ts.locals with
+  | [] -> ()
+  | locals -> Buffer.add_string buf ("  double " ^ String.concat ", " locals ^ ";\n\n"));
+  block buf ~indent:2 ts.body;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Pseudo-C rendering of tuning sections.
+
+    PEAK's instrumentation tool "extracts each TS into a separate file"
+    (Section 4.2); this printer produces the human-readable form of that
+    file — a C-like function whose parameters are the section's scalar,
+    array and pointer inputs — for the CLI's [show]/[instrument] output
+    and for documentation. *)
+
+val ts_to_c : Types.ts -> string
+(** The section as a pseudo-C function definition. *)
+
+val stmt_to_c : ?indent:int -> Types.stmt -> string
+(** A single statement (exposed for the instrumentation renderer). *)

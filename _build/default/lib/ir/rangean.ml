@@ -1,0 +1,133 @@
+open Types
+
+type region =
+  | Whole
+  | Cells of int list
+  | Span of expr * expr
+  | Union of region list
+
+(* flatten nested unions into cells + spans *)
+let rec parts = function
+  | Whole -> None
+  | Cells cs -> Some ([ cs ], [])
+  | Span (lo, hi) -> Some ([], [ (lo, hi) ])
+  | Union rs ->
+      List.fold_left
+        (fun acc r ->
+          match (acc, parts r) with
+          | Some (cells, spans), Some (c, s) -> Some (cells @ c, spans @ s)
+          | _ -> None)
+        (Some ([], []))
+        rs
+
+(* May-point-to sets, flow-insensitively over the structured body:
+   declared pointees plus every PtrSet target. *)
+let pointer_targets ts =
+  let table = Hashtbl.create 4 in
+  let add p v =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt table p) in
+    if not (List.mem v existing) then Hashtbl.replace table p (v :: existing)
+  in
+  List.iter (fun (p, v) -> add p v) ts.pointers;
+  let rec go_stmt = function
+    | PtrSet (p, v) -> add p v
+    | Assign _ | Store _ | PtrStore _ | Call _ | Nop -> ()
+    | If (_, a, b) ->
+        List.iter go_stmt a;
+        List.iter go_stmt b
+    | For { body; _ } | While (_, body) -> List.iter go_stmt body
+  in
+  List.iter go_stmt ts.body;
+  table
+
+(* Scalars the section may write: a loop bound mentioning one of these is
+   not invariant and cannot anchor a span. *)
+let written_scalars ts =
+  let targets = pointer_targets ts in
+  let acc = ref [] in
+  let add v = if not (List.mem v !acc) then acc := v :: !acc in
+  let rec go_stmt = function
+    | Assign (v, _) -> add v
+    | PtrStore (p, _) ->
+        List.iter add (Option.value ~default:[] (Hashtbl.find_opt targets p))
+    | Store _ | PtrSet _ | Nop -> ()
+    | Call f -> if not (is_pure_external f) then List.iter add (ts.params @ ts.locals)
+    | If (_, a, b) ->
+        List.iter go_stmt a;
+        List.iter go_stmt b
+    | For { index; body; _ } ->
+        add index;
+        List.iter go_stmt body
+    | While (_, body) -> List.iter go_stmt body
+  in
+  List.iter go_stmt ts.body;
+  !acc
+
+let expr_invariant ~written e =
+  List.for_all (fun v -> not (List.mem v written)) (Expr.scalar_uses e)
+  && Expr.array_bases e = []
+  && List.for_all (function Expr.Pointer_deref _ -> false | _ -> true) (Expr.sources e)
+
+let shift e k = if k = 0 then e else Expr.const_fold (Binop (Add, e, Const (float_of_int k)))
+
+(* Classify one store subscript under the enclosing loops.  [loops] maps
+   an index variable to its (lo, hi) entry bounds, innermost first. *)
+let classify ~written ~loops sub =
+  match Expr.const_fold sub with
+  | Const k -> Cells [ int_of_float k ]
+  | Var v -> (
+      match List.assoc_opt v loops with
+      | Some (lo, hi) when expr_invariant ~written lo && expr_invariant ~written hi ->
+          Span (lo, hi)
+      | _ -> Whole)
+  | Binop (Add, Var v, Const k) | Binop (Add, Const k, Var v) -> (
+      match List.assoc_opt v loops with
+      | Some (lo, hi) when expr_invariant ~written lo && expr_invariant ~written hi ->
+          Span (shift lo (int_of_float k), shift hi (int_of_float k))
+      | _ -> Whole)
+  | Binop (Sub, Var v, Const k) -> (
+      match List.assoc_opt v loops with
+      | Some (lo, hi) when expr_invariant ~written lo && expr_invariant ~written hi ->
+          Span (shift lo (-(int_of_float k)), shift hi (-(int_of_float k)))
+      | _ -> Whole)
+  | _ -> Whole
+
+(* Merging keeps everything: overlapping saves are redundant but correct,
+   so a union of cells and spans never needs to widen to Whole. *)
+let merge a b =
+  match (parts a, parts b) with
+  | None, _ | _, None -> Whole
+  | Some (c1, s1), Some (c2, s2) ->
+      let cells = List.sort_uniq compare (List.concat (c1 @ c2)) in
+      let spans = List.sort_uniq compare (s1 @ s2) in
+      let rs =
+        (if cells = [] then [] else [ Cells cells ])
+        @ List.map (fun (lo, hi) -> Span (lo, hi)) spans
+      in
+      (match rs with [ r ] -> r | rs -> Union rs)
+
+let store_regions ts =
+  let written = written_scalars ts in
+  let table : (var, region) Hashtbl.t = Hashtbl.create 8 in
+  let note a r =
+    let merged = match Hashtbl.find_opt table a with Some prev -> merge prev r | None -> r in
+    Hashtbl.replace table a merged
+  in
+  let rec go_stmt ~loops = function
+    | Store (a, sub, _) -> note a (classify ~written ~loops sub)
+    | Call f -> if not (is_pure_external f) then List.iter (fun (a, _) -> note a Whole) ts.arrays
+    | Assign _ | PtrStore _ | PtrSet _ | Nop -> ()
+    | If (_, a, b) ->
+        List.iter (go_stmt ~loops) a;
+        List.iter (go_stmt ~loops) b
+    | For { index; lo; hi; body } ->
+        (* an inner loop reusing an outer index shadows it *)
+        let loops = (index, (lo, hi)) :: List.remove_assoc index loops in
+        List.iter (go_stmt ~loops) body
+    | While (_, body) -> List.iter (go_stmt ~loops) body
+  in
+  List.iter (go_stmt ~loops:[]) ts.body;
+  Hashtbl.fold (fun a r acc -> (a, r) :: acc) table []
+
+let region_of regions a =
+  match List.assoc_opt a regions with Some r -> r | None -> Whole

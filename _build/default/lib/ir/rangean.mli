@@ -1,0 +1,38 @@
+(** Symbolic range analysis of array stores.
+
+    The paper reduces RBR's save/restore overhead "by accurately
+    analyzing the Modified_Input(TS) set ... using symbolic range
+    analysis [Blume & Eigenmann] for regular data accesses"
+    (Section 2.4.2).  This analysis walks the structured tuning-section
+    body and bounds, per array, the region its stores can touch:
+
+    - stores with compile-time-constant subscripts yield exact cells;
+    - stores whose subscript is an enclosing loop's index (possibly ±
+      a constant) yield a {e symbolic span} [lo, hi) in terms of the
+      loop bounds, provided the bounds are invariant in the TS (built
+      from constants and scalars the section never writes);
+    - anything else falls back to the whole array.
+
+    Spans are expressions: the save/restore machinery evaluates them
+    against the live environment, so a loop writing [a.(0..n-1)] of a
+    4096-element array saves [n] cells, not 4096. *)
+
+type region =
+  | Whole
+  | Cells of int list  (** Exact constant cells. *)
+  | Span of Types.expr * Types.expr
+      (** [Span (lo, hi)]: the half-open index interval [lo, hi). *)
+  | Union of region list
+      (** Several cell/span parts; possibly overlapping (overlap only
+          costs redundant copying, never correctness). *)
+
+val store_regions : Types.ts -> (Types.var * region) list
+(** Region per array that the section stores to (directly or via an
+    impure call, which forces [Whole] for every array). *)
+
+val region_of : (Types.var * region) list -> Types.var -> region
+(** Lookup with [Whole] default for unlisted arrays. *)
+
+val pointer_targets : Types.ts -> (Types.var, Types.var list) Hashtbl.t
+(** Flow-insensitive may-point-to sets over the structured body (declared
+    pointees plus every [PtrSet] target) — shared with {!Transform}. *)

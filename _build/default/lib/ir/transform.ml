@@ -1,0 +1,164 @@
+open Types
+
+(* ---------------- constant propagation ---------------- *)
+
+(* Scalars a statement list may write, through pointers included. *)
+let written_in ~targets stmts =
+  let acc = ref [] in
+  let add v = if not (List.mem v !acc) then acc := v :: !acc in
+  let rec go = function
+    | Assign (v, _) -> add v
+    | PtrStore (p, _) ->
+        List.iter add (Option.value ~default:[] (Hashtbl.find_opt targets p))
+    | Store _ | PtrSet _ | Nop -> ()
+    | Call f -> if not (is_pure_external f) then add "*"
+    | If (_, a, b) ->
+        List.iter go a;
+        List.iter go b
+    | For { index; body; _ } ->
+        add index;
+        List.iter go body
+    | While (_, body) -> List.iter go body
+  in
+  List.iter go stmts;
+  !acc
+
+module Env = Map.Make (String)
+
+let rec subst env e =
+  match e with
+  | Const _ -> e
+  | Var v -> ( match Env.find_opt v env with Some k -> Const k | None -> e)
+  | Index (a, i) -> Index (a, subst env i)
+  | Deref _ -> e
+  | Unop (op, e) -> Unop (op, subst env e)
+  | Binop (op, a, b) -> Binop (op, subst env a, subst env b)
+  | Cmp (op, a, b) -> Cmp (op, subst env a, subst env b)
+
+let fold env e = Expr.const_fold (subst env e)
+
+let const_propagate (ts : ts) =
+  let targets = Rangean.pointer_targets ts in
+  let kill_written env stmts =
+    let written = written_in ~targets stmts in
+    if List.mem "*" written then Env.empty
+    else List.fold_left (fun env v -> Env.remove v env) env written
+  in
+  let intersect a b =
+    Env.merge
+      (fun _ x y -> match (x, y) with Some x, Some y when x = y -> Some x | _ -> None)
+      a b
+  in
+  let rec go_stmt env = function
+    | Nop -> (Nop, env)
+    | Assign (x, e) -> (
+        let e' = fold env e in
+        match e' with
+        | Const k -> (Assign (x, e'), Env.add x k env)
+        | _ -> (Assign (x, e'), Env.remove x env))
+    | Store (a, i, e) -> (Store (a, fold env i, fold env e), env)
+    | PtrStore (p, e) ->
+        let env' =
+          List.fold_left (fun env v -> Env.remove v env)
+            env
+            (Option.value ~default:[] (Hashtbl.find_opt targets p))
+        in
+        (PtrStore (p, fold env e), env')
+    | PtrSet (p, v) -> (PtrSet (p, v), env)
+    | Call f -> (Call f, if is_pure_external f then env else Env.empty)
+    | If (c, a, b) ->
+        let c' = fold env c in
+        let a', env_a = go_block env a in
+        let b', env_b = go_block env b in
+        (If (c', a', b'), intersect env_a env_b)
+    | For { index; lo; hi; body } ->
+        let lo' = fold env lo and hi' = fold env hi in
+        (* anything the body (or the index) writes is unknown inside and
+           after the loop *)
+        let env_in = Env.remove index (kill_written env body) in
+        let body', _ = go_block env_in body in
+        (For { index; lo = lo'; hi = hi'; body = body' }, env_in)
+    | While (c, body) ->
+        let env_in = kill_written env body in
+        let body', _ = go_block env_in body in
+        (While (fold env_in c, body'), env_in)
+  and go_block env stmts =
+    let rev, env =
+      List.fold_left
+        (fun (acc, env) s ->
+          let s', env' = go_stmt env s in
+          (s' :: acc, env'))
+        ([], env) stmts
+    in
+    (List.rev rev, env)
+  in
+  let body, _ = go_block Env.empty ts.body in
+  { ts with body }
+
+(* ---------------- dead assignment elimination ---------------- *)
+
+(* Every scalar the section can read, anywhere: expression uses
+   (including subscripts and loop bounds), pointer names, and the
+   may-pointees of dereferenced pointers. *)
+let read_scalars (ts : ts) =
+  let targets = Rangean.pointer_targets ts in
+  let acc = ref [] in
+  let add v = if not (List.mem v !acc) then acc := v :: !acc in
+  let add_expr e =
+    List.iter add (Expr.scalar_uses e);
+    List.iter
+      (function
+        | Expr.Pointer_deref p ->
+            List.iter add (Option.value ~default:[] (Hashtbl.find_opt targets p))
+        | _ -> ())
+      (Expr.sources e)
+  in
+  let rec go = function
+    | Assign (_, e) -> add_expr e
+    | Store (_, i, e) ->
+        add_expr i;
+        add_expr e
+    | PtrStore (_, e) -> add_expr e
+    | PtrSet _ | Nop | Call _ -> ()
+    | If (c, a, b) ->
+        add_expr c;
+        List.iter go a;
+        List.iter go b
+    | For { lo; hi; body; _ } ->
+        add_expr lo;
+        add_expr hi;
+        List.iter go body
+    | While (c, body) ->
+        add_expr c;
+        List.iter go body
+  in
+  List.iter go ts.body;
+  !acc
+
+(* Dropping a statement must not drop observable faults: array and
+   pointer reads stay unless every subscript is a compile-time constant
+   (in-bounds checking is part of this IR's semantics). *)
+let rec side_effect_free e =
+  match e with
+  | Const _ | Var _ -> true
+  | Deref _ -> false
+  | Index (_, Const _) -> true
+  | Index (_, _) -> false
+  | Unop (_, e) -> side_effect_free e
+  | Binop (_, a, b) | Cmp (_, a, b) -> side_effect_free a && side_effect_free b
+
+let dead_assignment_elim (ts : ts) =
+  let read = read_scalars ts in
+  let is_param v = List.mem v ts.params in
+  let rec go_stmt = function
+    | Assign (x, e) when (not (is_param x)) && (not (List.mem x read)) && side_effect_free e
+      ->
+        Nop
+    | (Assign _ | Store _ | PtrStore _ | PtrSet _ | Call _ | Nop) as s -> s
+    | If (c, a, b) -> If (c, go_block a, go_block b)
+    | For f -> For { f with body = go_block f.body }
+    | While (c, body) -> While (c, go_block body)
+  and go_block stmts = List.map go_stmt stmts in
+  { ts with body = go_block ts.body }
+
+let optimize ts = dead_assignment_elim (const_propagate ts)

@@ -1,0 +1,31 @@
+(** Semantics-preserving IR transformations.
+
+    The PEAK system treats the backend compiler as a black box, but its
+    front end (built on Polaris in the authors' project) still rewrites
+    the extracted tuning sections.  These two classical scalar
+    transformations operate on the structured IR and are verified
+    against the interpreter: transformed sections must produce the same
+    observable state (arrays, pointer targets, and every scalar that is
+    ever read) and make the same control decisions.
+
+    They also serve the analyses: constant propagation turns derived
+    subscripts into the compile-time constants the region and context
+    analyses classify best. *)
+
+val const_propagate : Types.ts -> Types.ts
+(** Forward-propagate scalar constants and fold expressions.  Constant
+    bindings survive straight-line code; conditionals keep only the
+    bindings both arms agree on; loop bodies invalidate everything they
+    may write (including the loop index).  Pointer stores invalidate the
+    may-pointees; opaque calls invalidate everything. *)
+
+val dead_assignment_elim : Types.ts -> Types.ts
+(** Remove assignments to scalars that the section never reads anywhere
+    (syntactically) — including the assignment's own recomputation on
+    later iterations.  Assignments whose right-hand side reads arrays are
+    kept when the subscript could fault (bounds behaviour is observable
+    in this IR); constant-subscript and scalar-only right-hand sides are
+    safe to drop. *)
+
+val optimize : Types.ts -> Types.ts
+(** [dead_assignment_elim @@ const_propagate]. *)

@@ -1,0 +1,64 @@
+(** Abstract syntax of the mini IR.
+
+    Tuning sections (TS) — the code regions PEAK tunes — are written in
+    this small structured language: scalar and array expressions,
+    conditionals, counted and conditional loops, pointer reads through a
+    points-to environment, and opaque external calls.  It is deliberately
+    close to the level at which the paper's compiler analyses operate: the
+    context-variable analysis (Fig. 1), liveness for [Input(TS)], def
+    analysis for [Modified_Input(TS)], and basic-block counting for the
+    MBR time model all consume this IR after lowering to a CFG. *)
+
+type var = string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Min
+  | Max
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type unop = Neg | Not | Abs | Sqrt | Floor
+
+type expr =
+  | Const of float
+  | Var of var  (** Scalar read. *)
+  | Index of var * expr  (** Array element read [a.(e)]. *)
+  | Deref of var  (** Read through pointer [p]; the pointee is a scalar. *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cmp of cmpop * expr * expr  (** 1.0 when true, 0.0 when false. *)
+
+type stmt =
+  | Assign of var * expr  (** Scalar write. *)
+  | Store of var * expr * expr  (** Array write [a.(e1) <- e2]. *)
+  | PtrStore of var * expr  (** Write through pointer: [*p <- e]. *)
+  | PtrSet of var * var  (** Retarget pointer [p] at scalar [v]. *)
+  | If of expr * block * block
+  | For of { index : var; lo : expr; hi : expr; body : block }
+      (** [for index = lo to hi-1].  Bounds are evaluated on entry. *)
+  | While of expr * block
+  | Call of string  (** Opaque external call (side effects unknown). *)
+  | Nop
+
+and block = stmt list
+
+(** A tuning section: the unit PEAK extracts, versions, and rates. *)
+type ts = {
+  name : string;
+  params : var list;  (** Scalar inputs (function parameters / globals). *)
+  arrays : (var * int) list;  (** Array inputs with element counts. *)
+  pointers : (var * var) list;  (** Pointer inputs with initial pointee. *)
+  locals : var list;  (** Scalars defined before use inside the TS. *)
+  body : block;
+}
+
+(** Functions known to be side-effect free may appear in [Call] without
+    disqualifying the section from re-execution-based rating. *)
+let pure_externals = [ "sin"; "cos"; "log2"; "lookup_table" ]
+
+let is_pure_external name = List.mem name pure_externals

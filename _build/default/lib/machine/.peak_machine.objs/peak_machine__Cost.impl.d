@@ -1,0 +1,1 @@
+lib/machine/cost.ml: Float Machine Peak_ir

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: List String

@@ -1,0 +1,1 @@
+lib/machine/memsys.ml: Float List Machine Peak_util

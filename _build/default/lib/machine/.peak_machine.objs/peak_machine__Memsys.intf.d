@@ -1,0 +1,1 @@
+lib/machine/memsys.mli: Machine Peak_util

@@ -1,0 +1,1 @@
+lib/machine/noise.ml: Float Machine Peak_util Rng

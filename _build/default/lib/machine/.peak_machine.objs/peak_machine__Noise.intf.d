@@ -1,0 +1,1 @@
+lib/machine/noise.mli: Machine Peak_util

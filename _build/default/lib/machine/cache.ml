@@ -1,0 +1,77 @@
+type t = {
+  line_bytes : int;
+  n_sets : int;
+  assoc : int;
+  (* tags.(set).(way); -1 = invalid.  age.(set).(way): higher = more
+     recently used. *)
+  tags : int array array;
+  ages : int array array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type outcome = Hit | Miss
+
+let create ~size_bytes ~line_bytes ~assoc =
+  if size_bytes <= 0 || line_bytes <= 0 || assoc <= 0 then
+    invalid_arg "Cache.create: nonpositive parameter";
+  if size_bytes mod line_bytes <> 0 then invalid_arg "Cache.create: line must divide size";
+  let n_lines = size_bytes / line_bytes in
+  if n_lines mod assoc <> 0 then invalid_arg "Cache.create: assoc must divide line count";
+  let n_sets = n_lines / assoc in
+  {
+    line_bytes;
+    n_sets;
+    assoc;
+    tags = Array.init n_sets (fun _ -> Array.make assoc (-1));
+    ages = Array.init n_sets (fun _ -> Array.make assoc 0);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  if addr < 0 then invalid_arg "Cache.access: negative address";
+  t.clock <- t.clock + 1;
+  let line = addr / t.line_bytes in
+  let set = line mod t.n_sets in
+  let tag = line / t.n_sets in
+  let tags = t.tags.(set) and ages = t.ages.(set) in
+  let hit_way = ref (-1) in
+  for w = 0 to t.assoc - 1 do
+    if tags.(w) = tag then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    ages.(!hit_way) <- t.clock;
+    t.hits <- t.hits + 1;
+    Hit
+  end
+  else begin
+    (* victim: invalid way if any, else least recently used *)
+    let victim = ref 0 in
+    for w = 0 to t.assoc - 1 do
+      if tags.(w) = -1 && tags.(!victim) <> -1 then victim := w
+      else if tags.(w) <> -1 && tags.(!victim) <> -1 && ages.(w) < ages.(!victim) then victim := w
+    done;
+    tags.(!victim) <- tag;
+    ages.(!victim) <- t.clock;
+    t.misses <- t.misses + 1;
+    Miss
+  end
+
+let flush t =
+  Array.iter (fun set -> Array.fill set 0 (Array.length set) (-1)) t.tags
+
+let stats t = (t.hits, t.misses)
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let miss_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total
+
+let lines t = t.n_sets * t.assoc
+let sets t = t.n_sets

@@ -1,0 +1,31 @@
+(** Set-associative LRU cache simulator.
+
+    A faithful address-level cache used for two purposes: validating the
+    coarser residency model ({!Memsys}) that the invocation-granularity
+    cost model uses, and the RBR preconditioning ablation, where the
+    difference between a cold and a warmed cache is exactly what the
+    improved RBR method of Section 2.4.2 exists to cancel. *)
+
+type t
+
+val create : size_bytes:int -> line_bytes:int -> assoc:int -> t
+(** @raise Invalid_argument unless all parameters are positive, the line
+    size divides the total size, and the set count is at least one. *)
+
+type outcome = Hit | Miss
+
+val access : t -> int -> outcome
+(** Access the byte address; loads the line on miss and updates LRU. *)
+
+val flush : t -> unit
+
+val stats : t -> int * int
+(** (hits, misses) since creation or the last [reset_stats]. *)
+
+val reset_stats : t -> unit
+
+val miss_rate : t -> float
+(** Misses / accesses; 0 when no accesses. *)
+
+val lines : t -> int
+val sets : t -> int

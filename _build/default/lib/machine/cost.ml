@@ -1,0 +1,49 @@
+type workload = {
+  alu : float;
+  muldiv : float;
+  transcendental : float;
+  mem : float;
+  spill_mem : float;
+  branches : float;
+  mispredict_rate : float;
+  ilp : float;
+  overhead : float;
+}
+
+let zero =
+  {
+    alu = 0.0;
+    muldiv = 0.0;
+    transcendental = 0.0;
+    mem = 0.0;
+    spill_mem = 0.0;
+    branches = 0.0;
+    mispredict_rate = 0.0;
+    ilp = 1.0;
+    overhead = 0.0;
+  }
+
+let cycles (m : Machine.t) w =
+  let ilp = Float.max 1.0 (Float.min w.ilp (float_of_int m.issue_width)) in
+  let compute =
+    ((w.alu *. m.alu_cycles) +. (w.muldiv *. m.muldiv_cycles)
+    +. (w.transcendental *. m.transcendental_cycles))
+    /. ilp
+  in
+  let memory = (w.mem +. (2.0 *. w.spill_mem)) *. m.l1_hit_cycles in
+  let branch = w.branches *. (1.0 +. (w.mispredict_rate *. m.branch_penalty)) in
+  Float.max 0.01 (compute +. memory +. branch +. w.overhead)
+
+let of_features (b : Peak_ir.Features.block) =
+  {
+    alu = float_of_int b.alu;
+    muldiv = float_of_int b.muldiv;
+    transcendental = float_of_int b.transcendental;
+    mem = float_of_int (b.mem_read + b.mem_write);
+    spill_mem = 0.0;
+    branches = (if b.has_branch then 1.0 else 0.0);
+    mispredict_rate =
+      (if not b.has_branch then 0.0 else if b.is_loop_header then 0.03 else 0.18);
+    ilp = 1.0;
+    overhead = 0.5;
+  }

@@ -1,0 +1,32 @@
+(** Cycle pricing of optimized block workloads.
+
+    The compiler substrate lowers each basic block, under a given flag
+    configuration, to a {!workload}: dynamic operation mix per block
+    entry plus scheduling quality (ILP), branch predictability, and
+    register-spill traffic.  This module converts a workload into cycles
+    per block entry on a machine description.  Memory operations are
+    priced at the L1-hit latency; cache misses are charged separately per
+    invocation by {!Memsys}. *)
+
+type workload = {
+  alu : float;
+  muldiv : float;
+  transcendental : float;
+  mem : float;  (** Loads/stores per entry. *)
+  spill_mem : float;  (** Additional spill loads/stores per entry. *)
+  branches : float;  (** Conditional branches per entry (0 or 1 here). *)
+  mispredict_rate : float;
+  ilp : float;  (** Effective instruction-level parallelism, >= 1. *)
+  overhead : float;  (** Fixed per-entry cycles (call/loop bookkeeping). *)
+}
+
+val zero : workload
+
+val cycles : Machine.t -> workload -> float
+(** Cycles per block entry; always >= a small positive epsilon so that
+    timing ratios stay well-defined. *)
+
+val of_features : Peak_ir.Features.block -> workload
+(** Baseline (unoptimized) workload of a block: every static operation
+    executes, no spills, ILP 1, loop-header branches predict well and
+    data-dependent branches poorly. *)

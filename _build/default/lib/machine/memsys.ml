@@ -1,0 +1,86 @@
+type access = { base : string; bytes : int; touches : int }
+
+type entry = { name : string; mutable size : int; mutable stamp : int }
+
+type t = {
+  machine : Machine.t;
+  capacity : int;
+  rng : Peak_util.Rng.t option;
+  mutable entries : entry list;
+  mutable clock : int;
+}
+
+let create ?rng (machine : Machine.t) =
+  { machine; capacity = machine.l2_bytes; rng; entries = []; clock = 0 }
+
+let flush t = t.entries <- []
+
+let is_resident t name = List.exists (fun e -> e.name = name) t.entries
+
+let resident_bytes t = List.fold_left (fun acc e -> acc + e.size) 0 t.entries
+
+let evict_to_capacity t =
+  let rec go () =
+    if resident_bytes t > t.capacity then begin
+      match t.entries with
+      | [] -> ()
+      | _ ->
+          (* evict least recently stamped *)
+          let lru =
+            List.fold_left (fun acc e -> if e.stamp < acc.stamp then e else acc)
+              (List.hd t.entries) t.entries
+          in
+          t.entries <- List.filter (fun e -> e != lru) t.entries;
+          go ()
+    end
+  in
+  go ()
+
+let touch t (a : access) =
+  t.clock <- t.clock + 1;
+  let cached_bytes = min a.bytes t.capacity in
+  (match List.find_opt (fun e -> e.name = a.base) t.entries with
+  | Some e ->
+      e.stamp <- t.clock;
+      e.size <- max e.size cached_bytes
+  | None -> t.entries <- { name = a.base; size = cached_bytes; stamp = t.clock } :: t.entries);
+  evict_to_capacity t
+
+(* Miss lines charged for one invocation's traffic on one array. *)
+let miss_lines t (a : access) ~resident =
+  let line = t.machine.l2_line in
+  let lines_touched = max 1 ((a.bytes + line - 1) / line) in
+  let cold = if resident then 0.0 else float_of_int (min lines_touched a.touches) in
+  let capacity =
+    if a.bytes <= t.capacity then 0.0
+    else begin
+      (* each line holds line/8 elements; on a streaming pass over an
+         array larger than the cache, the uncached fraction of lines
+         misses on every revisit *)
+      let uncached_fraction = 1.0 -. (float_of_int t.capacity /. float_of_int a.bytes) in
+      let elems_per_line = float_of_int (line / 8) in
+      let base = float_of_int a.touches /. elems_per_line *. uncached_fraction in
+      match t.rng with
+      | None -> base
+      | Some rng ->
+          (* conflict placement varies run to run at this granularity *)
+          base *. Float.max 0.2 (Peak_util.Rng.gaussian rng ~mean:1.0 ~stddev:0.25)
+    end
+  in
+  cold +. capacity
+
+let charge t accesses =
+  let miss_cost = t.machine.mem_cycles -. t.machine.l1_hit_cycles in
+  List.fold_left
+    (fun acc a ->
+      if a.touches <= 0 || a.bytes <= 0 then acc
+      else begin
+        let resident = is_resident t a.base in
+        let cost = miss_lines t a ~resident *. miss_cost in
+        touch t a;
+        acc +. cost
+      end)
+    0.0 accesses
+
+let warm t accesses =
+  List.iter (fun a -> if a.touches > 0 && a.bytes > 0 then touch t a) accesses

@@ -1,0 +1,27 @@
+open Peak_util
+
+type t = { rng : Rng.t; sigma : float; spike_p : float }
+
+let create ~rng (machine : Machine.t) =
+  { rng; sigma = machine.noise_sigma; spike_p = machine.spike_probability }
+
+(* Relative jitter grows as sections shrink: timer granularity, pipeline
+   warmup and interference are fixed absolute costs, so a section of a
+   few hundred cycles measures far noisier than a long stencil sweep —
+   the paper's "small tuning sections exhibit more measurement
+   variation" (Section 5.1). *)
+let timer_floor = 25.0
+
+let effective_sigma t cycles =
+  t.sigma *. (1.0 +. (timer_floor /. sqrt (Float.max 1.0 cycles)))
+
+let spike_free t cycles =
+  let factor = Rng.gaussian t.rng ~mean:1.0 ~stddev:(effective_sigma t cycles) in
+  cycles *. Float.max 0.5 factor
+
+let apply t cycles =
+  let jittered = spike_free t cycles in
+  if Rng.float t.rng < t.spike_p then
+    (* interrupt-like perturbation: several times the section's own cost *)
+    jittered +. Rng.exponential t.rng ~rate:(1.0 /. (4.0 *. Float.max cycles 1.0))
+  else jittered

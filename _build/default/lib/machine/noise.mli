@@ -1,0 +1,24 @@
+(** Measurement-noise model.
+
+    Real timing measurements carry two kinds of perturbation the paper's
+    harness must survive: small multiplicative jitter (pipeline and
+    memory nondeterminism) and rare large additive spikes from
+    interrupts and other system activity — the "measurement outliers"
+    Section 3's rating engine detects and eliminates.  Both are injected
+    here, deterministically under the experiment seed. *)
+
+type t
+
+val create : rng:Peak_util.Rng.t -> Machine.t -> t
+
+val apply : t -> float -> float
+(** Perturb a cycle count.  The result is always positive and, absent a
+    spike, within a few σ of the input. *)
+
+val spike_free : t -> float -> float
+(** Jitter only, never a spike (used by tests that need bounded noise). *)
+
+val effective_sigma : t -> float -> float
+(** The relative jitter applied to a section of the given cycle count;
+    grows for short sections (timer-granularity floor), matching the
+    paper's observation that small tuning sections measure noisier. *)

@@ -1,0 +1,1 @@
+lib/util/regression.ml: Array Float Matrix Stats

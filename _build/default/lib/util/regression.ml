@@ -1,0 +1,83 @@
+type fit = {
+  coefficients : float array;
+  residual_ss : float;
+  total_ss : float;
+  var_ratio : float;
+  n_observations : int;
+}
+
+let fit ~counts ~times =
+  let n = Array.length times in
+  if n = 0 then invalid_arg "Regression.fit: no observations";
+  if Array.length counts <> n then invalid_arg "Regression.fit: counts/times length mismatch";
+  let k = Array.length counts.(0) in
+  if k = 0 then invalid_arg "Regression.fit: no components";
+  if n < k then invalid_arg "Regression.fit: fewer observations than components";
+  let a = Matrix.of_arrays counts in
+  let coefficients = Matrix.least_squares a times in
+  let residual_ss = ref 0.0 in
+  let total_ss = ref 0.0 in
+  for j = 0 to n - 1 do
+    let pred = ref 0.0 in
+    for i = 0 to k - 1 do
+      pred := !pred +. (coefficients.(i) *. counts.(j).(i))
+    done;
+    let r = times.(j) -. !pred in
+    residual_ss := !residual_ss +. (r *. r);
+    total_ss := !total_ss +. (times.(j) *. times.(j))
+  done;
+  let var_ratio = if !total_ss > 0.0 then !residual_ss /. !total_ss else 0.0 in
+  {
+    coefficients;
+    residual_ss = !residual_ss;
+    total_ss = !total_ss;
+    var_ratio;
+    n_observations = n;
+  }
+
+let predict f counts =
+  if Array.length counts <> Array.length f.coefficients then
+    invalid_arg "Regression.predict: component count mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i c -> acc := !acc +. (f.coefficients.(i) *. c)) counts;
+  !acc
+
+let linear_relation ?(tolerance = 1e-6) xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regression.linear_relation: length mismatch";
+  if n = 0 then invalid_arg "Regression.linear_relation: empty input";
+  if n = 1 then Some (0.0, ys.(0))
+  else begin
+    (* Find two observations with distinct x to fix alpha/beta, then check
+       all others.  If x is constant, y must be constant too. *)
+    let x0 = xs.(0) in
+    let distinct = ref None in
+    Array.iteri (fun i x -> if !distinct = None && x <> x0 then distinct := Some i) xs;
+    let scale = Array.fold_left (fun acc y -> Float.max acc (abs_float y)) 1.0 ys in
+    let close a b = abs_float (a -. b) <= tolerance *. Float.max scale 1.0 in
+    match !distinct with
+    | None ->
+        (* constant xs: linear iff ys constant *)
+        let y0 = ys.(0) in
+        if Array.for_all (fun y -> close y y0) ys then Some (0.0, y0) else None
+    | Some i ->
+        let alpha = (ys.(i) -. ys.(0)) /. (xs.(i) -. x0) in
+        let beta = ys.(0) -. (alpha *. x0) in
+        let ok = ref true in
+        Array.iteri (fun j x -> if not (close ys.(j) ((alpha *. x) +. beta)) then ok := false) xs;
+        if !ok then Some (alpha, beta) else None
+  end
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regression.pearson: length mismatch";
+  if n = 0 then invalid_arg "Regression.pearson: empty input";
+  let mx = Stats.mean xs and my = Stats.mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)

@@ -1,0 +1,49 @@
+(** Linear regression for the MBR execution-time model.
+
+    MBR solves [Y = T · C] (paper Eq. 3): each observation is one TS
+    invocation with time [y_j] and component counts [c_{i,j}]; the
+    unknowns are the per-component times [T_i].  The fit quality VAR is
+    reported as the ratio of the residual sum of squares to the total sum
+    of squares of the observed times (Section 3), i.e. [1 − R²] against a
+    zero baseline. *)
+
+type fit = {
+  coefficients : float array;  (** The component-time vector [T]. *)
+  residual_ss : float;  (** Sum of squared residuals of the fit. *)
+  total_ss : float;  (** Sum of squares of the observations. *)
+  var_ratio : float;  (** [residual_ss / total_ss]; the paper's MBR VAR. *)
+  n_observations : int;
+}
+
+val fit :
+  counts:float array array ->
+  times:float array ->
+  fit
+(** [fit ~counts ~times] solves the least-squares system where
+    [counts.(j)] is the component-count row of invocation [j] and
+    [times.(j)] its measured time.  Requires at least as many
+    observations as components and full column rank.
+    @raise Invalid_argument on shape mismatch or empty input.
+    @raise Failure on rank deficiency (e.g. a component whose count never
+    varies alongside the constant component). *)
+
+val predict : fit -> float array -> float
+(** [predict f counts] evaluates [Σ T_i · counts_i]. *)
+
+val linear_relation :
+  ?tolerance:float ->
+  float array ->
+  float array ->
+  (float * float) option
+(** [linear_relation xs ys] tests whether [ys_j = α·xs_j + β] holds for
+    every observation within a relative [tolerance] (default 1e-6),
+    returning [Some (α, β)] when it does.  This is the profile-time test
+    the MBR component analysis uses to merge two basic blocks whose entry
+    counts are linearly dependent across invocations (Section 2.3).
+    Constant [xs] with varying [ys] yields [None]; two constants are
+    related with [α = 0]. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; 0 when either side has zero
+    variance.  @raise Invalid_argument on length mismatch or empty
+    input. *)

@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: advance by the golden gamma and scramble. *)
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = int64 t in
+  { state = s }
+
+let float t =
+  (* 53 high bits -> [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for
+     bound << 2^62. *)
+  let v = Int64.to_int (int64 t) land max_int in
+  v mod bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let gaussian t ~mean ~stddev =
+  let rec draw () =
+    let u1 = float t in
+    if u1 <= 1e-300 then draw ()
+    else
+      let u2 = float t in
+      let r = sqrt (-2.0 *. log u1) in
+      mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+  in
+  draw ()
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  let rec draw () =
+    let u = float t in
+    if u <= 1e-300 then draw () else -.log u /. rate
+  in
+  draw ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,177 @@
+let ensure_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty input")
+
+let mean a =
+  ensure_nonempty "Stats.mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let mean_list = function
+  | [] -> invalid_arg "Stats.mean_list: empty input"
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let variance a =
+  ensure_nonempty "Stats.variance" a;
+  let n = Array.length a in
+  if n = 1 then 0.0
+  else begin
+    let m = mean a in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) a;
+    !acc /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  ensure_nonempty "Stats.median" a;
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let percentile a ~p =
+  ensure_nonempty "Stats.percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n = 1 then b.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+  end
+
+let mad a =
+  ensure_nonempty "Stats.mad" a;
+  let m = median a in
+  median (Array.map (fun x -> abs_float (x -. m)) a)
+
+let coefficient_of_variation a =
+  let m = mean a in
+  if m = 0.0 then 0.0 else stddev a /. m
+
+let geometric_mean a =
+  ensure_nonempty "Stats.geometric_mean" a;
+  Array.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geometric_mean: nonpositive element") a;
+  exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 a /. float_of_int (Array.length a))
+
+module Welford = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    let delta2 = x -. t.mean in
+    t.m2 <- t.m2 +. (delta *. delta2)
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+
+  let merge a b =
+    if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+    else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+      in
+      { n; mean; m2 }
+    end
+end
+
+let outlier_mask ?(k = 3.5) a =
+  ensure_nonempty "Stats.outlier_mask" a;
+  let n = Array.length a in
+  let m = median a in
+  let spread = 1.4826 *. mad a in
+  if spread <= 0.0 then Array.make n true
+  else begin
+    let mask = Array.map (fun x -> abs_float (x -. m) <= k *. spread) a in
+    let kept = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+    if kept * 2 >= n then mask
+    else begin
+      (* Pathological spread: retain the half closest to the median. *)
+      let idx = Array.init n (fun i -> i) in
+      Array.sort
+        (fun i j -> compare (abs_float (a.(i) -. m)) (abs_float (a.(j) -. m)))
+        idx;
+      let mask = Array.make n false in
+      let keep = (n + 1) / 2 in
+      for r = 0 to keep - 1 do
+        mask.(idx.(r)) <- true
+      done;
+      mask
+    end
+  end
+
+let drop_outliers ?k a =
+  let mask = outlier_mask ?k a in
+  let out = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    if mask.(i) then out := a.(i) :: !out
+  done;
+  Array.of_list !out
+
+let welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =
+  if n1 < 2 || n2 < 2 then (0.0, 1.0)
+  else begin
+    let s1 = var1 /. float_of_int n1 and s2 = var2 /. float_of_int n2 in
+    let se2 = s1 +. s2 in
+    if se2 <= 0.0 then if mean1 = mean2 then (0.0, 1.0) else (infinity, 1.0)
+    else begin
+      let t = (mean1 -. mean2) /. sqrt se2 in
+      let df =
+        se2 *. se2
+        /. ((s1 *. s1 /. float_of_int (n1 - 1)) +. (s2 *. s2 /. float_of_int (n2 - 1)))
+      in
+      (t, df)
+    end
+  end
+
+(* Two-sided 95% quantiles of Student's t, linearly interpolated. *)
+let t_table =
+  [|
+    (1.0, 12.706); (2.0, 4.303); (3.0, 3.182); (4.0, 2.776); (5.0, 2.571);
+    (6.0, 2.447); (7.0, 2.365); (8.0, 2.306); (9.0, 2.262); (10.0, 2.228);
+    (12.0, 2.179); (15.0, 2.131); (20.0, 2.086); (25.0, 2.060); (30.0, 2.042);
+    (40.0, 2.021); (60.0, 2.000); (120.0, 1.980); (1e9, 1.960);
+  |]
+
+let t_critical95 ~df =
+  let df = Float.max 1.0 df in
+  let n = Array.length t_table in
+  let rec find i =
+    if i >= n - 1 then snd t_table.(n - 1)
+    else begin
+      let d0, c0 = t_table.(i) and d1, c1 = t_table.(i + 1) in
+      if df <= d1 then c0 +. ((c1 -. c0) *. (df -. d0) /. (d1 -. d0)) else find (i + 1)
+    end
+  in
+  if df <= 1.0 then snd t_table.(0) else find 0
+
+let significantly_less ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =
+  let t, df = welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 in
+  t < -.t_critical95 ~df
+
+let windows a ~size =
+  if size <= 0 then invalid_arg "Stats.windows: size must be positive";
+  let n = Array.length a / size in
+  Array.init n (fun w -> Array.sub a (w * size) size)
+
+let normalize_by a ~base =
+  if base = 0.0 then invalid_arg "Stats.normalize_by: zero base";
+  Array.map (fun x -> x /. base) a

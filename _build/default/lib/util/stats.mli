@@ -1,0 +1,104 @@
+(** Descriptive statistics used by the rating harness.
+
+    The paper's rating methods reduce windows of noisy timing samples to a
+    rating EVAL and a confidence VAR (Section 3), identify and drop
+    measurement outliers caused by system perturbation, and iterate until
+    VAR falls under a threshold.  This module supplies those primitives. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singleton input.
+    @raise Invalid_argument on empty input. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val mean_list : float list -> float
+
+val median : float array -> float
+(** Median (average of middle two for even lengths); input is not
+    modified.  @raise Invalid_argument on empty input. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile a ~p] with [p] in [0,100], linear interpolation between
+    order statistics.  @raise Invalid_argument on empty input or [p]
+    outside the range. *)
+
+val mad : float array -> float
+(** Median absolute deviation (robust spread estimate). *)
+
+val coefficient_of_variation : float array -> float
+(** [stddev / mean]; 0 when the mean is 0. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean; requires all elements positive. *)
+
+(** {1 Streaming moments} *)
+
+module Welford : sig
+  (** Numerically stable streaming mean/variance (Welford's algorithm);
+      used where windows are consumed incrementally so the harness can
+      test convergence after every sample without rescanning. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+
+  (** Unbiased sample variance; 0 while fewer than two samples. *)
+
+  val stddev : t -> float
+  val merge : t -> t -> t
+  (** Combine two disjoint sample streams (Chan's parallel update). *)
+end
+
+(** {1 Outlier handling} *)
+
+val drop_outliers : ?k:float -> float array -> float array
+(** [drop_outliers ~k a] removes samples farther than [k] robust standard
+    deviations (1.4826·MAD) from the median — the paper's "measurements
+    far away from the average ... resulting from system perturbations".
+    Defaults to [k = 3.5].  If the MAD is zero (constant data) the input
+    is returned unchanged.  Always keeps at least half of the samples:
+    if the filter would drop more, the farthest-surviving ordering is
+    used to retain the closest half. *)
+
+val outlier_mask : ?k:float -> float array -> bool array
+(** Mask form of {!drop_outliers}: [true] marks a kept sample. *)
+
+(** {1 Significance testing} *)
+
+val welch_t_summary :
+  mean1:float -> var1:float -> n1:int -> mean2:float -> var2:float -> n2:int -> float * float
+(** Welch's t statistic and Welch–Satterthwaite degrees of freedom for
+    two independent samples given by their summary statistics.  Returns
+    [(0, 1)] when either sample has fewer than two points or both
+    variances are zero with equal means; equal means with zero variances
+    but different values yield [(infinity, ...)]. *)
+
+val t_critical95 : df:float -> float
+(** Two-sided 95% critical value of Student's t distribution,
+    interpolated from a standard table (exact at the tabulated points,
+    1.960 in the limit). *)
+
+val significantly_less :
+  mean1:float -> var1:float -> n1:int -> mean2:float -> var2:float -> n2:int -> bool
+(** One-sided test at 97.5%: is population 1's mean credibly below
+    population 2's?  (Used by the adaptive engine to swap versions only
+    on statistically real wins.) *)
+
+(** {1 Aggregation helpers} *)
+
+val windows : float array -> size:int -> float array array
+(** Split samples into consecutive disjoint windows of [size]; a trailing
+    partial window is discarded.  @raise Invalid_argument if
+    [size <= 0]. *)
+
+val normalize_by : float array -> base:float -> float array
+(** Pointwise division by [base].  @raise Invalid_argument if [base]
+    is 0. *)

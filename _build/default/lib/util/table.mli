@@ -1,0 +1,33 @@
+(** ASCII table rendering for experiment reports.
+
+    The bench harness prints paper-style tables (Table 1, Figure 7 series)
+    to stdout; this module handles column sizing and alignment so every
+    experiment's output is uniform and diffable. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> header:string list -> unit -> t
+(** New table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from the
+    header's. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : ?align:align list -> t -> string
+(** Render with box-drawing in plain ASCII.  [align] defaults to
+    left-aligning the first column and right-aligning the rest, the usual
+    layout for a label column followed by numeric columns. *)
+
+val print : ?align:align list -> t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper (default 2 decimals). *)
+
+val fmt_percent : ?decimals:int -> float -> string
+(** [fmt_percent 0.26] is ["26.0%"] with default decimals = 1. *)

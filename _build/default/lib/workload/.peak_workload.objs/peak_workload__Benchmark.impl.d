@@ -1,0 +1,1 @@
+lib/workload/benchmark.ml: Array Peak_ir Peak_util Trace

@@ -1,0 +1,1 @@
+lib/workload/benchmark.mli: Peak_ir Peak_util Trace

@@ -1,0 +1,1 @@
+lib/workload/fp_art.ml: Array Benchmark Builder Interp Peak_ir Peak_util Trace

@@ -1,0 +1,1 @@
+lib/workload/fp_mesa.ml: Array Benchmark Builder Interp Peak_ir Peak_util Trace

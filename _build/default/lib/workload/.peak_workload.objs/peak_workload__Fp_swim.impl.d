@@ -1,0 +1,1 @@
+lib/workload/fp_swim.ml: Benchmark Builder Interp List Peak_ir Peak_util Trace

@@ -1,0 +1,1 @@
+lib/workload/fp_wupwise.ml: Array Benchmark Builder Interp List Peak_ir Peak_util Trace

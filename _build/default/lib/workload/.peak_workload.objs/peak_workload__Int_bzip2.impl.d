@@ -1,0 +1,1 @@
+lib/workload/int_bzip2.ml: Array Benchmark Builder Float Interp Peak_ir Peak_util Trace

@@ -1,0 +1,1 @@
+lib/workload/int_vortex.ml: Array Benchmark Builder Interp Peak_ir Peak_util Trace

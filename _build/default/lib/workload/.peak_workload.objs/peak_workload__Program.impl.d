@@ -1,0 +1,1 @@
+lib/workload/program.ml: List Peak_ir Trace

@@ -1,0 +1,1 @@
+lib/workload/program.mli: Peak_ir Trace

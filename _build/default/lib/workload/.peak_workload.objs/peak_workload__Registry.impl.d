@@ -1,0 +1,1 @@
+lib/workload/registry.ml: Benchmark Fp_applu Fp_apsi Fp_art Fp_equake Fp_mesa Fp_mgrid Fp_swim Fp_wupwise Int_bzip2 Int_crafty Int_gzip Int_mcf Int_twolf Int_vortex List String

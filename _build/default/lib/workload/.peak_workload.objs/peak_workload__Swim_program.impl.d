@@ -1,0 +1,1 @@
+lib/workload/swim_program.ml: Benchmark Builder Fp_swim Interp List Peak_ir Peak_util Program Trace

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Peak_ir

@@ -1,0 +1,29 @@
+(** A SPEC-CPU-2000-like benchmark: one tuning section plus its
+    invocation behaviour.
+
+    Each benchmark module reproduces the structure of the paper's most
+    important tuning section for that SPEC code (Table 1): the same kind
+    of control structure (regular loop nests vs data-dependent
+    conditionals), the same context cardinality (one context, a few
+    recurring contexts, or effectively infinite), and an invocation count
+    scaled down from the paper's (the [scale] field records the factor). *)
+
+type kind = Integer | Floating_point
+
+type t = {
+  name : string;  (** Benchmark name, e.g. "SWIM". *)
+  ts_name : string;  (** Tuning-section name, e.g. "calc3". *)
+  kind : kind;
+  ts : Peak_ir.Types.ts;
+  paper_invocations : string;  (** Table 1's invocation count, verbatim. *)
+  paper_method : string;  (** Table 1's chosen rating approach. *)
+  scale : string;  (** Invocation-count scaling vs the paper. *)
+  time_share : float;  (** TS share of whole-program time, in (0,1]. *)
+  trace : Trace.dataset -> seed:int -> Trace.t;
+}
+
+val kind_name : kind -> string
+
+val fill_random : Peak_util.Rng.t -> float -> float -> float array -> unit
+(** [fill_random rng lo hi arr]: reproducible uniform fill in [lo, hi)
+    (shared helper for trace initializers). *)

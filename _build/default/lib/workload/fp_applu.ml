@@ -1,0 +1,64 @@
+(** APPLU's [blts] tuning section.
+
+    The block-lower-triangular solve of the SSOR sweep: a regular triple
+    loop nest over a fixed-size grid, invoked with identical bounds every
+    time — one context, CBR-friendly, 250 invocations per train run
+    (Table 1). *)
+
+open Peak_ir
+module B = Builder
+module R = Peak_util.Rng
+
+let n = 10
+let n2 = n * n
+let size = n * n * n
+
+let ts =
+  B.ts ~name:"blts" ~params:[ "n"; "omega" ]
+    ~arrays:[ ("rsd", size); ("a", size); ("b", size); ("c2", size) ]
+    ~locals:[ "i"; "j"; "k"; "t" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 1) ~hi:(v "n")
+          [
+            for_ "j" ~lo:(ci 1) ~hi:(v "n")
+              [
+                for_ "k" ~lo:(ci 1) ~hi:(v "n")
+                  [
+                    "t" := (((v "i" * ci n) + v "j") * ci n) + v "k";
+                    store "rsd" (v "t")
+                      (idx "rsd" (v "t")
+                      - (v "omega"
+                        * ((idx "a" (v "t") * idx "rsd" (v "t" - ci 1))
+                          + (idx "b" (v "t") * idx "rsd" (v "t" - ci n))
+                          + (idx "c2" (v "t") * idx "rsd" (v "t" - ci n2)))));
+                  ];
+              ];
+          ];
+      ]
+
+let trace dataset ~seed =
+  let length = Trace.scaled_length dataset 250 in
+  let rng = R.create ~seed in
+  let init env =
+    let rng = R.copy rng in
+    Interp.set_scalar env "n" (float_of_int n);
+    Interp.set_scalar env "omega" 1.2;
+    List.iter
+      (fun a -> Benchmark.fill_random rng (-0.5) 0.5 (Interp.get_array env a))
+      [ "rsd"; "a"; "b"; "c2" ]
+  in
+  Trace.make ~name:"applu" ~length ~init ~class_of:(fun _ -> 0) (fun _ _ -> ())
+
+let benchmark =
+  {
+    Benchmark.name = "APPLU";
+    ts_name = "blts";
+    kind = Benchmark.Floating_point;
+    ts;
+    paper_invocations = "250";
+    paper_method = "CBR";
+    scale = "1/1";
+    time_share = 0.40;
+    trace;
+  }

@@ -1,0 +1,83 @@
+(** EQUAKE's [smvp] tuning section.
+
+    Sparse matrix-vector product over the earthquake simulation's fixed
+    mesh.  The loop bounds come from the sparse structure arrays, which
+    never change during the run: after the run-time-constant check they
+    drop out of the context set, leaving a single context (the paper's
+    CBR row for EQUAKE).  The matrix is sized past the simulated L2
+    capacities so the irregular gather keeps producing cache misses —
+    the source of EQUAKE's comparatively high rating variation noted in
+    Section 5.1. *)
+
+open Peak_ir
+module B = Builder
+module R = Peak_util.Rng
+
+let rows = 256
+let nnz = 160_000
+
+let ts =
+  (* the real Anext is a small block matrix: two value streams share the
+     column structure *)
+  B.ts ~name:"smvp" ~params:[ "rows" ]
+    ~arrays:
+      [
+        ("amat", nnz); ("amat2", nnz); ("col", nnz); ("rowstart", rows + 1); ("x", rows);
+        ("x2", rows); ("w", rows); ("w2", rows);
+      ]
+    ~locals:[ "i"; "j"; "acc"; "acc2" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 0) ~hi:(v "rows")
+          [
+            "acc" := c 0.0;
+            "acc2" := c 0.0;
+            for_ "j" ~lo:(idx "rowstart" (v "i")) ~hi:(idx "rowstart" (v "i" + ci 1))
+              [
+                "acc" := v "acc" + (idx "amat" (v "j") * idx "x" (idx "col" (v "j")));
+                "acc2" := v "acc2" + (idx "amat2" (v "j") * idx "x2" (idx "col" (v "j")));
+              ];
+            store "w" (v "i") (v "acc");
+            store "w2" (v "i") (v "acc2");
+          ];
+      ]
+
+let trace dataset ~seed =
+  let length = Trace.scaled_length dataset 2709 in
+  let rng = R.create ~seed in
+  let init env =
+    let rng = R.copy rng in
+    let rowstart = Interp.get_array env "rowstart" in
+    (* random row lengths normalized to sum to nnz *)
+    let weights = Array.init rows (fun _ -> 0.2 +. R.float rng) in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let acc = ref 0 in
+    rowstart.(0) <- 0.0;
+    for i = 0 to rows - 1 do
+      let len = int_of_float (weights.(i) /. total *. float_of_int nnz) in
+      acc := min nnz (!acc + len);
+      rowstart.(i + 1) <- float_of_int !acc
+    done;
+    rowstart.(rows) <- float_of_int nnz;
+    Benchmark.fill_random rng (-1.0) 1.0 (Interp.get_array env "amat");
+    Benchmark.fill_random rng (-1.0) 1.0 (Interp.get_array env "amat2");
+    Benchmark.fill_random rng 0.0 1.0 (Interp.get_array env "x");
+    Benchmark.fill_random rng 0.0 1.0 (Interp.get_array env "x2");
+    let col = Interp.get_array env "col" in
+    Array.iteri (fun i _ -> col.(i) <- float_of_int (R.int rng rows)) col;
+    Interp.set_scalar env "rows" (float_of_int rows)
+  in
+  Trace.make ~name:"equake" ~length ~init ~class_of:(fun _ -> 0) (fun _ _ -> ())
+
+let benchmark =
+  {
+    Benchmark.name = "EQUAKE";
+    ts_name = "smvp";
+    kind = Benchmark.Floating_point;
+    ts;
+    paper_invocations = "2709";
+    paper_method = "CBR";
+    scale = "1/1";
+    time_share = 0.70;
+    trace;
+  }

@@ -1,0 +1,72 @@
+(** SWIM's [calc3] tuning section.
+
+    A 2D finite-difference time-stepping stencil over three field arrays.
+    Structure from the paper's Table 1: 198 invocations per train run,
+    every invocation with the same grid size — a single context, making
+    this the cleanest CBR case. *)
+
+open Peak_ir
+module B = Builder
+module R = Peak_util.Rng
+
+let n = 32
+let stride = n + 2
+let size = stride * stride
+
+let stencil field out =
+  B.(
+    store out (v "t")
+      (idx field (v "t")
+      + (v "alpha"
+        * (idx field (v "t" - ci 1)
+          + idx field (v "t" + ci 1)
+          + idx field (v "t" - ci stride)
+          + idx field (v "t" + ci stride)
+          - (c 4.0 * idx field (v "t"))))))
+
+let ts =
+  B.ts ~name:"calc3" ~params:[ "n"; "alpha" ]
+    ~arrays:
+      [
+        ("u", size); ("v", size); ("p", size); ("unew", size); ("vnew", size); ("pnew", size);
+      ]
+    ~locals:[ "i"; "j"; "t" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 1) ~hi:(v "n" + ci 1)
+          [
+            for_ "j" ~lo:(ci 1) ~hi:(v "n" + ci 1)
+              [
+                "t" := (v "i" * ci stride) + v "j";
+                stencil "u" "unew";
+                stencil "v" "vnew";
+                stencil "p" "pnew";
+              ];
+          ];
+      ]
+
+let trace dataset ~seed =
+  let length = Trace.scaled_length dataset 198 in
+  let rng = R.create ~seed in
+  let init env =
+    let rng = R.copy rng in
+    Interp.set_scalar env "n" (float_of_int n);
+    Interp.set_scalar env "alpha" 0.1;
+    List.iter
+      (fun a -> Benchmark.fill_random rng 0.0 1.0 (Interp.get_array env a))
+      [ "u"; "v"; "p" ]
+  in
+  Trace.make ~name:"swim" ~length ~init ~class_of:(fun _ -> 0) (fun _ _ -> ())
+
+let benchmark =
+  {
+    Benchmark.name = "SWIM";
+    ts_name = "calc3";
+    kind = Benchmark.Floating_point;
+    ts;
+    paper_invocations = "198";
+    paper_method = "CBR";
+    scale = "1/1";
+    time_share = 0.85;
+    trace;
+  }

@@ -1,0 +1,26 @@
+(** Whole programs: several candidate tuning sections plus serial code.
+
+    Section 4.1 of the paper: "the application to be tuned is partitioned
+    by a static compiler into a number of code sections, called tuning
+    sections", chosen as "the most time-consuming functions and loops,
+    according to the program execution profiles".  A [Program.t] is the
+    unit that partitioning operates on: each candidate section carries
+    its own IR and invocation trace, and [serial_fraction] is the portion
+    of program time outside every candidate (I/O, glue code) that no
+    tuning can touch. *)
+
+type section = {
+  name : string;
+  ts : Peak_ir.Types.ts;
+  trace : Trace.dataset -> seed:int -> Trace.t;
+}
+
+type t = {
+  name : string;
+  sections : section list;
+  serial_fraction : float;  (** In [0, 1): time share outside all sections. *)
+}
+
+let section_names p = List.map (fun (s : section) -> s.name) p.sections
+
+let find_section p name = List.find_opt (fun (s : section) -> s.name = name) p.sections

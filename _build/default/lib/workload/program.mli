@@ -1,0 +1,22 @@
+(** Whole programs: several candidate tuning sections plus serial code.
+
+    Section 4.1 of the paper: "the application to be tuned is partitioned
+    by a static compiler into a number of code sections, called tuning
+    sections", chosen as "the most time-consuming functions and loops,
+    according to the program execution profiles".  A [Program.t] is the
+    unit {!Peak.Partitioner} operates on. *)
+
+type section = {
+  name : string;
+  ts : Peak_ir.Types.ts;
+  trace : Trace.dataset -> seed:int -> Trace.t;
+}
+
+type t = {
+  name : string;
+  sections : section list;
+  serial_fraction : float;  (** In [0, 1): time share outside all sections. *)
+}
+
+val section_names : t -> string list
+val find_section : t -> string -> section option

@@ -1,0 +1,94 @@
+(** SWIM as a whole program: its three time-stepping routines.
+
+    The real SPEC swim spends nearly all its time in [calc1] (compute new
+    velocity fields), [calc2] (new height field) and [calc3] (time
+    smoothing); the paper's experiments tune only the top section, but
+    the partitioning machinery of Section 4.1 is about programs like this
+    one.  Each routine is a 2D stencil over the same fields with a
+    different operation mix, all invoked once per time step. *)
+
+open Peak_ir
+module B = Builder
+module R = Peak_util.Rng
+
+let n = Fp_swim.n
+let stride = Fp_swim.stride
+let size = Fp_swim.size
+
+let steps = 198
+
+let fields = [ ("u", size); ("v", size); ("p", size); ("unew", size); ("vnew", size); ("pnew", size) ]
+
+(* calc1: compute the new velocity fields from pressure gradients —
+   multiply-heavy with cross-derivative reads. *)
+let calc1_ts =
+  B.ts ~name:"calc1" ~params:[ "n"; "dtdx" ] ~arrays:fields ~locals:[ "i"; "j"; "t" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 1) ~hi:(v "n" + ci 1)
+          [
+            for_ "j" ~lo:(ci 1) ~hi:(v "n" + ci 1)
+              [
+                "t" := (v "i" * ci stride) + v "j";
+                store "unew" (v "t")
+                  (idx "u" (v "t")
+                  - (v "dtdx"
+                    * (idx "p" (v "t" + ci 1) - idx "p" (v "t"))
+                    * (idx "v" (v "t") + idx "v" (v "t" + ci stride))));
+                store "vnew" (v "t")
+                  (idx "v" (v "t")
+                  - (v "dtdx"
+                    * (idx "p" (v "t" + ci stride) - idx "p" (v "t"))
+                    * (idx "u" (v "t") + idx "u" (v "t" + ci 1))));
+              ];
+          ];
+      ]
+
+(* calc2: the new height field from velocity divergence. *)
+let calc2_ts =
+  B.ts ~name:"calc2" ~params:[ "n"; "dtdx" ] ~arrays:fields ~locals:[ "i"; "j"; "t" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 1) ~hi:(v "n" + ci 1)
+          [
+            for_ "j" ~lo:(ci 1) ~hi:(v "n" + ci 1)
+              [
+                "t" := (v "i" * ci stride) + v "j";
+                store "pnew" (v "t")
+                  (idx "p" (v "t")
+                  - (v "dtdx"
+                    * (idx "u" (v "t" + ci 1) - idx "u" (v "t" - ci 1)
+                      + idx "v" (v "t" + ci stride)
+                      - idx "v" (v "t" - ci stride))));
+              ];
+          ];
+      ]
+
+let stencil_trace ~name ~seed_salt dataset ~seed =
+  let length = Trace.scaled_length dataset steps in
+  let rng = R.create ~seed:(seed + seed_salt) in
+  let init env =
+    let rng = R.copy rng in
+    Interp.set_scalar env "n" (float_of_int n);
+    Interp.set_scalar env "dtdx" 0.05;
+    List.iter
+      (fun (a, _) -> Benchmark.fill_random rng 0.0 1.0 (Interp.get_array env a))
+      fields
+  in
+  Trace.make ~name ~length ~init ~class_of:(fun _ -> 0) (fun _ _ -> ())
+
+let program =
+  {
+    Program.name = "SWIM";
+    sections =
+      [
+        { Program.name = "calc1"; ts = calc1_ts; trace = stencil_trace ~name:"swim.calc1" ~seed_salt:11 };
+        { Program.name = "calc2"; ts = calc2_ts; trace = stencil_trace ~name:"swim.calc2" ~seed_salt:22 };
+        {
+          Program.name = "calc3";
+          ts = Fp_swim.ts;
+          trace = (fun dataset ~seed -> Fp_swim.trace dataset ~seed);
+        };
+      ];
+    serial_fraction = 0.08;
+  }

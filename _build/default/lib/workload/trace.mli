@@ -1,0 +1,47 @@
+(** Invocation traces.
+
+    A trace is one program run's worth of tuning-section invocations: an
+    initializer that fills the environment once (program startup), and a
+    per-invocation setup that writes the values the enclosing program
+    would have computed before calling the TS — the invocation's
+    {e context}.  Traces are deterministic in their seed.
+
+    [classes]: when the trace knows that two invocations present exactly
+    the same workload (same context, hence same block counts), it labels
+    them with the same class id, enabling the execution harness to reuse
+    interpreter results.  Irregular traces have no class function.
+
+    [mutated_arrays]: arrays the {e setup} rewrites between invocations.
+    The context analysis uses this to decide whether an array that
+    influences control flow is a run-time constant (fixed problem
+    structure, as in EQUAKE's sparse matrix) or genuinely varying input
+    (as in MCF's arc costs). *)
+
+type t = {
+  name : string;
+  length : int;
+  init : Peak_ir.Interp.env -> unit;
+  setup : int -> Peak_ir.Interp.env -> unit;
+  class_of : (int -> int) option;
+  mutated_arrays : string list;
+}
+
+type dataset = Train | Ref
+
+val dataset_name : dataset -> string
+
+val make :
+  name:string ->
+  length:int ->
+  ?init:(Peak_ir.Interp.env -> unit) ->
+  ?class_of:(int -> int) ->
+  ?mutated_arrays:string list ->
+  (int -> Peak_ir.Interp.env -> unit) ->
+  t
+(** [make ~name ~length setup] builds a trace; [init] defaults to a
+    no-op. *)
+
+val scaled_length : dataset -> int -> int
+(** Ref runs are three times the train length (the ref data sets of SPEC
+    run substantially longer; the factor only needs to preserve the
+    paper's "ref rates more versions per run" observation). *)

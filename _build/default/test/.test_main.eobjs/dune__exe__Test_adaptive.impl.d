@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Adaptive Alcotest Benchmark Flags List Machine Optconfig Option Peak Peak_compiler Peak_machine Peak_workload Registry Trace Tsection

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Builder Cfg Effects Features Flags List Machine Optconfig Peak_compiler Peak_ir Peak_machine Printf QCheck QCheck_alcotest Version

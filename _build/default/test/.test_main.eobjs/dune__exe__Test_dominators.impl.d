@@ -1,0 +1,1 @@
+test/test_dominators.ml: Alcotest Array Benchmark Builder Cfg Dominators List Peak_ir Peak_workload Printf Registry

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Benchmark Builder Consultant Instrument List Machine Option Peak Peak_ir Peak_machine Peak_workload Pretty Profile Registry String Trace Tsection

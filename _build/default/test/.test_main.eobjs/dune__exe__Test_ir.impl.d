@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Cfg Defuse Expr Features Float Interp List Liveness Loc Peak_ir Pointsto QCheck QCheck_alcotest Rangean Types

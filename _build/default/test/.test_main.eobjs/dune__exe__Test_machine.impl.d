@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cache Cost List Machine Memsys Noise Peak_machine Peak_util Printf QCheck QCheck_alcotest Rng Stats

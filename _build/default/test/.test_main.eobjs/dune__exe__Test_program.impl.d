@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Float List Machine Partitioner Peak Peak_machine Peak_workload Program Swim_program Trace

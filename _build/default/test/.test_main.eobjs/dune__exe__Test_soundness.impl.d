@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Array Benchmark Builder Hashtbl Interp List Liveness Loc Peak Peak_ir Peak_util Peak_workload QCheck QCheck_alcotest Registry Snapshot Trace Tsection Types

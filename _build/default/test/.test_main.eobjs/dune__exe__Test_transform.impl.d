@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Benchmark Builder Cfg Expr Hashtbl Interp List Peak_ir Peak_workload QCheck QCheck_alcotest Registry Trace Transform Types

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen List Matrix Peak_util QCheck QCheck_alcotest Regression Rng Stats String Table

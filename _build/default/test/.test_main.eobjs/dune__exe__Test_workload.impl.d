@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Benchmark Cfg Hashtbl Interp List Option Peak_ir Peak_workload Printf QCheck QCheck_alcotest Registry Trace Types

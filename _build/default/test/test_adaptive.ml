@@ -1,0 +1,88 @@
+(* Tests for the online/adaptive tuning engine. *)
+
+open Peak_machine
+open Peak_compiler
+open Peak_workload
+open Peak
+
+let flag n = Option.get (Flags.by_name n)
+let bench n = Option.get (Registry.by_name n)
+
+let make ?(machine = Machine.pentium4) ?(candidates = []) ?seed ?window ?compile_latency name =
+  let b = bench name in
+  let tsec = Tsection.make b.Benchmark.ts in
+  let trace = b.Benchmark.trace Trace.Train ~seed:3 in
+  Adaptive.create ?seed ?window ?compile_latency tsec trace machine ~candidates
+
+let good_candidates =
+  [
+    Optconfig.disable Optconfig.o3 (flag "schedule-insns");
+    Optconfig.disable Optconfig.o3 (flag "force-mem");
+  ]
+
+let test_adaptive_beats_o3_when_candidates_help () =
+  let a = make ~candidates:good_candidates "MGRID" in
+  let s = Adaptive.run a ~invocations:2410 in
+  Alcotest.(check bool) "adaptive beats O3" true (s.Adaptive.total_cycles < s.Adaptive.o3_cycles);
+  Alcotest.(check bool) "oracle is the floor" true
+    (s.Adaptive.oracle_cycles <= s.Adaptive.total_cycles +. 1e-6);
+  Alcotest.(check bool) "swaps occurred" true (s.Adaptive.swaps > 0)
+
+let test_adaptive_no_candidates_is_o3 () =
+  let a = make ~candidates:[] "MGRID" in
+  let s = Adaptive.run a ~invocations:500 in
+  Alcotest.(check (float 1e-6)) "equals O3 exactly" s.Adaptive.o3_cycles s.Adaptive.total_cycles;
+  Alcotest.(check int) "no swaps" 0 s.Adaptive.swaps
+
+let test_adaptive_contexts_discovered () =
+  let a = make ~candidates:good_candidates "MGRID" in
+  let s = Adaptive.run a ~invocations:1000 in
+  Alcotest.(check int) "five grid levels" 5 s.Adaptive.contexts_seen;
+  Alcotest.(check int) "one choice per context" 5 (List.length s.Adaptive.choices)
+
+let test_adaptive_harmful_candidate_rejected () =
+  (* O0 is far worse than O3: the engine must sample it briefly and keep
+     O3 as the best everywhere *)
+  let a = make ~candidates:[ Optconfig.o0 ] "SWIM" ~machine:Machine.sparc2 in
+  let s = Adaptive.run a ~invocations:600 in
+  List.iter
+    (fun (_, cfg) -> Alcotest.(check bool) "kept O3" true (Optconfig.equal cfg Optconfig.o3))
+    s.Adaptive.choices;
+  (* the exploration cost is bounded by roughly a window of O0 runs *)
+  Alcotest.(check bool) "exploration cost bounded" true
+    (s.Adaptive.total_cycles < 1.25 *. s.Adaptive.o3_cycles)
+
+let test_adaptive_compile_latency_delays_experiments () =
+  let run latency =
+    let a =
+      make ~candidates:good_candidates ~compile_latency:latency ~window:8 "MGRID"
+    in
+    Adaptive.run a ~invocations:400
+  in
+  let fast = run 0 in
+  let slow = run 350 in
+  Alcotest.(check bool) "long compiles mean fewer/no swaps" true
+    (slow.Adaptive.swaps <= fast.Adaptive.swaps);
+  Alcotest.(check bool) "long compiles keep the run near O3" true
+    (slow.Adaptive.total_cycles >= fast.Adaptive.total_cycles -. 1e-6)
+
+let test_adaptive_single_context_section () =
+  (* SWIM has one context: the engine degenerates to global sampling *)
+  let a = make ~candidates:good_candidates "SWIM" ~machine:Machine.pentium4 in
+  let s = Adaptive.run a ~invocations:400 in
+  Alcotest.(check int) "one context" 1 s.Adaptive.contexts_seen;
+  Alcotest.(check bool) "still beats O3" true (s.Adaptive.total_cycles < s.Adaptive.o3_cycles)
+
+let suites =
+  [
+    ( "core.adaptive",
+      [
+        Alcotest.test_case "beats O3" `Quick test_adaptive_beats_o3_when_candidates_help;
+        Alcotest.test_case "no candidates = O3" `Quick test_adaptive_no_candidates_is_o3;
+        Alcotest.test_case "contexts discovered" `Quick test_adaptive_contexts_discovered;
+        Alcotest.test_case "harmful candidate rejected" `Quick
+          test_adaptive_harmful_candidate_rejected;
+        Alcotest.test_case "compile latency" `Quick test_adaptive_compile_latency_delays_experiments;
+        Alcotest.test_case "single context" `Quick test_adaptive_single_context_section;
+      ] );
+  ]

@@ -1,0 +1,352 @@
+(* Tests for the compiler substrate: flags, configurations, effects. *)
+
+open Peak_ir
+open Peak_machine
+open Peak_compiler
+module B = Builder
+
+let flag name =
+  match Flags.by_name name with
+  | Some f -> f
+  | None -> Alcotest.failf "unknown flag %s" name
+
+(* A numeric kernel with redundancy, aliasing ambiguity, and a loop. *)
+let kernel_ts =
+  B.ts ~name:"kernel" ~params:[ "n" ] ~arrays:[ ("a", 512); ("b", 512); ("c", 512) ]
+    ~locals:[ "i"; "t" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 0) ~hi:(v "n")
+          [
+            "t" := (idx "a" (v "i") * idx "b" (v "i")) + (idx "a" (v "i") * idx "b" (v "i"));
+            store "c" (v "i") (v "t" + (v "t" * v "t"));
+          ];
+      ]
+
+(* An ART-like pointer-heavy kernel: the strict-aliasing pressure story
+   of Section 5.2 needs C-style pointer ambiguity. *)
+let pointer_ts =
+  B.ts ~name:"artlike" ~params:[ "n" ] ~arrays:[ ("w", 1024) ]
+    ~pointers:[ ("p", "x"); ("q", "y") ]
+    ~locals:[ "i"; "acc"; "x"; "y" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 0) ~hi:(v "n")
+          [
+            "acc" := v "acc" + (deref "p" * idx "w" (v "i")) + (deref "q" * c 1.5);
+            ptr_store "p" (deref "p" + c 0.5);
+          ];
+      ]
+
+(* A branchy integer kernel with an unpredictable data-dependent branch. *)
+let branchy_ts =
+  B.ts ~name:"branchy" ~params:[ "n" ] ~arrays:[ ("a", 512) ] ~locals:[ "i"; "s" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 0) ~hi:(v "n")
+          [
+            if_
+              (idx "a" (v "i") > c 0.0)
+              [ "s" := v "s" + ci 1 ]
+              [ "s" := v "s" - ci 1 ];
+          ];
+      ]
+
+let features ts = Features.of_cfg (Cfg.of_ts ts)
+
+let total_cycles machine ts config counts_weight =
+  let f = features ts in
+  let v = Version.compile machine f config in
+  (* weight loop-depth>0 blocks heavily to mimic a hot loop *)
+  let counts =
+    Array.map
+      (fun b -> if b.Features.loop_depth > 0 || b.Features.is_loop_header then counts_weight else 1)
+      f.blocks
+  in
+  Version.invocation_cycles v ~counts
+
+(* ------------------------------------------------------------------ *)
+(* Flags / Optconfig                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_flag_count () = Alcotest.(check int) "38 flags" 38 Flags.count
+
+let test_flag_lookup () =
+  Alcotest.(check bool) "strict-aliasing exists" true (Flags.by_name "strict-aliasing" <> None);
+  Alcotest.(check bool) "unknown flag" true (Flags.by_name "funroll-everything" = None);
+  Alcotest.(check string) "gcc name" "-fgcse" (Flags.gcc_name (flag "gcse"))
+
+let test_flag_levels () =
+  Alcotest.(check int) "inline-functions is O3" 3 (flag "inline-functions").Flags.level;
+  Alcotest.(check int) "gcse is O2" 2 (flag "gcse").Flags.level;
+  Alcotest.(check int) "if-conversion is O1" 1 (flag "if-conversion").Flags.level
+
+let test_optconfig_basics () =
+  Alcotest.(check int) "o3 has all" 38 (Optconfig.cardinal Optconfig.o3);
+  Alcotest.(check int) "o0 has none" 0 (Optconfig.cardinal Optconfig.o0);
+  let f = flag "gcse" in
+  let c = Optconfig.disable Optconfig.o3 f in
+  Alcotest.(check bool) "disabled" false (Optconfig.is_enabled c f);
+  Alcotest.(check int) "37 left" 37 (Optconfig.cardinal c);
+  let c2 = Optconfig.enable c f in
+  Alcotest.(check bool) "round trip" true (Optconfig.equal c2 Optconfig.o3);
+  Alcotest.(check bool) "toggle" true
+    (Optconfig.equal (Optconfig.toggle (Optconfig.toggle c f) f) c)
+
+let test_optconfig_of_names () =
+  let c = Optconfig.of_names [ "gcse"; "strict-aliasing" ] in
+  Alcotest.(check int) "two" 2 (Optconfig.cardinal c);
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Optconfig.of_names [ "nope" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_optconfig_levels () =
+  Alcotest.(check bool) "o_level 0 = o0" true (Optconfig.equal (Optconfig.o_level 0) Optconfig.o0);
+  Alcotest.(check bool) "o_level 3 = o3" true (Optconfig.equal (Optconfig.o_level 3) Optconfig.o3);
+  Alcotest.(check int) "O1 has the ten -O1 flags" 10 (Optconfig.cardinal (Optconfig.o_level 1));
+  Alcotest.(check int) "O2 has 36 flags" 36 (Optconfig.cardinal (Optconfig.o_level 2));
+  Alcotest.(check bool) "O2 excludes inline-functions" false
+    (Optconfig.is_enabled (Optconfig.o_level 2) (flag "inline-functions"));
+  Alcotest.(check bool) "invalid level" true
+    (try
+       ignore (Optconfig.o_level 4);
+       false
+     with Invalid_argument _ -> true);
+  (* the levels order costs sensibly on a numeric kernel *)
+  let cost k = total_cycles Machine.sparc2 kernel_ts (Optconfig.o_level k) 100 in
+  Alcotest.(check bool) "O1 between O0 and O3" true (cost 1 < cost 0 && cost 3 <= cost 1)
+
+let test_optconfig_of_string_roundtrip () =
+  let check c =
+    Alcotest.(check bool)
+      ("roundtrip " ^ Optconfig.to_string c)
+      true
+      (Optconfig.equal (Optconfig.of_string (Optconfig.to_string c)) c)
+  in
+  check Optconfig.o3;
+  check Optconfig.o0;
+  check (Optconfig.disable Optconfig.o3 (flag "gcse"));
+  check (Optconfig.of_names [ "gcse"; "strict-aliasing"; "loop-optimize" ]);
+  Alcotest.(check bool) "level base with adjustment" true
+    (Optconfig.equal
+       (Optconfig.of_string "-O2 -finline-functions")
+       (Optconfig.enable (Optconfig.o_level 2) (flag "inline-functions")));
+  Alcotest.(check bool) "unknown flag raises" true
+    (try
+       ignore (Optconfig.of_string "-O3 -fno-unroll-everything");
+       false
+     with Invalid_argument _ -> true)
+
+let test_optconfig_to_string () =
+  Alcotest.(check string) "o3" "-O3" (Optconfig.to_string Optconfig.o3);
+  let c = Optconfig.disable Optconfig.o3 (flag "gcse") in
+  Alcotest.(check string) "relative form" "-O3 -fno-gcse" (Optconfig.to_string c)
+
+(* ------------------------------------------------------------------ *)
+(* Effects                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_o3_beats_o0 () =
+  List.iter
+    (fun machine ->
+      let o3 = total_cycles machine kernel_ts Optconfig.o3 100 in
+      let o0 = total_cycles machine kernel_ts Optconfig.o0 100 in
+      Alcotest.(check bool)
+        (Printf.sprintf "O3 faster than O0 on %s" machine.Machine.name)
+        true (o3 < o0))
+    [ Machine.sparc2; Machine.pentium4 ]
+
+let test_determinism () =
+  let a = total_cycles Machine.sparc2 kernel_ts Optconfig.o3 100 in
+  let b = total_cycles Machine.sparc2 kernel_ts Optconfig.o3 100 in
+  Alcotest.(check (float 0.0)) "same config same cycles" a b
+
+let test_gcse_reduces_redundant_kernel () =
+  let with_gcse = Optconfig.of_names [ "gcse" ] in
+  let without = Optconfig.o0 in
+  let a = total_cycles Machine.sparc2 kernel_ts with_gcse 100 in
+  let b = total_cycles Machine.sparc2 kernel_ts without 100 in
+  Alcotest.(check bool) "gcse helps redundant code" true (a < b)
+
+let test_prerequisite_flags_inert () =
+  (* gcse-lm without gcse must change nothing *)
+  let base = Optconfig.of_names [ "loop-optimize" ] in
+  let with_lm = Optconfig.enable base (flag "gcse-lm") in
+  Alcotest.(check (float 0.0)) "gcse-lm alone is inert"
+    (total_cycles Machine.sparc2 kernel_ts base 100)
+    (total_cycles Machine.sparc2 kernel_ts with_lm 100);
+  (* reorder-blocks without guess-branch-probability is inert *)
+  let with_rb = Optconfig.enable base (flag "reorder-blocks") in
+  Alcotest.(check (float 0.0)) "reorder-blocks alone is inert"
+    (total_cycles Machine.sparc2 branchy_ts base 100)
+    (total_cycles Machine.sparc2 branchy_ts with_rb 100)
+
+let test_strict_aliasing_machine_dependent () =
+  (* The Section 5.2 ART mechanism: on a wide register file
+     strict-aliasing helps the pointer kernel; on 8 registers the added
+     pressure spills and hurts badly. *)
+  let without = Optconfig.disable Optconfig.o3 (flag "strict-aliasing") in
+  let sparc_on = total_cycles Machine.sparc2 pointer_ts Optconfig.o3 100 in
+  let sparc_off = total_cycles Machine.sparc2 pointer_ts without 100 in
+  let p4_on = total_cycles Machine.pentium4 pointer_ts Optconfig.o3 100 in
+  let p4_off = total_cycles Machine.pentium4 pointer_ts without 100 in
+  Alcotest.(check bool) "helps on SPARC II" true (sparc_on <= sparc_off);
+  Alcotest.(check bool) "hurts on Pentium IV" true (p4_on > p4_off);
+  Alcotest.(check bool) "large effect on Pentium IV" true (p4_on /. p4_off > 1.5)
+
+let test_strict_aliasing_array_code_unharmed () =
+  (* Fortran-style array stencils carry no pointer ambiguity: strict
+     aliasing must not hurt them anywhere. *)
+  let without = Optconfig.disable Optconfig.o3 (flag "strict-aliasing") in
+  let p4_on = total_cycles Machine.pentium4 kernel_ts Optconfig.o3 100 in
+  let p4_off = total_cycles Machine.pentium4 kernel_ts without 100 in
+  Alcotest.(check bool) "array code: strict aliasing helps or is neutral" true
+    (p4_on <= p4_off)
+
+let test_strict_aliasing_raises_pressure () =
+  let f = features pointer_ts in
+  (* find the hot loop block *)
+  let hot = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if b.Features.loop_depth > 0 && List.length b.Features.pointer_bases >= 2 then hot := i)
+    f.blocks;
+  let without = Optconfig.disable Optconfig.o3 (flag "strict-aliasing") in
+  let p_on = Effects.effective_pressure Machine.pentium4 f Optconfig.o3 !hot in
+  let p_off = Effects.effective_pressure Machine.pentium4 f without !hot in
+  Alcotest.(check bool) "pressure rises under strict aliasing" true (p_on > p_off)
+
+let test_if_conversion_on_unpredictable_branch () =
+  (* branchy kernel on the deep-pipeline P4: converting the data-dependent
+     branch should win *)
+  let base = Optconfig.of_names [ "loop-optimize" ] in
+  let ifcvt = Optconfig.enable base (flag "if-conversion") in
+  let without = total_cycles Machine.pentium4 branchy_ts base 200 in
+  let converted = total_cycles Machine.pentium4 branchy_ts ifcvt 200 in
+  Alcotest.(check bool) "if-conversion wins on P4" true (converted < without)
+
+let test_scheduling_tradeoff () =
+  (* schedule-insns raises ILP but also pressure; on the 8-register P4 a
+     high-pressure kernel should benefit less (or lose) compared to the
+     register-rich SPARC *)
+  let base = Optconfig.o0 in
+  let sched = Optconfig.of_names [ "schedule-insns"; "schedule-insns2" ] in
+  let gain machine =
+    let b = total_cycles machine kernel_ts base 100 in
+    let s = total_cycles machine kernel_ts sched 100 in
+    (b -. s) /. b
+  in
+  let sparc_gain = gain Machine.sparc2 in
+  let p4_gain = gain Machine.pentium4 in
+  Alcotest.(check bool) "sparc gains from scheduling" true (sparc_gain > 0.0);
+  Alcotest.(check bool) "sparc gains more than p4" true (sparc_gain > p4_gain)
+
+let test_delayed_branch_machine_specific () =
+  let base = Optconfig.o0 in
+  let db = Optconfig.of_names [ "delayed-branch" ] in
+  let sparc_base = total_cycles Machine.sparc2 branchy_ts base 200 in
+  let sparc_db = total_cycles Machine.sparc2 branchy_ts db 200 in
+  let p4_base = total_cycles Machine.pentium4 branchy_ts base 200 in
+  let p4_db = total_cycles Machine.pentium4 branchy_ts db 200 in
+  Alcotest.(check bool) "helps short pipeline" true (sparc_db < sparc_base);
+  Alcotest.(check (float 0.0)) "inert on deep pipeline" p4_base p4_db
+
+let test_version_invocation_cycles () =
+  let f = features kernel_ts in
+  let v = Version.compile Machine.sparc2 f Optconfig.o3 in
+  let counts = Array.make (Array.length f.blocks) 0 in
+  counts.(0) <- 1;
+  let one = Version.invocation_cycles v ~counts in
+  counts.(0) <- 10;
+  let ten = Version.invocation_cycles v ~counts in
+  Alcotest.(check (float 1e-9)) "linear in counts" (one *. 10.0) ten;
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore (Version.invocation_cycles v ~counts:[| 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_compare_speed () =
+  let f = features kernel_ts in
+  let fast = Version.compile Machine.sparc2 f Optconfig.o3 in
+  let slow = Version.compile Machine.sparc2 f Optconfig.o0 in
+  let counts = Array.map (fun _ -> 10) f.blocks in
+  Alcotest.(check bool) "slow/fast > 1" true (Version.compare_speed slow fast ~counts > 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_config =
+  QCheck.map
+    (fun bits ->
+      List.fold_left
+        (fun acc (i, b) -> if b then Optconfig.enable acc (Flags.by_index i) else acc)
+        Optconfig.o0
+        (List.mapi (fun i b -> (i, b)) bits))
+    QCheck.(list_of_size (QCheck.Gen.return 38) bool)
+
+let prop_cycles_positive =
+  QCheck.Test.make ~name:"every config yields positive block cycles" ~count:200 gen_config
+    (fun config ->
+      let f = features kernel_ts in
+      let v = Version.compile Machine.pentium4 f config in
+      Array.for_all (fun c -> c > 0.0) v.block_cycles)
+
+let prop_config_within_o0_o3_range =
+  QCheck.Test.make ~name:"no config is absurdly far from O0/O3 cost" ~count:100 gen_config
+    (fun config ->
+      let t = total_cycles Machine.sparc2 kernel_ts config 100 in
+      let o0 = total_cycles Machine.sparc2 kernel_ts Optconfig.o0 100 in
+      (* any flag subset should stay within a sane envelope of baseline *)
+      t > 0.05 *. o0 && t < 20.0 *. o0)
+
+let prop_cardinal_matches_enabled =
+  QCheck.Test.make ~name:"cardinal = |enabled|" ~count:200 gen_config (fun c ->
+      Optconfig.cardinal c = List.length (Optconfig.enabled c)
+      && Optconfig.cardinal c + List.length (Optconfig.disabled c) = 38)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cycles_positive; prop_config_within_o0_o3_range; prop_cardinal_matches_enabled ]
+
+let suites =
+  [
+    ( "compiler.flags",
+      [
+        Alcotest.test_case "count" `Quick test_flag_count;
+        Alcotest.test_case "lookup" `Quick test_flag_lookup;
+        Alcotest.test_case "levels" `Quick test_flag_levels;
+      ] );
+    ( "compiler.optconfig",
+      [
+        Alcotest.test_case "basics" `Quick test_optconfig_basics;
+        Alcotest.test_case "of_names" `Quick test_optconfig_of_names;
+        Alcotest.test_case "o levels" `Quick test_optconfig_levels;
+        Alcotest.test_case "of_string roundtrip" `Quick test_optconfig_of_string_roundtrip;
+        Alcotest.test_case "to_string" `Quick test_optconfig_to_string;
+      ] );
+    ( "compiler.effects",
+      [
+        Alcotest.test_case "O3 beats O0" `Quick test_o3_beats_o0;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "gcse on redundancy" `Quick test_gcse_reduces_redundant_kernel;
+        Alcotest.test_case "prerequisites inert" `Quick test_prerequisite_flags_inert;
+        Alcotest.test_case "strict aliasing machine dependent" `Quick
+          test_strict_aliasing_machine_dependent;
+        Alcotest.test_case "strict aliasing array code unharmed" `Quick
+          test_strict_aliasing_array_code_unharmed;
+        Alcotest.test_case "strict aliasing pressure" `Quick test_strict_aliasing_raises_pressure;
+        Alcotest.test_case "if-conversion" `Quick test_if_conversion_on_unpredictable_branch;
+        Alcotest.test_case "scheduling tradeoff" `Quick test_scheduling_tradeoff;
+        Alcotest.test_case "delayed branch" `Quick test_delayed_branch_machine_specific;
+      ] );
+    ( "compiler.version",
+      [
+        Alcotest.test_case "invocation cycles" `Quick test_version_invocation_cycles;
+        Alcotest.test_case "compare speed" `Quick test_compare_speed;
+      ] );
+    ("compiler.properties", qcheck_cases);
+  ]

@@ -1,0 +1,151 @@
+(* Tests for dominator analysis, including the cross-validation of the
+   lowering's syntactic loop metadata against graph-derived loops. *)
+
+open Peak_ir
+open Peak_workload
+module B = Builder
+
+let dom_of ts =
+  let cfg = Cfg.of_ts ts in
+  (cfg, Dominators.analyze cfg)
+
+let straightline =
+  B.ts ~name:"straight" ~params:[ "x" ] ~locals:[ "y" ] B.[ "y" := v "x" + c 1.0 ]
+
+let diamond =
+  B.ts ~name:"diamond" ~params:[ "x" ] ~locals:[ "y" ]
+    B.[ if_ (v "x" > c 0.0) [ "y" := c 1.0 ] [ "y" := c 2.0 ]; "y" := v "y" + c 1.0 ]
+
+let single_loop =
+  B.ts ~name:"loop" ~params:[ "n" ] ~locals:[ "i"; "s" ]
+    B.[ for_ "i" ~lo:(ci 0) ~hi:(v "n") [ "s" := v "s" + v "i" ] ]
+
+let nested_loop =
+  B.ts ~name:"nest" ~params:[ "n" ] ~locals:[ "i"; "j"; "s" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 0) ~hi:(v "n")
+          [ for_ "j" ~lo:(ci 0) ~hi:(v "n") [ "s" := v "s" + ci 1 ] ];
+      ]
+
+let test_straightline () =
+  let cfg, dom = dom_of straightline in
+  Alcotest.(check (option int)) "entry has no idom" None (Dominators.idom dom cfg.Cfg.entry);
+  Alcotest.(check (list int)) "no loops" [] (Dominators.loop_headers dom);
+  Alcotest.(check (list (pair int int))) "no back edges" [] (Dominators.back_edges dom)
+
+let test_diamond_dominance () =
+  let cfg, dom = dom_of diamond in
+  (* entry dominates everything; neither branch arm dominates the join *)
+  let join =
+    (* the join is the block executing the final statement: find a
+       non-entry block with an Exit terminator or leading to it *)
+    let candidates =
+      Array.to_list cfg.Cfg.blocks
+      |> List.filter (fun (b : Cfg.bblock) -> Array.length b.stmts > 0 && b.id <> cfg.entry)
+    in
+    (List.hd (List.rev candidates)).Cfg.id
+  in
+  Array.iter
+    (fun (b : Cfg.bblock) ->
+      if Dominators.reachable dom b.id then
+        Alcotest.(check bool)
+          (Printf.sprintf "entry dominates B%d" b.id)
+          true
+          (Dominators.dominates dom cfg.entry b.id))
+    cfg.blocks;
+  Alcotest.(check bool) "entry dominates the join" true (Dominators.dominates dom cfg.entry join);
+  Alcotest.(check (option int)) "join's idom is the entry (branch arms don't dominate)"
+    (Some cfg.entry) (Dominators.idom dom join)
+
+let test_single_loop_detection () =
+  let cfg, dom = dom_of single_loop in
+  (match Dominators.loop_headers dom with
+  | [ header ] ->
+      Alcotest.(check bool) "lowering marked the same header" true
+        (Cfg.block cfg header).Cfg.is_loop_header;
+      let body = Dominators.natural_loop dom ~header in
+      Alcotest.(check bool) "loop has header + body" true (List.length body >= 2);
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "header dominates loop block B%d" b)
+            true
+            (Dominators.dominates dom header b))
+        body
+  | other -> Alcotest.failf "expected one loop, got %d" (List.length other));
+  Alcotest.(check int) "one back edge" 1 (List.length (Dominators.back_edges dom))
+
+let test_nested_loop_depths () =
+  let _, dom = dom_of nested_loop in
+  Alcotest.(check int) "two loops" 2 (List.length (Dominators.loop_headers dom));
+  let depths = List.init 12 (fun i -> Dominators.loop_depth dom i) in
+  Alcotest.(check bool) "some block at depth 2" true (List.mem 2 depths)
+
+(* The cross-validation: for every benchmark's CFG the graph-derived loop
+   facts must agree with the lowering's syntactic marks:
+   - loop headers coincide exactly;
+   - for every reachable block,
+     dominator_depth(b) = syntactic_depth(b) + (1 if header else 0),
+     because the natural loop contains its own header while the lowering
+     marks the header at the enclosing depth. *)
+let test_lowering_agrees_with_dominators () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let cfg = Cfg.of_ts b.Benchmark.ts in
+      let dom = Dominators.analyze cfg in
+      let graph_headers = Dominators.loop_headers dom in
+      let syntactic_headers =
+        Array.to_list cfg.Cfg.blocks
+        |> List.filter_map (fun (blk : Cfg.bblock) ->
+               if blk.is_loop_header && Dominators.reachable dom blk.id then Some blk.id
+               else None)
+        |> List.sort compare
+      in
+      Alcotest.(check (list int))
+        (b.Benchmark.name ^ " headers agree")
+        syntactic_headers graph_headers;
+      Array.iter
+        (fun (blk : Cfg.bblock) ->
+          if Dominators.reachable dom blk.id then begin
+            let expected = blk.loop_depth + if blk.is_loop_header then 1 else 0 in
+            Alcotest.(check int)
+              (Printf.sprintf "%s B%d depth" b.Benchmark.name blk.id)
+              expected
+              (Dominators.loop_depth dom blk.id)
+          end)
+        cfg.blocks)
+    Registry.all
+
+let test_idom_chain_reaches_entry () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let cfg = Cfg.of_ts b.Benchmark.ts in
+      let dom = Dominators.analyze cfg in
+      Array.iter
+        (fun (blk : Cfg.bblock) ->
+          if Dominators.reachable dom blk.id && blk.id <> cfg.Cfg.entry then begin
+            let rec walk id steps =
+              if steps > Cfg.n_blocks cfg then Alcotest.fail "idom chain does not terminate"
+              else
+                match Dominators.idom dom id with
+                | None -> Alcotest.(check int) "chain ends at entry" cfg.Cfg.entry id
+                | Some p -> walk p (steps + 1)
+            in
+            walk blk.id 0
+          end)
+        cfg.blocks)
+    Registry.all
+
+let suites =
+  [
+    ( "ir.dominators",
+      [
+        Alcotest.test_case "straightline" `Quick test_straightline;
+        Alcotest.test_case "diamond" `Quick test_diamond_dominance;
+        Alcotest.test_case "single loop" `Quick test_single_loop_detection;
+        Alcotest.test_case "nested depths" `Quick test_nested_loop_depths;
+        Alcotest.test_case "lowering agrees" `Quick test_lowering_agrees_with_dominators;
+        Alcotest.test_case "idom chains" `Quick test_idom_chain_reaches_entry;
+      ] );
+  ]

@@ -1,0 +1,105 @@
+(* Tests for the pseudo-C printer and the instrumentation renderer. *)
+
+open Peak_ir
+open Peak_machine
+open Peak_workload
+open Peak
+module B = Builder
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+let render_for name =
+  let b = Option.get (Registry.by_name name) in
+  let tsec = Tsection.make b.Benchmark.ts in
+  let trace = b.Benchmark.trace Trace.Train ~seed:7 in
+  let profile = Profile.run tsec trace Machine.sparc2 in
+  let advice = Consultant.advise tsec profile in
+  Instrument.render tsec profile advice
+
+(* ------------------------------------------------------------------ *)
+
+let test_pretty_round_shapes () =
+  let ts =
+    B.ts ~name:"demo" ~params:[ "n" ] ~arrays:[ ("a", 8) ] ~pointers:[ ("p", "x") ]
+      ~locals:[ "i"; "x" ]
+      B.
+        [
+          for_ "i" ~lo:(ci 0) ~hi:(v "n")
+            [
+              if_ (idx "a" (v "i") > c 0.0) [ store "a" (v "i") (c 0.0) ] [ ptr_store "p" (v "i") ];
+            ];
+          while_ (deref "p" > c 1.0) [ ptr_set "p" "x" ];
+          call "sin";
+        ]
+  in
+  let c_src = Pretty.ts_to_c ts in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("contains " ^ needle) true (contains c_src needle))
+    [
+      "void demo(double n, double a[8], double *p)";
+      "for (i = 0; i < n; i++) {";
+      "if ((a[i] > 0)) {";
+      "} else {";
+      "*p = i;";
+      "while ((*p > 1)) {";
+      "p = &x;";
+      "sin();";
+      "double i, x;";
+    ]
+
+let test_pretty_statement_indent () =
+  let s = Pretty.stmt_to_c ~indent:4 (B.( := ) "x" (B.c 1.0)) in
+  Alcotest.(check string) "indented" "    x = 1;\n" s
+
+let test_instrument_cbr_section () =
+  let text = render_for "APSI" in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("mentions " ^ needle) true (contains text needle))
+    [
+      "Rating approach: CBR";
+      "peak_record(l1, ido)";
+      (* radb4 only writes its output array: nothing needs saving *)
+      "peak_save(void)    { /* empty */ }";
+      "peak_timed_radb4";
+      "void radb4(";
+    ]
+
+let test_instrument_span_save_region () =
+  (* ART's y is read and written, with loop-bounded stores: the save list
+     must carry the symbolic span rather than the whole array *)
+  let text = render_for "ART" in
+  Alcotest.(check bool) "span region" true (contains text "peak_save_region(y)");
+  Alcotest.(check bool) "span bounds shown" true (contains text "y[0 .. numf1s)")
+
+let test_instrument_rbr_section () =
+  let text = render_for "GZIP" in
+  Alcotest.(check bool) "RBR chosen" true (contains text "Rating approach: RBR");
+  Alcotest.(check bool) "save code present" true (contains text "peak_save_scalar(cur_match)");
+  Alcotest.(check bool) "precondition present" true (contains text "peak_precondition");
+  Alcotest.(check bool) "counters listed" true (contains text "peak_counter_B")
+
+let test_instrument_empty_save_set () =
+  (* MGRID's resid writes only the output array: nothing to save *)
+  let text = render_for "MGRID" in
+  Alcotest.(check bool) "empty save" true (contains text "peak_save(void)    { /* empty */ }")
+
+let test_instrument_runtime_constant_arrays () =
+  let text = render_for "EQUAKE" in
+  Alcotest.(check bool) "rowstart reported" true (contains text "rowstart")
+
+let suites =
+  [
+    ( "core.instrument",
+      [
+        Alcotest.test_case "pretty shapes" `Quick test_pretty_round_shapes;
+        Alcotest.test_case "pretty indent" `Quick test_pretty_statement_indent;
+        Alcotest.test_case "cbr section" `Quick test_instrument_cbr_section;
+        Alcotest.test_case "span save region" `Quick test_instrument_span_save_region;
+        Alcotest.test_case "rbr section" `Quick test_instrument_rbr_section;
+        Alcotest.test_case "empty save set" `Quick test_instrument_empty_save_set;
+        Alcotest.test_case "runtime constant arrays" `Quick test_instrument_runtime_constant_arrays;
+      ] );
+  ]

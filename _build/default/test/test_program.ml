@@ -1,0 +1,70 @@
+(* Tests for whole-program partitioning and multi-section tuning. *)
+
+open Peak_machine
+open Peak_workload
+open Peak
+
+let program = Swim_program.program
+
+let test_program_structure () =
+  Alcotest.(check (list string)) "three sections" [ "calc1"; "calc2"; "calc3" ]
+    (Program.section_names program);
+  Alcotest.(check bool) "lookup" true (Program.find_section program "calc2" <> None);
+  Alcotest.(check bool) "missing" true (Program.find_section program "calc9" = None)
+
+let test_profile_shares () =
+  let profiles = Partitioner.profile_program program Machine.sparc2 Trace.Train in
+  Alcotest.(check int) "all sections profiled" 3 (List.length profiles);
+  let total = List.fold_left (fun acc sp -> acc +. sp.Partitioner.time_share) 0.0 profiles in
+  Alcotest.(check (float 1e-6)) "shares sum to 1 - serial"
+    (1.0 -. program.Program.serial_fraction)
+    total;
+  (* sorted descending *)
+  let shares = List.map (fun sp -> sp.Partitioner.time_share) profiles in
+  Alcotest.(check (list (float 1e-9))) "sorted" (List.sort (fun a b -> compare b a) shares) shares;
+  (* calc3 does three stencils per point; it must dominate *)
+  Alcotest.(check string) "calc3 dominates" "calc3"
+    (List.hd profiles).Partitioner.section.Program.name
+
+let test_selection_threshold () =
+  let profiles = Partitioner.profile_program program Machine.sparc2 Trace.Train in
+  Alcotest.(check int) "all pass at 10%" 3 (List.length (Partitioner.select profiles));
+  Alcotest.(check int) "high bar keeps the top only" 1
+    (List.length (Partitioner.select ~min_share:0.4 profiles));
+  Alcotest.(check int) "max_sections caps" 2
+    (List.length (Partitioner.select ~max_sections:2 profiles))
+
+let test_tune_program_composition () =
+  let r = Partitioner.tune_program program Machine.pentium4 Trace.Train in
+  Alcotest.(check int) "three sections tuned" 3 (List.length r.Partitioner.sections);
+  Alcotest.(check (list string)) "none skipped" []
+    (List.map (fun sp -> sp.Partitioner.section.Program.name) r.Partitioner.skipped);
+  Alcotest.(check bool) "program improves on P4" true (r.Partitioner.program_improvement_pct > 5.0);
+  (* the composed program gain cannot exceed the best section's TS gain *)
+  let max_section =
+    List.fold_left
+      (fun acc sr -> Float.max acc sr.Partitioner.section_improvement_pct)
+      0.0 r.Partitioner.sections
+  in
+  Alcotest.(check bool) "Amdahl bound" true (r.Partitioner.program_improvement_pct <= max_section +. 1e-6);
+  Alcotest.(check bool) "tuning time accumulated" true (r.Partitioner.tuning_seconds > 0.0)
+
+let test_tune_program_respects_selection () =
+  let r = Partitioner.tune_program ~min_share:0.4 program Machine.pentium4 Trace.Train in
+  Alcotest.(check int) "one tuned" 1 (List.length r.Partitioner.sections);
+  Alcotest.(check int) "two skipped" 2 (List.length r.Partitioner.skipped);
+  let full = Partitioner.tune_program program Machine.pentium4 Trace.Train in
+  Alcotest.(check bool) "tuning fewer sections yields less program gain" true
+    (r.Partitioner.program_improvement_pct < full.Partitioner.program_improvement_pct)
+
+let suites =
+  [
+    ( "core.partitioner",
+      [
+        Alcotest.test_case "program structure" `Quick test_program_structure;
+        Alcotest.test_case "profile shares" `Quick test_profile_shares;
+        Alcotest.test_case "selection" `Quick test_selection_threshold;
+        Alcotest.test_case "tune and compose" `Slow test_tune_program_composition;
+        Alcotest.test_case "selection respected" `Slow test_tune_program_respects_selection;
+      ] );
+  ]

@@ -1,0 +1,152 @@
+(* Cross-cutting soundness properties tying the analyses to the
+   interpreter's actual behaviour.  These are the licenses for the
+   execution harness's optimizations:
+
+   - liveness: anything outside Input(TS) may be scrambled without
+     changing the section's behaviour;
+   - snapshot/restore: saving Modified_Input, running, restoring and
+     re-running reproduces identical counts and final state — so RBR's
+     two timed executions really do see the same workload, and the
+     runner may reuse the interpreter result for the second one. *)
+
+open Peak_ir
+open Peak_workload
+open Peak
+
+let all = Registry.all
+
+let env_for (b : Benchmark.t) ~seed ~invocation =
+  let trace = b.Benchmark.trace Trace.Train ~seed in
+  let env = Interp.make_env b.Benchmark.ts in
+  trace.Trace.init env;
+  (* advance the trace to the given invocation so different positions are
+     exercised (setups may be cumulative, e.g. MCF repricing) *)
+  for i = 0 to invocation do
+    trace.Trace.setup i env
+  done;
+  env
+
+let run_counts tsec env = (Interp.run tsec.Tsection.cfg env).Interp.block_counts
+
+let scramble_non_inputs tsec env rng =
+  let live_in = Liveness.live_in_entry tsec.Tsection.liveness in
+  let ts = tsec.Tsection.ts in
+  List.iter
+    (fun v ->
+      if not (Loc.Set.mem (Loc.Scalar v) live_in) then
+        Interp.set_scalar env v (Peak_util.Rng.float rng *. 1e6))
+    (ts.Types.params @ ts.Types.locals);
+  List.iter
+    (fun (a, _) ->
+      if not (Loc.Set.mem (Loc.Array a) live_in) then
+        Benchmark.fill_random rng (-1e6) 1e6 (Interp.get_array env a))
+    ts.Types.arrays
+
+let env_equal (a : Interp.env) (b : Interp.env) =
+  let scalars_equal =
+    Hashtbl.fold (fun k v acc -> acc && Hashtbl.find_opt b.Interp.scalars k = Some v)
+      a.Interp.scalars true
+  in
+  let arrays_equal =
+    Hashtbl.fold (fun k v acc -> acc && Hashtbl.find_opt b.Interp.arrays k = Some v)
+      a.Interp.arrays true
+  in
+  let pointers_equal =
+    Hashtbl.fold (fun k v acc -> acc && Hashtbl.find_opt b.Interp.pointers k = Some v)
+      a.Interp.pointers true
+  in
+  scalars_equal && arrays_equal && pointers_equal
+
+(* ------------------------------------------------------------------ *)
+
+let prop_liveness_sound =
+  QCheck.Test.make ~name:"non-inputs never influence behaviour (liveness soundness)"
+    ~count:12
+    QCheck.(pair (int_range 0 10_000) (int_range 0 40))
+    (fun (seed, invocation) ->
+      List.for_all
+        (fun (b : Benchmark.t) ->
+          let tsec = Tsection.make b.Benchmark.ts in
+          let reference = run_counts tsec (env_for b ~seed ~invocation) in
+          let env = env_for b ~seed ~invocation in
+          scramble_non_inputs tsec env (Peak_util.Rng.create ~seed:(seed + 1));
+          run_counts tsec env = reference)
+        all)
+
+let prop_snapshot_restore_sound =
+  QCheck.Test.make
+    ~name:"save/run/restore/run reproduces counts and state (RBR soundness)" ~count:12
+    QCheck.(pair (int_range 0 10_000) (int_range 0 40))
+    (fun (seed, invocation) ->
+      List.for_all
+        (fun (b : Benchmark.t) ->
+          let tsec = Tsection.make b.Benchmark.ts in
+          let env = env_for b ~seed ~invocation in
+          let snap = Snapshot.save tsec env in
+          let counts1 = run_counts tsec env in
+          let post1 = Interp.copy_env env in
+          Snapshot.restore snap env;
+          let counts2 = run_counts tsec env in
+          counts1 = counts2 && env_equal post1 env)
+        all)
+
+let prop_snapshot_bytes_agree =
+  QCheck.Test.make ~name:"snapshot payload within the static bound and equals the dynamic measure" ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      List.for_all
+        (fun (b : Benchmark.t) ->
+          let tsec = Tsection.make b.Benchmark.ts in
+          let env = env_for b ~seed ~invocation:0 in
+          let snap = Snapshot.save tsec env in
+          Snapshot.bytes snap <= Tsection.save_restore_bytes tsec
+          && Snapshot.bytes snap = Snapshot.measure_bytes tsec env)
+        all)
+
+(* a directed case exercising the Cells region path *)
+let test_snapshot_cells_region () =
+  let module B = Builder in
+  let ts =
+    B.ts ~name:"cells" ~params:[ "x" ] ~arrays:[ ("a", 64) ] ~locals:[ "r" ]
+      B.
+        [
+          "r" := idx "a" (B.ci 0) + idx "a" (B.ci 5);
+          store "a" (B.ci 0) (v "x");
+          store "a" (B.ci 5) (v "x" * c 2.0);
+        ]
+  in
+  let tsec = Tsection.make ts in
+  let env = Interp.make_env ts in
+  Interp.set_scalar env "x" 7.0;
+  (Interp.get_array env "a").(0) <- 1.0;
+  (Interp.get_array env "a").(5) <- 2.0;
+  let snap = Snapshot.save tsec env in
+  Alcotest.(check int) "only two cells saved" 16 (Snapshot.bytes snap);
+  ignore (Interp.run tsec.Tsection.cfg env);
+  Alcotest.(check (float 0.0)) "run overwrote a[0]" 7.0 (Interp.get_array env "a").(0);
+  Snapshot.restore snap env;
+  Alcotest.(check (float 0.0)) "a[0] restored" 1.0 (Interp.get_array env "a").(0);
+  Alcotest.(check (float 0.0)) "a[5] restored" 2.0 (Interp.get_array env "a").(5)
+
+let test_snapshot_pointer_restore () =
+  let module B = Builder in
+  let ts =
+    B.ts ~name:"ptr" ~params:[ "x"; "y" ] ~pointers:[ ("p", "x") ] ~locals:[ "r" ]
+      B.[ "r" := deref "p"; ptr_set "p" "y" ]
+  in
+  let tsec = Tsection.make ts in
+  let env = Interp.make_env ts in
+  let snap = Snapshot.save tsec env in
+  ignore (Interp.run tsec.Tsection.cfg env);
+  Alcotest.(check string) "pointer retargeted by run" "y" (Hashtbl.find env.Interp.pointers "p");
+  Snapshot.restore snap env;
+  Alcotest.(check string) "pointer restored" "x" (Hashtbl.find env.Interp.pointers "p")
+
+let suites =
+  [
+    ( "soundness",
+      Alcotest.test_case "snapshot cells region" `Quick test_snapshot_cells_region
+      :: Alcotest.test_case "snapshot pointer restore" `Quick test_snapshot_pointer_restore
+      :: List.map QCheck_alcotest.to_alcotest
+           [ prop_liveness_sound; prop_snapshot_restore_sound; prop_snapshot_bytes_agree ] );
+  ]

@@ -1,0 +1,194 @@
+(* Tests for the IR transformations: directed cases plus the
+   semantics-preservation property over every benchmark section. *)
+
+open Peak_ir
+open Peak_workload
+module B = Builder
+
+let count_assignments ts =
+  let n = ref 0 in
+  let rec go = function
+    | Types.Assign _ -> incr n
+    | Types.If (_, a, b) ->
+        List.iter go a;
+        List.iter go b
+    | Types.For { body; _ } | Types.While (_, body) -> List.iter go body
+    | _ -> ()
+  in
+  List.iter go ts.Types.body;
+  !n
+
+let rec find_store = function
+  | [] -> None
+  | Types.Store (a, i, e) :: _ -> Some (a, i, e)
+  | Types.For { body; _ } :: rest | Types.While (_, body) :: rest -> (
+      match find_store body with Some s -> Some s | None -> find_store rest)
+  | Types.If (_, x, y) :: rest -> (
+      match find_store x with
+      | Some s -> Some s
+      | None -> ( match find_store y with Some s -> Some s | None -> find_store rest))
+  | _ :: rest -> find_store rest
+
+let test_const_prop_folds_derived_subscript () =
+  let ts =
+    B.ts ~name:"t" ~params:[ "x" ] ~arrays:[ ("a", 16) ] ~locals:[ "base"; "off" ]
+      B.
+        [
+          "base" := ci 4;
+          "off" := v "base" + ci 3;
+          store "a" (v "off") (v "x");
+        ]
+  in
+  let ts' = Transform.const_propagate ts in
+  match find_store ts'.Types.body with
+  | Some (_, Types.Const 7.0, _) -> ()
+  | Some (_, other, _) -> Alcotest.failf "subscript not folded: %s" (Expr.to_string other)
+  | None -> Alcotest.fail "store disappeared"
+
+let test_const_prop_respects_branch_merge () =
+  (* y is 1 or 2 depending on the branch: must not be propagated after *)
+  let ts =
+    B.ts ~name:"t" ~params:[ "c2" ] ~arrays:[ ("a", 16) ] ~locals:[ "y" ]
+      B.
+        [
+          if_ (v "c2" > c 0.0) [ "y" := c 1.0 ] [ "y" := c 2.0 ];
+          store "a" (v "y") (c 9.0);
+        ]
+  in
+  let ts' = Transform.const_propagate ts in
+  (match find_store ts'.Types.body with
+  | Some (_, Types.Var "y", _) -> ()
+  | _ -> Alcotest.fail "divergent branch constant must not propagate");
+  (* but agreeing branches do *)
+  let agree =
+    B.ts ~name:"t" ~params:[ "c2" ] ~arrays:[ ("a", 16) ] ~locals:[ "y" ]
+      B.
+        [
+          if_ (v "c2" > c 0.0) [ "y" := c 5.0 ] [ "y" := c 5.0 ];
+          store "a" (v "y") (c 9.0);
+        ]
+  in
+  match find_store (Transform.const_propagate agree).Types.body with
+  | Some (_, Types.Const 5.0, _) -> ()
+  | _ -> Alcotest.fail "agreeing branch constant should propagate"
+
+let test_const_prop_loop_invalidation () =
+  let ts =
+    B.ts ~name:"t" ~params:[ "n" ] ~arrays:[ ("a", 16) ] ~locals:[ "k" ]
+      B.
+        [
+          "k" := ci 2;
+          for_ "i" ~lo:(ci 0) ~hi:(v "n") [ "k" := v "k" + ci 1 ];
+          store "a" (v "k") (c 1.0);
+        ]
+    |> fun ts -> { ts with Types.locals = "i" :: ts.Types.locals }
+  in
+  match find_store (Transform.const_propagate ts).Types.body with
+  | Some (_, Types.Var "k", _) -> ()
+  | _ -> Alcotest.fail "loop-written scalar must not stay constant"
+
+let test_dae_removes_unread_local () =
+  let ts =
+    B.ts ~name:"t" ~params:[ "x" ] ~locals:[ "unused"; "used" ]
+      B.[ "unused" := v "x" * c 2.0; "used" := v "x" + c 1.0; "x" := v "used" ]
+  in
+  let ts' = Transform.dead_assignment_elim ts in
+  Alcotest.(check int) "one assignment dropped" 2 (count_assignments ts')
+
+let test_dae_keeps_faulting_rhs () =
+  (* the rhs reads a[i] with a variable subscript: bounds behaviour is
+     observable, so the dead assignment must stay *)
+  let ts =
+    B.ts ~name:"t" ~params:[ "i" ] ~arrays:[ ("a", 4) ] ~locals:[ "unused" ]
+      B.[ "unused" := idx "a" (v "i") ]
+  in
+  Alcotest.(check int) "kept" 1 (count_assignments (Transform.dead_assignment_elim ts));
+  (* with a constant subscript it can go *)
+  let safe =
+    B.ts ~name:"t" ~params:[ "i" ] ~arrays:[ ("a", 4) ] ~locals:[ "unused" ]
+      B.[ "unused" := idx "a" (ci 2) ]
+  in
+  Alcotest.(check int) "dropped" 0 (count_assignments (Transform.dead_assignment_elim safe))
+
+let test_dae_keeps_params () =
+  let ts = B.ts ~name:"t" ~params:[ "x"; "y" ] ~locals:[] B.[ "x" := v "y" + c 1.0 ] in
+  Alcotest.(check int) "param write kept" 1
+    (count_assignments (Transform.dead_assignment_elim ts))
+
+(* ------------------------------------------------------------------ *)
+(* Semantics preservation over the real benchmark sections             *)
+(* ------------------------------------------------------------------ *)
+
+let run_both (b : Benchmark.t) transform ~seed ~invocation =
+  let original = b.Benchmark.ts in
+  let transformed = transform original in
+  let exec ts =
+    let cfg = Cfg.of_ts ts in
+    let trace = b.Benchmark.trace Trace.Train ~seed in
+    let env = Interp.make_env ts in
+    trace.Trace.init env;
+    for i = 0 to invocation do
+      trace.Trace.setup i env
+    done;
+    let r = Interp.run cfg env in
+    (r.Interp.block_counts, env)
+  in
+  (exec original, exec transformed)
+
+let check_equivalent (b : Benchmark.t) transform ~seed ~invocation =
+  let (counts1, env1), (counts2, env2) = run_both b transform ~seed ~invocation in
+  (* same control decisions *)
+  if counts1 <> counts2 then false
+  else begin
+    (* same arrays and pointers; scalars compared on the original's
+       read-set plus params (dead locals may legitimately differ) *)
+    let arrays_ok =
+      Hashtbl.fold
+        (fun k v acc -> acc && Hashtbl.find_opt env2.Interp.arrays k = Some v)
+        env1.Interp.arrays true
+    in
+    let pointers_ok =
+      Hashtbl.fold
+        (fun k v acc -> acc && Hashtbl.find_opt env2.Interp.pointers k = Some v)
+        env1.Interp.pointers true
+    in
+    let scalars_ok =
+      List.for_all
+        (fun v -> Hashtbl.find_opt env1.Interp.scalars v = Hashtbl.find_opt env2.Interp.scalars v)
+        b.Benchmark.ts.Types.params
+    in
+    arrays_ok && pointers_ok && scalars_ok
+  end
+
+let prop_transforms_preserve_semantics =
+  QCheck.Test.make ~name:"optimize preserves behaviour on every benchmark" ~count:10
+    QCheck.(pair (int_range 0 10_000) (int_range 0 30))
+    (fun (seed, invocation) ->
+      List.for_all
+        (fun b -> check_equivalent b Transform.optimize ~seed ~invocation)
+        Registry.all)
+
+let prop_const_prop_idempotent =
+  QCheck.Test.make ~name:"const_propagate is idempotent" ~count:5
+    QCheck.(int_range 0 100)
+    (fun _ ->
+      List.for_all
+        (fun (b : Benchmark.t) ->
+          let once = Transform.const_propagate b.Benchmark.ts in
+          Transform.const_propagate once = once)
+        Registry.all)
+
+let suites =
+  [
+    ( "ir.transform",
+      [
+        Alcotest.test_case "const prop subscripts" `Quick test_const_prop_folds_derived_subscript;
+        Alcotest.test_case "branch merge" `Quick test_const_prop_respects_branch_merge;
+        Alcotest.test_case "loop invalidation" `Quick test_const_prop_loop_invalidation;
+        Alcotest.test_case "dae removes unread" `Quick test_dae_removes_unread_local;
+        Alcotest.test_case "dae keeps faulting rhs" `Quick test_dae_keeps_faulting_rhs;
+        Alcotest.test_case "dae keeps params" `Quick test_dae_keeps_params;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [ prop_transforms_preserve_semantics; prop_const_prop_idempotent ] );
+  ]

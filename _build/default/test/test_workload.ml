@@ -1,0 +1,225 @@
+(* Tests for the SPEC-like workload library: every benchmark's tuning
+   section must interpret safely over its traces, deterministically, and
+   with the declared class structure. *)
+
+open Peak_ir
+open Peak_workload
+
+let all = Registry.all
+
+let run_slice (b : Benchmark.t) dataset ~seed ~n =
+  let cfg = Cfg.of_ts b.Benchmark.ts in
+  let trace = b.Benchmark.trace dataset ~seed in
+  let env = Interp.make_env b.Benchmark.ts in
+  trace.Trace.init env;
+  let results = ref [] in
+  let n = min n trace.Trace.length in
+  for i = 0 to n - 1 do
+    trace.Trace.setup i env;
+    results := Interp.run cfg env :: !results
+  done;
+  (trace, List.rev !results)
+
+let test_all_benchmarks_interpret_safely () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let _, results = run_slice b Trace.Train ~seed:3 ~n:60 in
+      Alcotest.(check int)
+        (Printf.sprintf "%s ran 60 invocations" b.Benchmark.name)
+        60 (List.length results))
+    all
+
+let test_registry_covers_table1 () =
+  Alcotest.(check int) "fourteen benchmarks" 14 (List.length all);
+  Alcotest.(check int) "six integer codes" 6 (List.length Registry.integer);
+  Alcotest.(check int) "eight fp codes" 8 (List.length Registry.floating_point);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true (Registry.by_name name <> None))
+    [
+      "BZIP2"; "CRAFTY"; "GZIP"; "MCF"; "TWOLF"; "VORTEX"; "APPLU"; "APSI"; "ART";
+      "MGRID"; "EQUAKE"; "MESA"; "SWIM"; "WUPWISE";
+    ];
+  Alcotest.(check bool) "unknown name" true (Registry.by_name "GCC" = None)
+
+let test_figure7_selection () =
+  let names = List.map (fun b -> b.Benchmark.name) Registry.figure7 in
+  Alcotest.(check (list string)) "paper's four" [ "SWIM"; "MGRID"; "ART"; "EQUAKE" ] names
+
+let test_trace_determinism () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let _, r1 = run_slice b Trace.Train ~seed:9 ~n:20 in
+      let _, r2 = run_slice b Trace.Train ~seed:9 ~n:20 in
+      let counts r = List.map (fun x -> x.Interp.block_counts) r in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s deterministic under seed" b.Benchmark.name)
+        true
+        (counts r1 = counts r2))
+    all
+
+let test_trace_seed_sensitivity () =
+  (* irregular traces must differ across seeds *)
+  let irregular = [ "BZIP2"; "GZIP"; "MESA"; "TWOLF" ] in
+  List.iter
+    (fun name ->
+      let b = Option.get (Registry.by_name name) in
+      let _, r1 = run_slice b Trace.Train ~seed:1 ~n:60 in
+      let _, r2 = run_slice b Trace.Train ~seed:2 ~n:60 in
+      let work r =
+        List.map (fun x -> Array.fold_left ( + ) 0 x.Interp.block_counts) r
+      in
+      Alcotest.(check bool) (name ^ " varies with seed") true (work r1 <> work r2))
+    irregular
+
+let test_class_soundness () =
+  (* invocations with the same declared class must produce identical
+     block counts — the property the runner's class cache relies on *)
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let trace = b.Benchmark.trace Trace.Train ~seed:17 in
+      match trace.Trace.class_of with
+      | None -> ()
+      | Some class_of ->
+          let _, results = run_slice b Trace.Train ~seed:17 ~n:40 in
+          let by_class = Hashtbl.create 8 in
+          List.iteri
+            (fun i r ->
+              let k = class_of i in
+              match Hashtbl.find_opt by_class k with
+              | None -> Hashtbl.add by_class k r.Interp.block_counts
+              | Some expected ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s class %d stable" b.Benchmark.name k)
+                    true
+                    (expected = r.Interp.block_counts))
+            results)
+    all
+
+let test_ref_traces_longer () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let train = b.Benchmark.trace Trace.Train ~seed:5 in
+      let ref_ = b.Benchmark.trace Trace.Ref ~seed:5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ref longer than train" b.Benchmark.name)
+        true
+        (ref_.Trace.length > train.Trace.length))
+    all
+
+let test_irregular_benchmarks_vary_per_invocation () =
+  (* the RBR benchmarks must show varying work across invocations *)
+  List.iter
+    (fun name ->
+      let b = Option.get (Registry.by_name name) in
+      let _, results = run_slice b Trace.Train ~seed:13 ~n:80 in
+      let works = List.map (fun r -> r.Interp.block_counts) results in
+      let distinct = List.sort_uniq compare works in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has varying work (%d distinct)" name (List.length distinct))
+        true
+        (List.length distinct > 5))
+    [ "BZIP2"; "CRAFTY"; "GZIP"; "MCF"; "TWOLF"; "VORTEX"; "ART"; "MESA" ]
+
+let test_swim_is_stable () =
+  let _, results = run_slice (Option.get (Registry.by_name "SWIM")) Trace.Train ~seed:13 ~n:20 in
+  let works = List.map (fun r -> r.Interp.block_counts) results in
+  Alcotest.(check int) "single workload" 1 (List.length (List.sort_uniq compare works))
+
+let test_gzip_match_lengths_vary () =
+  let b = Option.get (Registry.by_name "GZIP") in
+  let _, results = run_slice b Trace.Train ~seed:29 ~n:300 in
+  let works = List.map (fun r -> Array.fold_left ( + ) 0 r.Interp.block_counts) results in
+  let small = List.filter (fun w -> w < 40) works in
+  let large = List.filter (fun w -> w > 100) works in
+  Alcotest.(check bool) "short searches exist" true (List.length small > 0);
+  Alcotest.(check bool) "long searches exist" true (List.length large > 0)
+
+let test_mcf_mutates_arrays () =
+  let b = Option.get (Registry.by_name "MCF") in
+  let trace = b.Benchmark.trace Trace.Train ~seed:3 in
+  Alcotest.(check bool) "cost declared mutated" true
+    (List.mem "cost" trace.Trace.mutated_arrays);
+  (* the declaration must be true: setup really changes the array *)
+  let env = Interp.make_env b.Benchmark.ts in
+  trace.Trace.init env;
+  trace.Trace.setup 0 env;
+  let before = Array.copy (Interp.get_array env "cost") in
+  trace.Trace.setup 1 env;
+  let after = Interp.get_array env "cost" in
+  Alcotest.(check bool) "cost actually mutated" true (before <> after)
+
+let test_equake_structure_fixed () =
+  let b = Option.get (Registry.by_name "EQUAKE") in
+  let trace = b.Benchmark.trace Trace.Train ~seed:3 in
+  Alcotest.(check (list string)) "nothing mutated" [] trace.Trace.mutated_arrays;
+  let env = Interp.make_env b.Benchmark.ts in
+  trace.Trace.init env;
+  trace.Trace.setup 0 env;
+  let before = Array.copy (Interp.get_array env "rowstart") in
+  trace.Trace.setup 5 env;
+  Alcotest.(check bool) "rowstart untouched" true
+    (before = Interp.get_array env "rowstart")
+
+let test_art_uses_pointers () =
+  let b = Option.get (Registry.by_name "ART") in
+  Alcotest.(check bool) "has pointer inputs" true (b.Benchmark.ts.Types.pointers <> [])
+
+let test_apsi_has_three_classes () =
+  let b = Option.get (Registry.by_name "APSI") in
+  let trace = b.Benchmark.trace Trace.Train ~seed:3 in
+  match trace.Trace.class_of with
+  | None -> Alcotest.fail "apsi should declare classes"
+  | Some f ->
+      let classes = List.sort_uniq compare (List.init 30 f) in
+      Alcotest.(check int) "three contexts" 3 (List.length classes)
+
+let test_shares_valid () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s share in (0,1]" b.Benchmark.name)
+        true
+        (b.Benchmark.time_share > 0.0 && b.Benchmark.time_share <= 1.0))
+    all
+
+let prop_no_out_of_bounds =
+  (* random seeds and datasets: no benchmark may index out of bounds *)
+  QCheck.Test.make ~name:"no out-of-bounds under random seeds" ~count:8
+    QCheck.(pair (int_range 0 1000) bool)
+    (fun (seed, use_ref) ->
+      let dataset = if use_ref then Trace.Ref else Trace.Train in
+      List.for_all
+        (fun (b : Benchmark.t) ->
+          try
+            ignore (run_slice b dataset ~seed ~n:8);
+            true
+          with Interp.Out_of_bounds _ -> false)
+        all)
+
+let suites =
+  [
+    ( "workload.registry",
+      [
+        Alcotest.test_case "covers table 1" `Quick test_registry_covers_table1;
+        Alcotest.test_case "figure 7 selection" `Quick test_figure7_selection;
+        Alcotest.test_case "shares valid" `Quick test_shares_valid;
+      ] );
+    ( "workload.traces",
+      [
+        Alcotest.test_case "all interpret safely" `Quick test_all_benchmarks_interpret_safely;
+        Alcotest.test_case "determinism" `Quick test_trace_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_trace_seed_sensitivity;
+        Alcotest.test_case "class soundness" `Quick test_class_soundness;
+        Alcotest.test_case "ref longer" `Quick test_ref_traces_longer;
+        Alcotest.test_case "irregular variation" `Quick test_irregular_benchmarks_vary_per_invocation;
+        Alcotest.test_case "swim stable" `Quick test_swim_is_stable;
+        Alcotest.test_case "gzip match lengths" `Quick test_gzip_match_lengths_vary;
+        Alcotest.test_case "mcf mutates arrays" `Quick test_mcf_mutates_arrays;
+        Alcotest.test_case "equake structure fixed" `Quick test_equake_structure_fixed;
+        Alcotest.test_case "art uses pointers" `Quick test_art_uses_pointers;
+        Alcotest.test_case "apsi three classes" `Quick test_apsi_has_three_classes;
+      ] );
+    ( "workload.properties",
+      List.map QCheck_alcotest.to_alcotest [ prop_no_out_of_bounds ] );
+  ]
