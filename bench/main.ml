@@ -7,7 +7,7 @@
    Experiments: table1, fig7ab, fig7cd, summary, flag-effects,
    ablation-rbr, ablation-outlier, ablation-search, ablation-ranges,
    ablation-batch, ablation-compile, ablation-consultant, adaptive,
-   micro. *)
+   parallel, micro. *)
 
 open Peak_util
 open Peak_machine
@@ -657,6 +657,53 @@ let micro () =
   note "RBR the costliest (preconditioning execution plus an extra restore)."
 
 (* ================================================================== *)
+(* Parallel tuning: sequential vs. domain-pool wall time               *)
+(* ================================================================== *)
+
+let parallel () =
+  heading "Parallel tuning: Driver.tune_suite wall time vs. domains";
+  let benchmarks = Registry.figure7 in
+  let machine = Machine.sparc2 in
+  note "Tuning %s with IE on %s (train data set)."
+    (String.concat ", " (List.map (fun b -> b.Benchmark.name) benchmarks))
+    machine.Machine.name;
+  note "Available cores: %d (speedup saturates at the core count)."
+    (Domain.recommended_domain_count ());
+  let time domains =
+    let t0 = Unix.gettimeofday () in
+    let results = Driver.tune_suite ~domains benchmarks machine Trace.Train in
+    (Unix.gettimeofday () -. t0, results)
+  in
+  let t1, r1 = time 1 in
+  let t =
+    Table.create ~header:[ "Domains"; "Wall s"; "Speedup"; "Identical to -j 1" ] ()
+  in
+  Table.add_row t [ "1"; Printf.sprintf "%.2f" t1; "1.00x"; "-" ];
+  List.iter
+    (fun domains ->
+      let tn, rn = time domains in
+      let identical =
+        List.for_all2
+          (fun (a : Driver.result) (b : Driver.result) ->
+            Optconfig.equal a.Driver.best_config b.Driver.best_config
+            && a.Driver.search_stats = b.Driver.search_stats
+            && a.Driver.tuning_cycles = b.Driver.tuning_cycles)
+          r1 rn
+      in
+      Table.add_row t
+        [
+          string_of_int domains;
+          Printf.sprintf "%.2f" tn;
+          Printf.sprintf "%.2fx" (t1 /. tn);
+          (if identical then "yes" else "NO");
+        ])
+    [ 2; 4 ];
+  Table.print t;
+  note "Each candidate rates on its own deterministically-seeded runner, so";
+  note "best configuration, search stats and the tuning-cycle ledger are";
+  note "bit-identical for every domain count."
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -673,6 +720,7 @@ let experiments =
     ("flag-effects", flag_effects);
     ("ablation-consultant", ablation_consultant);
     ("adaptive", adaptive);
+    ("parallel", parallel);
     ("micro", micro);
   ]
 

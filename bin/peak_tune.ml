@@ -4,6 +4,7 @@
      peak-tune flags                        enumerate the 38 -O3 flags
      peak-tune analyze SWIM                 profile + consultant report
      peak-tune tune ART -m pentium4 -r rbr  run one tuning session
+     peak-tune suite -j 4                   tune the Figure 7 set in parallel
      peak-tune consistency APSI             Table-1-style consistency row *)
 
 open Cmdliner
@@ -173,22 +174,19 @@ let tune_cmd =
       | "ose" -> Ok Driver.Ose
       | other -> Error ("unknown search " ^ other)
     in
+    (* "auto" is left to Driver.tune, which resolves it from its own
+       profiling pass instead of profiling twice *)
     let* method_ =
-      if String.lowercase_ascii method_name = "auto" then begin
-        let tsec = Tsection.make b.Benchmark.ts in
-        let trace = b.Benchmark.trace dataset ~seed in
-        let profile = Profile.run ~seed tsec trace machine in
-        Ok (Driver.auto_method profile tsec)
-      end
+      if String.lowercase_ascii method_name = "auto" then Ok None
       else
         match Driver.method_of_string method_name with
-        | Some m -> Ok m
+        | Some m -> Ok (Some m)
         | None -> Error ("unknown rating method " ^ method_name)
     in
-    Printf.printf "Tuning %s (%s) on %s with %s, %s data set...\n%!" b.Benchmark.name
-      b.Benchmark.ts_name machine.Machine.name (Driver.method_name method_)
-      (Trace.dataset_name dataset);
-    let r = Driver.tune ~seed ~search ~method_ b machine dataset in
+    Printf.printf "Tuning %s (%s) on %s, %s data set...\n%!" b.Benchmark.name
+      b.Benchmark.ts_name machine.Machine.name (Trace.dataset_name dataset);
+    let r = Driver.tune ~seed ~search ?method_ b machine dataset in
+    Printf.printf "Rating method: %s\n" (Driver.method_name r.Driver.method_used);
     Printf.printf "Best configuration: %s\n" (Optconfig.to_string r.Driver.best_config);
     Printf.printf "Search: %d ratings over %d iterations, %d invocations, %d program runs\n"
       r.Driver.search_stats.Search.ratings r.Driver.search_stats.Search.iterations
@@ -201,6 +199,98 @@ let tune_cmd =
   Cmd.v
     (Cmd.info "tune" ~doc:"Run one offline tuning session (the Figure 7 experiment).")
     Term.(const run $ benchmark_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg $ seed_arg)
+
+let suite_cmd =
+  let benchmarks_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmarks to tune (default: the Figure 7 set).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Tune on $(docv) domains in parallel.")
+  in
+  let run names machine_name method_name dataset_name search_name seed jobs =
+    let ( let* ) r f = match r with Error e -> prerr_endline e; exit 1 | Ok v -> f v in
+    let* benchmarks =
+      match names with
+      | [] -> Ok Registry.figure7
+      | names ->
+          List.fold_left
+            (fun acc name ->
+              let* acc = acc in
+              let* b = find_benchmark name in
+              Ok (acc @ [ b ]))
+            (Ok []) names
+    in
+    let* machine = find_machine machine_name in
+    let* dataset =
+      match String.lowercase_ascii dataset_name with
+      | "train" -> Ok Trace.Train
+      | "ref" -> Ok Trace.Ref
+      | other -> Error ("unknown dataset " ^ other)
+    in
+    let* search =
+      match String.lowercase_ascii search_name with
+      | "ie" -> Ok Driver.Ie
+      | "be" -> Ok Driver.Be
+      | "ce" -> Ok Driver.Ce
+      | "random" -> Ok (Driver.Random 100)
+      | "ff" -> Ok Driver.Ff
+      | "ose" -> Ok Driver.Ose
+      | other -> Error ("unknown search " ^ other)
+    in
+    let* method_ =
+      if String.lowercase_ascii method_name = "auto" then Ok None
+      else
+        match Driver.method_of_string method_name with
+        | Some m -> Ok (Some m)
+        | None -> Error ("unknown rating method " ^ method_name)
+    in
+    if jobs < 1 then begin
+      prerr_endline "jobs must be >= 1";
+      exit 1
+    end;
+    Printf.printf "Tuning %d benchmarks on %s, %s data set, %d domain%s...\n%!"
+      (List.length benchmarks) machine.Machine.name (Trace.dataset_name dataset) jobs
+      (if jobs = 1 then "" else "s");
+    let t0 = Unix.gettimeofday () in
+    let results = Driver.tune_suite ~seed ~search ?method_ ~domains:jobs benchmarks machine dataset in
+    let wall = Unix.gettimeofday () -. t0 in
+    let t =
+      Table.create
+        ~header:[ "Benchmark"; "Method"; "Best configuration"; "Improv."; "Tuning s"; "Ratings" ]
+        ()
+    in
+    List.iter
+      (fun (r : Driver.result) ->
+        let imp =
+          Driver.improvement_pct r.Driver.benchmark machine ~best:r.Driver.best_config Trace.Ref
+        in
+        Table.add_row t
+          [
+            r.Driver.benchmark.Benchmark.name;
+            Driver.method_name r.Driver.method_used;
+            Optconfig.to_string r.Driver.best_config;
+            Printf.sprintf "%.1f%%" imp;
+            Printf.sprintf "%.1f" r.Driver.tuning_seconds;
+            string_of_int r.Driver.search_stats.Search.ratings;
+          ])
+      results;
+    Table.print t;
+    Printf.printf "Suite wall time: %.2f s on %d domain%s\n" wall jobs
+      (if jobs = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Tune a set of benchmarks concurrently on a domain pool.  Results are \
+          bit-identical for every $(b,-j) value.")
+    Term.(
+      const run $ benchmarks_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg
+      $ seed_arg $ jobs_arg)
 
 let consistency_cmd =
   let run name machine_name seed =
@@ -275,6 +365,9 @@ let show_cmd =
 let main =
   let doc = "PEAK: rating compiler optimizations for automatic performance tuning" in
   Cmd.group (Cmd.info "peak-tune" ~version:"1.0.0" ~doc)
-    [ list_cmd; flags_cmd; analyze_cmd; tune_cmd; consistency_cmd; instrument_cmd; show_cmd ]
+    [
+      list_cmd; flags_cmd; analyze_cmd; tune_cmd; suite_cmd; consistency_cmd; instrument_cmd;
+      show_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 gate: build, tests, formatting.  Run from the repo root.
+set -eu
+
+echo "== dune build"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+# Formatting: @fmt covers dune files always and OCaml sources when
+# ocamlformat is installed.  Without ocamlformat the OCaml rules cannot
+# run at all, so the gate is skipped rather than failed — the dune-file
+# part alone cannot be separated from the broken alias.
+echo "== formatting"
+if command -v ocamlformat >/dev/null 2>&1; then
+  if dune build @fmt >/dev/null 2>&1; then
+    echo "   formatting clean"
+  else
+    echo "   formatting diffs found; run: dune fmt" >&2
+    exit 1
+  fi
+else
+  echo "   ocamlformat not installed; skipping the formatting gate"
+fi
+
+echo "== OK"

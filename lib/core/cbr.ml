@@ -24,7 +24,20 @@ let rate ?(params = Rating.default_params) runner ~sources ~target version =
       end
     done;
     let eval, var, n, converged = Rating.summarize ~params !samples in
-    if converged || !consumed >= params.Rating.max_invocations then
+    if converged || !consumed >= params.Rating.max_invocations then begin
+      (* Rating.summarize returns eval = nan on zero kept samples; caching
+         that NaN would silently corrupt every later relative ratio, so a
+         target context that never occurred within the budget fails
+         loudly instead. *)
+      if n = 0 then
+        raise
+          (Rating.No_samples
+             (Printf.sprintf
+                "Cbr.rate: no invocation of %s matched target context [%s] within %d \
+                 invocations"
+                (Tsection.name (Runner.tsection runner))
+                (String.concat "; " (Array.to_list (Array.map string_of_float target)))
+                !consumed));
       result :=
         Some
           {
@@ -34,6 +47,7 @@ let rate ?(params = Rating.default_params) runner ~sources ~target version =
             invocations = !consumed;
             converged;
           }
+    end
   done;
   Option.get !result
 

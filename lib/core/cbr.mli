@@ -13,7 +13,10 @@ val rate :
   Peak_compiler.Version.t ->
   Rating.t
 (** [target] is the context-variable value vector to match; [[||]] with
-    empty [sources] matches every invocation (the single-context case). *)
+    empty [sources] matches every invocation (the single-context case).
+    @raise Rating.No_samples if no invocation matched the target context
+    within [max_invocations] — a silent NaN rating would otherwise be
+    cached and poison the search. *)
 
 val rate_all_contexts :
   ?params:Rating.params ->

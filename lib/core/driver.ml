@@ -49,13 +49,38 @@ let auto_method profile tsec =
   | Consultant.Rbr -> Rbr
 
 let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
-    ?(threshold = 0.005) ?compile ~method_ (benchmark : Benchmark.t) machine dataset =
+    ?(threshold = 0.005) ?compile ?pool ?method_ (benchmark : Benchmark.t) machine dataset =
   let tsec = Tsection.make benchmark.Benchmark.ts in
   let trace = benchmark.Benchmark.trace dataset ~seed in
   let profile = Profile.run ~seed:(seed + 1) tsec trace machine in
   let advice = Consultant.advise tsec profile in
+  (* [method_] omitted means "auto": resolve the consultant's choice from
+     the single profile computed above instead of forcing callers to run
+     a second profiling pass of their own *)
+  let method_ =
+    match method_ with
+    | Some m -> m
+    | None -> (
+        match advice.Consultant.chosen with
+        | Consultant.Cbr -> Cbr
+        | Consultant.Mbr -> Mbr
+        | Consultant.Rbr -> Rbr)
+  in
   let non_ts = non_ts_cycles_of benchmark profile in
   let runner = Runner.create ~seed:(seed + 2) tsec trace machine in
+  (* Parallel rating bookkeeping: each concurrently-rated candidate runs
+     on its own deterministically-seeded runner; its consumption is folded
+     back into these totals in submission order after the batch joins, so
+     the aggregate is bit-identical for every domain count. *)
+  let extra_cycles = ref 0.0 in
+  let extra_invocations = ref 0 in
+  let extra_passes = ref 0 in
+  let account (inv, p, cyc) =
+    extra_invocations := !extra_invocations + inv;
+    extra_passes := !extra_passes + p;
+    extra_cycles := !extra_cycles +. cyc
+  in
+  let now () = Runner.tuning_cycles runner +. !extra_cycles in
   (* the Remote Optimizer of Figure 6: versions must be compiled before
      they can be swapped in; Local blocks tuning, Remote overlaps *)
   let optimizer =
@@ -66,14 +91,17 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     match optimizer with
     | None -> ()
     | Some opt ->
-        let stall = Optimizer.stall_for opt ~now:(Runner.tuning_cycles runner) config in
-        if stall > 0.0 then Runner.charge_overhead runner stall
+        let stall = Optimizer.stall_for opt ~now:(now ()) config in
+        if stall > 0.0 then begin
+          match pool with
+          | None -> Runner.charge_overhead runner stall
+          | Some _ -> extra_cycles := !extra_cycles +. stall
+        end
   in
   let prepare configs =
     match optimizer with
     | None -> ()
-    | Some opt ->
-        List.iter (fun c -> Optimizer.request opt ~now:(Runner.tuning_cycles runner) c) configs
+    | Some opt -> List.iter (fun c -> Optimizer.request opt ~now:(now ()) c) configs
   in
   let versions = Hashtbl.create 64 in
   let version config =
@@ -93,29 +121,30 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     | Profile.Cbr_ok { sources; stats = []; _ } -> Some (sources, [||])
     | Profile.Cbr_no _ -> None
   in
-  let eval_cache = Hashtbl.create 64 in
-  let eval_with f config =
-    match Hashtbl.find_opt eval_cache config with
-    | Some e -> e
+  let cbr_info_exn () =
+    match cbr_info with
+    | Some info -> info
     | None ->
-        let e = f config in
-        Hashtbl.add eval_cache config e;
-        e
+        invalid_arg
+          (Printf.sprintf "Driver.tune: CBR not applicable to %s" benchmark.Benchmark.name)
   in
-  let relative : Search.relative =
+  let eval_cache = Hashtbl.create 64 in
+  (* ---------------- sequential rating (one shared runner) ------------ *)
+  let sequential_relative () : Search.relative =
+    let eval_with f config =
+      match Hashtbl.find_opt eval_cache config with
+      | Some e -> e
+      | None ->
+          let e = f config in
+          Hashtbl.add eval_cache config e;
+          e
+    in
     match method_ with
     | Rbr ->
         fun ~base candidate ->
           (Rbr.rate ~params runner ~base:(version base) (version candidate)).Rating.eval
     | Cbr ->
-        let sources, target =
-          match cbr_info with
-          | Some info -> info
-          | None ->
-              invalid_arg
-                (Printf.sprintf "Driver.tune: CBR not applicable to %s"
-                   benchmark.Benchmark.name)
-        in
+        let sources, target = cbr_info_exn () in
         let eval =
           eval_with (fun c -> (Cbr.rate ~params runner ~sources ~target (version c)).Rating.eval)
         in
@@ -139,25 +168,117 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
         in
         fun ~base candidate -> eval candidate /. eval base
   in
+  (* ---------------- parallel rating (one runner per candidate) ------- *)
+  (* Candidate seeds mix the experiment seed, the candidate's index in
+     its batch and the configuration identity, so a rating depends only
+     on (seed, idx, config) — never on which domain ran it or on what was
+     rated before it.  That is what makes [~domains:1] and [~domains:4]
+     produce bit-identical searches. *)
+  let job_seed ?(base_hash = 0) ~idx config =
+    seed + ((idx + 2) * 1_000_003) + (Optconfig.hash config * 8191) + (base_hash * 131)
+  in
+  let fresh_runner jseed =
+    let trace = benchmark.Benchmark.trace dataset ~seed in
+    Runner.create ~seed:jseed tsec trace machine
+  in
+  let consumption r = (Runner.invocations_consumed r, Runner.passes_started r, Runner.tuning_cycles r) in
+  let parallel_rating p : Search.relative * Search.rate_many option =
+    let eval_rating (eval_in : Runner.t -> Version.t -> float) =
+      (* compile caller-side (the versions table is not shared across
+         domains), dispatch only configurations missing from the eval
+         cache, keeping the first occurrence of a duplicate *)
+      let ensure idxed =
+        let seen = Hashtbl.create 8 in
+        let jobs =
+          List.filter_map
+            (fun (idx, c) ->
+              if Hashtbl.mem eval_cache c || Hashtbl.mem seen c then None
+              else begin
+                Hashtbl.add seen c ();
+                Some (idx, c, version c)
+              end)
+            idxed
+        in
+        let results =
+          Peak_util.Pool.map p
+            (fun (idx, _, v) ->
+              let r = fresh_runner (job_seed ~idx v.Version.config) in
+              let e = eval_in r v in
+              (e, consumption r))
+            jobs
+        in
+        List.iter2
+          (fun (_, c, _) (e, used) ->
+            account used;
+            Hashtbl.replace eval_cache c e)
+          jobs results
+      in
+      let rate_many : Search.rate_many =
+       fun ~base candidates ->
+        ensure ((-1, base) :: List.mapi (fun i c -> (i, c)) candidates);
+        let eval_base = Hashtbl.find eval_cache base in
+        List.map (fun c -> Hashtbl.find eval_cache c /. eval_base) candidates
+      in
+      let relative : Search.relative = (fun ~base c -> List.hd (rate_many ~base [ c ])) in
+      (relative, Some rate_many)
+    in
+    match method_ with
+    | Rbr ->
+        let rate_many : Search.rate_many =
+         fun ~base candidates ->
+          let vb = version base in
+          let base_hash = Optconfig.hash base in
+          let jobs = List.mapi (fun i c -> (i, version c)) candidates in
+          let results =
+            Peak_util.Pool.map p
+              (fun (idx, v) ->
+                let r = fresh_runner (job_seed ~base_hash ~idx v.Version.config) in
+                let e = (Rbr.rate ~params r ~base:vb v).Rating.eval in
+                (e, consumption r))
+              jobs
+          in
+          List.map
+            (fun (e, used) ->
+              account used;
+              e)
+            results
+        in
+        let relative : Search.relative = (fun ~base c -> List.hd (rate_many ~base [ c ])) in
+        (relative, Some rate_many)
+    | Cbr ->
+        let sources, target = cbr_info_exn () in
+        eval_rating (fun r v -> (Cbr.rate ~params r ~sources ~target v).Rating.eval)
+    | Mbr ->
+        let components = profile.Profile.components in
+        let avg_counts = profile.Profile.avg_component_counts in
+        let dominant = profile.Profile.dominant_component in
+        eval_rating (fun r v ->
+            (Mbr.rate ~params r ~components ~avg_counts ~dominant v).Rating.eval)
+    | Avg -> eval_rating (fun r v -> (Avg.rate ~params r v).Rating.eval)
+    | Whl -> eval_rating (fun r v -> (Whl.rate r ~non_ts_cycles:non_ts v).Rating.eval)
+  in
+  let relative, rate_many =
+    match pool with
+    | None -> (sequential_relative (), None)
+    | Some p -> parallel_rating p
+  in
   let best_config, search_stats =
     match search with
-    | Ie -> Search.iterative_elimination ~threshold ~prepare ~relative Optconfig.o3
-    | Be -> Search.batch_elimination ~threshold ~prepare ~relative Optconfig.o3
-    | Ce -> Search.combined_elimination ~threshold ~prepare ~relative Optconfig.o3
+    | Ie -> Search.iterative_elimination ~threshold ~prepare ?rate_many ~relative Optconfig.o3
+    | Be -> Search.batch_elimination ~threshold ~prepare ?rate_many ~relative Optconfig.o3
+    | Ce -> Search.combined_elimination ~threshold ~prepare ?rate_many ~relative Optconfig.o3
     | Random n ->
-        Search.random_search ~samples:n
+        Search.random_search ~samples:n ?rate_many
           ~rng:(Peak_util.Rng.create ~seed:(seed + 3))
           ~relative Optconfig.o3
     | Ff ->
-        Search.fractional_factorial ~threshold
+        Search.fractional_factorial ~threshold ?rate_many
           ~rng:(Peak_util.Rng.create ~seed:(seed + 3))
           ~relative Optconfig.o3
     | Ose -> Search.ose ~threshold ~relative Optconfig.o3
   in
-  let passes = Runner.passes_started runner in
-  let tuning_cycles =
-    Runner.tuning_cycles runner +. (float_of_int passes *. non_ts)
-  in
+  let passes = Runner.passes_started runner + !extra_passes in
+  let tuning_cycles = now () +. (float_of_int passes *. non_ts) in
   {
     benchmark;
     machine;
@@ -168,10 +289,19 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     tuning_cycles;
     tuning_seconds = Machine.seconds_of_cycles machine tuning_cycles;
     passes;
-    invocations = Runner.invocations_consumed runner;
+    invocations = Runner.invocations_consumed runner + !extra_invocations;
     profile;
     advice;
   }
+
+let tune_suite ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
+    ?(threshold = 0.005) ?method_ ?(domains = 1) benchmarks machine dataset =
+  Peak_util.Pool.run ~domains (fun pool ->
+      Peak_util.Pool.map pool
+        (fun benchmark ->
+          tune ~seed ~search ~rating_params ~threshold ~pool ?method_ benchmark machine
+            dataset)
+        benchmarks)
 
 (* Deterministic evaluation: same machinery, but a noise-free machine and
    no cache-flushing perturbations. *)

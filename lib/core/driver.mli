@@ -36,7 +36,8 @@ val tune :
   ?rating_params:Rating.params ->
   ?threshold:float ->
   ?compile:Optimizer.mode * float ->
-  method_:rating_method ->
+  ?pool:Peak_util.Pool.t ->
+  ?method_:rating_method ->
   Peak_workload.Benchmark.t ->
   Peak_machine.Machine.t ->
   Peak_workload.Trace.dataset ->
@@ -44,10 +45,42 @@ val tune :
 (** Run one full offline tuning session.  [method_] may force a method
     the consultant would not choose (the Figure-7 bars include such
     cells, e.g. MGRID under CBR); forcing CBR on a section whose context
-    analysis failed raises [Invalid_argument].  [compile] models the
-    Remote Optimizer: (mode, seconds-per-version); omitted, compiles are
-    free (the default the Figure-7 numbers use, matching the paper's
-    tuning-time accounting, which counts program runs). *)
+    analysis failed raises [Invalid_argument].  Omitted, the method is
+    resolved automatically from the session's own profiling pass (no
+    second profile is run).  [compile] models the Remote Optimizer:
+    (mode, seconds-per-version); omitted, compiles are free (the default
+    the Figure-7 numbers use, matching the paper's tuning-time
+    accounting, which counts program runs).
+
+    [pool] routes every candidate scan through {!Peak_util.Pool.map},
+    rating candidates concurrently.  Each candidate then runs on its own
+    runner whose seed is derived from [seed], the candidate's batch index
+    and the configuration's identity, and the consumed
+    invocations/passes/cycles are folded back into the session totals in
+    submission order — so the result (best configuration, search stats,
+    tuning-cycle ledger) is bit-identical regardless of the pool's domain
+    count.  Note the parallel path rates each batch on fresh runners
+    rather than one shared invocation stream, so its results differ from
+    the no-pool sequential path (but not across pool sizes). *)
+
+val tune_suite :
+  ?seed:int ->
+  ?search:search_algo ->
+  ?rating_params:Rating.params ->
+  ?threshold:float ->
+  ?method_:rating_method ->
+  ?domains:int ->
+  Peak_workload.Benchmark.t list ->
+  Peak_machine.Machine.t ->
+  Peak_workload.Trace.dataset ->
+  result list
+(** Tune a list of benchmarks concurrently on a [domains]-wide pool
+    (default 1).  The benchmarks themselves are distributed over the pool
+    and each session also fans its candidate scans out on the same pool
+    (nested batches are safe: {!Peak_util.Pool.map} callers help drain
+    the queue).  Results are in benchmark order and — by the per-candidate
+    seeding scheme described at {!tune} — bit-identical for every value of
+    [domains]. *)
 
 val auto_method : Profile.t -> Tsection.t -> rating_method
 (** The consultant's choice, as a driver method. *)

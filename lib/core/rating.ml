@@ -26,9 +26,16 @@ type params = {
 let default_params =
   { window = 40; rel_threshold = 0.01; max_invocations = 20_000; outlier_k = 3.5 }
 
+exception No_samples of string
+
 (* Reduce a set of raw samples to (eval, var, n, converged). *)
 let summarize ~params values =
   let open Peak_util in
+  (* guard before outlier elimination: Stats.drop_outliers rejects empty
+     input, and a rating window can legitimately hold no samples (e.g.
+     CBR with a context that never occurred) *)
+  if values = [] then (nan, infinity, 0, false)
+  else
   let kept = Stats.drop_outliers ~k:params.outlier_k (Array.of_list values) in
   let n = Array.length kept in
   if n = 0 then (nan, infinity, 0, false)

@@ -26,6 +26,12 @@ type params = {
 val default_params : params
 (** window 40, threshold 1%, cap 20k invocations, k 3.5. *)
 
+exception No_samples of string
+(** Raised by a rater that exhausted its invocation budget without a
+    single usable sample (e.g. CBR with a target context that never
+    occurs).  Failing loudly here matters: a silent NaN rating would be
+    cached by the driver and poison every subsequent relative ratio. *)
+
 val summarize : params:params -> float list -> float * float * int * bool
 (** [(eval, var, kept, converged)] of a sample list after outlier
     elimination. *)

@@ -2,6 +2,8 @@ open Peak_compiler
 
 type relative = base:Optconfig.t -> Optconfig.t -> float
 
+type rate_many = base:Optconfig.t -> Optconfig.t list -> float list
+
 type prepare = Optconfig.t list -> unit
 
 type stats = {
@@ -10,13 +12,25 @@ type stats = {
   trajectory : (Optconfig.t * float) list;
 }
 
-let iterative_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ~relative start =
+(* Without an explicit batch-rating hook, a batch is just the sequential
+   ratings in submission order — which keeps every algorithm's oracle
+   call sequence identical to the historical one-at-a-time code path. *)
+let sequential_rate_many ~relative : rate_many =
+ fun ~base candidates -> List.map (fun c -> relative ~base c) candidates
+
+let with_counter ratings (rate_many : rate_many) : rate_many =
+ fun ~base candidates ->
+  ratings := !ratings + List.length candidates;
+  rate_many ~base candidates
+
+let iterative_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ?rate_many ~relative
+    start =
   let ratings = ref 0 in
   let iterations = ref 0 in
   let trajectory = ref [] in
-  let rate ~base c =
-    incr ratings;
-    relative ~base c
+  let rate_all =
+    with_counter ratings
+      (Option.value rate_many ~default:(sequential_rate_many ~relative))
   in
   let current = ref start in
   let continue_ = ref true in
@@ -24,16 +38,15 @@ let iterative_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ~relativ
     incr iterations;
     let candidates = List.map (Optconfig.disable !current) (Optconfig.enabled !current) in
     prepare candidates;
+    let rs = rate_all ~base:!current candidates in
     let best = ref None in
-    List.iter
-      (fun f ->
-        let candidate = Optconfig.disable !current f in
-        let r = rate ~base:!current candidate in
+    List.iter2
+      (fun candidate r ->
         if r < 1.0 -. threshold then
           match !best with
           | Some (_, best_r) when best_r <= r -> ()
           | _ -> best := Some (candidate, r))
-      (Optconfig.enabled !current);
+      candidates rs;
     match !best with
     | Some (candidate, r) ->
         trajectory := (candidate, 1.0 -. r) :: !trajectory;
@@ -42,42 +55,49 @@ let iterative_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ~relativ
   done;
   (!current, { ratings = !ratings; iterations = !iterations; trajectory = List.rev !trajectory })
 
-let batch_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ~relative start =
-  let ratings = ref 0 in
-  prepare (List.map (Optconfig.disable start) (Optconfig.enabled start));
+let batch_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ?rate_many ~relative start =
+  let rate_all =
+    Option.value rate_many ~default:(sequential_rate_many ~relative)
+  in
+  let flags = Optconfig.enabled start in
+  let candidates = List.map (Optconfig.disable start) flags in
+  prepare candidates;
+  let rs = rate_all ~base:start candidates in
   let harmful =
     List.filter_map
-      (fun f ->
-        incr ratings;
-        let r = relative ~base:start (Optconfig.disable start f) in
-        if r < 1.0 -. threshold then Some (f, 1.0 -. r) else None)
-      (Optconfig.enabled start)
+      (fun (f, r) -> if r < 1.0 -. threshold then Some (f, 1.0 -. r) else None)
+      (List.combine flags rs)
   in
   let final = List.fold_left (fun c (f, _) -> Optconfig.disable c f) start harmful in
+  (* the trajectory records the cumulative configurations actually
+     adopted, so its last entry is the returned configuration *)
+  let trajectory, _ =
+    List.fold_left
+      (fun (acc, c) (f, gain) ->
+        let c = Optconfig.disable c f in
+        ((c, gain) :: acc, c))
+      ([], start) harmful
+  in
   ( final,
-    {
-      ratings = !ratings;
-      iterations = 1;
-      trajectory = List.map (fun (f, gain) -> (Optconfig.disable start f, gain)) harmful;
-    } )
+    { ratings = List.length candidates; iterations = 1; trajectory = List.rev trajectory } )
 
-let combined_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ~relative start =
+let combined_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ?rate_many ~relative
+    start =
   let ratings = ref 0 in
   let iterations = ref 0 in
-  prepare (List.map (Optconfig.disable start) (Optconfig.enabled start));
-  let trajectory = ref [] in
-  let rate ~base c =
-    incr ratings;
-    relative ~base c
+  let rate_all =
+    with_counter ratings
+      (Option.value rate_many ~default:(sequential_rate_many ~relative))
   in
+  let flags = Optconfig.enabled start in
+  let first_candidates = List.map (Optconfig.disable start) flags in
+  prepare first_candidates;
+  let trajectory = ref [] in
   (* first pass: find the initially harmful flags *)
   incr iterations;
+  let first_ratings = rate_all ~base:start first_candidates in
   let candidates =
-    List.filter_map
-      (fun f ->
-        let r = rate ~base:start (Optconfig.disable start f) in
-        if r < 1.0 -. threshold then Some (f, r) else None)
-      (Optconfig.enabled start)
+    List.filter (fun (_, r) -> r < 1.0 -. threshold) (List.combine flags first_ratings)
   in
   let current = ref start in
   let remaining = ref (List.map fst candidates) in
@@ -91,15 +111,16 @@ let combined_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ~relative
   let continue_ = ref (!remaining <> []) in
   while !continue_ do
     incr iterations;
+    let scan = List.map (Optconfig.disable !current) !remaining in
+    let rs = rate_all ~base:!current scan in
     let best = ref None in
-    List.iter
-      (fun f ->
-        let r = rate ~base:!current (Optconfig.disable !current f) in
+    List.iter2
+      (fun f r ->
         if r < 1.0 -. threshold then
           match !best with
           | Some (_, best_r) when best_r <= r -> ()
           | _ -> best := Some (f, r))
-      !remaining;
+      !remaining rs;
     match !best with
     | Some (f, r) ->
         current := Optconfig.disable !current f;
@@ -110,19 +131,27 @@ let combined_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ~relative
   done;
   (!current, { ratings = !ratings; iterations = !iterations; trajectory = List.rev !trajectory })
 
-let random_search ?(samples = 100) ~rng ~relative start =
+let random_search ?(samples = 100) ?rate_many ~rng ~relative start =
   let ratings = ref 0 in
-  let best = ref (start, 1.0) in
+  let rate_all =
+    with_counter ratings
+      (Option.value rate_many ~default:(sequential_rate_many ~relative))
+  in
+  (* draw every candidate first (the rating oracle never touches the rng,
+     so the stream of draws matches the historical interleaved code) *)
+  let candidates = ref [] in
   for _ = 1 to samples do
     let candidate =
       Array.fold_left
         (fun c f -> if Peak_util.Rng.bool rng then Optconfig.enable c f else Optconfig.disable c f)
         Optconfig.o0 Flags.all
     in
-    incr ratings;
-    let r = relative ~base:start candidate in
-    if r < snd !best then best := (candidate, r)
+    candidates := candidate :: !candidates
   done;
+  let candidates = List.rev !candidates in
+  let rs = rate_all ~base:start candidates in
+  let best = ref (start, 1.0) in
+  List.iter2 (fun c r -> if r < snd !best then best := (c, r)) candidates rs;
   let config, r = !best in
   ( config,
     {
@@ -131,11 +160,11 @@ let random_search ?(samples = 100) ~rng ~relative start =
       trajectory = (if r < 1.0 then [ (config, 1.0 -. r) ] else []);
     } )
 
-let fractional_factorial ?(runs = 20) ?(threshold = 0.005) ~rng ~relative start =
+let fractional_factorial ?(runs = 20) ?(threshold = 0.005) ?rate_many ~rng ~relative start =
   let ratings = ref 0 in
-  let rate c =
-    incr ratings;
-    relative ~base:start c
+  let rate_all =
+    with_counter ratings
+      (Option.value rate_many ~default:(sequential_rate_many ~relative))
   in
   (* design matrix: random assignments plus their foldover complements,
      so every flag sees a balanced on/off split *)
@@ -158,7 +187,7 @@ let fractional_factorial ?(runs = 20) ?(threshold = 0.005) ~rng ~relative start 
            in
            [ c; complement ]))
   in
-  let rated = List.map (fun c -> (c, rate c)) designs in
+  let rated = List.combine designs (rate_all ~base:start designs) in
   (* main effect of each flag: mean rating with it on minus off *)
   let effect f =
     let on, off =
@@ -184,18 +213,20 @@ let fractional_factorial ?(runs = 20) ?(threshold = 0.005) ~rng ~relative start 
     |> List.sort (fun (_, a) (_, b) -> compare b a)
     |> List.filteri (fun i _ -> i < 10)
   in
-  let rate_vs ~base c =
-    incr ratings;
-    relative ~base c
+  let confirm_ratings =
+    rate_all ~base:start (List.map (fun (f, _) -> Optconfig.disable start f) screened)
   in
   let confirmed =
-    List.filter
-      (fun (f, _) -> rate_vs ~base:start (Optconfig.disable start f) < 1.0 -. threshold)
-      screened
+    List.filter_map
+      (fun ((f, e), r) -> if r < 1.0 -. threshold then Some (f, e) else None)
+      (List.combine screened confirm_ratings)
   in
   let final = List.fold_left (fun c (f, _) -> Optconfig.disable c f) start confirmed in
   (* final sanity: the combination must beat the start too *)
-  let combined = if Optconfig.equal final start then 1.0 else rate_vs ~base:start final in
+  let combined =
+    if Optconfig.equal final start then 1.0
+    else match rate_all ~base:start [ final ] with [ r ] -> r | _ -> assert false
+  in
   let final = if combined < 1.0 then final else start in
   ( final,
     {

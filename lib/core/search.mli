@@ -15,6 +15,15 @@
 
 type relative = base:Peak_compiler.Optconfig.t -> Peak_compiler.Optconfig.t -> float
 
+type rate_many = base:Peak_compiler.Optconfig.t -> Peak_compiler.Optconfig.t list -> float list
+(** Batch form of the rating oracle: rate a whole candidate set against
+    one base, returning the relative times in candidate order.  Search
+    algorithms route every embarrassingly-parallel candidate scan through
+    this hook, so a driver can fan the batch out over a domain pool
+    ({!Peak_util.Pool}).  When omitted, it defaults to rating the
+    candidates one at a time with [relative], in submission order —
+    bit-identical to the historical sequential behavior. *)
+
 type prepare = Peak_compiler.Optconfig.t list -> unit
 (** Called with each iteration's candidate configurations before any of
     them is rated — the hook the driver uses to prefetch compiles at the
@@ -31,38 +40,48 @@ type stats = {
 val iterative_elimination :
   ?threshold:float ->
   ?prepare:prepare ->
+  ?rate_many:rate_many ->
   relative:relative ->
   Peak_compiler.Optconfig.t ->
   Peak_compiler.Optconfig.t * stats
 (** Remove one worst flag per iteration until no removal improves by more
-    than [threshold] (default 0.005 relative). *)
+    than [threshold] (default 0.005 relative).  Each iteration's
+    candidate scan is one [rate_many] batch. *)
 
 val batch_elimination :
   ?threshold:float ->
   ?prepare:prepare ->
+  ?rate_many:rate_many ->
   relative:relative ->
   Peak_compiler.Optconfig.t ->
   Peak_compiler.Optconfig.t * stats
-(** Measure each flag's removal once against the start configuration and
-    drop every flag that helped — n+0 ratings, no interaction handling. *)
+(** Measure each flag's removal once against the start configuration
+    (one [rate_many] batch) and drop every flag that helped — n+0
+    ratings, no interaction handling.  The trajectory lists the
+    cumulative configurations adopted while stacking the removals, so
+    its final entry is the returned configuration. *)
 
 val combined_elimination :
   ?threshold:float ->
   ?prepare:prepare ->
+  ?rate_many:rate_many ->
   relative:relative ->
   Peak_compiler.Optconfig.t ->
   Peak_compiler.Optconfig.t * stats
 (** Batch-style first measurement, then iteratively re-test only the
-    initially-harmful flags against the evolving baseline. *)
+    initially-harmful flags against the evolving baseline; every scan is
+    a [rate_many] batch. *)
 
 val random_search :
   ?samples:int ->
+  ?rate_many:rate_many ->
   rng:Peak_util.Rng.t ->
   relative:relative ->
   Peak_compiler.Optconfig.t ->
   Peak_compiler.Optconfig.t * stats
 (** Uniformly random configurations, all rated against the start
-    configuration; returns the best found (default 100 samples). *)
+    configuration as one [rate_many] batch; returns the best found
+    (default 100 samples). *)
 
 val exhaustive :
   flags:Peak_compiler.Flags.t list ->
@@ -75,6 +94,7 @@ val exhaustive :
 val fractional_factorial :
   ?runs:int ->
   ?threshold:float ->
+  ?rate_many:rate_many ->
   rng:Peak_util.Rng.t ->
   relative:relative ->
   Peak_compiler.Optconfig.t ->

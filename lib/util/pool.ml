@@ -1,0 +1,107 @@
+type task = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : task Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+  domains : int;
+}
+
+(* Workers drain the queue until shutdown; a task never raises (map wraps
+   user code in a result), so a worker cannot die early. *)
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && pool.live do
+    Condition.wait pool.cond pool.mutex
+  done;
+  match Queue.take_opt pool.queue with
+  | Some task ->
+      Mutex.unlock pool.mutex;
+      task ();
+      worker_loop pool
+  | None ->
+      (* queue empty and pool no longer live *)
+      Mutex.unlock pool.mutex
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      workers = [];
+      domains;
+    }
+  in
+  pool.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let domains pool = pool.domains
+
+let map (type b) pool (f : 'a -> b) items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results : (b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
+    let remaining = ref n in
+    let task i () =
+      let r =
+        try Ok (f items.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock pool.mutex;
+      results.(i) <- Some r;
+      decr remaining;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex
+    in
+    Mutex.lock pool.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (task i) pool.queue
+    done;
+    Condition.broadcast pool.cond;
+    (* The caller works too.  It may pick up a task from another batch
+       (nested maps share the queue); that only delays this batch, and
+       the helped batch's submitter is woken by the broadcast above. *)
+    while !remaining > 0 do
+      match Queue.take_opt pool.queue with
+      | Some task ->
+          Mutex.unlock pool.mutex;
+          task ();
+          Mutex.lock pool.mutex
+      | None -> if !remaining > 0 then Condition.wait pool.cond pool.mutex
+    done;
+    Mutex.unlock pool.mutex;
+    let out =
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> Ok v
+             | Some (Error e) -> Error e
+             | None -> assert false)
+           results)
+    in
+    (* the whole batch has completed, so re-raising here leaves no task of
+       this batch behind in the queue: the pool stays reusable *)
+    List.map
+      (function
+        | Ok v -> v
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      out
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.live <- false;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let run ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

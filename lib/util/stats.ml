@@ -131,7 +131,12 @@ let welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =
   else begin
     let s1 = var1 /. float_of_int n1 and s2 = var2 /. float_of_int n2 in
     let se2 = s1 +. s2 in
-    if se2 <= 0.0 then if mean1 = mean2 then (0.0, 1.0) else (infinity, 1.0)
+    if se2 <= 0.0 then
+      (* zero pooled variance: the difference is deterministic, so report
+         a signed infinite statistic rather than losing the direction *)
+      if mean1 = mean2 then (0.0, 1.0)
+      else if mean1 < mean2 then (neg_infinity, 1.0)
+      else (infinity, 1.0)
     else begin
       let t = (mean1 -. mean2) /. sqrt se2 in
       let df =

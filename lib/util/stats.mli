@@ -78,8 +78,10 @@ val welch_t_summary :
 (** Welch's t statistic and Welch–Satterthwaite degrees of freedom for
     two independent samples given by their summary statistics.  Returns
     [(0, 1)] when either sample has fewer than two points or both
-    variances are zero with equal means; equal means with zero variances
-    but different values yield [(infinity, ...)]. *)
+    variances are zero with equal means; unequal means with zero
+    variances yield a signed infinity ([neg_infinity] when
+    [mean1 < mean2]) so that directional tests keep working on
+    deterministic data. *)
 
 val t_critical95 : df:float -> float
 (** Two-sided 95% critical value of Student's t distribution,

@@ -1,0 +1,81 @@
+(* Peak_util.Pool: the domain work-pool under the parallel tuning engine. *)
+
+open Peak_util
+
+exception Boom of int
+
+let test_map_orders_results () =
+  Pool.run ~domains:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      let ys = Pool.map pool (fun x -> x * x) xs in
+      Alcotest.(check (list int)) "squares in order" (List.map (fun x -> x * x) xs) ys)
+
+let test_map_empty () =
+  Pool.run ~domains:2 (fun pool ->
+      Alcotest.(check (list int)) "empty batch" [] (Pool.map pool (fun x -> x) []))
+
+let test_single_domain () =
+  Pool.run ~domains:1 (fun pool ->
+      Alcotest.(check (list int))
+        "no workers: caller runs everything" [ 2; 4; 6 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_exception_propagates () =
+  Pool.run ~domains:3 (fun pool ->
+      match Pool.map pool (fun x -> if x mod 7 = 3 then raise (Boom x) else x) (List.init 40 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x ->
+          (* first failure in submission order, not completion order *)
+          Alcotest.(check int) "earliest failing element" 3 x)
+
+let test_reusable_after_failure () =
+  Pool.run ~domains:3 (fun pool ->
+      (try ignore (Pool.map pool (fun _ -> raise (Boom 0)) [ 1; 2; 3 ]) with Boom _ -> ());
+      let ys = Pool.map pool (fun x -> x + 1) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "pool still serves batches" [ 2; 3; 4 ] ys)
+
+let test_nested_map () =
+  (* a task that itself submits a batch to the same pool must not
+     deadlock even when every worker is busy: submitters help drain the
+     queue *)
+  Pool.run ~domains:2 (fun pool ->
+      let ys =
+        Pool.map pool
+          (fun x -> List.fold_left ( + ) 0 (Pool.map pool (fun y -> x * y) [ 1; 2; 3 ]))
+          (List.init 8 Fun.id)
+      in
+      Alcotest.(check (list int))
+        "inner batches complete" (List.init 8 (fun x -> 6 * x)) ys)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:2 in
+  ignore (Pool.map pool Fun.id [ 1; 2 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+let test_invalid_domains () =
+  Alcotest.check_raises "domains:0 rejected" (Invalid_argument "Pool.create: domains must be >= 1")
+    (fun () -> ignore (Pool.create ~domains:0))
+
+let prop_map_matches_list_map =
+  QCheck.Test.make ~count:50 ~name:"Pool.map agrees with List.map for any domain count"
+    QCheck.(pair (int_range 1 5) (small_list small_int))
+    (fun (domains, xs) ->
+      Pool.run ~domains (fun pool -> Pool.map pool (fun x -> (3 * x) - 1) xs)
+      = List.map (fun x -> (3 * x) - 1) xs)
+
+let suites =
+  [
+    ( "util.pool",
+      [
+        Alcotest.test_case "map returns results in order" `Quick test_map_orders_results;
+        Alcotest.test_case "map of empty list" `Quick test_map_empty;
+        Alcotest.test_case "single domain works" `Quick test_single_domain;
+        Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "pool reusable after failed batch" `Quick test_reusable_after_failure;
+        Alcotest.test_case "nested map does not deadlock" `Quick test_nested_map;
+        Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
+        Alcotest.test_case "invalid domain count" `Quick test_invalid_domains;
+        QCheck_alcotest.to_alcotest prop_map_matches_list_map;
+      ] );
+  ]

@@ -179,6 +179,27 @@ let test_welch_t () =
   check_float "small-sample t" 0.0 td;
   check_float "small-sample df" 1.0 dfd
 
+let test_welch_zero_variance_direction () =
+  (* zero pooled variance: the statistic must keep the sign of the
+     deterministic difference, not collapse to +infinity *)
+  let t_less, _ =
+    Stats.welch_t_summary ~mean1:9.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10
+  in
+  check_float "mean1 < mean2 gives -inf" neg_infinity t_less;
+  let t_greater, _ =
+    Stats.welch_t_summary ~mean1:11.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10
+  in
+  check_float "mean1 > mean2 gives +inf" infinity t_greater;
+  let t_equal, _ =
+    Stats.welch_t_summary ~mean1:10.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10
+  in
+  check_float "equal means give 0" 0.0 t_equal;
+  (* and the significance test now sees the deterministic win *)
+  Alcotest.(check bool) "deterministic win is significant" true
+    (Stats.significantly_less ~mean1:9.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10);
+  Alcotest.(check bool) "deterministic loss is not" false
+    (Stats.significantly_less ~mean1:11.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10)
+
 let test_t_critical () =
   check_floatish "df=1" ~eps:1e-6 12.706 (Stats.t_critical95 ~df:1.0);
   check_floatish "df=10" ~eps:1e-6 2.228 (Stats.t_critical95 ~df:10.0);
@@ -471,6 +492,8 @@ let suites =
         Alcotest.test_case "outliers keep majority" `Quick test_outlier_keeps_majority;
         Alcotest.test_case "windows" `Quick test_windows;
         Alcotest.test_case "welch t" `Quick test_welch_t;
+        Alcotest.test_case "welch t zero-variance direction" `Quick
+          test_welch_zero_variance_direction;
         Alcotest.test_case "t critical" `Quick test_t_critical;
         Alcotest.test_case "significantly less" `Quick test_significantly_less;
       ] );
