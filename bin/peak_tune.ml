@@ -4,7 +4,9 @@
      peak-tune flags                        enumerate the 38 -O3 flags
      peak-tune analyze SWIM                 profile + consultant report
      peak-tune tune ART -m pentium4 -r rbr  run one tuning session
+     peak-tune tune ART --store ./peakdb    ... persistently (resumable)
      peak-tune suite -j 4                   tune the Figure 7 set in parallel
+     peak-tune session list --store ./peakdb   inspect the tuning store
      peak-tune consistency APSI             Table-1-style consistency row *)
 
 open Cmdliner
@@ -30,6 +32,66 @@ let find_machine name =
       | "sparc2" | "sparc" -> Ok Machine.sparc2
       | "pentium4" | "p4" -> Ok Machine.pentium4
       | _ -> Error (Printf.sprintf "unknown machine %s (sparc2 | pentium4)" name))
+
+(* Every subcommand body runs under this guard: any expected failure —
+   unknown names, inapplicable rating methods, store corruption,
+   filesystem errors — prints as one line on stderr and exits 1 instead
+   of dumping an uncaught-exception backtrace. *)
+let guard f =
+  try f () with
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+      prerr_endline ("peak-tune: " ^ msg);
+      exit 1
+
+let die msg =
+  prerr_endline ("peak-tune: " ^ msg);
+  exit 1
+
+let or_die = function Ok v -> v | Error msg -> die msg
+
+let parse_dataset name =
+  match String.lowercase_ascii name with
+  | "train" -> Ok Trace.Train
+  | "ref" -> Ok Trace.Ref
+  | other -> Error ("unknown dataset " ^ other ^ " (train | ref)")
+
+(* Accepts the stored "random<n>" spelling too, so a session's recorded
+   search name round-trips through [session resume]. *)
+let parse_search name =
+  match String.lowercase_ascii name with
+  | "ie" -> Ok Driver.Ie
+  | "be" -> Ok Driver.Be
+  | "ce" -> Ok Driver.Ce
+  | "ff" -> Ok Driver.Ff
+  | "ose" -> Ok Driver.Ose
+  | "random" -> Ok (Driver.Random 100)
+  | other when String.length other > 6 && String.sub other 0 6 = "random" -> (
+      match int_of_string_opt (String.sub other 6 (String.length other - 6)) with
+      | Some n when n > 0 -> Ok (Driver.Random n)
+      | _ -> Error ("unknown search " ^ other))
+  | other -> Error ("unknown search " ^ other)
+
+(* "auto" is left to Driver.tune, which resolves it from its own
+   profiling pass instead of profiling twice. *)
+let parse_method name =
+  if String.lowercase_ascii name = "auto" then Ok None
+  else
+    match Driver.method_of_string name with
+    | Some m -> Ok (Some m)
+    | None -> Error ("unknown rating method " ^ name)
+
+let print_result machine (r : Driver.result) =
+  Printf.printf "Rating method: %s\n" (Driver.method_name r.Driver.method_used);
+  Printf.printf "Best configuration: %s\n" (Optconfig.to_string r.Driver.best_config);
+  Printf.printf "Search: %d ratings over %d iterations, %d invocations, %d program runs\n"
+    r.Driver.search_stats.Search.ratings r.Driver.search_stats.Search.iterations
+    r.Driver.invocations r.Driver.passes;
+  Printf.printf "Tuning time: %.2f simulated seconds (%.3f of the WHL-equivalent cost)\n"
+    r.Driver.tuning_seconds (Report.normalized_tuning_time r);
+  let imp =
+    Driver.improvement_pct r.Driver.benchmark machine ~best:r.Driver.best_config Trace.Ref
+  in
+  Printf.printf "Whole-program improvement over -O3 (ref data set): %.1f%%\n" imp
 
 (* ---------------- arguments ---------------- *)
 
@@ -81,7 +143,10 @@ let list_cmd =
             b.Benchmark.scale;
             b.Benchmark.paper_method;
           ])
-      Registry.all;
+      (List.sort
+         (fun (a : Benchmark.t) (b : Benchmark.t) ->
+           String.compare a.Benchmark.name b.Benchmark.name)
+         Registry.all);
     Table.print t
   in
   Cmd.v (Cmd.info "list" ~doc:"List the SPEC-like benchmarks.") Term.(const run $ const ())
@@ -102,6 +167,7 @@ let flags_cmd =
 
 let analyze_cmd =
   let run name machine_name seed =
+    guard @@ fun () ->
     match (find_benchmark name, find_machine machine_name) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
@@ -153,52 +219,79 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Profile a benchmark and report the consultant's advice.")
     Term.(const run $ benchmark_arg $ machine_arg $ seed_arg)
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:"Persist ratings to the tuning store at $(docv); re-running resumes.")
+
 let tune_cmd =
-  let run name machine_name method_name dataset_name search_name seed =
-    let ( let* ) r f = match r with Error e -> prerr_endline e; exit 1 | Ok v -> f v in
-    let* b = find_benchmark name in
-    let* machine = find_machine machine_name in
-    let* dataset =
-      match String.lowercase_ascii dataset_name with
-      | "train" -> Ok Trace.Train
-      | "ref" -> Ok Trace.Ref
-      | other -> Error ("unknown dataset " ^ other)
-    in
-    let* search =
-      match String.lowercase_ascii search_name with
-      | "ie" -> Ok Driver.Ie
-      | "be" -> Ok Driver.Be
-      | "ce" -> Ok Driver.Ce
-      | "random" -> Ok (Driver.Random 100)
-      | "ff" -> Ok Driver.Ff
-      | "ose" -> Ok Driver.Ose
-      | other -> Error ("unknown search " ^ other)
-    in
-    (* "auto" is left to Driver.tune, which resolves it from its own
-       profiling pass instead of profiling twice *)
-    let* method_ =
-      if String.lowercase_ascii method_name = "auto" then Ok None
-      else
-        match Driver.method_of_string method_name with
-        | Some m -> Ok (Some m)
-        | None -> Error ("unknown rating method " ^ method_name)
+  let warm_arg =
+    Arg.(
+      value & flag
+      & info [ "warm" ]
+          ~doc:"Start the search from a configuration proposed by the store's history \
+                (requires $(b,--store)).")
+  in
+  let run name machine_name method_name dataset_name search_name seed store_dir warm =
+    guard @@ fun () ->
+    let b = or_die (find_benchmark name) in
+    let machine = or_die (find_machine machine_name) in
+    let dataset = or_die (parse_dataset dataset_name) in
+    let search = or_die (parse_search search_name) in
+    let method_ = or_die (parse_method method_name) in
+    if warm && store_dir = None then die "--warm requires --store DIR";
+    let start =
+      match (warm, store_dir) with
+      | true, Some dir -> (
+          match
+            Peak_store.Warmstart.propose ~dir ~benchmark:b.Benchmark.name
+              ~machine:machine.Machine.name
+          with
+          | Error e -> die e
+          | Ok None ->
+              Printf.printf "Warm start: no usable history in %s; starting from -O3\n" dir;
+              None
+          | Ok (Some p) ->
+              (match p.Peak_store.Warmstart.origin with
+              | Peak_store.Warmstart.Nearest_neighbor d ->
+                  Printf.printf
+                    "Warm start from %s (nearest neighbor, distance %.3f over %d sessions): %s\n"
+                    p.Peak_store.Warmstart.neighbor d p.Peak_store.Warmstart.sessions
+                    (Optconfig.to_string p.Peak_store.Warmstart.start)
+              | Peak_store.Warmstart.Most_frequent ->
+                  Printf.printf
+                    "Warm start (most frequent best on %s over %d sessions): %s\n"
+                    machine.Machine.name p.Peak_store.Warmstart.sessions
+                    (Optconfig.to_string p.Peak_store.Warmstart.start));
+              Some p.Peak_store.Warmstart.start)
+      | _ -> None
     in
     Printf.printf "Tuning %s (%s) on %s, %s data set...\n%!" b.Benchmark.name
       b.Benchmark.ts_name machine.Machine.name (Trace.dataset_name dataset);
-    let r = Driver.tune ~seed ~search ?method_ b machine dataset in
-    Printf.printf "Rating method: %s\n" (Driver.method_name r.Driver.method_used);
-    Printf.printf "Best configuration: %s\n" (Optconfig.to_string r.Driver.best_config);
-    Printf.printf "Search: %d ratings over %d iterations, %d invocations, %d program runs\n"
-      r.Driver.search_stats.Search.ratings r.Driver.search_stats.Search.iterations
-      r.Driver.invocations r.Driver.passes;
-    Printf.printf "Tuning time: %.2f simulated seconds (%.3f of the WHL-equivalent cost)\n"
-      r.Driver.tuning_seconds (Report.normalized_tuning_time r);
-    let imp = Driver.improvement_pct b machine ~best:r.Driver.best_config Trace.Ref in
-    Printf.printf "Whole-program improvement over -O3 (ref data set): %.1f%%\n" imp
+    match store_dir with
+    | None ->
+        print_result machine (Driver.tune ~seed ~search ?method_ ?start b machine dataset)
+    | Some dir ->
+        let meta = Driver.session_meta ?method_ ~search ~seed ?start b machine dataset in
+        let session = or_die (Peak_store.Session.open_ ~dir ~meta) in
+        let id = (Peak_store.Session.meta session).Peak_store.Codec.m_id in
+        let loaded = Peak_store.Session.loaded_events session in
+        if loaded > 0 then
+          Printf.printf "Resuming session %s (%d stored ratings)\n%!" id loaded
+        else Printf.printf "Recording session %s\n%!" id;
+        Fun.protect
+          ~finally:(fun () -> Peak_store.Session.close session)
+          (fun () ->
+            print_result machine
+              (Driver.tune ~seed ~search ?method_ ~store:session b machine dataset))
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Run one offline tuning session (the Figure 7 experiment).")
-    Term.(const run $ benchmark_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg $ seed_arg)
+    Term.(
+      const run $ benchmark_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg
+      $ seed_arg $ store_arg $ warm_arg)
 
 let suite_cmd =
   let benchmarks_arg =
@@ -212,52 +305,26 @@ let suite_cmd =
       value & opt int 1
       & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Tune on $(docv) domains in parallel.")
   in
-  let run names machine_name method_name dataset_name search_name seed jobs =
-    let ( let* ) r f = match r with Error e -> prerr_endline e; exit 1 | Ok v -> f v in
-    let* benchmarks =
+  let run names machine_name method_name dataset_name search_name seed jobs store_dir =
+    guard @@ fun () ->
+    let benchmarks =
       match names with
-      | [] -> Ok Registry.figure7
-      | names ->
-          List.fold_left
-            (fun acc name ->
-              let* acc = acc in
-              let* b = find_benchmark name in
-              Ok (acc @ [ b ]))
-            (Ok []) names
+      | [] -> Registry.figure7
+      | names -> List.map (fun name -> or_die (find_benchmark name)) names
     in
-    let* machine = find_machine machine_name in
-    let* dataset =
-      match String.lowercase_ascii dataset_name with
-      | "train" -> Ok Trace.Train
-      | "ref" -> Ok Trace.Ref
-      | other -> Error ("unknown dataset " ^ other)
-    in
-    let* search =
-      match String.lowercase_ascii search_name with
-      | "ie" -> Ok Driver.Ie
-      | "be" -> Ok Driver.Be
-      | "ce" -> Ok Driver.Ce
-      | "random" -> Ok (Driver.Random 100)
-      | "ff" -> Ok Driver.Ff
-      | "ose" -> Ok Driver.Ose
-      | other -> Error ("unknown search " ^ other)
-    in
-    let* method_ =
-      if String.lowercase_ascii method_name = "auto" then Ok None
-      else
-        match Driver.method_of_string method_name with
-        | Some m -> Ok (Some m)
-        | None -> Error ("unknown rating method " ^ method_name)
-    in
-    if jobs < 1 then begin
-      prerr_endline "jobs must be >= 1";
-      exit 1
-    end;
+    let machine = or_die (find_machine machine_name) in
+    let dataset = or_die (parse_dataset dataset_name) in
+    let search = or_die (parse_search search_name) in
+    let method_ = or_die (parse_method method_name) in
+    if jobs < 1 then die "jobs must be >= 1";
     Printf.printf "Tuning %d benchmarks on %s, %s data set, %d domain%s...\n%!"
       (List.length benchmarks) machine.Machine.name (Trace.dataset_name dataset) jobs
       (if jobs = 1 then "" else "s");
     let t0 = Unix.gettimeofday () in
-    let results = Driver.tune_suite ~seed ~search ?method_ ~domains:jobs benchmarks machine dataset in
+    let results =
+      Driver.tune_suite ~seed ~search ?method_ ~domains:jobs ?store_dir benchmarks machine
+        dataset
+    in
     let wall = Unix.gettimeofday () -. t0 in
     let t =
       Table.create
@@ -290,10 +357,11 @@ let suite_cmd =
           bit-identical for every $(b,-j) value.")
     Term.(
       const run $ benchmarks_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg
-      $ seed_arg $ jobs_arg)
+      $ seed_arg $ jobs_arg $ store_arg)
 
 let consistency_cmd =
   let run name machine_name seed =
+    guard @@ fun () ->
     match (find_benchmark name, find_machine machine_name) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
@@ -325,6 +393,7 @@ let consistency_cmd =
 
 let instrument_cmd =
   let run name machine_name seed =
+    guard @@ fun () ->
     match (find_benchmark name, find_machine machine_name) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
@@ -349,6 +418,7 @@ let show_cmd =
           ~doc:"Apply the IR-level constant propagation and dead-assignment elimination first.")
   in
   let run name optimize =
+    guard @@ fun () ->
     match find_benchmark name with
     | Error e ->
         prerr_endline e;
@@ -362,12 +432,189 @@ let show_cmd =
     (Cmd.info "show" ~doc:"Print a benchmark's tuning section as pseudo-C.")
     Term.(const run $ benchmark_arg $ optimize_arg)
 
+(* ---------------- session: the persistent tuning store ---------------- *)
+
+let store_req_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR" ~doc:"Tuning store directory.")
+
+let session_id_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Session id.")
+
+let session_list_cmd =
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print session ids only, one per line.")
+  in
+  let run dir quiet =
+    guard @@ fun () ->
+    let infos = or_die (Peak_store.Session.list ~dir) in
+    if quiet then
+      List.iter
+        (fun (i : Peak_store.Session.info) ->
+          print_endline i.Peak_store.Session.info_meta.Peak_store.Codec.m_id)
+        infos
+    else begin
+      let t =
+        Table.create
+          ~header:
+            [ "Session"; "Benchmark"; "Machine"; "Search"; "Method"; "Status"; "Ratings"; "Best" ]
+          ()
+      in
+      List.iter
+        (fun (i : Peak_store.Session.info) ->
+          let m = i.Peak_store.Session.info_meta in
+          let status, best =
+            match i.Peak_store.Session.info_result with
+            | Some r ->
+                ( Printf.sprintf "done (%s)" r.Peak_store.Codec.r_method,
+                  Optconfig.to_string r.Peak_store.Codec.r_best )
+            | None -> ("in progress", "-")
+          in
+          Table.add_row t
+            [
+              m.Peak_store.Codec.m_id;
+              m.Peak_store.Codec.m_benchmark;
+              m.Peak_store.Codec.m_machine;
+              m.Peak_store.Codec.m_search;
+              m.Peak_store.Codec.m_method;
+              status;
+              string_of_int i.Peak_store.Session.info_events;
+              best;
+            ])
+        infos;
+      Table.print t;
+      let dropped =
+        List.fold_left
+          (fun acc (i : Peak_store.Session.info) -> acc + i.Peak_store.Session.info_dropped)
+          0 infos
+      in
+      if dropped > 0 then
+        Printf.printf "(%d malformed journal line%s; run gc to compact)\n" dropped
+          (if dropped = 1 then "" else "s")
+    end
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the store's sessions, sorted by id.")
+    Term.(const run $ store_req_arg $ quiet_arg)
+
+let session_show_cmd =
+  let run dir id =
+    guard @@ fun () ->
+    let info = or_die (Peak_store.Session.load_info ~dir ~id) in
+    let m = info.Peak_store.Session.info_meta in
+    Printf.printf "Session %s\n" m.Peak_store.Codec.m_id;
+    Printf.printf "  Benchmark: %s on %s, %s data set\n" m.Peak_store.Codec.m_benchmark
+      m.Peak_store.Codec.m_machine m.Peak_store.Codec.m_dataset;
+    Printf.printf "  Search: %s   method: %s   seed: %d\n" m.Peak_store.Codec.m_search
+      m.Peak_store.Codec.m_method m.Peak_store.Codec.m_seed;
+    Printf.printf "  Rating params: %s   threshold: %g\n" m.Peak_store.Codec.m_params
+      m.Peak_store.Codec.m_threshold;
+    Printf.printf "  Start configuration: %s\n"
+      (Optconfig.to_string m.Peak_store.Codec.m_start);
+    Printf.printf "  Journal: %d rating event%s" info.Peak_store.Session.info_events
+      (if info.Peak_store.Session.info_events = 1 then "" else "s");
+    if info.Peak_store.Session.info_dropped > 0 then
+      Printf.printf " (+%d malformed line%s)" info.Peak_store.Session.info_dropped
+        (if info.Peak_store.Session.info_dropped = 1 then "" else "s");
+    print_newline ();
+    match info.Peak_store.Session.info_result with
+    | None -> print_endline "  Status: in progress (resumable)"
+    | Some r ->
+        Printf.printf "  Status: done — %s found %s\n" r.Peak_store.Codec.r_method
+          (Optconfig.to_string r.Peak_store.Codec.r_best);
+        Printf.printf "  %d ratings over %d iterations, %d invocations, %d program runs\n"
+          r.Peak_store.Codec.r_ratings r.Peak_store.Codec.r_iterations
+          r.Peak_store.Codec.r_invocations r.Peak_store.Codec.r_passes;
+        Printf.printf "  Tuning time: %.2f simulated seconds\n"
+          r.Peak_store.Codec.r_tuning_seconds
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Show one session's parameters, journal state and result.")
+    Term.(const run $ store_req_arg $ session_id_arg)
+
+let session_resume_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Rate candidates on $(docv) domains.")
+  in
+  let run dir id jobs =
+    guard @@ fun () ->
+    if jobs < 1 then die "jobs must be >= 1";
+    let info = or_die (Peak_store.Session.load_info ~dir ~id) in
+    let m = info.Peak_store.Session.info_meta in
+    let b = or_die (find_benchmark m.Peak_store.Codec.m_benchmark) in
+    let machine = or_die (find_machine m.Peak_store.Codec.m_machine) in
+    let dataset = or_die (parse_dataset m.Peak_store.Codec.m_dataset) in
+    let search = or_die (parse_search m.Peak_store.Codec.m_search) in
+    let method_ = or_die (parse_method m.Peak_store.Codec.m_method) in
+    let seed = m.Peak_store.Codec.m_seed in
+    let threshold = m.Peak_store.Codec.m_threshold in
+    let meta = Driver.session_meta ?method_ ~search ~seed ~threshold b machine dataset in
+    let session = or_die (Peak_store.Session.open_ ~dir ~meta) in
+    Printf.printf "Resuming session %s (%d stored ratings)\n%!" id
+      (Peak_store.Session.loaded_events session);
+    Fun.protect
+      ~finally:(fun () -> Peak_store.Session.close session)
+      (fun () ->
+        let tune pool =
+          Driver.tune ~seed ~search ~threshold ?method_ ?pool ~store:session b machine
+            dataset
+        in
+        let r =
+          if jobs > 1 then Pool.run ~domains:jobs (fun pool -> tune (Some pool))
+          else tune None
+        in
+        print_result machine r)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Finish an interrupted session from its journal.  The final result is \
+          bit-identical to an uninterrupted run.")
+    Term.(const run $ store_req_arg $ session_id_arg $ jobs_arg)
+
+let session_gc_cmd =
+  let run dir =
+    guard @@ fun () ->
+    let s = or_die (Peak_store.Session.gc ~dir) in
+    Printf.printf
+      "Compacted %d session%s: %d rating events indexed into %d entries, %d malformed \
+       line%s removed\n"
+      s.Peak_store.Session.gc_sessions
+      (if s.Peak_store.Session.gc_sessions = 1 then "" else "s")
+      s.Peak_store.Session.gc_events s.Peak_store.Session.gc_index_entries
+      s.Peak_store.Session.gc_dropped
+      (if s.Peak_store.Session.gc_dropped = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Compact journals (dropping crash tails) and rebuild the store index.")
+    Term.(const run $ store_req_arg)
+
+let session_export_cmd =
+  let run dir =
+    guard @@ fun () ->
+    print_endline (Peak_store.Json.to_string (or_die (Peak_store.Session.export ~dir)))
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Dump the whole store as one JSON document on stdout.")
+    Term.(const run $ store_req_arg)
+
+let session_cmd =
+  Cmd.group
+    (Cmd.info "session"
+       ~doc:"Inspect and manage the persistent tuning store (see $(b,tune --store)).")
+    [ session_list_cmd; session_show_cmd; session_resume_cmd; session_gc_cmd; session_export_cmd ]
+
 let main =
   let doc = "PEAK: rating compiler optimizations for automatic performance tuning" in
   Cmd.group (Cmd.info "peak-tune" ~version:"1.0.0" ~doc)
     [
-      list_cmd; flags_cmd; analyze_cmd; tune_cmd; suite_cmd; consistency_cmd; instrument_cmd;
-      show_cmd;
+      list_cmd; flags_cmd; analyze_cmd; tune_cmd; suite_cmd; session_cmd; consistency_cmd;
+      instrument_cmd; show_cmd;
     ]
 
 let () = exit (Cmd.eval main)

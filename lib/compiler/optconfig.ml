@@ -73,6 +73,25 @@ let equal = Int.equal
 let compare = Int.compare
 let hash t = t
 
+let canonical_names t =
+  enabled t |> List.map (fun (f : Flags.t) -> f.Flags.name) |> List.sort String.compare
+
+(* FNV-1a 64-bit over the newline-joined sorted names.  Hashing names
+   rather than the bitmask keeps the digest stable even if the flag
+   table is ever reordered or extended; sorting makes it independent of
+   enumeration order by construction. *)
+let digest t =
+  let h = ref 0xcbf29ce484222325L in
+  let feed c =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L
+  in
+  List.iter
+    (fun name ->
+      String.iter feed name;
+      feed '\n')
+    (canonical_names t);
+  Printf.sprintf "%016Lx" !h
+
 let to_string t =
   if t = o3 then "-O3"
   else if t = o0 then "-O0(+none)"

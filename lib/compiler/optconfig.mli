@@ -40,8 +40,24 @@ val cardinal : t -> int
 (** Number of enabled flags. *)
 
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Total order on the canonical (bitmask) representation.  Two
+    configurations built from the same flag set in any order compare
+    equal; [equal], [compare], [hash] and [digest] all agree. *)
+
 val hash : t -> int
+
+val canonical_names : t -> string list
+(** Enabled flag names, sorted — the canonical order-independent
+    description a configuration serializes to. *)
+
+val digest : t -> string
+(** Stable, order-independent 16-hex-digit digest (FNV-1a 64 over
+    {!canonical_names}).  Semantically equal flag sets hash identically
+    across processes and repo versions, which is what makes the digest
+    usable as a persistent-store key; unlike {!hash} it does not depend
+    on the flag table's index assignment. *)
 
 val to_string : t -> string
 (** Compact description relative to -O3, e.g.

@@ -22,6 +22,14 @@ let method_of_string s =
 
 type search_algo = Ie | Be | Ce | Random of int | Ff | Ose
 
+let search_name = function
+  | Ie -> "ie"
+  | Be -> "be"
+  | Ce -> "ce"
+  | Random n -> Printf.sprintf "random%d" n
+  | Ff -> "ff"
+  | Ose -> "ose"
+
 type result = {
   benchmark : Benchmark.t;
   machine : Machine.t;
@@ -48,8 +56,46 @@ let auto_method profile tsec =
   | Consultant.Mbr -> Mbr
   | Consultant.Rbr -> Rbr
 
+let result_summary (r : result) : Peak_store.Codec.session_result =
+  {
+    Peak_store.Codec.r_method = method_name r.method_used;
+    r_best = r.best_config;
+    r_ratings = r.search_stats.Search.ratings;
+    r_iterations = r.search_stats.Search.iterations;
+    r_trajectory = r.search_stats.Search.trajectory;
+    r_tuning_cycles = r.tuning_cycles;
+    r_tuning_seconds = r.tuning_seconds;
+    r_passes = r.passes;
+    r_invocations = r.invocations;
+  }
+
+let session_meta ?method_ ?(search = Ie) ?(rating_params = Rating.default_params)
+    ?(threshold = 0.005) ?(seed = 11) ?(start = Optconfig.o3) (benchmark : Benchmark.t) machine
+    dataset : Peak_store.Codec.session_meta =
+  let method_str =
+    match method_ with Some m -> String.lowercase_ascii (method_name m) | None -> "auto"
+  in
+  let bench_name = benchmark.Benchmark.name in
+  let machine_name = machine.Machine.name in
+  let dataset_name = Trace.dataset_name dataset in
+  {
+    Peak_store.Codec.m_id =
+      Peak_store.Session.id_for ~benchmark:bench_name ~machine:machine_name
+        ~dataset:dataset_name ~search:(search_name search) ~method_:method_str ~seed;
+    m_benchmark = bench_name;
+    m_machine = machine_name;
+    m_dataset = dataset_name;
+    m_search = search_name search;
+    m_seed = seed;
+    m_threshold = threshold;
+    m_params = Rating.params_signature rating_params;
+    m_method = method_str;
+    m_start = start;
+  }
+
 let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
-    ?(threshold = 0.005) ?compile ?pool ?method_ (benchmark : Benchmark.t) machine dataset =
+    ?(threshold = 0.005) ?compile ?pool ?method_ ?store ?start (benchmark : Benchmark.t)
+    machine dataset =
   let tsec = Tsection.make benchmark.Benchmark.ts in
   let trace = benchmark.Benchmark.trace dataset ~seed in
   let profile = Profile.run ~seed:(seed + 1) tsec trace machine in
@@ -114,6 +160,41 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
         v
   in
   let params = rating_params in
+  (* Search start configuration: an explicit [start] wins; otherwise a
+     store session's recorded start (so a resumed — possibly
+     warm-started — session continues from its original start); -O3 when
+     neither applies. *)
+  let start =
+    match (start, store) with
+    | Some s, _ -> s
+    | None, Some session -> (Peak_store.Session.meta session).Peak_store.Codec.m_start
+    | None, None -> Optconfig.o3
+  in
+  (* ---------------- persistent store hooks ---------------------------
+     A stored rating replays both the value and the consumed
+     invocations/passes/cycles, folded back at the same submission-order
+     position a fresh rating would occupy — which keeps the tuning-time
+     ledger of a resumed session bit-identical to an uninterrupted
+     one. *)
+  let mname = method_name method_ in
+  let store_base_key base =
+    match store with None -> "-" | Some _ -> Optconfig.digest base
+  in
+  let store_find ~base ~idx config =
+    match store with
+    | None -> None
+    | Some s ->
+        Peak_store.Session.find s ~method_:mname ~base ~idx config
+        |> Option.map (fun (e, (u : Peak_store.Codec.consumption)) ->
+               (e, (u.Peak_store.Codec.c_invocations, u.c_passes, u.c_cycles)))
+  in
+  let store_record ~base ~idx config (eval, (inv, p, cyc)) =
+    match store with
+    | None -> ()
+    | Some s ->
+        Peak_store.Session.record s ~method_:mname ~base ~idx ~config ~eval
+          ~used:{ Peak_store.Codec.c_invocations = inv; c_passes = p; c_cycles = cyc }
+  in
   (* CBR target context *)
   let cbr_info =
     match profile.Profile.context with
@@ -182,36 +263,64 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     Runner.create ~seed:jseed tsec trace machine
   in
   let consumption r = (Runner.invocations_consumed r, Runner.passes_started r, Runner.tuning_cycles r) in
-  let parallel_rating p : Search.relative * Search.rate_many option =
+  (* [pmap] is how a batch of rating jobs runs: Pool.map on a domain
+     pool, plain List.map when a store demands the deterministic
+     per-candidate scheme without a pool.  Either way every job is a
+     pure function of (seed, idx, config[, base]), which is what lets a
+     stored rating stand in for a fresh one bit-for-bit. *)
+  let deterministic_rating pmap : Search.relative * Search.rate_many option =
+    let take q =
+      match !q with
+      | hit :: rest ->
+          q := rest;
+          hit
+      | [] -> assert false
+    in
     let eval_rating (eval_in : Runner.t -> Version.t -> float) =
       (* compile caller-side (the versions table is not shared across
-         domains), dispatch only configurations missing from the eval
-         cache, keeping the first occurrence of a duplicate *)
+         domains), dispatch only configurations missing from both the
+         eval cache and the store, keeping the first occurrence of a
+         duplicate *)
       let ensure idxed =
         let seen = Hashtbl.create 8 in
-        let jobs =
+        let work =
           List.filter_map
             (fun (idx, c) ->
               if Hashtbl.mem eval_cache c || Hashtbl.mem seen c then None
               else begin
                 Hashtbl.add seen c ();
-                Some (idx, c, version c)
+                Some (idx, c, store_find ~base:"-" ~idx c)
               end)
             idxed
         in
+        let jobs =
+          List.filter_map
+            (fun (idx, c, stored) ->
+              if Option.is_none stored then Some (idx, version c) else None)
+            work
+        in
         let results =
-          Peak_util.Pool.map p
-            (fun (idx, _, v) ->
+          pmap
+            (fun (idx, (v : Version.t)) ->
               let r = fresh_runner (job_seed ~idx v.Version.config) in
               let e = eval_in r v in
               (e, consumption r))
             jobs
         in
-        List.iter2
-          (fun (_, c, _) (e, used) ->
+        let q = ref results in
+        List.iter
+          (fun (idx, c, stored) ->
+            let e, used =
+              match stored with
+              | Some hit -> hit
+              | None ->
+                  let hit = take q in
+                  store_record ~base:"-" ~idx c hit;
+                  hit
+            in
             account used;
             Hashtbl.replace eval_cache c e)
-          jobs results
+          work
       in
       let rate_many : Search.rate_many =
        fun ~base candidates ->
@@ -228,20 +337,36 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
          fun ~base candidates ->
           let vb = version base in
           let base_hash = Optconfig.hash base in
-          let jobs = List.mapi (fun i c -> (i, version c)) candidates in
+          let base_key = store_base_key base in
+          let work = List.mapi (fun i c -> (i, c, store_find ~base:base_key ~idx:i c)) candidates in
+          let jobs =
+            List.filter_map
+              (fun (idx, c, stored) ->
+                if Option.is_none stored then Some (idx, version c) else None)
+              work
+          in
           let results =
-            Peak_util.Pool.map p
-              (fun (idx, v) ->
+            pmap
+              (fun (idx, (v : Version.t)) ->
                 let r = fresh_runner (job_seed ~base_hash ~idx v.Version.config) in
                 let e = (Rbr.rate ~params r ~base:vb v).Rating.eval in
                 (e, consumption r))
               jobs
           in
+          let q = ref results in
           List.map
-            (fun (e, used) ->
+            (fun (idx, c, stored) ->
+              let e, used =
+                match stored with
+                | Some hit -> hit
+                | None ->
+                    let hit = take q in
+                    store_record ~base:base_key ~idx c hit;
+                    hit
+              in
               account used;
               e)
-            results
+            work
         in
         let relative : Search.relative = (fun ~base c -> List.hd (rate_many ~base [ c ])) in
         (relative, Some rate_many)
@@ -258,49 +383,75 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     | Whl -> eval_rating (fun r v -> (Whl.rate r ~non_ts_cycles:non_ts v).Rating.eval)
   in
   let relative, rate_many =
-    match pool with
-    | None -> (sequential_relative (), None)
-    | Some p -> parallel_rating p
+    match (pool, store) with
+    | None, None -> (sequential_relative (), None)
+    | Some p, _ -> deterministic_rating (Peak_util.Pool.map p)
+    | None, Some _ -> deterministic_rating (fun f jobs -> List.map f jobs)
   in
   let best_config, search_stats =
     match search with
-    | Ie -> Search.iterative_elimination ~threshold ~prepare ?rate_many ~relative Optconfig.o3
-    | Be -> Search.batch_elimination ~threshold ~prepare ?rate_many ~relative Optconfig.o3
-    | Ce -> Search.combined_elimination ~threshold ~prepare ?rate_many ~relative Optconfig.o3
+    | Ie -> Search.iterative_elimination ~threshold ~prepare ?rate_many ~relative start
+    | Be -> Search.batch_elimination ~threshold ~prepare ?rate_many ~relative start
+    | Ce -> Search.combined_elimination ~threshold ~prepare ?rate_many ~relative start
     | Random n ->
         Search.random_search ~samples:n ?rate_many
           ~rng:(Peak_util.Rng.create ~seed:(seed + 3))
-          ~relative Optconfig.o3
+          ~relative start
     | Ff ->
         Search.fractional_factorial ~threshold ?rate_many
           ~rng:(Peak_util.Rng.create ~seed:(seed + 3))
-          ~relative Optconfig.o3
-    | Ose -> Search.ose ~threshold ~relative Optconfig.o3
+          ~relative start
+    | Ose -> Search.ose ~threshold ~relative start
   in
   let passes = Runner.passes_started runner + !extra_passes in
   let tuning_cycles = now () +. (float_of_int passes *. non_ts) in
-  {
-    benchmark;
-    machine;
-    dataset;
-    method_used = method_;
-    best_config;
-    search_stats;
-    tuning_cycles;
-    tuning_seconds = Machine.seconds_of_cycles machine tuning_cycles;
-    passes;
-    invocations = Runner.invocations_consumed runner + !extra_invocations;
-    profile;
-    advice;
-  }
+  let result =
+    {
+      benchmark;
+      machine;
+      dataset;
+      method_used = method_;
+      best_config;
+      search_stats;
+      tuning_cycles;
+      tuning_seconds = Machine.seconds_of_cycles machine tuning_cycles;
+      passes;
+      invocations = Runner.invocations_consumed runner + !extra_invocations;
+      profile;
+      advice;
+    }
+  in
+  Option.iter
+    (fun s -> Peak_store.Session.complete s (result_summary result))
+    store;
+  result
 
 let tune_suite ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
-    ?(threshold = 0.005) ?method_ ?(domains = 1) benchmarks machine dataset =
+    ?(threshold = 0.005) ?method_ ?(domains = 1) ?store_dir benchmarks machine dataset =
+  (* Each benchmark gets its own session (own journal file); the
+     journal writers themselves are mutex-serialized, so concurrent
+     domain runners log safely through them. *)
+  let open_session benchmark =
+    match store_dir with
+    | None -> None
+    | Some dir ->
+        let meta =
+          session_meta ?method_ ~search ~rating_params ~threshold ~seed benchmark machine
+            dataset
+        in
+        (match Peak_store.Session.open_ ~dir ~meta with
+        | Ok s -> Some s
+        | Error e -> failwith ("tuning store: " ^ e))
+  in
   Peak_util.Pool.run ~domains (fun pool ->
       Peak_util.Pool.map pool
         (fun benchmark ->
-          tune ~seed ~search ~rating_params ~threshold ~pool ?method_ benchmark machine
-            dataset)
+          let store = open_session benchmark in
+          Fun.protect
+            ~finally:(fun () -> Option.iter Peak_store.Session.close store)
+            (fun () ->
+              tune ~seed ~search ~rating_params ~threshold ~pool ?method_ ?store benchmark
+                machine dataset))
         benchmarks)
 
 (* Deterministic evaluation: same machinery, but a noise-free machine and

@@ -15,6 +15,10 @@ val method_of_string : string -> rating_method option
 
 type search_algo = Ie | Be | Ce | Random of int | Ff | Ose
 
+val search_name : search_algo -> string
+(** Stable lower-case name used in store session ids and metadata
+    (["ie"], ["be"], ["ce"], ["random100"], ["ff"], ["ose"]). *)
+
 type result = {
   benchmark : Peak_workload.Benchmark.t;
   machine : Peak_machine.Machine.t;
@@ -30,6 +34,28 @@ type result = {
   advice : Consultant.advice;
 }
 
+val result_summary : result -> Peak_store.Codec.session_result
+(** The durable summary a completed session stores ([result.json]):
+    method used, best configuration, search statistics and trajectory,
+    and the tuning-time ledger.  Profile and advice are recomputed
+    deterministically on resume, so they are not persisted. *)
+
+val session_meta :
+  ?method_:rating_method ->
+  ?search:search_algo ->
+  ?rating_params:Rating.params ->
+  ?threshold:float ->
+  ?seed:int ->
+  ?start:Peak_compiler.Optconfig.t ->
+  Peak_workload.Benchmark.t ->
+  Peak_machine.Machine.t ->
+  Peak_workload.Trace.dataset ->
+  Peak_store.Codec.session_meta
+(** Canonical store metadata (including the deterministic session id)
+    for a {!tune} call with the same parameters — what a CLI or library
+    caller passes to {!Peak_store.Session.open_} before tuning with
+    [?store].  Defaults mirror {!tune}'s. *)
+
 val tune :
   ?seed:int ->
   ?search:search_algo ->
@@ -38,6 +64,8 @@ val tune :
   ?compile:Optimizer.mode * float ->
   ?pool:Peak_util.Pool.t ->
   ?method_:rating_method ->
+  ?store:Peak_store.Session.t ->
+  ?start:Peak_compiler.Optconfig.t ->
   Peak_workload.Benchmark.t ->
   Peak_machine.Machine.t ->
   Peak_workload.Trace.dataset ->
@@ -61,7 +89,27 @@ val tune :
     tuning-cycle ledger) is bit-identical regardless of the pool's domain
     count.  Note the parallel path rates each batch on fresh runners
     rather than one shared invocation stream, so its results differ from
-    the no-pool sequential path (but not across pool sizes). *)
+    the no-pool sequential path (but not across pool sizes).
+
+    [store] logs every rating event to a persistent session
+    ({!Peak_store.Session}) and serves already-stored ratings from it —
+    value and consumed resources both — so re-running (resuming) a
+    killed session replays instantly up to the interruption point and
+    then continues, with final results bit-identical to an uninterrupted
+    run.  A store-enabled session always rates through the
+    deterministic per-candidate scheme above, with or without [pool]
+    (so its numbers match across [~domains] 1/2/4 and differ from the
+    plain sequential path, exactly as with [pool]).  On completion the
+    session's [result.json] is written automatically; closing the
+    session remains the caller's job.  Caveat: combining [store] with
+    [compile] resumes correctly but the remote-optimizer stall charges
+    of skipped compiles are not replayed, so the tuning-time ledger can
+    differ there.
+
+    [start] overrides the search's start configuration (default [-O3];
+    a store session's recorded start — e.g. a warm start proposed by
+    {!Peak_store.Warmstart} — wins over the default when [store] is
+    given). *)
 
 val tune_suite :
   ?seed:int ->
@@ -70,6 +118,7 @@ val tune_suite :
   ?threshold:float ->
   ?method_:rating_method ->
   ?domains:int ->
+  ?store_dir:string ->
   Peak_workload.Benchmark.t list ->
   Peak_machine.Machine.t ->
   Peak_workload.Trace.dataset ->
@@ -80,7 +129,14 @@ val tune_suite :
     (nested batches are safe: {!Peak_util.Pool.map} callers help drain
     the queue).  Results are in benchmark order and — by the per-candidate
     seeding scheme described at {!tune} — bit-identical for every value of
-    [domains]. *)
+    [domains].
+
+    [store_dir] opens (or resumes) one persistent session per benchmark
+    under that store directory, as {!tune}'s [store] does for a single
+    session; each session has its own journal file with a serialized
+    writer, so concurrent domain runners log safely.
+    @raise Failure if a session cannot be opened (e.g. it exists with
+    different parameters). *)
 
 val auto_method : Profile.t -> Tsection.t -> rating_method
 (** The consultant's choice, as a driver method. *)

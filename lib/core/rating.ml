@@ -26,6 +26,13 @@ type params = {
 let default_params =
   { window = 40; rel_threshold = 0.01; max_invocations = 20_000; outlier_k = 3.5 }
 
+let params_signature p =
+  (* %.17g round-trips doubles exactly, so two parameter records are
+     textually equal iff they are bit-identical — required for the
+     persistent store's context keys *)
+  Printf.sprintf "w%d:t%.17g:m%d:k%.17g" p.window p.rel_threshold p.max_invocations
+    p.outlier_k
+
 exception No_samples of string
 
 (* Reduce a set of raw samples to (eval, var, n, converged). *)

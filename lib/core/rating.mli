@@ -26,6 +26,12 @@ type params = {
 val default_params : params
 (** window 40, threshold 1%, cap 20k invocations, k 3.5. *)
 
+val params_signature : params -> string
+(** Canonical textual form of a parameter record, equal iff the records
+    are bit-identical (floats are printed with full precision).  The
+    persistent tuning store folds this into its context keys so ratings
+    produced under different windows or thresholds never alias. *)
+
 exception No_samples of string
 (** Raised by a rater that exhausted its invocation budget without a
     single usable sample (e.g. CBR with a target context that never

@@ -1,0 +1,284 @@
+open Peak_compiler
+
+let version = 1
+
+let fnv64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let ( let* ) r f = Result.bind r f
+
+(* Every record carries the format version; refuse to decode the
+   future. *)
+let check_version v =
+  match Json.get_int "v" v with
+  | Error _ -> Error "missing format version"
+  | Ok n when n > version -> Error (Printf.sprintf "store format v%d is newer than v%d" n version)
+  | Ok _ -> Ok ()
+
+type rating = {
+  eval : float;
+  var : float;
+  samples : int;
+  invocations : int;
+  converged : bool;
+}
+
+type consumption = { c_invocations : int; c_passes : int; c_cycles : float }
+
+type event = {
+  e_method : string;
+  e_ctx : string;
+  e_base : string;
+  e_idx : int;
+  e_config : Optconfig.t;
+  e_eval : float;
+  e_used : consumption;
+}
+
+type session_meta = {
+  m_id : string;
+  m_benchmark : string;
+  m_machine : string;
+  m_dataset : string;
+  m_search : string;
+  m_seed : int;
+  m_threshold : float;
+  m_params : string;
+  m_method : string;
+  m_start : Optconfig.t;
+}
+
+type session_result = {
+  r_method : string;
+  r_best : Optconfig.t;
+  r_ratings : int;
+  r_iterations : int;
+  r_trajectory : (Optconfig.t * float) list;
+  r_tuning_cycles : float;
+  r_tuning_seconds : float;
+  r_passes : int;
+  r_invocations : int;
+}
+
+(* ---------------- floats ---------------- *)
+
+let float_to_json f =
+  if Float.is_nan f then Json.String "nan"
+  else if f = Float.infinity then Json.String "inf"
+  else if f = Float.neg_infinity then Json.String "-inf"
+  else Json.Float f
+
+let float_of_json = function
+  | Json.String "nan" -> Ok Float.nan
+  | Json.String "inf" -> Ok Float.infinity
+  | Json.String "-inf" -> Ok Float.neg_infinity
+  | v -> Json.to_float v
+
+let get_special_float key v =
+  let* m = Json.member key v in
+  match float_of_json m with
+  | Ok f -> Ok f
+  | Error e -> Error (Printf.sprintf "member %S: %s" key e)
+
+(* ---------------- configurations ---------------- *)
+
+let optconfig_to_json c =
+  Json.Obj
+    [
+      ("digest", Json.String (Optconfig.digest c));
+      ("flags", Json.List (List.map (fun n -> Json.String n) (Optconfig.canonical_names c)));
+    ]
+
+let optconfig_of_json v =
+  let* digest = Json.get_str "digest" v in
+  let* flag_json = Json.get_list "flags" v in
+  let* names =
+    List.fold_left
+      (fun acc j ->
+        let* acc = acc in
+        let* n = Json.to_str j in
+        Ok (n :: acc))
+      (Ok []) flag_json
+  in
+  let* config =
+    match Optconfig.of_names (List.rev names) with
+    | c -> Ok c
+    | exception Invalid_argument msg -> Error msg
+  in
+  if Optconfig.digest config <> digest then
+    Error
+      (Printf.sprintf "configuration digest mismatch (stored %s, recomputed %s)" digest
+         (Optconfig.digest config))
+  else Ok config
+
+(* ---------------- ratings ---------------- *)
+
+let rating_to_json (r : rating) =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("eval", float_to_json r.eval);
+      ("var", float_to_json r.var);
+      ("samples", Json.Int r.samples);
+      ("invocations", Json.Int r.invocations);
+      ("converged", Json.Bool r.converged);
+    ]
+
+let rating_of_json v =
+  let* () = check_version v in
+  let* eval = get_special_float "eval" v in
+  let* var = get_special_float "var" v in
+  let* samples = Json.get_int "samples" v in
+  let* invocations = Json.get_int "invocations" v in
+  let* converged = Json.get_bool "converged" v in
+  Ok { eval; var; samples; invocations; converged }
+
+(* ---------------- trajectories ---------------- *)
+
+let trajectory_to_json steps =
+  Json.List
+    (List.map
+       (fun (c, gain) -> Json.Obj [ ("config", optconfig_to_json c); ("gain", float_to_json gain) ])
+       steps)
+
+let trajectory_of_json v =
+  let* items = Json.to_list v in
+  let* steps =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* cj = Json.member "config" item in
+        let* c = optconfig_of_json cj in
+        let* gain = get_special_float "gain" item in
+        Ok ((c, gain) :: acc))
+      (Ok []) items
+  in
+  Ok (List.rev steps)
+
+(* ---------------- rating events (journal lines) ---------------- *)
+
+let event_to_json (e : event) =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("t", Json.String "rating");
+      ("method", Json.String e.e_method);
+      ("ctx", Json.String e.e_ctx);
+      ("base", Json.String e.e_base);
+      ("idx", Json.Int e.e_idx);
+      ("config", optconfig_to_json e.e_config);
+      ("eval", float_to_json e.e_eval);
+      ("inv", Json.Int e.e_used.c_invocations);
+      ("passes", Json.Int e.e_used.c_passes);
+      ("cycles", float_to_json e.e_used.c_cycles);
+    ]
+
+let event_of_json v =
+  let* () = check_version v in
+  let* t = Json.get_str "t" v in
+  let* () = if t = "rating" then Ok () else Error ("unexpected record type " ^ t) in
+  let* e_method = Json.get_str "method" v in
+  let* e_ctx = Json.get_str "ctx" v in
+  let* e_base = Json.get_str "base" v in
+  let* e_idx = Json.get_int "idx" v in
+  let* cj = Json.member "config" v in
+  let* e_config = optconfig_of_json cj in
+  let* e_eval = get_special_float "eval" v in
+  let* c_invocations = Json.get_int "inv" v in
+  let* c_passes = Json.get_int "passes" v in
+  let* c_cycles = get_special_float "cycles" v in
+  Ok { e_method; e_ctx; e_base; e_idx; e_config; e_eval; e_used = { c_invocations; c_passes; c_cycles } }
+
+(* ---------------- session metadata ---------------- *)
+
+let session_meta_to_json (m : session_meta) =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("t", Json.String "session");
+      ("id", Json.String m.m_id);
+      ("benchmark", Json.String m.m_benchmark);
+      ("machine", Json.String m.m_machine);
+      ("dataset", Json.String m.m_dataset);
+      ("search", Json.String m.m_search);
+      ("seed", Json.Int m.m_seed);
+      ("threshold", float_to_json m.m_threshold);
+      ("params", Json.String m.m_params);
+      ("method", Json.String m.m_method);
+      ("start", optconfig_to_json m.m_start);
+    ]
+
+let session_meta_of_json v =
+  let* () = check_version v in
+  let* m_id = Json.get_str "id" v in
+  let* m_benchmark = Json.get_str "benchmark" v in
+  let* m_machine = Json.get_str "machine" v in
+  let* m_dataset = Json.get_str "dataset" v in
+  let* m_search = Json.get_str "search" v in
+  let* m_seed = Json.get_int "seed" v in
+  let* m_threshold = get_special_float "threshold" v in
+  let* m_params = Json.get_str "params" v in
+  let* m_method = Json.get_str "method" v in
+  let* sj = Json.member "start" v in
+  let* m_start = optconfig_of_json sj in
+  Ok
+    {
+      m_id;
+      m_benchmark;
+      m_machine;
+      m_dataset;
+      m_search;
+      m_seed;
+      m_threshold;
+      m_params;
+      m_method;
+      m_start;
+    }
+
+(* ---------------- session results ---------------- *)
+
+let session_result_to_json (r : session_result) =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("t", Json.String "result");
+      ("method", Json.String r.r_method);
+      ("best", optconfig_to_json r.r_best);
+      ("ratings", Json.Int r.r_ratings);
+      ("iterations", Json.Int r.r_iterations);
+      ("trajectory", trajectory_to_json r.r_trajectory);
+      ("tuning_cycles", float_to_json r.r_tuning_cycles);
+      ("tuning_seconds", float_to_json r.r_tuning_seconds);
+      ("passes", Json.Int r.r_passes);
+      ("invocations", Json.Int r.r_invocations);
+    ]
+
+let session_result_of_json v =
+  let* () = check_version v in
+  let* r_method = Json.get_str "method" v in
+  let* bj = Json.member "best" v in
+  let* r_best = optconfig_of_json bj in
+  let* r_ratings = Json.get_int "ratings" v in
+  let* r_iterations = Json.get_int "iterations" v in
+  let* tj = Json.member "trajectory" v in
+  let* r_trajectory = trajectory_of_json tj in
+  let* r_tuning_cycles = get_special_float "tuning_cycles" v in
+  let* r_tuning_seconds = get_special_float "tuning_seconds" v in
+  let* r_passes = Json.get_int "passes" v in
+  let* r_invocations = Json.get_int "invocations" v in
+  Ok
+    {
+      r_method;
+      r_best;
+      r_ratings;
+      r_iterations;
+      r_trajectory;
+      r_tuning_cycles;
+      r_tuning_seconds;
+      r_passes;
+      r_invocations;
+    }

@@ -1,0 +1,104 @@
+(** Canonical, versioned serialization for everything the persistent
+    tuning store holds.
+
+    Every record carries a format version ([v]); decoders reject
+    versions newer than {!version} with a one-line error instead of
+    misreading them.  Floats round-trip exactly ([%.17g]), which is a
+    prerequisite for replayed (resumed) tuning sessions being
+    bit-identical to uninterrupted ones; non-finite floats are encoded
+    as the strings ["nan"] / ["inf"] / ["-inf"].
+
+    Configurations serialize as their sorted enabled-flag names plus
+    their stable {!Peak_compiler.Optconfig.digest}; the decoder
+    recomputes the digest and fails on a mismatch, so a store written
+    against a different flag table is detected rather than silently
+    reinterpreted. *)
+
+open Peak_compiler
+
+val version : int
+(** Current store format version (1). *)
+
+val fnv64 : string -> string
+(** Stable 16-hex-digit FNV-1a 64 digest of a string — used for
+    context keys. *)
+
+(** {1 Serialized types} *)
+
+type rating = {
+  eval : float;
+  var : float;
+  samples : int;
+  invocations : int;
+  converged : bool;
+}
+(** Mirror of [Peak.Rating.t] (the store sits below the core library in
+    the dependency order, so it carries its own structurally identical
+    record). *)
+
+type consumption = { c_invocations : int; c_passes : int; c_cycles : float }
+(** Simulated resources a rating consumed — replayed into the session
+    ledger on resume so the tuning-time accounting is also
+    bit-identical. *)
+
+type event = {
+  e_method : string;  (** Rating method name, e.g. ["RBR"]. *)
+  e_ctx : string;  (** Context digest (seed, dataset, params, base, idx). *)
+  e_base : string;  (** Digest of the base configuration, ["-"] if none. *)
+  e_idx : int;  (** Candidate index within its batch (-1 for the base). *)
+  e_config : Optconfig.t;
+  e_eval : float;
+  e_used : consumption;
+}
+(** One rating event — one journal line. *)
+
+type session_meta = {
+  m_id : string;
+  m_benchmark : string;
+  m_machine : string;
+  m_dataset : string;
+  m_search : string;
+  m_seed : int;
+  m_threshold : float;
+  m_params : string;  (** [Rating.params_signature] of the rating params. *)
+  m_method : string;  (** Requested method, ["auto"] when unforced. *)
+  m_start : Optconfig.t;  (** Search start configuration (warm starts). *)
+}
+
+type session_result = {
+  r_method : string;  (** Method actually used. *)
+  r_best : Optconfig.t;
+  r_ratings : int;
+  r_iterations : int;
+  r_trajectory : (Optconfig.t * float) list;
+  r_tuning_cycles : float;
+  r_tuning_seconds : float;
+  r_passes : int;
+  r_invocations : int;
+}
+(** The durable summary of a [Driver.result] (profile and advice are
+    recomputed deterministically on resume, so only the outcome is
+    stored). *)
+
+(** {1 Codecs} — [of_json] returns [Error] with a one-line reason. *)
+
+val float_to_json : float -> Json.t
+val float_of_json : Json.t -> (float, string) result
+
+val optconfig_to_json : Optconfig.t -> Json.t
+val optconfig_of_json : Json.t -> (Optconfig.t, string) result
+
+val rating_to_json : rating -> Json.t
+val rating_of_json : Json.t -> (rating, string) result
+
+val trajectory_to_json : (Optconfig.t * float) list -> Json.t
+val trajectory_of_json : Json.t -> ((Optconfig.t * float) list, string) result
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+
+val session_meta_to_json : session_meta -> Json.t
+val session_meta_of_json : Json.t -> (session_meta, string) result
+
+val session_result_to_json : session_result -> Json.t
+val session_result_of_json : Json.t -> (session_result, string) result

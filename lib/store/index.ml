@@ -1,0 +1,135 @@
+open Peak_compiler
+
+type key = {
+  k_benchmark : string;
+  k_machine : string;
+  k_method : string;
+  k_config : string;
+  k_ctx : string;
+}
+
+type entry = {
+  key : key;
+  session : string;
+  config : Optconfig.t;
+  eval : float;
+  used : Codec.consumption;
+}
+
+type t = (key, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+let add t e = Hashtbl.replace t e.key e
+let size = Hashtbl.length
+
+let compare_keys a b =
+  let c = String.compare a.k_benchmark b.k_benchmark in
+  if c <> 0 then c
+  else
+    let c = String.compare a.k_machine b.k_machine in
+    if c <> 0 then c
+    else
+      let c = String.compare a.k_method b.k_method in
+      if c <> 0 then c
+      else
+        let c = String.compare a.k_config b.k_config in
+        if c <> 0 then c else String.compare a.k_ctx b.k_ctx
+
+let sorted_entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t []
+  |> List.sort (fun a b -> compare_keys a.key b.key)
+
+let fold f t init = List.fold_left (fun acc e -> f e acc) init (sorted_entries t)
+
+let ( let* ) r f = Result.bind r f
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("benchmark", Json.String e.key.k_benchmark);
+      ("machine", Json.String e.key.k_machine);
+      ("method", Json.String e.key.k_method);
+      ("ctx", Json.String e.key.k_ctx);
+      ("session", Json.String e.session);
+      ("config", Codec.optconfig_to_json e.config);
+      ("eval", Codec.float_to_json e.eval);
+      ("inv", Json.Int e.used.Codec.c_invocations);
+      ("passes", Json.Int e.used.Codec.c_passes);
+      ("cycles", Codec.float_to_json e.used.Codec.c_cycles);
+    ]
+
+let entry_of_json v =
+  let* k_benchmark = Json.get_str "benchmark" v in
+  let* k_machine = Json.get_str "machine" v in
+  let* k_method = Json.get_str "method" v in
+  let* k_ctx = Json.get_str "ctx" v in
+  let* session = Json.get_str "session" v in
+  let* cj = Json.member "config" v in
+  let* config = Codec.optconfig_of_json cj in
+  let* eval = Result.bind (Json.member "eval" v) Codec.float_of_json in
+  let* c_invocations = Json.get_int "inv" v in
+  let* c_passes = Json.get_int "passes" v in
+  let* c_cycles = Result.bind (Json.member "cycles" v) Codec.float_of_json in
+  Ok
+    {
+      key =
+        {
+          k_benchmark;
+          k_machine;
+          k_method;
+          k_config = Optconfig.digest config;
+          k_ctx;
+        };
+      session;
+      config;
+      eval;
+      used = { Codec.c_invocations; c_passes; c_cycles };
+    }
+
+let to_json t =
+  Json.Obj
+    [
+      ("v", Json.Int Codec.version);
+      ("t", Json.String "index");
+      ("entries", Json.List (List.map entry_to_json (sorted_entries t)));
+    ]
+
+let of_json v =
+  let* n = Json.get_int "v" v in
+  if n > Codec.version then
+    Error (Printf.sprintf "index format v%d is newer than v%d" n Codec.version)
+  else
+    let* items = Json.get_list "entries" v in
+    let t = create () in
+    let* () =
+      List.fold_left
+        (fun acc item ->
+          let* () = acc in
+          let* e = entry_of_json item in
+          add t e;
+          Ok ())
+        (Ok ()) items
+    in
+    Ok t
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let load path =
+  if not (Sys.file_exists path) then Ok (create ())
+  else
+    let ic = open_in path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let* v = Json.of_string content in
+    of_json v

@@ -1,0 +1,46 @@
+(** Compacted rating index.
+
+    The journals are the write path; this is the read path: one entry
+    per [(benchmark, machine, method, config-digest, context-digest)]
+    key, built by folding every session journal in order with
+    last-write-wins merge — so concurrent [-j N] runners appending
+    through the serialized journal writers compact to a deterministic
+    table.  [session gc] materializes it as [index.json] at the store
+    root. *)
+
+open Peak_compiler
+
+type key = {
+  k_benchmark : string;
+  k_machine : string;
+  k_method : string;
+  k_config : string;  (** {!Optconfig.digest} of the rated configuration. *)
+  k_ctx : string;  (** Context digest (seed, dataset, params, base, idx). *)
+}
+
+type entry = {
+  key : key;
+  session : string;  (** Session id the winning record came from. *)
+  config : Optconfig.t;
+  eval : float;
+  used : Codec.consumption;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> entry -> unit
+(** Insert or overwrite (last write wins). *)
+
+val size : t -> int
+val fold : (entry -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds in sorted key order (deterministic). *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val save : t -> string -> unit
+(** Atomic write (temp file + rename).  @raise Sys_error on failure. *)
+
+val load : string -> (t, string) result
+(** A missing file loads as an empty index. *)

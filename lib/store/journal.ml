@@ -1,0 +1,75 @@
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable pending : int;
+  fsync_every : int;
+  mutex : Mutex.t;
+  mutable closed : bool;
+}
+
+let open_append ?(fsync_every = 32) path =
+  if fsync_every < 1 then invalid_arg "Journal.open_append: fsync_every must be >= 1";
+  let fd =
+    try Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+  in
+  { fd; buf = Buffer.create 4096; pending = 0; fsync_every; mutex = Mutex.create (); closed = false }
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let flush_locked t =
+  if Buffer.length t.buf > 0 then begin
+    write_all t.fd (Buffer.to_bytes t.buf);
+    Buffer.clear t.buf;
+    t.pending <- 0;
+    Unix.fsync t.fd
+  end
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let append t record =
+  let line = Json.to_string record in
+  locked t (fun () ->
+      if t.closed then invalid_arg "Journal.append: closed journal";
+      Buffer.add_string t.buf line;
+      Buffer.add_char t.buf '\n';
+      t.pending <- t.pending + 1;
+      if t.pending >= t.fsync_every then flush_locked t)
+
+let flush t = locked t (fun () -> if not t.closed then flush_locked t)
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        flush_locked t;
+        Unix.close t.fd;
+        t.closed <- true
+      end)
+
+let read path =
+  match open_in path with
+  | exception Sys_error _ -> ([], 0)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let records = ref [] in
+          let dropped = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if String.trim line <> "" then
+                 match Json.of_string line with
+                 | Ok v -> records := v :: !records
+                 | Error _ -> incr dropped
+             done
+           with End_of_file -> ());
+          (List.rev !records, !dropped))

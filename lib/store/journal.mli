@@ -1,0 +1,35 @@
+(** Append-only JSONL journal with crash-tolerant reads.
+
+    One JSON document per line.  A writer buffers appends and flushes
+    them to the file descriptor in batches, following each batch with an
+    [fsync] — so at most [fsync_every - 1] rating events (plus whatever
+    the OS already wrote) can be lost to a crash, and a torn write can
+    only corrupt the final line.  The reader therefore treats a
+    malformed {e last} line as an expected crash artifact (dropped
+    silently into the [dropped] count) rather than an error.
+
+    A writer is serialized by an internal mutex: concurrent domains
+    (e.g. [-j N] suite runners sharing one store) may call {!append}
+    freely and each line lands whole. *)
+
+type t
+
+val open_append : ?fsync_every:int -> string -> t
+(** Open (creating if needed) a journal for appending.  [fsync_every]
+    (default 32) is the batch size between fsyncs.
+    @raise Sys_error on filesystem failure. *)
+
+val append : t -> Json.t -> unit
+(** Append one record as one line.  Thread/domain-safe. *)
+
+val flush : t -> unit
+(** Write out and fsync any buffered lines now. *)
+
+val close : t -> unit
+(** Flush and close.  Idempotent. *)
+
+val read : string -> Json.t list * int
+(** [read path] parses every line of the journal: the decoded records in
+    file order, plus the number of malformed lines dropped (a truncated
+    crash tail, or — defensively — any corrupt interior line).  A
+    missing file reads as [([], 0)]. *)

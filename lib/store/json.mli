@@ -1,0 +1,46 @@
+(** Minimal JSON, no external dependencies.
+
+    The persistent tuning store needs exactly one serialization format:
+    self-describing, line-oriented (for the append-only journal),
+    human-inspectable, and round-trip exact for the floats that make
+    resumed tuning sessions bit-identical.  Floats are printed with
+    [%.17g], which round-trips every finite double; non-finite values
+    are rejected by the encoder (the codec layer maps them to strings
+    before they reach here). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line encoding (no newlines — journal-safe).
+    @raise Invalid_argument on a non-finite [Float]. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; trailing whitespace is allowed, any other
+    trailing garbage is an error.  Numbers with a fraction or exponent
+    parse as [Float], others as [Int] (falling back to [Float] when they
+    exceed the native int range). *)
+
+(** {1 Accessors} — each returns [Error] naming the offending member. *)
+
+val member : string -> t -> (t, string) result
+val to_int : t -> (int, string) result
+val to_float : t -> (float, string) result
+(** Accepts [Int] too (a whole-valued float may have been printed
+    without a fraction point). *)
+
+val to_str : t -> (string, string) result
+val to_bool : t -> (bool, string) result
+val to_list : t -> (t list, string) result
+
+val get_int : string -> t -> (int, string) result
+val get_float : string -> t -> (float, string) result
+val get_str : string -> t -> (string, string) result
+val get_bool : string -> t -> (bool, string) result
+val get_list : string -> t -> (t list, string) result

@@ -1,0 +1,126 @@
+open Peak_compiler
+
+type origin = Nearest_neighbor of float | Most_frequent
+
+type proposal = {
+  start : Optconfig.t;
+  neighbor : string;
+  origin : origin;
+  sessions : int;
+}
+
+let flag_vector c =
+  Array.map (fun f -> if Optconfig.is_enabled c f then 1.0 else 0.0) Flags.all
+
+let mean_vector vs =
+  let n = List.length vs in
+  let acc = Array.make Flags.count 0.0 in
+  List.iter (fun v -> Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x) v) vs;
+  Array.map (fun x -> x /. float_of_int n) acc
+
+let distance a b =
+  let s = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. b.(i) in
+      s := !s +. (d *. d))
+    a;
+  sqrt !s
+
+(* Completed sessions only, as (benchmark, machine, id, best) rows in
+   deterministic (id-sorted, via Session.list) order. *)
+let completed_rows infos =
+  List.filter_map
+    (fun (i : Session.info) ->
+      match i.Session.info_result with
+      | Some r ->
+          Some
+            ( String.lowercase_ascii i.Session.info_meta.Codec.m_benchmark,
+              String.lowercase_ascii i.Session.info_meta.Codec.m_machine,
+              i.Session.info_meta.Codec.m_id,
+              r.Codec.r_best )
+      | None -> None)
+    infos
+
+(* Pick the configuration to transfer from a neighbor: prefer sessions
+   on the target machine, then the smallest session id. *)
+let config_of_neighbor rows ~neighbor ~machine =
+  let own = List.filter (fun (b, _, _, _) -> b = neighbor) rows in
+  let preferred =
+    match List.filter (fun (_, m, _, _) -> m = machine) own with [] -> own | l -> l
+  in
+  match preferred with
+  | (_, _, _, best) :: _ -> Some best
+  | [] -> None
+
+let propose ~dir ~benchmark ~machine =
+  match Session.list ~dir with
+  | Error e -> Error e
+  | Ok infos ->
+      let target = String.lowercase_ascii benchmark in
+      let machine = String.lowercase_ascii machine in
+      let rows = completed_rows infos in
+      let others = List.filter (fun (b, _, _, _) -> b <> target) rows in
+      if others = [] then Ok None
+      else begin
+        let signature name =
+          match List.filter_map (fun (b, _, _, best) -> if b = name then Some (flag_vector best) else None) rows with
+          | [] -> None
+          | vs -> Some (mean_vector vs)
+        in
+        let consulted = List.length rows in
+        match signature target with
+        | Some target_sig ->
+            (* nearest neighbor over benchmark signatures *)
+            let names =
+              List.sort_uniq String.compare (List.map (fun (b, _, _, _) -> b) others)
+            in
+            let scored =
+              List.filter_map
+                (fun name ->
+                  Option.map (fun s -> (name, distance target_sig s)) (signature name))
+                names
+            in
+            let best =
+              List.fold_left
+                (fun acc (name, d) ->
+                  match acc with
+                  | Some (_, best_d) when best_d <= d -> acc
+                  | _ -> Some (name, d))
+                None scored
+            in
+            Ok
+              (Option.bind best (fun (neighbor, d) ->
+                   Option.map
+                     (fun start ->
+                       { start; neighbor; origin = Nearest_neighbor d; sessions = consulted })
+                     (config_of_neighbor rows ~neighbor ~machine)))
+        | None ->
+            (* no history for this benchmark: modal best configuration,
+               preferring sessions on the target machine *)
+            let pool =
+              match List.filter (fun (_, m, _, _) -> m = machine) others with
+              | [] -> others
+              | l -> l
+            in
+            let counts = Hashtbl.create 16 in
+            List.iter
+              (fun (_, _, _, best) ->
+                let d = Optconfig.digest best in
+                Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)))
+              pool;
+            let winner =
+              (* max count, ties to the smallest digest *)
+              Hashtbl.fold (fun d n acc -> (n, d) :: acc) counts []
+              |> List.sort (fun (na, da) (nb, db) ->
+                     match compare nb na with 0 -> String.compare da db | c -> c)
+              |> function
+              | [] -> None
+              | (_, d) :: _ -> Some d
+            in
+            Ok
+              (Option.bind winner (fun digest ->
+                   List.find_opt (fun (_, _, _, best) -> Optconfig.digest best = digest) pool
+                   |> Option.map (fun (neighbor, _, _, best) ->
+                          { start = best; neighbor; origin = Most_frequent; sessions = consulted })))
+      end

@@ -1,0 +1,34 @@
+(** Cross-run warm start: propose a search start configuration for a new
+    tuning session from what the store already knows.
+
+    In the spirit of collaborative filtering over a shared optimization
+    space: each benchmark's {e signature} is the mean flag vector of the
+    best configurations its completed sessions found; the proposal is
+    the best configuration of the nearest neighbor under Euclidean
+    distance between signatures.  A benchmark with no history of its own
+    falls back to the configuration that was best most often on the
+    target machine.
+
+    Caveats (documented in the README): a warm start changes the search
+    trajectory, so warm results are not comparable to cold runs; and the
+    proposal transfers an {e outcome}, not a rating — flags that help the
+    neighbor can hurt the target, which the search then has to undo. *)
+
+open Peak_compiler
+
+type origin =
+  | Nearest_neighbor of float  (** Signature distance to the neighbor. *)
+  | Most_frequent  (** No history for this benchmark: modal best config. *)
+
+type proposal = {
+  start : Optconfig.t;
+  neighbor : string;  (** Benchmark the configuration came from. *)
+  origin : origin;
+  sessions : int;  (** Completed sessions consulted. *)
+}
+
+val propose :
+  dir:string -> benchmark:string -> machine:string -> (proposal option, string) result
+(** [Ok None] when the store has no completed sessions for any other
+    benchmark.  Deterministic: ties break on benchmark name, then
+    session id. *)

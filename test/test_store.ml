@@ -1,0 +1,653 @@
+(* The persistent tuning store: JSON codec round-trips, journal crash
+   tolerance, stable configuration digests, resume-equals-uninterrupted
+   determinism across domain counts, and cross-run warm starts. *)
+
+open Peak_util
+open Peak_machine
+open Peak_compiler
+open Peak_workload
+open Peak_store
+open Peak
+
+let bench name = Option.get (Registry.by_name name)
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "peak-store-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Bit-exact float comparison (any nan equals any nan: the codec
+   canonicalizes the payload through the "nan" string encoding). *)
+let same_float a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Int64.bits_of_float a = Int64.bits_of_float b
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_float =
+  QCheck.Gen.(
+    frequency
+      [
+        (10, float);
+        ( 3,
+          oneofl
+            [
+              0.; -0.; 1.; -1.; Float.max_float; Float.min_float; Float.epsilon;
+              4.9e-324; 1e17; -123456.; 0.1; Float.nan; Float.infinity;
+              Float.neg_infinity;
+            ] );
+      ])
+
+let arb_float = QCheck.make ~print:(Printf.sprintf "%h") gen_float
+
+let gen_optconfig =
+  QCheck.Gen.(
+    list_size (int_bound 38) (int_bound (Array.length Flags.all - 1)) >|= fun idxs ->
+    List.fold_left (fun c i -> Optconfig.enable c Flags.all.(i)) Optconfig.o0 idxs)
+
+let arb_optconfig = QCheck.make ~print:Optconfig.to_string gen_optconfig
+
+let gen_name =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, string_size ~gen:printable (int_bound 16));
+        (1, oneofl [ ""; "a\"b"; "back\\slash"; "tab\tnl\n"; "caf\xc3\xa9" ]);
+      ])
+
+let gen_consumption =
+  QCheck.Gen.(
+    map3
+      (fun i p c -> { Codec.c_invocations = i; c_passes = p; c_cycles = c })
+      small_nat small_nat gen_float)
+
+let gen_rating =
+  QCheck.Gen.(
+    map
+      (fun (eval, var, samples, invocations, converged) ->
+        { Codec.eval; var; samples; invocations; converged })
+      (tup5 gen_float gen_float small_nat small_nat bool))
+
+let arb_rating =
+  QCheck.make
+    ~print:(fun (r : Codec.rating) ->
+      Printf.sprintf "{eval=%h; var=%h; samples=%d; inv=%d; conv=%b}" r.Codec.eval
+        r.Codec.var r.Codec.samples r.Codec.invocations r.Codec.converged)
+    gen_rating
+
+let gen_event =
+  QCheck.Gen.(
+    map
+      (fun (m, ctx, base, idx, config, eval, used) ->
+        {
+          Codec.e_method = m;
+          e_ctx = ctx;
+          e_base = base;
+          e_idx = idx;
+          e_config = config;
+          e_eval = eval;
+          e_used = used;
+        })
+      (tup7
+         (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ])
+         gen_name gen_name (int_range (-1) 100) gen_optconfig gen_float
+         gen_consumption))
+
+let arb_event =
+  QCheck.make
+    ~print:(fun e -> Json.to_string (Codec.event_to_json e))
+    gen_event
+
+let gen_trajectory =
+  QCheck.Gen.(list_size (int_bound 6) (pair gen_optconfig gen_float))
+
+let arb_trajectory =
+  QCheck.make ~print:(fun t -> Json.to_string (Codec.trajectory_to_json t)) gen_trajectory
+
+let gen_session_meta =
+  QCheck.Gen.(
+    map
+      (fun (id, (b, m), (d, s), seed, threshold, params, method_, start) ->
+        {
+          Codec.m_id = id;
+          m_benchmark = b;
+          m_machine = m;
+          m_dataset = d;
+          m_search = s;
+          m_seed = seed;
+          m_threshold = threshold;
+          m_params = params;
+          m_method = method_;
+          m_start = start;
+        })
+      (tup8 gen_name (pair gen_name gen_name) (pair gen_name gen_name) small_nat
+         gen_float gen_name gen_name gen_optconfig))
+
+let arb_session_meta =
+  QCheck.make
+    ~print:(fun m -> Json.to_string (Codec.session_meta_to_json m))
+    gen_session_meta
+
+let gen_session_result =
+  QCheck.Gen.(
+    map
+      (fun (m, best, (ratings, iterations), trajectory, cycles, seconds, (passes, inv)) ->
+        {
+          Codec.r_method = m;
+          r_best = best;
+          r_ratings = ratings;
+          r_iterations = iterations;
+          r_trajectory = trajectory;
+          r_tuning_cycles = cycles;
+          r_tuning_seconds = seconds;
+          r_passes = passes;
+          r_invocations = inv;
+        })
+      (tup7 gen_name gen_optconfig (pair small_nat small_nat) gen_trajectory gen_float
+         gen_float (pair small_nat small_nat)))
+
+let arb_session_result =
+  QCheck.make
+    ~print:(fun r -> Json.to_string (Codec.session_result_to_json r))
+    gen_session_result
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every round-trip goes through the printed text, not just the Json
+   tree — the journal stores lines, so text is the format of record. *)
+let reencode j =
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> j'
+  | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+
+let ok = function
+  | Ok v -> v
+  | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+
+let same_trajectory a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (c1, g1) (c2, g2) -> Optconfig.equal c1 c2 && same_float g1 g2)
+       a b
+
+let same_consumption (a : Codec.consumption) (b : Codec.consumption) =
+  a.Codec.c_invocations = b.Codec.c_invocations
+  && a.Codec.c_passes = b.Codec.c_passes
+  && same_float a.Codec.c_cycles b.Codec.c_cycles
+
+let roundtrip_tests =
+  let t name arb encode decode equal =
+    QCheck.Test.make ~count:200 ~name arb (fun v ->
+        equal v (ok (decode (reencode (encode v)))))
+  in
+  [
+    t "float round-trips bit-exactly" arb_float Codec.float_to_json Codec.float_of_json
+      same_float;
+    t "optconfig round-trips" arb_optconfig Codec.optconfig_to_json Codec.optconfig_of_json
+      Optconfig.equal;
+    t "rating round-trips" arb_rating Codec.rating_to_json Codec.rating_of_json
+      (fun (a : Codec.rating) (b : Codec.rating) ->
+        same_float a.Codec.eval b.Codec.eval
+        && same_float a.Codec.var b.Codec.var
+        && a.Codec.samples = b.Codec.samples
+        && a.Codec.invocations = b.Codec.invocations
+        && a.Codec.converged = b.Codec.converged);
+    t "trajectory round-trips" arb_trajectory Codec.trajectory_to_json
+      Codec.trajectory_of_json same_trajectory;
+    t "event round-trips" arb_event Codec.event_to_json Codec.event_of_json
+      (fun (a : Codec.event) (b : Codec.event) ->
+        a.Codec.e_method = b.Codec.e_method
+        && a.Codec.e_ctx = b.Codec.e_ctx
+        && a.Codec.e_base = b.Codec.e_base
+        && a.Codec.e_idx = b.Codec.e_idx
+        && Optconfig.equal a.Codec.e_config b.Codec.e_config
+        && same_float a.Codec.e_eval b.Codec.e_eval
+        && same_consumption a.Codec.e_used b.Codec.e_used);
+    t "session_meta round-trips" arb_session_meta Codec.session_meta_to_json
+      Codec.session_meta_of_json
+      (fun (a : Codec.session_meta) (b : Codec.session_meta) ->
+        a.Codec.m_id = b.Codec.m_id
+        && a.Codec.m_benchmark = b.Codec.m_benchmark
+        && a.Codec.m_machine = b.Codec.m_machine
+        && a.Codec.m_dataset = b.Codec.m_dataset
+        && a.Codec.m_search = b.Codec.m_search
+        && a.Codec.m_seed = b.Codec.m_seed
+        && same_float a.Codec.m_threshold b.Codec.m_threshold
+        && a.Codec.m_params = b.Codec.m_params
+        && a.Codec.m_method = b.Codec.m_method
+        && Optconfig.equal a.Codec.m_start b.Codec.m_start);
+    t "session_result round-trips" arb_session_result Codec.session_result_to_json
+      Codec.session_result_of_json
+      (fun (a : Codec.session_result) (b : Codec.session_result) ->
+        a.Codec.r_method = b.Codec.r_method
+        && Optconfig.equal a.Codec.r_best b.Codec.r_best
+        && a.Codec.r_ratings = b.Codec.r_ratings
+        && a.Codec.r_iterations = b.Codec.r_iterations
+        && same_trajectory a.Codec.r_trajectory b.Codec.r_trajectory
+        && same_float a.Codec.r_tuning_cycles b.Codec.r_tuning_cycles
+        && same_float a.Codec.r_tuning_seconds b.Codec.r_tuning_seconds
+        && a.Codec.r_passes = b.Codec.r_passes
+        && a.Codec.r_invocations = b.Codec.r_invocations);
+  ]
+
+let test_version_guard () =
+  let e =
+    {
+      Codec.e_method = "RBR";
+      e_ctx = "c";
+      e_base = "-";
+      e_idx = 0;
+      e_config = Optconfig.o3;
+      e_eval = 1.0;
+      e_used = { Codec.c_invocations = 1; c_passes = 1; c_cycles = 1.0 };
+    }
+  in
+  let bump = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function "v", _ -> ("v", Json.Int (Codec.version + 1)) | f -> f)
+             fields)
+    | j -> j
+  in
+  match Codec.event_of_json (bump (Codec.event_to_json e)) with
+  | Ok _ -> Alcotest.fail "decoder accepted a future format version"
+  | Error msg ->
+      let contains ~sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "error says the format is newer" true
+        (contains ~sub:"newer" (String.lowercase_ascii msg))
+
+let test_config_digest_mismatch () =
+  (* A record whose flag list was tampered with must be rejected. *)
+  let j = Codec.optconfig_to_json Optconfig.o3 in
+  let tampered =
+    match j with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "flags", _ -> ("flags", Json.List [ Json.String "gcse" ]) | f -> f)
+             fields)
+    | j -> j
+  in
+  match Codec.optconfig_of_json tampered with
+  | Ok _ -> Alcotest.fail "decoder accepted a digest mismatch"
+  | Error _ -> ()
+
+let test_json_parser_basics () =
+  (match Json.of_string "\"a\\u00e9b\"" with
+  | Ok (Json.String s) -> Alcotest.(check string) "\\u escape decodes to UTF-8" "a\xc3\xa9b" s
+  | _ -> Alcotest.fail "unicode escape");
+  (match Json.of_string "{\"x\": [1, 2.5, null, true]} " with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Json.of_string "{} garbage" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Optconfig digest stability                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_digest_order_independent () =
+  (* Same flag set assembled in opposite orders digests identically. *)
+  let flags = [ Flags.all.(3); Flags.all.(17); Flags.all.(30) ] in
+  let fwd = List.fold_left Optconfig.enable Optconfig.o0 flags in
+  let bwd = List.fold_left Optconfig.enable Optconfig.o0 (List.rev flags) in
+  Alcotest.(check string) "digest order-independent" (Optconfig.digest fwd)
+    (Optconfig.digest bwd);
+  (* and the digest is an anchored function of the flag names, not the
+     table indices: the empty config is the bare FNV-1a offset basis *)
+  Alcotest.(check string) "o0 digest anchor" "cbf29ce484222325"
+    (Optconfig.digest Optconfig.o0)
+
+let digest_agrees_with_equal =
+  QCheck.Test.make ~count:200 ~name:"digest agrees with equal/compare"
+    (QCheck.pair arb_optconfig arb_optconfig) (fun (a, b) ->
+      Optconfig.equal a b = (Optconfig.digest a = Optconfig.digest b)
+      && Optconfig.equal a b = (Optconfig.compare a b = 0))
+
+(* ------------------------------------------------------------------ *)
+(* Journal crash tolerance                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_truncated_tail () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "journal.jsonl" in
+  let j = Journal.open_append path in
+  Journal.append j (Json.Obj [ ("a", Json.Int 1) ]);
+  Journal.append j (Json.Obj [ ("a", Json.Int 2) ]);
+  Journal.close j;
+  (* simulate a torn final write: half a record, no newline *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"a\": 3, \"trunc";
+  close_out oc;
+  let records, dropped = Journal.read path in
+  Alcotest.(check int) "two whole records survive" 2 (List.length records);
+  Alcotest.(check int) "one line dropped" 1 dropped;
+  Alcotest.(check (list int))
+    "records in append order" [ 1; 2 ]
+    (List.map (fun r -> Result.get_ok (Json.get_int "a" r)) records)
+
+let test_journal_interior_corruption () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "journal.jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"a\": 1}\nnot json at all\n{\"a\": 2}\n";
+  close_out oc;
+  let records, dropped = Journal.read path in
+  Alcotest.(check int) "both good records survive" 2 (List.length records);
+  Alcotest.(check int) "corrupt interior line dropped" 1 dropped
+
+let test_journal_missing_file () =
+  with_tmpdir @@ fun dir ->
+  let records, dropped = Journal.read (Filename.concat dir "absent.jsonl") in
+  Alcotest.(check int) "missing journal reads empty" 0 (List.length records);
+  Alcotest.(check int) "nothing dropped" 0 dropped
+
+(* ------------------------------------------------------------------ *)
+(* Index: last write wins, save/load                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_index_last_write_wins () =
+  with_tmpdir @@ fun dir ->
+  let key =
+    {
+      Index.k_benchmark = "ART";
+      k_machine = "sparc2";
+      k_method = "RBR";
+      k_config = Optconfig.digest Optconfig.o3;
+      k_ctx = "deadbeef";
+    }
+  in
+  let entry session eval =
+    {
+      Index.key;
+      session;
+      config = Optconfig.o3;
+      eval;
+      used = { Codec.c_invocations = 1; c_passes = 1; c_cycles = 1.0 };
+    }
+  in
+  let idx = Index.create () in
+  Index.add idx (entry "s1" 1.0);
+  Index.add idx (entry "s2" 2.0);
+  Alcotest.(check int) "one entry per key" 1 (Index.size idx);
+  let winner = Index.fold (fun e _ -> Some e) idx None in
+  (match winner with
+  | Some e ->
+      Alcotest.(check string) "last write wins" "s2" e.Index.session;
+      Alcotest.(check (float 0.0)) "with its eval" 2.0 e.Index.eval
+  | None -> Alcotest.fail "empty index");
+  let path = Filename.concat dir "index.json" in
+  Index.save idx path;
+  let loaded = Result.get_ok (Index.load path) in
+  Alcotest.(check int) "save/load preserves size" 1 (Index.size loaded)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: parameter safety and resume determinism                   *)
+(* ------------------------------------------------------------------ *)
+
+let meta_for ?start ?(seed = 11) ~method_ ~search b machine =
+  Driver.session_meta ?start ~seed ~method_ ~search b machine Trace.Train
+
+let test_session_rejects_changed_params () =
+  with_tmpdir @@ fun dir ->
+  let b = bench "ART" and machine = Machine.sparc2 in
+  let meta = meta_for ~method_:Driver.Rbr ~search:Driver.Be b machine in
+  let s = Result.get_ok (Session.open_ ~dir ~meta) in
+  Session.close s;
+  (* same id, different rating parameters: must refuse, not silently mix *)
+  let params = { Rating.default_params with Rating.window = 80 } in
+  let meta' =
+    Driver.session_meta ~seed:11 ~method_:Driver.Rbr ~search:Driver.Be ~rating_params:params
+      b machine Trace.Train
+  in
+  match Session.open_ ~dir ~meta:meta' with
+  | Ok s' ->
+      Session.close s';
+      Alcotest.fail "session reopened under different rating parameters"
+  | Error msg ->
+      Alcotest.(check bool) "one-line reason" false (String.contains msg '\n')
+
+let check_identical tag (a : Driver.result) (b : Driver.result) =
+  Alcotest.(check bool)
+    (tag ^ ": best_config identical")
+    true
+    (Optconfig.equal a.Driver.best_config b.Driver.best_config);
+  Alcotest.(check bool)
+    (tag ^ ": search stats identical")
+    true
+    (a.Driver.search_stats = b.Driver.search_stats);
+  Alcotest.(check (float 0.0))
+    (tag ^ ": tuning_cycles bit-identical")
+    a.Driver.tuning_cycles b.Driver.tuning_cycles;
+  Alcotest.(check int) (tag ^ ": invocations identical") a.Driver.invocations b.Driver.invocations;
+  Alcotest.(check int) (tag ^ ": passes identical") a.Driver.passes b.Driver.passes
+
+(* Crash simulation: given a completed session's store, build a copy
+   whose journal ends after [keep] whole events plus a torn half-line —
+   exactly what a SIGKILL between fsync batches leaves behind. *)
+let crashed_copy ~src_dir ~dst_dir ~id ~keep =
+  let src = Filename.concat (Filename.concat src_dir "sessions") id in
+  let dst = Filename.concat (Filename.concat dst_dir "sessions") id in
+  let rec mkdir_p d =
+    if not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      Unix.mkdir d 0o755
+    end
+  in
+  mkdir_p dst;
+  let copy name =
+    let ic = open_in (Filename.concat src name) in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    let oc = open_out (Filename.concat dst name) in
+    output_string oc contents;
+    close_out oc
+  in
+  copy "meta.json";
+  let lines = ref [] in
+  let ic = open_in (Filename.concat src "journal.jsonl") in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "enough journal lines to truncate" true (List.length lines > keep);
+  let oc = open_out (Filename.concat dst "journal.jsonl") in
+  List.iteri (fun i l -> if i < keep then output_string oc (l ^ "\n")) lines;
+  (* the torn tail: a prefix of the first dropped line, no newline *)
+  let tail = List.nth lines keep in
+  output_string oc (String.sub tail 0 (String.length tail / 2));
+  close_out oc;
+  List.length lines
+
+let resume_case ~bname ~method_ () =
+  with_tmpdir @@ fun root ->
+  let b = bench bname and machine = Machine.sparc2 in
+  let search = Driver.Be in
+  let full_dir = Filename.concat root "full" in
+  let meta = meta_for ~method_ ~search b machine in
+  let id = meta.Codec.m_id in
+  (* the uninterrupted reference run, journaling as it goes *)
+  let session = Result.get_ok (Session.open_ ~dir:full_dir ~meta) in
+  let full =
+    Fun.protect
+      ~finally:(fun () -> Session.close session)
+      (fun () -> Driver.tune ~seed:11 ~search ~method_ ~store:session b machine Trace.Train)
+  in
+  let n_events = (Result.get_ok (Session.load_info ~dir:full_dir ~id)).Session.info_events in
+  Alcotest.(check bool) (bname ^ ": session journaled events") true (n_events > 0);
+  (* resume from a mid-session crash on 1, 2 and 4 domains *)
+  List.iter
+    (fun domains ->
+      let dst_dir = Filename.concat root (Printf.sprintf "crash%d" domains) in
+      let total = crashed_copy ~src_dir:full_dir ~dst_dir ~id ~keep:(n_events / 2) in
+      ignore total;
+      let session = Result.get_ok (Session.open_ ~dir:dst_dir ~meta) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s -j%d: replayed the surviving prefix" bname domains)
+        (n_events / 2) (Session.loaded_events session);
+      let resumed =
+        Fun.protect
+          ~finally:(fun () -> Session.close session)
+          (fun () ->
+            let tune pool =
+              Driver.tune ~seed:11 ~search ~method_ ?pool ~store:session b machine
+                Trace.Train
+            in
+            if domains > 1 then Pool.run ~domains (fun p -> tune (Some p)) else tune None)
+      in
+      check_identical (Printf.sprintf "%s resumed -j%d vs uninterrupted" bname domains)
+        full resumed;
+      (* completion must have written the durable result, matching too *)
+      let info = Result.get_ok (Session.load_info ~dir:dst_dir ~id) in
+      match info.Session.info_result with
+      | None -> Alcotest.fail "resumed session has no result.json"
+      | Some r ->
+          Alcotest.(check bool)
+            (bname ^ ": stored best matches")
+            true
+            (Optconfig.equal r.Codec.r_best full.Driver.best_config))
+    [ 1; 2; 4 ];
+  (* a store-enabled run equals the pool path without a store: both use
+     the deterministic per-candidate scheme *)
+  let pooled =
+    Pool.run ~domains:2 (fun pool ->
+        Driver.tune ~seed:11 ~search ~method_ ~pool b machine Trace.Train)
+  in
+  check_identical (bname ^ " store vs plain pool path") full pooled
+
+(* ------------------------------------------------------------------ *)
+(* Warm start                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fabricate_session dir ~benchmark ~machine ~seed ~best =
+  let id =
+    Session.id_for ~benchmark ~machine ~dataset:"train" ~search:"be" ~method_:"rbr" ~seed
+  in
+  let meta =
+    {
+      Codec.m_id = id;
+      m_benchmark = benchmark;
+      m_machine = machine;
+      m_dataset = "train";
+      m_search = "be";
+      m_seed = seed;
+      m_threshold = 0.005;
+      m_params = Rating.params_signature Rating.default_params;
+      m_method = "rbr";
+      m_start = Optconfig.o3;
+    }
+  in
+  let s = Result.get_ok (Session.open_ ~dir ~meta) in
+  Session.complete s
+    {
+      Codec.r_method = "RBR";
+      r_best = best;
+      r_ratings = 1;
+      r_iterations = 1;
+      r_trajectory = [ (best, 0.9) ];
+      r_tuning_cycles = 1.0;
+      r_tuning_seconds = 1.0;
+      r_passes = 1;
+      r_invocations = 1;
+    };
+  Session.close s
+
+let test_warmstart () =
+  with_tmpdir @@ fun dir ->
+  (match Warmstart.propose ~dir ~benchmark:"FOO" ~machine:"M1" with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "proposal from an empty store"
+  | Error e -> Alcotest.fail e);
+  let drop idxs =
+    List.fold_left (fun c i -> Optconfig.disable c Flags.all.(i)) Optconfig.o3 idxs
+  in
+  let foo_best = drop [ 0; 1 ] in
+  let bar_best = drop [ 0; 1; 2 ] in
+  (* BAR's signature is one flag away from FOO's; BAZ is far off *)
+  fabricate_session dir ~benchmark:"FOO" ~machine:"M1" ~seed:1 ~best:foo_best;
+  fabricate_session dir ~benchmark:"BAR" ~machine:"M1" ~seed:1 ~best:bar_best;
+  fabricate_session dir ~benchmark:"BAZ" ~machine:"M1" ~seed:1 ~best:Optconfig.o0;
+  fabricate_session dir ~benchmark:"BAZ" ~machine:"M1" ~seed:2 ~best:Optconfig.o0;
+  (match Warmstart.propose ~dir ~benchmark:"FOO" ~machine:"M1" with
+  | Ok (Some p) ->
+      (* benchmark names are normalized to lower case in proposals *)
+      Alcotest.(check string) "nearest neighbor is BAR" "bar" p.Warmstart.neighbor;
+      Alcotest.(check bool) "proposes BAR's best" true
+        (Optconfig.equal p.Warmstart.start bar_best);
+      (match p.Warmstart.origin with
+      | Warmstart.Nearest_neighbor d ->
+          Alcotest.(check bool) "positive distance" true (d > 0.0)
+      | Warmstart.Most_frequent -> Alcotest.fail "expected a nearest-neighbor origin")
+  | Ok None -> Alcotest.fail "no proposal despite history"
+  | Error e -> Alcotest.fail e);
+  (* a benchmark with no history of its own gets the modal best config:
+     BAZ's -O0 won twice, everything else once *)
+  match Warmstart.propose ~dir ~benchmark:"QUUX" ~machine:"M1" with
+  | Ok (Some p) ->
+      (match p.Warmstart.origin with
+      | Warmstart.Most_frequent -> ()
+      | Warmstart.Nearest_neighbor _ -> Alcotest.fail "expected the modal fallback");
+      Alcotest.(check bool) "modal best config" true
+        (Optconfig.equal p.Warmstart.start Optconfig.o0)
+  | Ok None -> Alcotest.fail "no fallback proposal"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ( "store.codec",
+      List.map QCheck_alcotest.to_alcotest (roundtrip_tests @ [ digest_agrees_with_equal ])
+      @ [
+          Alcotest.test_case "future format version rejected" `Quick test_version_guard;
+          Alcotest.test_case "tampered config digest rejected" `Quick
+            test_config_digest_mismatch;
+          Alcotest.test_case "JSON parser basics" `Quick test_json_parser_basics;
+          Alcotest.test_case "optconfig digest is order-independent" `Quick
+            test_digest_order_independent;
+        ] );
+    ( "store.journal",
+      [
+        Alcotest.test_case "truncated tail tolerated" `Quick test_journal_truncated_tail;
+        Alcotest.test_case "interior corruption tolerated" `Quick
+          test_journal_interior_corruption;
+        Alcotest.test_case "missing journal reads empty" `Quick test_journal_missing_file;
+        Alcotest.test_case "index last-write-wins and save/load" `Quick
+          test_index_last_write_wins;
+      ] );
+    ( "store.resume",
+      [
+        Alcotest.test_case "changed rating params rejected" `Slow
+          test_session_rejects_changed_params;
+        Alcotest.test_case "CBR resume bit-identical (SWIM)" `Slow
+          (resume_case ~bname:"SWIM" ~method_:Driver.Cbr);
+        Alcotest.test_case "MBR resume bit-identical (MGRID)" `Slow
+          (resume_case ~bname:"MGRID" ~method_:Driver.Mbr);
+        Alcotest.test_case "RBR resume bit-identical (ART)" `Slow
+          (resume_case ~bname:"ART" ~method_:Driver.Rbr);
+      ] );
+    ("store.warmstart", [ Alcotest.test_case "warm start proposals" `Quick test_warmstart ]);
+  ]
