@@ -7,7 +7,7 @@
    Experiments: table1, fig7ab, fig7cd, summary, flag-effects,
    ablation-rbr, ablation-outlier, ablation-search, ablation-ranges,
    ablation-batch, ablation-compile, ablation-consultant, adaptive,
-   parallel, store, micro. *)
+   fallback, parallel, store, micro. *)
 
 open Peak_util
 open Peak_machine
@@ -59,7 +59,7 @@ let table1 () =
             ([
                b.Benchmark.name;
                section;
-               Driver.method_name row.Consistency.method_used;
+               Method.name row.Consistency.method_used;
                string_of_int row.Consistency.n_invocations;
              ]
             @ cells))
@@ -75,7 +75,7 @@ let table1 () =
 type grid_cell = {
   g_bench : Benchmark.t;
   g_machine : Machine.t;
-  g_method : Driver.rating_method;
+  g_method : Method.t;
   g_cell : Report.cell;
 }
 
@@ -115,7 +115,7 @@ let fig7ab () =
             Table.add_row t
               [
                 g.g_bench.Benchmark.name;
-                Driver.method_name g.g_method;
+                Method.name g.g_method;
                 Table.fmt_float g.g_cell.Report.improvement_train_pct;
                 Table.fmt_float g.g_cell.Report.improvement_ref_pct;
               ])
@@ -142,7 +142,7 @@ let fig7cd () =
             Table.add_row t
               [
                 g.g_bench.Benchmark.name;
-                Driver.method_name g.g_method;
+                Method.name g.g_method;
                 Table.fmt_float ~decimals:3 g.g_cell.Report.normalized_tuning_time;
                 string_of_int g.g_cell.Report.result.Driver.search_stats.Search.ratings;
                 string_of_int g.g_cell.Report.result.Driver.passes;
@@ -159,7 +159,7 @@ let summary () =
     List.filter
       (fun g ->
         let advice = g.g_cell.Report.result.Driver.advice in
-        Driver.method_name g.g_method = Consultant.method_name advice.Consultant.chosen)
+        g.g_method = advice.Consultant.chosen)
       (Lazy.force fig7_grid)
   in
   let improvements = List.map (fun g -> g.g_cell.Report.improvement_train_pct) chosen in
@@ -268,7 +268,7 @@ let ablation_search () =
   in
   List.iter
     (fun (label, algo) ->
-      let r = Driver.tune ~search:algo ~method_:Driver.Mbr b Machine.pentium4 Trace.Train in
+      let r = Driver.tune ~search:algo ~method_:Method.Mbr b Machine.pentium4 Trace.Train in
       let imp = Driver.improvement_pct b Machine.pentium4 ~best:r.Driver.best_config Trace.Ref in
       Table.add_row t
         [
@@ -422,7 +422,7 @@ let ablation_consultant () =
           b.Benchmark.name;
           b.Benchmark.ts_name;
           b.Benchmark.paper_method;
-          Consultant.method_name advice.Consultant.chosen;
+          Method.name advice.Consultant.chosen;
           (match advice.Consultant.n_contexts with Some n -> string_of_int n | None -> "-");
           string_of_int advice.Consultant.n_components;
           String.concat "; " advice.Consultant.reasons;
@@ -487,11 +487,11 @@ let ablation_compile () =
   List.iter
     (fun name ->
       let b = bench name in
-      let free = Driver.tune ~method_:Driver.Cbr b Machine.pentium4 Trace.Train in
+      let free = Driver.tune ~method_:Method.Cbr b Machine.pentium4 Trace.Train in
       List.iter
         (fun (label, mode) ->
           let r =
-            Driver.tune ~compile:(mode, 0.002) ~method_:Driver.Cbr b Machine.pentium4
+            Driver.tune ~compile:(mode, 0.002) ~method_:Method.Cbr b Machine.pentium4
               Trace.Train
           in
           Table.add_row t
@@ -573,7 +573,7 @@ let store_exp () =
   note "store (journaling every rating), and a replay (resuming the completed";
   note "journal, so every rating is served from the cache).";
   let b = bench "ART" and machine = Machine.pentium4 in
-  let method_ = Driver.Rbr and search = Driver.Be in
+  let method_ = Method.Rbr and search = Driver.Be in
   let root = Filename.temp_file "peak-bench-store" "" in
   Sys.remove root;
   Unix.mkdir root 0o755;
@@ -776,6 +776,78 @@ let parallel () =
   note "bit-identical for every domain count."
 
 (* ================================================================== *)
+(* §3 fallback: what auto mode does when a method cannot converge       *)
+(* ================================================================== *)
+
+let fallback_exp () =
+  heading "Method fallback: auto mode under a starved rating budget";
+  note "A rating cap below the 40-sample convergence window makes every absolute";
+  note "probe fail, so auto falls through the consultant's chain to RBR; at the";
+  note "default cap the first choice converges and no fallback happens.";
+  let machine = Machine.pentium4 in
+  let starved = { Rating.default_params with Rating.max_invocations = 30 } in
+  let t =
+    Table.create
+      ~header:[ "Benchmark"; "Cap"; "Attempts"; "Method"; "Probe ratings"; "Ratings"; "Tuning s" ]
+      ()
+  in
+  let cells =
+    List.concat_map
+      (fun name ->
+        let b = bench name in
+        List.map
+          (fun (label, rating_params) ->
+            let r = Driver.tune ~rating_params b machine Trace.Train in
+            (b, label, r))
+          [ ("30", starved); ("20000", Rating.default_params) ])
+      [ "ART"; "MGRID"; "APSI" ]
+  in
+  List.iter
+    (fun ((b : Benchmark.t), label, (r : Driver.result)) ->
+      let probes =
+        List.fold_left
+          (fun acc (a : Method.attempt) ->
+            if a.Method.a_converged then acc else acc + a.Method.a_ratings)
+          0 r.Driver.attempts
+      in
+      Table.add_row t
+        [
+          b.Benchmark.name;
+          label;
+          Method.chain_string r.Driver.attempts;
+          Method.name r.Driver.method_used;
+          string_of_int probes;
+          string_of_int r.Driver.search_stats.Search.ratings;
+          Table.fmt_float ~decimals:2 r.Driver.tuning_seconds;
+        ])
+    cells;
+  Table.print t;
+  (* machine-readable mirror of the table, incl. per-method attempt
+     counts — the same numbers `peak-tune report` recomputes from a
+     session store *)
+  let open Peak_store in
+  let cell_json ((b : Benchmark.t), label, (r : Driver.result)) =
+    Json.Obj
+      [
+        ("benchmark", Json.String b.Benchmark.name);
+        ("rating_cap", Json.String label);
+        ("method", Json.String (Method.name r.Driver.method_used));
+        ( "attempts",
+          Json.List
+            (List.map
+               (fun (a : Method.attempt) ->
+                 Json.Obj
+                   [
+                     ("method", Json.String (Method.name a.Method.a_method));
+                     ("converged", Json.Bool a.Method.a_converged);
+                     ("ratings", Json.Int a.Method.a_ratings);
+                   ])
+               r.Driver.attempts) );
+        ("ratings", Json.Int r.Driver.search_stats.Search.ratings);
+        ("tuning_seconds", Json.Float r.Driver.tuning_seconds);
+      ]
+  in
+  note "JSON: %s" (Json.to_string (Json.Obj [ ("fallback", Json.List (List.map cell_json cells)) ]))
 
 let experiments =
   [
@@ -792,6 +864,7 @@ let experiments =
     ("flag-effects", flag_effects);
     ("ablation-consultant", ablation_consultant);
     ("adaptive", adaptive);
+    ("fallback", fallback_exp);
     ("parallel", parallel);
     ("store", store_exp);
     ("micro", micro);

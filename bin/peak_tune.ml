@@ -39,7 +39,7 @@ let find_machine name =
    of dumping an uncaught-exception backtrace. *)
 let guard f =
   try f () with
-  | Invalid_argument msg | Failure msg | Sys_error msg ->
+  | Invalid_argument msg | Failure msg | Sys_error msg | Method.Not_applicable msg ->
       prerr_endline ("peak-tune: " ^ msg);
       exit 1
 
@@ -72,16 +72,29 @@ let parse_search name =
   | other -> Error ("unknown search " ^ other)
 
 (* "auto" is left to Driver.tune, which resolves it from its own
-   profiling pass instead of profiling twice. *)
+   profiling pass (with §3 fallback) instead of profiling twice. *)
 let parse_method name =
   if String.lowercase_ascii name = "auto" then Ok None
   else
-    match Driver.method_of_string name with
+    match Method.of_string name with
     | Some m -> Ok (Some m)
-    | None -> Error ("unknown rating method " ^ name)
+    | None ->
+        Error
+          (Printf.sprintf "unknown rating method %s (valid: auto, %s)" name
+             (String.concat ", " Method.keys))
 
 let print_result machine (r : Driver.result) =
-  Printf.printf "Rating method: %s\n" (Driver.method_name r.Driver.method_used);
+  Printf.printf "Rating method: %s\n" (Method.name r.Driver.method_used);
+  (match r.Driver.attempts with
+  | [] | [ _ ] -> ()
+  | attempts ->
+      Printf.printf "Fallback chain: %s (%s abandoned after a non-converged probe)\n"
+        (Method.chain_string attempts)
+        (String.concat ", "
+           (List.filter_map
+              (fun (a : Method.attempt) ->
+                if a.Method.a_converged then None else Some (Method.name a.Method.a_method))
+              attempts)));
   Printf.printf "Best configuration: %s\n" (Optconfig.to_string r.Driver.best_config);
   Printf.printf "Search: %d ratings over %d iterations, %d invocations, %d program runs\n"
     r.Driver.search_stats.Search.ratings r.Driver.search_stats.Search.iterations
@@ -106,7 +119,24 @@ let method_arg =
     value
     & opt string "auto"
     & info [ "r"; "rating" ] ~docv:"METHOD"
-        ~doc:"Rating method: auto, cbr, mbr, rbr, avg or whl.")
+        ~doc:
+          (Printf.sprintf "Rating method: auto or one of %s (see $(b,methods))."
+             (String.concat ", " Method.keys)))
+
+let rating_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rating-cap" ] ~docv:"N"
+        ~doc:
+          "Cap each rating at $(docv) trace invocations (default 20000).  A cap below the \
+           convergence window forces the \xC2\xA73 fallback chain in auto mode.")
+
+let rating_params_of_cap = function
+  | None -> Rating.default_params
+  | Some n ->
+      if n < 1 then die "rating cap must be >= 1";
+      { Rating.default_params with Rating.max_invocations = n }
 
 let dataset_arg =
   Arg.(
@@ -209,10 +239,10 @@ let analyze_cmd =
         Printf.printf "  MBR components: %d\n"
           (Component_analysis.n_components profile.Profile.components);
         Printf.printf "  Applicable methods: %s\n"
-          (String.concat ", " (List.map Consultant.method_name advice.Consultant.applicable));
+          (String.concat ", " (List.map Method.name advice.Consultant.applicable));
         List.iter (fun r -> Printf.printf "    - %s\n" r) advice.Consultant.reasons;
         Printf.printf "  Consultant's choice: %s (paper: %s)\n"
-          (Consultant.method_name advice.Consultant.chosen)
+          (Method.name advice.Consultant.chosen)
           b.Benchmark.paper_method
   in
   Cmd.v
@@ -234,13 +264,14 @@ let tune_cmd =
           ~doc:"Start the search from a configuration proposed by the store's history \
                 (requires $(b,--store)).")
   in
-  let run name machine_name method_name dataset_name search_name seed store_dir warm =
+  let run name machine_name method_name dataset_name search_name seed store_dir warm cap =
     guard @@ fun () ->
     let b = or_die (find_benchmark name) in
     let machine = or_die (find_machine machine_name) in
     let dataset = or_die (parse_dataset dataset_name) in
     let search = or_die (parse_search search_name) in
     let method_ = or_die (parse_method method_name) in
+    let rating_params = rating_params_of_cap cap in
     if warm && store_dir = None then die "--warm requires --store DIR";
     let start =
       match (warm, store_dir) with
@@ -272,9 +303,12 @@ let tune_cmd =
       b.Benchmark.ts_name machine.Machine.name (Trace.dataset_name dataset);
     match store_dir with
     | None ->
-        print_result machine (Driver.tune ~seed ~search ?method_ ?start b machine dataset)
+        print_result machine
+          (Driver.tune ~seed ~search ~rating_params ?method_ ?start b machine dataset)
     | Some dir ->
-        let meta = Driver.session_meta ?method_ ~search ~seed ?start b machine dataset in
+        let meta =
+          Driver.session_meta ?method_ ~search ~rating_params ~seed ?start b machine dataset
+        in
         let session = or_die (Peak_store.Session.open_ ~dir ~meta) in
         let id = (Peak_store.Session.meta session).Peak_store.Codec.m_id in
         let loaded = Peak_store.Session.loaded_events session in
@@ -285,13 +319,14 @@ let tune_cmd =
           ~finally:(fun () -> Peak_store.Session.close session)
           (fun () ->
             print_result machine
-              (Driver.tune ~seed ~search ?method_ ~store:session b machine dataset))
+              (Driver.tune ~seed ~search ~rating_params ?method_ ~store:session b machine
+                 dataset))
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Run one offline tuning session (the Figure 7 experiment).")
     Term.(
       const run $ benchmark_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg
-      $ seed_arg $ store_arg $ warm_arg)
+      $ seed_arg $ store_arg $ warm_arg $ rating_cap_arg)
 
 let suite_cmd =
   let benchmarks_arg =
@@ -305,7 +340,7 @@ let suite_cmd =
       value & opt int 1
       & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Tune on $(docv) domains in parallel.")
   in
-  let run names machine_name method_name dataset_name search_name seed jobs store_dir =
+  let run names machine_name method_name dataset_name search_name seed jobs store_dir cap =
     guard @@ fun () ->
     let benchmarks =
       match names with
@@ -316,14 +351,15 @@ let suite_cmd =
     let dataset = or_die (parse_dataset dataset_name) in
     let search = or_die (parse_search search_name) in
     let method_ = or_die (parse_method method_name) in
+    let rating_params = rating_params_of_cap cap in
     if jobs < 1 then die "jobs must be >= 1";
     Printf.printf "Tuning %d benchmarks on %s, %s data set, %d domain%s...\n%!"
       (List.length benchmarks) machine.Machine.name (Trace.dataset_name dataset) jobs
       (if jobs = 1 then "" else "s");
     let t0 = Unix.gettimeofday () in
     let results =
-      Driver.tune_suite ~seed ~search ?method_ ~domains:jobs ?store_dir benchmarks machine
-        dataset
+      Driver.tune_suite ~seed ~search ~rating_params ?method_ ~domains:jobs ?store_dir
+        benchmarks machine dataset
     in
     let wall = Unix.gettimeofday () -. t0 in
     let t =
@@ -339,7 +375,7 @@ let suite_cmd =
         Table.add_row t
           [
             r.Driver.benchmark.Benchmark.name;
-            Driver.method_name r.Driver.method_used;
+            Method.chain_string r.Driver.attempts;
             Optconfig.to_string r.Driver.best_config;
             Printf.sprintf "%.1f%%" imp;
             Printf.sprintf "%.1f" r.Driver.tuning_seconds;
@@ -357,7 +393,7 @@ let suite_cmd =
           bit-identical for every $(b,-j) value.")
     Term.(
       const run $ benchmarks_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg
-      $ seed_arg $ jobs_arg $ store_arg)
+      $ seed_arg $ jobs_arg $ store_arg $ rating_cap_arg)
 
 let consistency_cmd =
   let run name machine_name seed =
@@ -379,7 +415,7 @@ let consistency_cmd =
               ((match row.Consistency.context_label with
                | Some l -> Printf.sprintf "%s(%s)" b.Benchmark.ts_name l
                | None -> b.Benchmark.ts_name)
-               :: Driver.method_name row.Consistency.method_used
+               :: Method.name row.Consistency.method_used
                :: List.map
                     (fun (c : Consistency.cell) ->
                       Printf.sprintf "%.2f(%.2f)" c.Consistency.mean_x100 c.Consistency.stddev_x100)
@@ -431,6 +467,31 @@ let show_cmd =
   Cmd.v
     (Cmd.info "show" ~doc:"Print a benchmark's tuning section as pseudo-C.")
     Term.(const run $ benchmark_arg $ optimize_arg)
+
+let methods_cmd =
+  let run () =
+    let t =
+      Table.create ~header:[ "Method"; "Fallback order"; "Applicable when"; "Rating approach" ] ()
+    in
+    let order m =
+      let rec go i = function
+        | [] -> "-"
+        | x :: tl -> if x = m then string_of_int (i + 1) else go (i + 1) tl
+      in
+      go 0 Method.auto_chain
+    in
+    List.iter
+      (fun m -> Table.add_row t [ Method.name m; order m; Method.condition m; Method.describe m ])
+      Method.all;
+    Table.print t;
+    print_endline
+      "Auto mode walks the applicable methods in fallback order, probing each (but the \
+       last) for convergence on the start configuration."
+  in
+  Cmd.v
+    (Cmd.info "methods"
+       ~doc:"List the registered rating methods, their applicability and fallback order.")
+    Term.(const run $ const ())
 
 (* ---------------- session: the persistent tuning store ---------------- *)
 
@@ -524,6 +585,19 @@ let session_show_cmd =
     | Some r ->
         Printf.printf "  Status: done — %s found %s\n" r.Peak_store.Codec.r_method
           (Optconfig.to_string r.Peak_store.Codec.r_best);
+        (match r.Peak_store.Codec.r_attempts with
+        | [] | [ _ ] -> ()
+        | attempts ->
+            Printf.printf "  Fallback chain: %s\n"
+              (String.concat " > "
+                 (List.map
+                    (fun (a : Peak_store.Codec.attempt) ->
+                      Printf.sprintf "%s (%s, %d rating%s)" a.Peak_store.Codec.at_method
+                        (if a.Peak_store.Codec.at_converged then "committed"
+                         else "abandoned")
+                        a.Peak_store.Codec.at_ratings
+                        (if a.Peak_store.Codec.at_ratings = 1 then "" else "s"))
+                    attempts)));
         Printf.printf "  %d ratings over %d iterations, %d invocations, %d program runs\n"
           r.Peak_store.Codec.r_ratings r.Peak_store.Codec.r_iterations
           r.Peak_store.Codec.r_invocations r.Peak_store.Codec.r_passes;
@@ -552,7 +626,14 @@ let session_resume_cmd =
     let method_ = or_die (parse_method m.Peak_store.Codec.m_method) in
     let seed = m.Peak_store.Codec.m_seed in
     let threshold = m.Peak_store.Codec.m_threshold in
-    let meta = Driver.session_meta ?method_ ~search ~seed ~threshold b machine dataset in
+    let rating_params =
+      match Rating.params_of_signature m.Peak_store.Codec.m_params with
+      | Some p -> p
+      | None -> die ("session has unreadable rating parameters: " ^ m.Peak_store.Codec.m_params)
+    in
+    let meta =
+      Driver.session_meta ?method_ ~search ~rating_params ~seed ~threshold b machine dataset
+    in
     let session = or_die (Peak_store.Session.open_ ~dir ~meta) in
     Printf.printf "Resuming session %s (%d stored ratings)\n%!" id
       (Peak_store.Session.loaded_events session);
@@ -560,8 +641,8 @@ let session_resume_cmd =
       ~finally:(fun () -> Peak_store.Session.close session)
       (fun () ->
         let tune pool =
-          Driver.tune ~seed ~search ~threshold ?method_ ?pool ~store:session b machine
-            dataset
+          Driver.tune ~seed ~search ~rating_params ~threshold ?method_ ?pool ~store:session
+            b machine dataset
         in
         let r =
           if jobs > 1 then Pool.run ~domains:jobs (fun pool -> tune (Some pool))
@@ -609,12 +690,67 @@ let session_cmd =
        ~doc:"Inspect and manage the persistent tuning store (see $(b,tune --store)).")
     [ session_list_cmd; session_show_cmd; session_resume_cmd; session_gc_cmd; session_export_cmd ]
 
+(* Per-method attempt statistics, recomputed from the store alone: the
+   journal carries every rating event tagged with its method, and
+   result.json carries the attempted-method chain of each completed
+   session. *)
+let report_cmd =
+  let run dir =
+    guard @@ fun () ->
+    let infos = or_die (Peak_store.Session.list ~dir) in
+    let t =
+      Table.create ~header:[ "Session"; "Status"; "Attempts"; "Ratings by method" ] ()
+    in
+    List.iter
+      (fun (i : Peak_store.Session.info) ->
+        let m = i.Peak_store.Session.info_meta in
+        let id = m.Peak_store.Codec.m_id in
+        let evs, _ = Peak_store.Session.events ~dir ~id in
+        let counts = Hashtbl.create 8 in
+        List.iter
+          (fun (e : Peak_store.Codec.event) ->
+            let k = e.Peak_store.Codec.e_method in
+            Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+          evs;
+        let by_method =
+          Peak_store.Codec.method_names
+          |> List.filter_map (fun name ->
+                 Option.map (Printf.sprintf "%s:%d" name) (Hashtbl.find_opt counts name))
+          |> String.concat " "
+        in
+        let status, attempts =
+          match i.Peak_store.Session.info_result with
+          | None -> ("in progress", "-")
+          | Some r -> (
+              ( "done",
+                match r.Peak_store.Codec.r_attempts with
+                | [] -> r.Peak_store.Codec.r_method
+                | atts ->
+                    String.concat ">"
+                      (List.map
+                         (fun (a : Peak_store.Codec.attempt) ->
+                           if a.Peak_store.Codec.at_converged then a.Peak_store.Codec.at_method
+                           else a.Peak_store.Codec.at_method ^ "*")
+                         atts) ))
+        in
+        Table.add_row t [ id; status; attempts; (if by_method = "" then "-" else by_method) ])
+      infos;
+    Table.print t;
+    print_endline "(* marks a method abandoned after a non-converged fallback probe)"
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Per-method attempt statistics of every session in a store — fallback chains and \
+          rating-event counts, recomputed from the journals and results alone.")
+    Term.(const run $ store_req_arg)
+
 let main =
   let doc = "PEAK: rating compiler optimizations for automatic performance tuning" in
   Cmd.group (Cmd.info "peak-tune" ~version:"1.0.0" ~doc)
     [
-      list_cmd; flags_cmd; analyze_cmd; tune_cmd; suite_cmd; session_cmd; consistency_cmd;
-      instrument_cmd; show_cmd;
+      list_cmd; flags_cmd; analyze_cmd; tune_cmd; suite_cmd; session_cmd; report_cmd;
+      consistency_cmd; instrument_cmd; show_cmd; methods_cmd;
     ]
 
 let () = exit (Cmd.eval main)

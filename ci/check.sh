@@ -24,6 +24,39 @@ else
   echo "   ocamlformat not installed; skipping the formatting gate"
 fi
 
+# Documentation: @doc needs odoc; same skip-with-notice policy as the
+# formatting gate when the tool is absent.
+echo "== odoc"
+if command -v odoc >/dev/null 2>&1; then
+  if dune build @doc >/dev/null 2>&1; then
+    echo "   odoc clean"
+  else
+    echo "   odoc errors found; run: dune build @doc" >&2
+    exit 1
+  fi
+else
+  echo "   odoc not installed; skipping the documentation gate"
+fi
+
+# CLI error contract: an unknown rating method must die with a one-line
+# error naming the valid methods, exit status 1.
+echo "== unknown method rejection"
+BIN=_build/default/bin/peak_tune.exe
+SMOKE_ERR_TMP=$(mktemp)
+if "$BIN" tune ART -m pentium4 -r bogus >/dev/null 2>"$SMOKE_ERR_TMP"; then
+  echo "   bogus method accepted (expected exit 1)" >&2
+  exit 1
+fi
+if [ "$(wc -l < "$SMOKE_ERR_TMP")" -eq 1 ] && grep -q "cbr" "$SMOKE_ERR_TMP"; then
+  echo "   one-line error listing valid methods"
+else
+  echo "   unexpected error output for a bogus method:" >&2
+  cat "$SMOKE_ERR_TMP" >&2
+  rm -f "$SMOKE_ERR_TMP"
+  exit 1
+fi
+rm -f "$SMOKE_ERR_TMP"
+
 # Store resume smoke: kill a store-backed tuning session mid-flight,
 # resume it, and require the final result to be byte-identical to an
 # uninterrupted run of the same session.
@@ -59,5 +92,41 @@ else
   exit 1
 fi
 "$BIN" session gc --store "$SMOKE/crash" > /dev/null
+
+# Fallback resume smoke: a rating cap below the convergence window makes
+# every absolute probe fail, so an auto session walks the fallback chain
+# down to RBR.  Kill it mid-flight and the resume must replay the probe
+# verdicts from the journal and produce the identical result.
+echo "== fallback resume smoke"
+"$BIN" tune MGRID -m sparc2 --rating-cap 30 --search be --store "$SMOKE/fbref" \
+  | tail -6 > "$SMOKE/fbref.out"
+if ! grep -q "Fallback chain:" "$SMOKE/fbref.out"; then
+  echo "   rating cap did not force a fallback:" >&2
+  cat "$SMOKE/fbref.out" >&2
+  exit 1
+fi
+
+"$BIN" tune MGRID -m sparc2 --rating-cap 30 --search be --store "$SMOKE/fbcrash" \
+  > /dev/null 2>&1 &
+tune_pid=$!
+sleep 2
+kill -9 "$tune_pid" 2>/dev/null || true
+wait "$tune_pid" 2>/dev/null || true
+
+id=$("$BIN" session list --store "$SMOKE/fbcrash" -q)
+if [ -n "$id" ]; then
+  "$BIN" session resume --store "$SMOKE/fbcrash" "$id" | tail -6 > "$SMOKE/fbresumed.out"
+else
+  "$BIN" tune MGRID -m sparc2 --rating-cap 30 --search be --store "$SMOKE/fbcrash" \
+    | tail -6 > "$SMOKE/fbresumed.out"
+fi
+
+if diff "$SMOKE/fbref.out" "$SMOKE/fbresumed.out"; then
+  echo "   resumed fallback result identical to uninterrupted run"
+else
+  echo "   resumed fallback result DIFFERS from uninterrupted run" >&2
+  exit 1
+fi
+"$BIN" session gc --store "$SMOKE/fbcrash" > /dev/null
 
 echo "== OK"

@@ -78,7 +78,7 @@ let () =
       let advice = Consultant.advise tsec profile in
       Printf.printf "%s: %s chooses %s (%d contexts, %d components)\n" machine.Machine.name
         benchmark.Benchmark.name
-        (Consultant.method_name advice.Consultant.chosen)
+        (Method.name advice.Consultant.chosen)
         (Option.value ~default:(-1) (Profile.n_contexts profile))
         advice.Consultant.n_components;
       let method_ = Driver.auto_method profile tsec in

@@ -35,8 +35,8 @@ let () =
   (* 3. the consultant's verdict *)
   let advice = Consultant.advise tsec profile in
   Printf.printf "Applicable rating methods: %s; chosen: %s\n"
-    (String.concat ", " (List.map Consultant.method_name advice.Consultant.applicable))
-    (Consultant.method_name advice.Consultant.chosen);
+    (String.concat ", " (List.map Method.name advice.Consultant.applicable))
+    (Method.name advice.Consultant.chosen);
   List.iter (fun r -> Printf.printf "  (%s)\n" r) advice.Consultant.reasons;
 
   (* 4. tune: Iterative Elimination over the 38 -O3 flags *)

@@ -32,7 +32,7 @@ let () =
         (fun (sr : Partitioner.section_result) ->
           Printf.printf "  tuned %-6s with %s: %+.1f%%  (%s)\n"
             sr.Partitioner.sp.Partitioner.section.Program.name
-            (Driver.method_name sr.Partitioner.method_used)
+            (Method.name sr.Partitioner.method_used)
             sr.Partitioner.section_improvement_pct
             (Peak_compiler.Optconfig.to_string sr.Partitioner.result.Driver.best_config))
         r.Partitioner.sections;

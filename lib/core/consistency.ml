@@ -16,7 +16,7 @@ type cell = { window : int; mean_x100 : float; stddev_x100 : float }
 
 type row = {
   benchmark : Benchmark.t;
-  method_used : Driver.rating_method;
+  method_used : Method.t;
   context_label : string option;
   n_invocations : int;  (** Trace length (scaled counterpart of Table 1's column). *)
   cells : cell list;
@@ -65,11 +65,12 @@ let measure ?(seed = 23) ?(n_ratings = 25) ?(windows = default_windows)
       windows
   in
   match advice.Consultant.chosen with
-  | Consultant.Rbr ->
+  | Method.Avg | Method.Whl -> invalid_arg "Consistency: baseline method chosen"
+  | Method.Rbr ->
       [
         {
           benchmark;
-          method_used = Driver.Rbr;
+          method_used = Method.Rbr;
           context_label = None;
           n_invocations = trace.Trace.length;
           cells =
@@ -78,11 +79,11 @@ let measure ?(seed = 23) ?(n_ratings = 25) ?(windows = default_windows)
               ~relative_to_mean:false;
         };
       ]
-  | Consultant.Mbr ->
+  | Method.Mbr ->
       [
         {
           benchmark;
-          method_used = Driver.Mbr;
+          method_used = Method.Mbr;
           context_label = None;
           n_invocations = trace.Trace.length;
           cells =
@@ -94,7 +95,7 @@ let measure ?(seed = 23) ?(n_ratings = 25) ?(windows = default_windows)
               ~relative_to_mean:true;
         };
       ]
-  | Consultant.Cbr ->
+  | Method.Cbr ->
       let sources, stats =
         match profile.Profile.context with
         | Profile.Cbr_ok { sources; stats; _ } -> (sources, stats)
@@ -113,7 +114,7 @@ let measure ?(seed = 23) ?(n_ratings = 25) ?(windows = default_windows)
         (fun (context_label, target) ->
           {
             benchmark;
-            method_used = Driver.Cbr;
+            method_used = Method.Cbr;
             context_label;
             n_invocations = trace.Trace.length;
             cells =

@@ -10,7 +10,7 @@ type cell = { window : int; mean_x100 : float; stddev_x100 : float }
 
 type row = {
   benchmark : Peak_workload.Benchmark.t;
-  method_used : Driver.rating_method;
+  method_used : Method.t;
   context_label : string option;
       (** ["Context k"] for multi-context CBR sections (APSI, WUPWISE). *)
   n_invocations : int;  (** Trace length (Table 1's scaled column). *)

@@ -1,39 +1,20 @@
-(** The Rating Approach Consultant (Sections 3 and 4.2).
-
-    Decides, per tuning section, which rating methods are applicable and
-    which to try first:
-
-    - {b CBR} needs the Figure-1 analysis to succeed and the number of
-      observed contexts to stay small ("to keep the number of contexts
-      reasonable", Section 2.2);
-    - {b MBR} needs the component model to stay small, or the regression
-      would demand too many invocations (Section 2.3);
-    - {b RBR} is applicable to almost everything — only sections calling
-      side-effecting externals are excluded (Section 2.4.1).
-
-    The initial choice follows the paper's preference order CBR, MBR,
-    RBR; the estimated invocations-per-rating of each applicable method
-    are reported so tuning-time discussions (Figure 7 c/d) can refer to
-    them.  At tuning time the harness falls back along the applicable
-    list if the chosen method fails to converge. *)
-
-type method_kind = Cbr | Mbr | Rbr
-
-let method_name = function Cbr -> "CBR" | Mbr -> "MBR" | Rbr -> "RBR"
+(* The Rating Approach Consultant (Sections 3 and 4.2).  Applicability
+   itself lives with the raters in Method; the consultant orders the
+   applicable methods, estimates their per-rating cost and explains the
+   exclusions. *)
 
 type advice = {
-  applicable : method_kind list;  (** In preference order. *)
-  chosen : method_kind;
+  applicable : Method.t list;
+  chosen : Method.t;
   n_contexts : int option;
   dominant_share : float option;
   n_components : int;
-  estimates : (method_kind * float) list;
-      (** Estimated invocations consumed per version rating. *)
-  reasons : string list;  (** Why methods were excluded. *)
+  estimates : (Method.t * float) list;
+  reasons : string list;
 }
 
-let default_max_contexts = 4
-let default_max_components = 5
+let default_max_contexts = Method.default_max_contexts
+let default_max_components = Method.default_max_components
 
 (* Time factor of one RBR invocation relative to a plain one: the two
    timed executions, the preconditioning run, and the copies. *)
@@ -41,41 +22,16 @@ let rbr_cost_factor = 2.8
 
 let advise ?(max_contexts = default_max_contexts) ?(max_components = default_max_components)
     ?(window = 40) tsec (profile : Profile.t) =
-  let reasons = ref [] in
-  let note fmt = Printf.ksprintf (fun s -> reasons := s :: !reasons) fmt in
   let n_components = Component_analysis.n_components profile.Profile.components in
-  let cbr_ok =
-    match profile.Profile.context with
-    | Profile.Cbr_no reason ->
-        note "CBR: %s" reason;
-        false
-    | Profile.Cbr_ok { stats; _ } ->
-        let n = List.length stats in
-        if n > max_contexts then begin
-          note "CBR: %d contexts exceed the limit of %d" n max_contexts;
-          false
-        end
-        else true
+  let applicable, reasons =
+    List.fold_left
+      (fun (ok, reasons) m ->
+        match Method.applicable ~max_contexts ~max_components m profile with
+        | Ok () -> (m :: ok, reasons)
+        | Error reason -> (ok, reason :: reasons))
+      ([], []) Method.auto_chain
   in
-  let mbr_ok =
-    if n_components > max_components then begin
-      note "MBR: %d components exceed the limit of %d" n_components max_components;
-      false
-    end
-    else true
-  in
-  let rbr_ok =
-    if profile.Profile.impure_calls then begin
-      note "RBR: tuning section calls side-effecting externals";
-      false
-    end
-    else true
-  in
-  let applicable =
-    List.filter_map
-      (fun (ok, m) -> if ok then Some m else None)
-      [ (cbr_ok, Cbr); (mbr_ok, Mbr); (rbr_ok, Rbr) ]
-  in
+  let applicable = List.rev applicable in
   if applicable = [] then
     invalid_arg
       (Printf.sprintf "Consultant.advise: no applicable rating method for %s"
@@ -85,12 +41,13 @@ let advise ?(max_contexts = default_max_contexts) ?(max_components = default_max
     List.filter_map
       (fun m ->
         match m with
-        | Cbr ->
+        | Method.Cbr ->
             Option.map
-              (fun share -> (Cbr, w /. Float.max 0.01 share))
+              (fun share -> (Method.Cbr, w /. Float.max 0.01 share))
               (Profile.dominant_share profile)
-        | Mbr -> Some (Mbr, Float.max w (3.0 *. float_of_int n_components))
-        | Rbr -> Some (Rbr, w *. rbr_cost_factor))
+        | Method.Mbr -> Some (Method.Mbr, Float.max w (3.0 *. float_of_int n_components))
+        | Method.Rbr -> Some (Method.Rbr, w *. rbr_cost_factor)
+        | Method.Avg | Method.Whl -> None)
       applicable
   in
   {
@@ -100,5 +57,5 @@ let advise ?(max_contexts = default_max_contexts) ?(max_components = default_max
     dominant_share = Profile.dominant_share profile;
     n_components;
     estimates;
-    reasons = List.rev !reasons;
+    reasons = List.rev reasons;
   }

@@ -1,7 +1,8 @@
 (** The Rating Approach Consultant (Sections 3 and 4.2).
 
     Decides, per tuning section, which rating methods are applicable and
-    which to try first:
+    which to try first.  The applicability rules themselves live with
+    the raters ({!Method.applicable}):
 
     - {b CBR} needs the Figure-1 analysis to succeed and the number of
       observed contexts to stay small ("to keep the number of contexts
@@ -12,29 +13,26 @@
       side-effecting externals are excluded (Section 2.4.1).
 
     The initial choice follows the paper's preference order CBR, MBR,
-    RBR; at tuning time {!Harness.rate_with_fallback} falls back along
-    the applicable list if the chosen method fails to converge. *)
-
-type method_kind = Cbr | Mbr | Rbr
-
-val method_name : method_kind -> string
+    RBR; at tuning time {!Driver.tune} (auto mode) falls back along the
+    applicable list if the chosen method fails its convergence probe. *)
 
 type advice = {
-  applicable : method_kind list;  (** In preference order. *)
-  chosen : method_kind;
+  applicable : Method.t list;  (** In preference order. *)
+  chosen : Method.t;
   n_contexts : int option;  (** When the context analysis succeeded. *)
   dominant_share : float option;  (** Time share of the dominant context. *)
   n_components : int;
-  estimates : (method_kind * float) list;
+  estimates : (Method.t * float) list;
       (** Estimated invocations consumed per version rating. *)
   reasons : string list;  (** Why methods were excluded. *)
 }
 
 val default_max_contexts : int
-(** 4 — chosen so the Table 1 benchmarks partition as in the paper. *)
+(** {!Method.default_max_contexts} (4) — chosen so the Table 1
+    benchmarks partition as in the paper. *)
 
 val default_max_components : int
-(** 5. *)
+(** {!Method.default_max_components} (5). *)
 
 val advise :
   ?max_contexts:int -> ?max_components:int -> ?window:int -> Tsection.t -> Profile.t -> advice

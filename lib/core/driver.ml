@@ -2,24 +2,6 @@ open Peak_machine
 open Peak_compiler
 open Peak_workload
 
-type rating_method = Cbr | Mbr | Rbr | Avg | Whl
-
-let method_name = function
-  | Cbr -> "CBR"
-  | Mbr -> "MBR"
-  | Rbr -> "RBR"
-  | Avg -> "AVG"
-  | Whl -> "WHL"
-
-let method_of_string s =
-  match String.uppercase_ascii s with
-  | "CBR" -> Some Cbr
-  | "MBR" -> Some Mbr
-  | "RBR" -> Some Rbr
-  | "AVG" -> Some Avg
-  | "WHL" -> Some Whl
-  | _ -> None
-
 type search_algo = Ie | Be | Ce | Random of int | Ff | Ose
 
 let search_name = function
@@ -34,7 +16,8 @@ type result = {
   benchmark : Benchmark.t;
   machine : Machine.t;
   dataset : Trace.dataset;
-  method_used : rating_method;
+  method_used : Method.t;
+  attempts : Method.attempt list;
   best_config : Optconfig.t;
   search_stats : Search.stats;
   tuning_cycles : float;
@@ -49,16 +32,20 @@ let non_ts_cycles_of (benchmark : Benchmark.t) (profile : Profile.t) =
   let share = benchmark.Benchmark.time_share in
   profile.Profile.ts_pass_cycles *. (1.0 -. share) /. share
 
-let auto_method profile tsec =
-  let advice = Consultant.advise tsec profile in
-  match advice.Consultant.chosen with
-  | Consultant.Cbr -> Cbr
-  | Consultant.Mbr -> Mbr
-  | Consultant.Rbr -> Rbr
+let auto_method profile tsec = (Consultant.advise tsec profile).Consultant.chosen
 
 let result_summary (r : result) : Peak_store.Codec.session_result =
   {
-    Peak_store.Codec.r_method = method_name r.method_used;
+    Peak_store.Codec.r_method = Method.name r.method_used;
+    r_attempts =
+      List.map
+        (fun (a : Method.attempt) ->
+          {
+            Peak_store.Codec.at_method = Method.name a.Method.a_method;
+            at_converged = a.Method.a_converged;
+            at_ratings = a.Method.a_ratings;
+          })
+        r.attempts;
     r_best = r.best_config;
     r_ratings = r.search_stats.Search.ratings;
     r_iterations = r.search_stats.Search.iterations;
@@ -72,9 +59,7 @@ let result_summary (r : result) : Peak_store.Codec.session_result =
 let session_meta ?method_ ?(search = Ie) ?(rating_params = Rating.default_params)
     ?(threshold = 0.005) ?(seed = 11) ?(start = Optconfig.o3) (benchmark : Benchmark.t) machine
     dataset : Peak_store.Codec.session_meta =
-  let method_str =
-    match method_ with Some m -> String.lowercase_ascii (method_name m) | None -> "auto"
-  in
+  let method_str = match method_ with Some m -> Method.key m | None -> "auto" in
   let bench_name = benchmark.Benchmark.name in
   let machine_name = machine.Machine.name in
   let dataset_name = Trace.dataset_name dataset in
@@ -100,17 +85,12 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
   let trace = benchmark.Benchmark.trace dataset ~seed in
   let profile = Profile.run ~seed:(seed + 1) tsec trace machine in
   let advice = Consultant.advise tsec profile in
-  (* [method_] omitted means "auto": resolve the consultant's choice from
-     the single profile computed above instead of forcing callers to run
-     a second profiling pass of their own *)
-  let method_ =
-    match method_ with
-    | Some m -> m
-    | None -> (
-        match advice.Consultant.chosen with
-        | Consultant.Cbr -> Cbr
-        | Consultant.Mbr -> Mbr
-        | Consultant.Rbr -> Rbr)
+  (* [method_] forces a single-entry chain (no fallback, no probes — a
+     forced run is bit-identical to the pre-fallback driver); omitted
+     means "auto": walk the consultant's applicable methods with the §3
+     convergence probe below. *)
+  let chain =
+    match method_ with Some m -> [ m ] | None -> advice.Consultant.applicable
   in
   let non_ts = non_ts_cycles_of benchmark profile in
   let runner = Runner.create ~seed:(seed + 2) tsec trace machine in
@@ -171,47 +151,32 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     | None, None -> Optconfig.o3
   in
   (* ---------------- persistent store hooks ---------------------------
-     A stored rating replays both the value and the consumed
+     A stored rating replays the value, the convergence flag (what the
+     fallback probes decide on) and the consumed
      invocations/passes/cycles, folded back at the same submission-order
      position a fresh rating would occupy — which keeps the tuning-time
      ledger of a resumed session bit-identical to an uninterrupted
      one. *)
-  let mname = method_name method_ in
   let store_base_key base =
     match store with None -> "-" | Some _ -> Optconfig.digest base
   in
-  let store_find ~base ~idx config =
+  let store_find ~mname ~base ~idx config =
     match store with
     | None -> None
     | Some s ->
         Peak_store.Session.find s ~method_:mname ~base ~idx config
-        |> Option.map (fun (e, (u : Peak_store.Codec.consumption)) ->
-               (e, (u.Peak_store.Codec.c_invocations, u.c_passes, u.c_cycles)))
+        |> Option.map (fun (e, conv, (u : Peak_store.Codec.consumption)) ->
+               (e, conv, (u.Peak_store.Codec.c_invocations, u.c_passes, u.c_cycles)))
   in
-  let store_record ~base ~idx config (eval, (inv, p, cyc)) =
+  let store_record ~mname ~base ~idx config (eval, converged, (inv, p, cyc)) =
     match store with
     | None -> ()
     | Some s ->
-        Peak_store.Session.record s ~method_:mname ~base ~idx ~config ~eval
+        Peak_store.Session.record s ~method_:mname ~base ~idx ~config ~eval ~converged
           ~used:{ Peak_store.Codec.c_invocations = inv; c_passes = p; c_cycles = cyc }
   in
-  (* CBR target context *)
-  let cbr_info =
-    match profile.Profile.context with
-    | Profile.Cbr_ok { sources; stats = s :: _; _ } -> Some (sources, s.Profile.values)
-    | Profile.Cbr_ok { sources; stats = []; _ } -> Some (sources, [||])
-    | Profile.Cbr_no _ -> None
-  in
-  let cbr_info_exn () =
-    match cbr_info with
-    | Some info -> info
-    | None ->
-        invalid_arg
-          (Printf.sprintf "Driver.tune: CBR not applicable to %s" benchmark.Benchmark.name)
-  in
-  let eval_cache = Hashtbl.create 64 in
   (* ---------------- sequential rating (one shared runner) ------------ *)
-  let sequential_relative () : Search.relative =
+  let sequential_relative prepared eval_cache : Search.relative =
     let eval_with f config =
       match Hashtbl.find_opt eval_cache config with
       | Some e -> e
@@ -220,33 +185,12 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
           Hashtbl.add eval_cache config e;
           e
     in
-    match method_ with
-    | Rbr ->
+    match prepared with
+    | Method.Relative { rate; _ } ->
         fun ~base candidate ->
-          (Rbr.rate ~params runner ~base:(version base) (version candidate)).Rating.eval
-    | Cbr ->
-        let sources, target = cbr_info_exn () in
-        let eval =
-          eval_with (fun c -> (Cbr.rate ~params runner ~sources ~target (version c)).Rating.eval)
-        in
-        fun ~base candidate -> eval candidate /. eval base
-    | Mbr ->
-        let components = profile.Profile.components in
-        let avg_counts = profile.Profile.avg_component_counts in
-        let dominant = profile.Profile.dominant_component in
-        let eval =
-          eval_with (fun c ->
-              (Mbr.rate ~params runner ~components ~avg_counts ~dominant (version c))
-                .Rating.eval)
-        in
-        fun ~base candidate -> eval candidate /. eval base
-    | Avg ->
-        let eval = eval_with (fun c -> (Avg.rate ~params runner (version c)).Rating.eval) in
-        fun ~base candidate -> eval candidate /. eval base
-    | Whl ->
-        let eval =
-          eval_with (fun c -> (Whl.rate runner ~non_ts_cycles:non_ts (version c)).Rating.eval)
-        in
+          (rate runner ~base:(version base) (version candidate)).Rating.eval
+    | Method.Absolute rate ->
+        let eval = eval_with (fun c -> (rate runner (version c)).Rating.eval) in
         fun ~base candidate -> eval candidate /. eval base
   in
   (* ---------------- parallel rating (one runner per candidate) ------- *)
@@ -263,12 +207,17 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     Runner.create ~seed:jseed tsec trace machine
   in
   let consumption r = (Runner.invocations_consumed r, Runner.passes_started r, Runner.tuning_cycles r) in
+  let deterministic = Option.is_some pool || Option.is_some store in
   (* [pmap] is how a batch of rating jobs runs: Pool.map on a domain
      pool, plain List.map when a store demands the deterministic
      per-candidate scheme without a pool.  Either way every job is a
      pure function of (seed, idx, config[, base]), which is what lets a
      stored rating stand in for a fresh one bit-for-bit. *)
-  let deterministic_rating pmap : Search.relative * Search.rate_many option =
+  let pmap f jobs =
+    match pool with Some p -> Peak_util.Pool.map p f jobs | None -> List.map f jobs
+  in
+  let deterministic_rating prepared eval_cache mname :
+      Search.relative * Search.rate_many option =
     let take q =
       match !q with
       | hit :: rest ->
@@ -276,69 +225,70 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
           hit
       | [] -> assert false
     in
-    let eval_rating (eval_in : Runner.t -> Version.t -> float) =
-      (* compile caller-side (the versions table is not shared across
-         domains), dispatch only configurations missing from both the
-         eval cache and the store, keeping the first occurrence of a
-         duplicate *)
-      let ensure idxed =
-        let seen = Hashtbl.create 8 in
-        let work =
-          List.filter_map
-            (fun (idx, c) ->
-              if Hashtbl.mem eval_cache c || Hashtbl.mem seen c then None
-              else begin
-                Hashtbl.add seen c ();
-                Some (idx, c, store_find ~base:"-" ~idx c)
-              end)
-            idxed
-        in
-        let jobs =
-          List.filter_map
+    match prepared with
+    | Method.Absolute rate ->
+        (* compile caller-side (the versions table is not shared across
+           domains), dispatch only configurations missing from both the
+           eval cache and the store, keeping the first occurrence of a
+           duplicate *)
+        let ensure idxed =
+          let seen = Hashtbl.create 8 in
+          let work =
+            List.filter_map
+              (fun (idx, c) ->
+                if Hashtbl.mem eval_cache c || Hashtbl.mem seen c then None
+                else begin
+                  Hashtbl.add seen c ();
+                  Some (idx, c, store_find ~mname ~base:"-" ~idx c)
+                end)
+              idxed
+          in
+          let jobs =
+            List.filter_map
+              (fun (idx, c, stored) ->
+                if Option.is_none stored then Some (idx, version c) else None)
+              work
+          in
+          let results =
+            pmap
+              (fun (idx, (v : Version.t)) ->
+                let r = fresh_runner (job_seed ~idx v.Version.config) in
+                let rating = rate r v in
+                (rating.Rating.eval, rating.Rating.converged, consumption r))
+              jobs
+          in
+          let q = ref results in
+          List.iter
             (fun (idx, c, stored) ->
-              if Option.is_none stored then Some (idx, version c) else None)
+              let e, _converged, used =
+                match stored with
+                | Some hit -> hit
+                | None ->
+                    let hit = take q in
+                    store_record ~mname ~base:"-" ~idx c hit;
+                    hit
+              in
+              account used;
+              Hashtbl.replace eval_cache c e)
             work
         in
-        let results =
-          pmap
-            (fun (idx, (v : Version.t)) ->
-              let r = fresh_runner (job_seed ~idx v.Version.config) in
-              let e = eval_in r v in
-              (e, consumption r))
-            jobs
+        let rate_many : Search.rate_many =
+         fun ~base candidates ->
+          ensure ((-1, base) :: List.mapi (fun i c -> (i, c)) candidates);
+          let eval_base = Hashtbl.find eval_cache base in
+          List.map (fun c -> Hashtbl.find eval_cache c /. eval_base) candidates
         in
-        let q = ref results in
-        List.iter
-          (fun (idx, c, stored) ->
-            let e, used =
-              match stored with
-              | Some hit -> hit
-              | None ->
-                  let hit = take q in
-                  store_record ~base:"-" ~idx c hit;
-                  hit
-            in
-            account used;
-            Hashtbl.replace eval_cache c e)
-          work
-      in
-      let rate_many : Search.rate_many =
-       fun ~base candidates ->
-        ensure ((-1, base) :: List.mapi (fun i c -> (i, c)) candidates);
-        let eval_base = Hashtbl.find eval_cache base in
-        List.map (fun c -> Hashtbl.find eval_cache c /. eval_base) candidates
-      in
-      let relative : Search.relative = (fun ~base c -> List.hd (rate_many ~base [ c ])) in
-      (relative, Some rate_many)
-    in
-    match method_ with
-    | Rbr ->
+        let relative : Search.relative = (fun ~base c -> List.hd (rate_many ~base [ c ])) in
+        (relative, Some rate_many)
+    | Method.Relative { rate; _ } ->
         let rate_many : Search.rate_many =
          fun ~base candidates ->
           let vb = version base in
           let base_hash = Optconfig.hash base in
           let base_key = store_base_key base in
-          let work = List.mapi (fun i c -> (i, c, store_find ~base:base_key ~idx:i c)) candidates in
+          let work =
+            List.mapi (fun i c -> (i, c, store_find ~mname ~base:base_key ~idx:i c)) candidates
+          in
           let jobs =
             List.filter_map
               (fun (idx, c, stored) ->
@@ -349,19 +299,19 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
             pmap
               (fun (idx, (v : Version.t)) ->
                 let r = fresh_runner (job_seed ~base_hash ~idx v.Version.config) in
-                let e = (Rbr.rate ~params r ~base:vb v).Rating.eval in
-                (e, consumption r))
+                let rating = rate r ~base:vb v in
+                (rating.Rating.eval, rating.Rating.converged, consumption r))
               jobs
           in
           let q = ref results in
           List.map
             (fun (idx, c, stored) ->
-              let e, used =
+              let e, _converged, used =
                 match stored with
                 | Some hit -> hit
                 | None ->
                     let hit = take q in
-                    store_record ~base:base_key ~idx c hit;
+                    store_record ~mname ~base:base_key ~idx c hit;
                     hit
               in
               account used;
@@ -370,23 +320,76 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
         in
         let relative : Search.relative = (fun ~base c -> List.hd (rate_many ~base [ c ])) in
         (relative, Some rate_many)
-    | Cbr ->
-        let sources, target = cbr_info_exn () in
-        eval_rating (fun r v -> (Cbr.rate ~params r ~sources ~target v).Rating.eval)
-    | Mbr ->
-        let components = profile.Profile.components in
-        let avg_counts = profile.Profile.avg_component_counts in
-        let dominant = profile.Profile.dominant_component in
-        eval_rating (fun r v ->
-            (Mbr.rate ~params r ~components ~avg_counts ~dominant v).Rating.eval)
-    | Avg -> eval_rating (fun r v -> (Avg.rate ~params r v).Rating.eval)
-    | Whl -> eval_rating (fun r v -> (Whl.rate r ~non_ts_cycles:non_ts v).Rating.eval)
   in
+  (* ---------------- §3 method fallback ------------------------------
+     "If the system cannot achieve enough accuracy ... within some
+     number of invocations, it switches to the next applicable rating
+     method."  Before committing to a method (except the chain's last —
+     there is nothing to fall back to), probe it by rating the start
+     configuration once; a non-converged (or sample-less) probe
+     abandons the method.  For absolute methods the probe is exactly
+     the base rating the search's first batch would perform (same
+     deterministic seed, same store key), so a converged probe is
+     cached and the committed run is bit-identical to forcing that
+     method.  Probes are recorded in the store with their convergence
+     flag, so a resumed session replays every fallback decision. *)
+  let probe prepared eval_cache mname =
+    match prepared with
+    | Method.Relative _ -> true
+    | Method.Absolute rate ->
+        if deterministic then begin
+          let eval, converged, used =
+            match store_find ~mname ~base:"-" ~idx:(-1) start with
+            | Some hit -> hit
+            | None ->
+                let v = version start in
+                let r = fresh_runner (job_seed ~idx:(-1) start) in
+                let eval, converged =
+                  match rate r v with
+                  | rating -> (rating.Rating.eval, rating.Rating.converged)
+                  | exception Rating.No_samples _ -> (nan, false)
+                in
+                let hit = (eval, converged, consumption r) in
+                store_record ~mname ~base:"-" ~idx:(-1) start hit;
+                hit
+          in
+          account used;
+          if converged then Hashtbl.replace eval_cache start eval;
+          converged
+        end
+        else begin
+          (* the shared runner consumes the probe's invocations in
+             stream order, charging the attempt naturally *)
+          match rate runner (version start) with
+          | rating when rating.Rating.converged ->
+              Hashtbl.replace eval_cache start rating.Rating.eval;
+              true
+          | _ -> false
+          | exception Rating.No_samples _ -> false
+        end
+  in
+  let failed_attempts = ref [] in
+  let rec select = function
+    | [] ->
+        raise
+          (Method.Not_applicable
+             (Printf.sprintf "Driver.tune: no applicable rating method for %s"
+                benchmark.Benchmark.name))
+    | m :: rest ->
+        let prepared = Method.prepare ~params ~non_ts_cycles:non_ts m profile in
+        let eval_cache = Hashtbl.create 64 in
+        if rest = [] || probe prepared eval_cache (Method.name m) then
+          (m, prepared, eval_cache)
+        else begin
+          failed_attempts :=
+            { Method.a_method = m; a_converged = false; a_ratings = 1 } :: !failed_attempts;
+          select rest
+        end
+  in
+  let method_, prepared, eval_cache = select chain in
   let relative, rate_many =
-    match (pool, store) with
-    | None, None -> (sequential_relative (), None)
-    | Some p, _ -> deterministic_rating (Peak_util.Pool.map p)
-    | None, Some _ -> deterministic_rating (fun f jobs -> List.map f jobs)
+    if deterministic then deterministic_rating prepared eval_cache (Method.name method_)
+    else (sequential_relative prepared eval_cache, None)
   in
   let best_config, search_stats =
     match search with
@@ -403,6 +406,15 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
           ~relative start
     | Ose -> Search.ose ~threshold ~relative start
   in
+  let attempts =
+    List.rev
+      ({
+         Method.a_method = method_;
+         a_converged = true;
+         a_ratings = search_stats.Search.ratings;
+       }
+      :: !failed_attempts)
+  in
   let passes = Runner.passes_started runner + !extra_passes in
   let tuning_cycles = now () +. (float_of_int passes *. non_ts) in
   let result =
@@ -411,6 +423,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
       machine;
       dataset;
       method_used = method_;
+      attempts;
       best_config;
       search_stats;
       tuning_cycles;

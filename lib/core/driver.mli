@@ -6,12 +6,16 @@
     rating every candidate version with the selected method and charging
     every simulated cycle — TS executions, instrumentation, RBR
     re-execution overheads, and the non-TS portion of each program pass —
-    to the tuning-time ledger. *)
+    to the tuning-time ledger.
 
-type rating_method = Cbr | Mbr | Rbr | Avg | Whl
-
-val method_name : rating_method -> string
-val method_of_string : string -> rating_method option
+    Rating methods themselves live in {!Method} (the registry) — the
+    driver only distinguishes {!Method.prepared} shapes (absolute vs
+    relative), never individual methods.  When no method is forced the
+    driver walks the consultant's applicable chain with the §3 fallback
+    protocol: each method but the chain's last is probed by rating the
+    start configuration once, and a non-converged probe falls through to
+    the next method.  Every attempt — failed probes and the committed
+    method — is recorded in {!result.attempts}. *)
 
 type search_algo = Ie | Be | Ce | Random of int | Ff | Ose
 
@@ -23,7 +27,11 @@ type result = {
   benchmark : Peak_workload.Benchmark.t;
   machine : Peak_machine.Machine.t;
   dataset : Peak_workload.Trace.dataset;
-  method_used : rating_method;
+  method_used : Method.t;
+  attempts : Method.attempt list;
+      (** The §3 fallback chain as executed: zero or more non-converged
+          probe attempts followed by the committed method.  A forced
+          [?method_] yields a single-attempt list. *)
   best_config : Peak_compiler.Optconfig.t;
   search_stats : Search.stats;
   tuning_cycles : float;  (** Simulated cycles spent tuning. *)
@@ -36,12 +44,13 @@ type result = {
 
 val result_summary : result -> Peak_store.Codec.session_result
 (** The durable summary a completed session stores ([result.json]):
-    method used, best configuration, search statistics and trajectory,
-    and the tuning-time ledger.  Profile and advice are recomputed
-    deterministically on resume, so they are not persisted. *)
+    method used, attempted-method chain, best configuration, search
+    statistics and trajectory, and the tuning-time ledger.  Profile and
+    advice are recomputed deterministically on resume, so they are not
+    persisted. *)
 
 val session_meta :
-  ?method_:rating_method ->
+  ?method_:Method.t ->
   ?search:search_algo ->
   ?rating_params:Rating.params ->
   ?threshold:float ->
@@ -63,7 +72,7 @@ val tune :
   ?threshold:float ->
   ?compile:Optimizer.mode * float ->
   ?pool:Peak_util.Pool.t ->
-  ?method_:rating_method ->
+  ?method_:Method.t ->
   ?store:Peak_store.Session.t ->
   ?start:Peak_compiler.Optconfig.t ->
   Peak_workload.Benchmark.t ->
@@ -72,39 +81,59 @@ val tune :
   result
 (** Run one full offline tuning session.  [method_] may force a method
     the consultant would not choose (the Figure-7 bars include such
-    cells, e.g. MGRID under CBR); forcing CBR on a section whose context
-    analysis failed raises [Invalid_argument].  Omitted, the method is
-    resolved automatically from the session's own profiling pass (no
-    second profile is run).  [compile] models the Remote Optimizer:
-    (mode, seconds-per-version); omitted, compiles are free (the default
-    the Figure-7 numbers use, matching the paper's tuning-time
-    accounting, which counts program runs).
+    cells, e.g. MGRID under CBR); forcing is exempt from fallback — the
+    chain is just that method, never probed — so a forced run is
+    bit-identical to a driver without the fallback layer.  Forcing CBR
+    on a section whose context analysis failed raises
+    {!Method.Not_applicable}.
+
+    Omitted, the method is resolved by the §3 fallback protocol over the
+    consultant's applicable chain (from the session's own profiling
+    pass; no second profile is run): each chain method except the last
+    is probed by rating the start configuration once with the method's
+    rater; if the probe's VAR fails to converge within the rating
+    invocation cap (or the rater finds no samples at all), the method is
+    abandoned and the next applicable one is tried.  RBR — relative,
+    always last among applicable auto methods — is never probed.  A
+    converged probe is cached as the search's base rating, so in the
+    deterministic rating scheme (with [pool] or [store]) a successful
+    first probe makes the auto run bit-identical to forcing the chosen
+    method.  In the plain sequential scheme the probe shares the single
+    runner's invocation stream, so an auto run's stream interleaving
+    differs from a forced run's (both remain deterministic per seed).
+
+    [compile] models the Remote Optimizer: (mode, seconds-per-version);
+    omitted, compiles are free (the default the Figure-7 numbers use,
+    matching the paper's tuning-time accounting, which counts program
+    runs).
 
     [pool] routes every candidate scan through {!Peak_util.Pool.map},
     rating candidates concurrently.  Each candidate then runs on its own
     runner whose seed is derived from [seed], the candidate's batch index
     and the configuration's identity, and the consumed
     invocations/passes/cycles are folded back into the session totals in
-    submission order — so the result (best configuration, search stats,
-    tuning-cycle ledger) is bit-identical regardless of the pool's domain
-    count.  Note the parallel path rates each batch on fresh runners
-    rather than one shared invocation stream, so its results differ from
-    the no-pool sequential path (but not across pool sizes).
+    submission order — so the result (best configuration, attempted
+    chain, search stats, tuning-cycle ledger) is bit-identical regardless
+    of the pool's domain count.  Note the parallel path rates each batch
+    on fresh runners rather than one shared invocation stream, so its
+    results differ from the no-pool sequential path (but not across pool
+    sizes).
 
-    [store] logs every rating event to a persistent session
+    [store] logs every rating event — fallback probes included, with
+    their convergence flag — to a persistent session
     ({!Peak_store.Session}) and serves already-stored ratings from it —
     value and consumed resources both — so re-running (resuming) a
-    killed session replays instantly up to the interruption point and
-    then continues, with final results bit-identical to an uninterrupted
-    run.  A store-enabled session always rates through the
-    deterministic per-candidate scheme above, with or without [pool]
-    (so its numbers match across [~domains] 1/2/4 and differ from the
-    plain sequential path, exactly as with [pool]).  On completion the
-    session's [result.json] is written automatically; closing the
-    session remains the caller's job.  Caveat: combining [store] with
-    [compile] resumes correctly but the remote-optimizer stall charges
-    of skipped compiles are not replayed, so the tuning-time ledger can
-    differ there.
+    killed session replays instantly up to the interruption point, {e
+    including every fallback decision}, and then continues, with final
+    results bit-identical to an uninterrupted run.  A store-enabled
+    session always rates through the deterministic per-candidate scheme
+    above, with or without [pool] (so its numbers match across
+    [~domains] 1/2/4 and differ from the plain sequential path, exactly
+    as with [pool]).  On completion the session's [result.json] is
+    written automatically; closing the session remains the caller's job.
+    Caveat: combining [store] with [compile] resumes correctly but the
+    remote-optimizer stall charges of skipped compiles are not replayed,
+    so the tuning-time ledger can differ there.
 
     [start] overrides the search's start configuration (default [-O3];
     a store session's recorded start — e.g. a warm start proposed by
@@ -116,7 +145,7 @@ val tune_suite :
   ?search:search_algo ->
   ?rating_params:Rating.params ->
   ?threshold:float ->
-  ?method_:rating_method ->
+  ?method_:Method.t ->
   ?domains:int ->
   ?store_dir:string ->
   Peak_workload.Benchmark.t list ->
@@ -138,8 +167,9 @@ val tune_suite :
     @raise Failure if a session cannot be opened (e.g. it exists with
     different parameters). *)
 
-val auto_method : Profile.t -> Tsection.t -> rating_method
-(** The consultant's choice, as a driver method. *)
+val auto_method : Profile.t -> Tsection.t -> Method.t
+(** The consultant's first choice — the head of the fallback chain
+    {!tune} walks when no method is forced. *)
 
 val evaluate_program_cycles :
   ?seed:int ->

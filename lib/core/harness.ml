@@ -1,44 +1,36 @@
-(** Method fallback (Section 3).
-
-    "If the system cannot achieve enough accuracy, i.e. get a small VAR,
-    within some number of invocations, it switches to the next applicable
-    rating method."  This wrapper tries the consultant's applicable
-    methods in order and returns the first converged rating, recording
-    every attempt for the ablation bench. *)
+(* Method fallback over a single runner (Section 3) — the library-level
+   wrapper over the same Method registry the driver's in-search fallback
+   uses.  See harness.mli. *)
 
 type outcome = {
-  method_used : Consultant.method_kind;
+  method_used : Method.t;
   rating : Rating.t;
-  attempts : (Consultant.method_kind * Rating.t) list;
+  attempts : (Method.t * Rating.t) list;
 }
 
-let rate_one ?(params = Rating.default_params) runner (profile : Profile.t) ~base version =
-  function
-  | Consultant.Cbr -> (
-      match profile.Profile.context with
-      | Profile.Cbr_ok { sources; stats; _ } ->
-          let target =
-            match stats with s :: _ -> s.Profile.values | [] -> [||]
-          in
-          Cbr.rate ~params runner ~sources ~target version
-      | Profile.Cbr_no reason -> invalid_arg ("Harness: CBR not applicable: " ^ reason))
-  | Consultant.Mbr ->
-      Mbr.rate ~params runner ~components:profile.Profile.components
-        ~avg_counts:profile.Profile.avg_component_counts
-        ~dominant:profile.Profile.dominant_component version
-  | Consultant.Rbr -> Rbr.rate ~params runner ~base version
+let no_samples_rating =
+  { Rating.eval = nan; var = infinity; samples = 0; invocations = 0; converged = false }
 
-let rate_with_fallback ?(params = Rating.default_params) runner profile
+let rate_one ?(params = Rating.default_params) ?(non_ts_cycles = 0.0) runner
+    (profile : Profile.t) ~base version m =
+  match Method.prepare ~params ~non_ts_cycles m profile with
+  | Method.Absolute rate -> rate runner version
+  | Method.Relative { rate; _ } -> rate runner ~base version
+
+let rate_with_fallback ?(params = Rating.default_params) ?(non_ts_cycles = 0.0) runner profile
     (advice : Consultant.advice) ~base version =
   let rec go attempts = function
     | [] -> (
         match attempts with
         | (m, r) :: _ -> { method_used = m; rating = r; attempts = List.rev attempts }
         | [] -> invalid_arg "Harness.rate_with_fallback: no applicable method")
-    | m :: rest ->
-        let r = rate_one ~params runner profile ~base version m in
-        if r.Rating.converged then
-          { method_used = m; rating = r; attempts = List.rev ((m, r) :: attempts) }
-        else go ((m, r) :: attempts) rest
+    | m :: rest -> (
+        match rate_one ~params ~non_ts_cycles runner profile ~base version m with
+        | r when r.Rating.converged ->
+            { method_used = m; rating = r; attempts = List.rev ((m, r) :: attempts) }
+        | r -> go ((m, r) :: attempts) rest
+        (* a rater that found no usable sample is a failed attempt, not
+           an error: the next applicable method takes over *)
+        | exception Rating.No_samples _ -> go ((m, no_samples_rating) :: attempts) rest)
   in
   go [] advice.Consultant.applicable

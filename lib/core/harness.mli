@@ -1,28 +1,39 @@
-(** Method fallback (Section 3): "if the system cannot achieve enough
-    accuracy ... within some number of invocations, it switches to the
-    next applicable rating method." *)
+(** Method fallback over a single runner (Section 3): "if the system
+    cannot achieve enough accuracy ... within some number of
+    invocations, it switches to the next applicable rating method."
+
+    This is the library-level wrapper over the {!Method} registry for
+    callers that hold their own {!Runner.t} and want one rating with
+    fallback; {!Driver.tune}'s auto mode performs the same §3 walk
+    in-search (with probes, persistence and parallelism). *)
 
 type outcome = {
-  method_used : Consultant.method_kind;
+  method_used : Method.t;
   rating : Rating.t;
-  attempts : (Consultant.method_kind * Rating.t) list;
+  attempts : (Method.t * Rating.t) list;
       (** Every method tried, in order, the used one last. *)
 }
 
 val rate_one :
   ?params:Rating.params ->
+  ?non_ts_cycles:float ->
   Runner.t ->
   Profile.t ->
   base:Peak_compiler.Version.t ->
   Peak_compiler.Version.t ->
-  Consultant.method_kind ->
+  Method.t ->
   Rating.t
-(** Rate with one specific method, using the profile's context/component
-    data.  @raise Invalid_argument for CBR on a section whose context
-    analysis failed. *)
+(** Rate with one specific method via {!Method.prepare}.
+    [non_ts_cycles] (default 0) only matters for WHL.
+    @raise Method.Not_applicable for a method the profile structurally
+    cannot support (e.g. CBR on a section whose context analysis
+    failed).
+    @raise Rating.No_samples if the method ran out of budget without a
+    usable sample — a data condition, not a caller bug. *)
 
 val rate_with_fallback :
   ?params:Rating.params ->
+  ?non_ts_cycles:float ->
   Runner.t ->
   Profile.t ->
   Consultant.advice ->
@@ -30,4 +41,6 @@ val rate_with_fallback :
   Peak_compiler.Version.t ->
   outcome
 (** Try the consultant's applicable methods in order; return the first
-    converged rating (or the last attempt if none converged). *)
+    converged rating (or the last attempt if none converged).  A
+    {!Rating.No_samples} attempt counts as non-converged (recorded with
+    a NaN rating) and falls through to the next method. *)

@@ -34,13 +34,13 @@ let render (tsec : Tsection.t) (profile : Profile.t) (advice : Consultant.advice
   out "/* ================================================================";
   out " * PEAK instrumented tuning section: %s" ts.Types.name;
   out " * Rating approach: %s (applicable: %s)"
-    (Consultant.method_name advice.Consultant.chosen)
-    (String.concat ", " (List.map Consultant.method_name advice.Consultant.applicable));
+    (Method.name advice.Consultant.chosen)
+    (String.concat ", " (List.map Method.name advice.Consultant.applicable));
   out " * ================================================================ */";
   out "";
   (* (1) RBR save/restore + precondition *)
   let modified = Liveness.modified_input lv in
-  if List.mem Consultant.Rbr advice.Consultant.applicable then begin
+  if List.mem Method.Rbr advice.Consultant.applicable then begin
     out "/* (1) re-execution support: Modified_Input(TS) = Input n Def */";
     if Loc.Set.is_empty modified then out "static void peak_save(void)    { /* empty */ }"
     else begin

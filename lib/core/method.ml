@@ -1,0 +1,182 @@
+(* The rating-method layer: the one definition of "what a rating method
+   is" that the driver, harness, CLI, store and bench all share.  See
+   method.mli for the contract. *)
+
+type t = Cbr | Mbr | Rbr | Avg | Whl
+
+exception Not_applicable of string
+
+let all = [ Cbr; Mbr; Rbr; Avg; Whl ]
+let auto_chain = [ Cbr; Mbr; Rbr ]
+
+let name = function
+  | Cbr -> "CBR"
+  | Mbr -> "MBR"
+  | Rbr -> "RBR"
+  | Avg -> "AVG"
+  | Whl -> "WHL"
+
+let key m = String.lowercase_ascii (name m)
+
+let of_string s =
+  let u = String.uppercase_ascii s in
+  List.find_opt (fun m -> name m = u) all
+
+let names = List.map name all
+let keys = List.map key all
+
+let default_max_contexts = 4
+let default_max_components = 5
+
+type prepared =
+  | Absolute of (Runner.t -> Peak_compiler.Version.t -> Rating.t)
+  | Relative of {
+      rate : Runner.t -> base:Peak_compiler.Version.t -> Peak_compiler.Version.t -> Rating.t;
+      rate_many :
+        Runner.t -> base:Peak_compiler.Version.t -> Peak_compiler.Version.t list -> Rating.t list;
+    }
+
+module type RATER = sig
+  val meth : t
+  val name : string
+  val in_auto_chain : bool
+  val condition : string
+  val describe : string
+  val applicable : max_contexts:int -> max_components:int -> Profile.t -> (unit, string) result
+  val prepare : params:Rating.params -> non_ts_cycles:float -> Profile.t -> prepared
+end
+
+module Cbr_rater : RATER = struct
+  let meth = Cbr
+  let name = "CBR"
+  let in_auto_chain = true
+  let condition = "context analysis succeeds and the observed contexts stay few"
+
+  let describe =
+    "average invocation times observed under one specific context (Section 2.2)"
+
+  let applicable ~max_contexts ~max_components:_ (profile : Profile.t) =
+    match profile.Profile.context with
+    | Profile.Cbr_no reason -> Error (Printf.sprintf "CBR: %s" reason)
+    | Profile.Cbr_ok { stats; _ } ->
+        let n = List.length stats in
+        if n > max_contexts then
+          Error (Printf.sprintf "CBR: %d contexts exceed the limit of %d" n max_contexts)
+        else Ok ()
+
+  (* Forcing CBR past the context-count limit is allowed (the paper's
+     MGRID_CBR bar); only a failed context analysis is structural. *)
+  let prepare ~params ~non_ts_cycles:_ (profile : Profile.t) =
+    match profile.Profile.context with
+    | Profile.Cbr_no reason -> raise (Not_applicable ("CBR: " ^ reason))
+    | Profile.Cbr_ok { sources; stats; _ } ->
+        let target = match stats with s :: _ -> s.Profile.values | [] -> [||] in
+        Absolute (fun runner v -> Cbr.rate ~params runner ~sources ~target v)
+end
+
+module Mbr_rater : RATER = struct
+  let meth = Mbr
+  let name = "MBR"
+  let in_auto_chain = true
+  let condition = "the basic-block component model stays small"
+
+  let describe =
+    "regress invocation time onto basic-block component counts (Section 2.3)"
+
+  let applicable ~max_contexts:_ ~max_components (profile : Profile.t) =
+    let n = Component_analysis.n_components profile.Profile.components in
+    if n > max_components then
+      Error (Printf.sprintf "MBR: %d components exceed the limit of %d" n max_components)
+    else Ok ()
+
+  let prepare ~params ~non_ts_cycles:_ (profile : Profile.t) =
+    let components = profile.Profile.components in
+    let avg_counts = profile.Profile.avg_component_counts in
+    let dominant = profile.Profile.dominant_component in
+    Absolute (fun runner v -> Mbr.rate ~params runner ~components ~avg_counts ~dominant v)
+end
+
+module Rbr_rater : RATER = struct
+  let meth = Rbr
+  let name = "RBR"
+  let in_auto_chain = true
+  let condition = "the tuning section calls no side-effecting externals"
+
+  let describe =
+    "re-execute base and candidate back to back under a restored context (Section 2.4)"
+
+  let applicable ~max_contexts:_ ~max_components:_ (profile : Profile.t) =
+    if profile.Profile.impure_calls then
+      Error "RBR: tuning section calls side-effecting externals"
+    else Ok ()
+
+  let prepare ~params ~non_ts_cycles:_ (_ : Profile.t) =
+    Relative
+      {
+        rate = (fun runner ~base v -> Rbr.rate ~params runner ~base v);
+        rate_many = (fun runner ~base vs -> Rbr.rate_many ~params runner ~base vs);
+      }
+end
+
+module Avg_rater : RATER = struct
+  let meth = Avg
+  let name = "AVG"
+  let in_auto_chain = false
+  let condition = "always (baseline; never chosen automatically)"
+
+  let describe =
+    "average invocation times regardless of context — the unfair strawman (Section 5.2)"
+
+  let applicable ~max_contexts:_ ~max_components:_ (_ : Profile.t) = Ok ()
+
+  let prepare ~params ~non_ts_cycles:_ (_ : Profile.t) =
+    Absolute (fun runner v -> Avg.rate ~params runner v)
+end
+
+module Whl_rater : RATER = struct
+  let meth = Whl
+  let name = "WHL"
+  let in_auto_chain = false
+  let condition = "always (baseline; never chosen automatically)"
+
+  let describe =
+    "time whole program runs, non-TS portion included (Section 5.2)"
+
+  let applicable ~max_contexts:_ ~max_components:_ (_ : Profile.t) = Ok ()
+
+  let prepare ~params:_ ~non_ts_cycles (_ : Profile.t) =
+    Absolute (fun runner v -> Whl.rate runner ~non_ts_cycles v)
+end
+
+let rater : t -> (module RATER) = function
+  | Cbr -> (module Cbr_rater)
+  | Mbr -> (module Mbr_rater)
+  | Rbr -> (module Rbr_rater)
+  | Avg -> (module Avg_rater)
+  | Whl -> (module Whl_rater)
+
+let describe m =
+  let module R = (val rater m) in
+  R.describe
+
+let condition m =
+  let module R = (val rater m) in
+  R.condition
+
+let applicable ?(max_contexts = default_max_contexts)
+    ?(max_components = default_max_components) m profile =
+  let module R = (val rater m) in
+  R.applicable ~max_contexts ~max_components profile
+
+let fallback_chain ?max_contexts ?max_components profile =
+  List.filter
+    (fun m -> Result.is_ok (applicable ?max_contexts ?max_components m profile))
+    auto_chain
+
+let prepare ?(params = Rating.default_params) ~non_ts_cycles m profile =
+  let module R = (val rater m) in
+  R.prepare ~params ~non_ts_cycles profile
+
+type attempt = { a_method : t; a_converged : bool; a_ratings : int }
+
+let chain_string attempts = String.concat ">" (List.map (fun a -> name a.a_method) attempts)

@@ -40,7 +40,7 @@ let select ?(min_share = 0.10) ?(max_sections = 8) profiles =
 
 type section_result = {
   sp : section_profile;
-  method_used : Driver.rating_method;
+  method_used : Method.t;
   result : Driver.result;
   section_improvement_pct : float;
 }

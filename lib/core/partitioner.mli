@@ -30,7 +30,7 @@ val select :
 
 type section_result = {
   sp : section_profile;
-  method_used : Driver.rating_method;
+  method_used : Method.t;
   result : Driver.result;
   section_improvement_pct : float;
       (** TS-level (section-only, pre-Amdahl) improvement of the found

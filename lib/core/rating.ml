@@ -33,6 +33,24 @@ let params_signature p =
   Printf.sprintf "w%d:t%.17g:m%d:k%.17g" p.window p.rel_threshold p.max_invocations
     p.outlier_k
 
+let params_of_signature s =
+  (* float_of_string rather than Scanf %g: it accepts "inf"/"nan",
+     which %.17g emits for non-finite thresholds *)
+  match String.split_on_char ':' s with
+  | [ w; t; m; k ] ->
+      let field prefix v conv =
+        if String.length v > 1 && v.[0] = prefix then
+          conv (String.sub v 1 (String.length v - 1))
+        else None
+      in
+      Option.bind (field 'w' w int_of_string_opt) (fun window ->
+          Option.bind (field 't' t float_of_string_opt) (fun rel_threshold ->
+              Option.bind (field 'm' m int_of_string_opt) (fun max_invocations ->
+                  Option.map
+                    (fun outlier_k -> { window; rel_threshold; max_invocations; outlier_k })
+                    (field 'k' k float_of_string_opt))))
+  | _ -> None
+
 exception No_samples of string
 
 (* Reduce a set of raw samples to (eval, var, n, converged). *)

@@ -32,6 +32,12 @@ val params_signature : params -> string
     persistent tuning store folds this into its context keys so ratings
     produced under different windows or thresholds never alias. *)
 
+val params_of_signature : string -> params option
+(** Inverse of {!params_signature} — how [session resume] reconstructs
+    the rating parameters a stored session was created with.
+    [params_of_signature (params_signature p) = Some p] for every [p],
+    non-finite fields included. *)
+
 exception No_samples of string
 (** Raised by a rater that exhausted its invocation budget without a
     single usable sample (e.g. CBR with a target context that never

@@ -61,9 +61,9 @@ let figure7_methods benchmark machine ~seed =
   List.filter_map
     (fun (ok, m) -> if ok then Some m else None)
     [
-      (cbr_possible, Driver.Cbr);
-      (mbr_possible, Driver.Mbr);
-      (true, Driver.Rbr);
-      (true, Driver.Avg);
-      (true, Driver.Whl);
+      (cbr_possible, Method.Cbr);
+      (mbr_possible, Method.Mbr);
+      (true, Method.Rbr);
+      (true, Method.Avg);
+      (true, Method.Whl);
     ]

@@ -23,7 +23,7 @@ val normalized_tuning_time : Driver.result -> float
 
 val figure7_cell :
   ?seed:int ->
-  method_:Driver.rating_method ->
+  method_:Method.t ->
   Peak_workload.Benchmark.t ->
   Peak_machine.Machine.t ->
   cell
@@ -33,7 +33,7 @@ val figure7_methods :
   Peak_workload.Benchmark.t ->
   Peak_machine.Machine.t ->
   seed:int ->
-  Driver.rating_method list
+  Method.t list
 (** The methods Figure 7 charts for the benchmark: every possible rating
     method (CBR even when the consultant would reject it on context
     count — the MGRID_CBR bar), plus AVG and WHL. *)

@@ -1,6 +1,26 @@
 open Peak_compiler
 
-let version = 1
+let version = 2
+
+(* Canonical rating-method names — kept in lockstep with
+   [Peak.Method.all] (the store sits below the core library in the
+   dependency order, so it carries its own mirror; a core-side test
+   asserts the two lists match). *)
+let method_names = [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ]
+
+let valid_method name =
+  if List.mem name method_names then Ok name
+  else Error (Printf.sprintf "unknown rating method %S (valid: %s)" name
+                (String.concat ", " method_names))
+
+(* Session metadata stores the *requested* method: a lower-case
+   canonical name, or "auto" when the consultant chooses. *)
+let valid_method_request name =
+  if name = "auto" || List.mem name (List.map String.lowercase_ascii method_names) then Ok name
+  else
+    Error
+      (Printf.sprintf "unknown requested rating method %S (valid: auto, %s)" name
+         (String.concat ", " (List.map String.lowercase_ascii method_names)))
 
 let fnv64 s =
   let h = ref 0xcbf29ce484222325L in
@@ -36,6 +56,7 @@ type event = {
   e_idx : int;
   e_config : Optconfig.t;
   e_eval : float;
+  e_converged : bool;
   e_used : consumption;
 }
 
@@ -52,8 +73,11 @@ type session_meta = {
   m_start : Optconfig.t;
 }
 
+type attempt = { at_method : string; at_converged : bool; at_ratings : int }
+
 type session_result = {
   r_method : string;
+  r_attempts : attempt list;
   r_best : Optconfig.t;
   r_ratings : int;
   r_iterations : int;
@@ -172,6 +196,7 @@ let event_to_json (e : event) =
       ("idx", Json.Int e.e_idx);
       ("config", optconfig_to_json e.e_config);
       ("eval", float_to_json e.e_eval);
+      ("conv", Json.Bool e.e_converged);
       ("inv", Json.Int e.e_used.c_invocations);
       ("passes", Json.Int e.e_used.c_passes);
       ("cycles", float_to_json e.e_used.c_cycles);
@@ -181,17 +206,32 @@ let event_of_json v =
   let* () = check_version v in
   let* t = Json.get_str "t" v in
   let* () = if t = "rating" then Ok () else Error ("unexpected record type " ^ t) in
-  let* e_method = Json.get_str "method" v in
+  let* e_method = Result.bind (Json.get_str "method" v) valid_method in
   let* e_ctx = Json.get_str "ctx" v in
   let* e_base = Json.get_str "base" v in
   let* e_idx = Json.get_int "idx" v in
   let* cj = Json.member "config" v in
   let* e_config = optconfig_of_json cj in
   let* e_eval = get_special_float "eval" v in
+  (* v1 journals predate the convergence flag; it is only consulted for
+     fallback probes, which no v1 session ever recorded *)
+  let* e_converged =
+    match Json.member "conv" v with Error _ -> Ok true | Ok j -> Json.to_bool j
+  in
   let* c_invocations = Json.get_int "inv" v in
   let* c_passes = Json.get_int "passes" v in
   let* c_cycles = get_special_float "cycles" v in
-  Ok { e_method; e_ctx; e_base; e_idx; e_config; e_eval; e_used = { c_invocations; c_passes; c_cycles } }
+  Ok
+    {
+      e_method;
+      e_ctx;
+      e_base;
+      e_idx;
+      e_config;
+      e_eval;
+      e_converged;
+      e_used = { c_invocations; c_passes; c_cycles };
+    }
 
 (* ---------------- session metadata ---------------- *)
 
@@ -222,7 +262,7 @@ let session_meta_of_json v =
   let* m_seed = Json.get_int "seed" v in
   let* m_threshold = get_special_float "threshold" v in
   let* m_params = Json.get_str "params" v in
-  let* m_method = Json.get_str "method" v in
+  let* m_method = Result.bind (Json.get_str "method" v) valid_method_request in
   let* sj = Json.member "start" v in
   let* m_start = optconfig_of_json sj in
   Ok
@@ -241,12 +281,27 @@ let session_meta_of_json v =
 
 (* ---------------- session results ---------------- *)
 
+let attempt_to_json (a : attempt) =
+  Json.Obj
+    [
+      ("method", Json.String a.at_method);
+      ("converged", Json.Bool a.at_converged);
+      ("ratings", Json.Int a.at_ratings);
+    ]
+
+let attempt_of_json v =
+  let* at_method = Result.bind (Json.get_str "method" v) valid_method in
+  let* at_converged = Json.get_bool "converged" v in
+  let* at_ratings = Json.get_int "ratings" v in
+  Ok { at_method; at_converged; at_ratings }
+
 let session_result_to_json (r : session_result) =
   Json.Obj
     [
       ("v", Json.Int version);
       ("t", Json.String "result");
       ("method", Json.String r.r_method);
+      ("attempts", Json.List (List.map attempt_to_json r.r_attempts));
       ("best", optconfig_to_json r.r_best);
       ("ratings", Json.Int r.r_ratings);
       ("iterations", Json.Int r.r_iterations);
@@ -259,7 +314,23 @@ let session_result_to_json (r : session_result) =
 
 let session_result_of_json v =
   let* () = check_version v in
-  let* r_method = Json.get_str "method" v in
+  let* r_method = Result.bind (Json.get_str "method" v) valid_method in
+  (* v1 results predate the attempted-method chain *)
+  let* r_attempts =
+    match Json.member "attempts" v with
+    | Error _ -> Ok []
+    | Ok j ->
+        let* items = Json.to_list j in
+        let* attempts =
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              let* a = attempt_of_json item in
+              Ok (a :: acc))
+            (Ok []) items
+        in
+        Ok (List.rev attempts)
+  in
   let* bj = Json.member "best" v in
   let* r_best = optconfig_of_json bj in
   let* r_ratings = Json.get_int "ratings" v in
@@ -273,6 +344,7 @@ let session_result_of_json v =
   Ok
     {
       r_method;
+      r_attempts;
       r_best;
       r_ratings;
       r_iterations;

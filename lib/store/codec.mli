@@ -17,11 +17,27 @@
 open Peak_compiler
 
 val version : int
-(** Current store format version (1). *)
+(** Current store format version (2).  v2 added the per-event
+    convergence flag and the session result's attempted-method chain;
+    v1 records decode with [converged = true] and an empty chain. *)
 
 val fnv64 : string -> string
 (** Stable 16-hex-digit FNV-1a 64 digest of a string — used for
     context keys. *)
+
+val method_names : string list
+(** The canonical rating-method names (["CBR"; "MBR"; "RBR"; "AVG";
+    "WHL"]) — the store's mirror of [Peak.Method.names] (the store sits
+    below the core library in the dependency order; a core-side test
+    keeps the two in lockstep).  Decoders reject method strings outside
+    this set. *)
+
+val valid_method : string -> (string, string) result
+(** [Ok name] iff [name] is in {!method_names}. *)
+
+val valid_method_request : string -> (string, string) result
+(** As {!valid_method} but for session metadata's requested method:
+    a lower-case canonical name or ["auto"]. *)
 
 (** {1 Serialized types} *)
 
@@ -48,6 +64,11 @@ type event = {
   e_idx : int;  (** Candidate index within its batch (-1 for the base). *)
   e_config : Optconfig.t;
   e_eval : float;
+  e_converged : bool;
+      (** Whether the rating's VAR converged — what lets a resumed
+          session replay the driver's fallback-probe decisions without
+          re-simulating them.  [true] for decoded v1 events (which
+          predate probes). *)
   e_used : consumption;
 }
 (** One rating event — one journal line. *)
@@ -65,8 +86,15 @@ type session_meta = {
   m_start : Optconfig.t;  (** Search start configuration (warm starts). *)
 }
 
+type attempt = { at_method : string; at_converged : bool; at_ratings : int }
+(** Mirror of [Peak.Method.attempt]: one entry of the driver's §3
+    fallback chain (abandoned probes first, the committed method
+    last). *)
+
 type session_result = {
   r_method : string;  (** Method actually used. *)
+  r_attempts : attempt list;
+      (** The attempted-method chain ([[]] for decoded v1 results). *)
   r_best : Optconfig.t;
   r_ratings : int;
   r_iterations : int;
@@ -93,6 +121,9 @@ val rating_of_json : Json.t -> (rating, string) result
 
 val trajectory_to_json : (Optconfig.t * float) list -> Json.t
 val trajectory_of_json : Json.t -> ((Optconfig.t * float) list, string) result
+
+val attempt_to_json : attempt -> Json.t
+val attempt_of_json : Json.t -> (attempt, string) result
 
 val event_to_json : event -> Json.t
 val event_of_json : Json.t -> (event, string) result

@@ -64,7 +64,7 @@ type t = {
   dir : string;
   mutable meta : Codec.session_meta;
   journal : Journal.t;
-  cache : (string, float * Codec.consumption) Hashtbl.t;
+  cache : (string, float * bool * Codec.consumption) Hashtbl.t;
   mutable loaded : int;
 }
 
@@ -96,7 +96,7 @@ let replay_into cache path =
           incr n;
           Hashtbl.replace cache
             (cache_key ~ctx:e.Codec.e_ctx ~config_digest:(Optconfig.digest e.Codec.e_config))
-            (e.Codec.e_eval, e.Codec.e_used)
+            (e.Codec.e_eval, e.Codec.e_converged, e.Codec.e_used)
       | Error _ -> ())
     records;
   !n
@@ -131,7 +131,7 @@ let find t ~method_ ~base ~idx config =
   let ctx = ctx_digest t.meta ~method_ ~base ~idx in
   Hashtbl.find_opt t.cache (cache_key ~ctx ~config_digest:(Optconfig.digest config))
 
-let record t ~method_ ~base ~idx ~config ~eval ~used =
+let record t ~method_ ~base ~idx ~config ~eval ~converged ~used =
   let ctx = ctx_digest t.meta ~method_ ~base ~idx in
   let event =
     {
@@ -141,11 +141,14 @@ let record t ~method_ ~base ~idx ~config ~eval ~used =
       e_idx = idx;
       e_config = config;
       e_eval = eval;
+      e_converged = converged;
       e_used = used;
     }
   in
   Journal.append t.journal (Codec.event_to_json event);
-  Hashtbl.replace t.cache (cache_key ~ctx ~config_digest:(Optconfig.digest config)) (eval, used)
+  Hashtbl.replace t.cache
+    (cache_key ~ctx ~config_digest:(Optconfig.digest config))
+    (eval, converged, used)
 
 let complete t result =
   Journal.flush t.journal;

@@ -57,9 +57,16 @@ val loaded_events : t -> int
     fresh session. *)
 
 val find :
-  t -> method_:string -> base:string -> idx:int -> Optconfig.t -> (float * Codec.consumption) option
-(** Cached rating for a (method, base-digest, batch-index,
-    configuration) coordinate, if this session already rated it. *)
+  t ->
+  method_:string ->
+  base:string ->
+  idx:int ->
+  Optconfig.t ->
+  (float * bool * Codec.consumption) option
+(** Cached [(eval, converged, consumption)] for a (method, base-digest,
+    batch-index, configuration) coordinate, if this session already
+    rated it.  The convergence flag is what lets a resumed session
+    replay the driver's fallback-probe decisions. *)
 
 val record :
   t ->
@@ -68,6 +75,7 @@ val record :
   idx:int ->
   config:Optconfig.t ->
   eval:float ->
+  converged:bool ->
   used:Codec.consumption ->
   unit
 (** Log one rating event to the journal (batched fsync) and the cache. *)

@@ -255,6 +255,54 @@ let test_profile_avg_invocation_positive () =
     >= p.Profile.avg_invocation_cycles *. float_of_int (p.Profile.n_invocations - 1))
 
 (* ------------------------------------------------------------------ *)
+(* Method registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_method_registry () =
+  Alcotest.(check int) "five methods" 5 (List.length Method.all);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Method.name m ^ " round-trips by name")
+        true
+        (Method.of_string (Method.name m) = Some m);
+      Alcotest.(check bool)
+        (Method.key m ^ " round-trips by key")
+        true
+        (Method.of_string (Method.key m) = Some m))
+    Method.all;
+  Alcotest.(check bool) "unknown name rejected" true (Method.of_string "bogus" = None);
+  Alcotest.(check (list string)) "names follow registry order"
+    (List.map Method.name Method.all)
+    Method.names;
+  (* the §3 preference chain: baselines excluded, RBR last *)
+  Alcotest.(check (list string)) "auto chain is CBR > MBR > RBR"
+    [ "CBR"; "MBR"; "RBR" ]
+    (List.map Method.name Method.auto_chain)
+
+(* The store cannot depend on the core library, so it mirrors the method
+   name list; keep the two in lockstep. *)
+let test_method_names_match_codec () =
+  Alcotest.(check (list string)) "core registry == store mirror"
+    (List.map Method.name Method.all)
+    Peak_store.Codec.method_names;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Method.name m ^ " accepted by the store validator")
+        true
+        (Peak_store.Codec.valid_method (Method.name m) = Ok (Method.name m));
+      Alcotest.(check bool)
+        (Method.key m ^ " accepted as a session method request")
+        true
+        (Peak_store.Codec.valid_method_request (Method.key m) = Ok (Method.key m)))
+    Method.all;
+  Alcotest.(check bool) "auto accepted as a session method request" true
+    (Peak_store.Codec.valid_method_request "auto" = Ok "auto");
+  Alcotest.(check bool) "bogus rejected by the store validator" true
+    (Result.is_error (Peak_store.Codec.valid_method "bogus"))
+
+(* ------------------------------------------------------------------ *)
 (* Consultant: the Table 1 method column                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -268,16 +316,16 @@ let test_consultant_matches_table1 () =
       Alcotest.(check string)
         (Printf.sprintf "%s (%s)" b.Benchmark.name b.Benchmark.ts_name)
         b.Benchmark.paper_method
-        (Consultant.method_name advice.Consultant.chosen))
+        (Method.name advice.Consultant.chosen))
     Registry.all
 
 let test_consultant_preference_order () =
   let _, tsec, p = profile_of "SWIM" Machine.sparc2 in
   let advice = Consultant.advise tsec p in
   Alcotest.(check bool) "CBR first when applicable" true
-    (List.hd advice.Consultant.applicable = Consultant.Cbr);
+    (List.hd advice.Consultant.applicable = Method.Cbr);
   Alcotest.(check bool) "RBR always applicable here" true
-    (List.mem Consultant.Rbr advice.Consultant.applicable)
+    (List.mem Method.Rbr advice.Consultant.applicable)
 
 let test_consultant_estimates_present () =
   let _, tsec, p = profile_of "APSI" Machine.sparc2 in
@@ -285,7 +333,7 @@ let test_consultant_estimates_present () =
   List.iter
     (fun m ->
       Alcotest.(check bool)
-        (Consultant.method_name m ^ " has an estimate")
+        (Method.name m ^ " has an estimate")
         true
         (List.mem_assoc m advice.Consultant.estimates))
     advice.Consultant.applicable
@@ -294,10 +342,10 @@ let test_consultant_context_threshold () =
   let _, tsec, p = profile_of "MGRID" Machine.sparc2 in
   let strict = Consultant.advise ~max_contexts:4 tsec p in
   Alcotest.(check bool) "mgrid CBR rejected at limit 4" true
-    (not (List.mem Consultant.Cbr strict.Consultant.applicable));
+    (not (List.mem Method.Cbr strict.Consultant.applicable));
   let loose = Consultant.advise ~max_contexts:16 tsec p in
   Alcotest.(check bool) "mgrid CBR accepted at limit 16" true
-    (List.mem Consultant.Cbr loose.Consultant.applicable)
+    (List.mem Method.Cbr loose.Consultant.applicable)
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
@@ -539,7 +587,7 @@ let test_harness_uses_first_applicable () =
   let runner = Runner.create ~seed:42 tsec trace Machine.sparc2 in
   let version = Version.compile Machine.sparc2 tsec.Tsection.features Optconfig.o3 in
   let outcome = Harness.rate_with_fallback ~params:fast_params runner profile advice ~base:version version in
-  Alcotest.(check string) "CBR used" "CBR" (Consultant.method_name outcome.Harness.method_used);
+  Alcotest.(check string) "CBR used" "CBR" (Method.name outcome.Harness.method_used);
   Alcotest.(check int) "single attempt" 1 (List.length outcome.Harness.attempts)
 
 let test_harness_falls_back_on_tight_threshold () =
@@ -725,13 +773,13 @@ let test_optimizer_remote_queues () =
 
 let test_driver_compile_latency_accounted () =
   let b = bench "SWIM" in
-  let free = Driver.tune ~method_:Driver.Cbr b Machine.pentium4 Trace.Train in
+  let free = Driver.tune ~method_:Method.Cbr b Machine.pentium4 Trace.Train in
   let local =
-    Driver.tune ~compile:(Optimizer.Local, 0.002) ~method_:Driver.Cbr b Machine.pentium4
+    Driver.tune ~compile:(Optimizer.Local, 0.002) ~method_:Method.Cbr b Machine.pentium4
       Trace.Train
   in
   let remote =
-    Driver.tune ~compile:(Optimizer.Remote, 0.002) ~method_:Driver.Cbr b Machine.pentium4
+    Driver.tune ~compile:(Optimizer.Remote, 0.002) ~method_:Method.Cbr b Machine.pentium4
       Trace.Train
   in
   Alcotest.(check bool) "local slower than free" true
@@ -747,7 +795,7 @@ let test_driver_compile_latency_accounted () =
 
 let test_driver_tunes_art_on_p4 () =
   let b = bench "ART" in
-  let r = Driver.tune ~method_:Driver.Rbr b Machine.pentium4 Trace.Train in
+  let r = Driver.tune ~method_:Method.Rbr b Machine.pentium4 Trace.Train in
   Alcotest.(check bool) "strict-aliasing removed" false
     (Optconfig.is_enabled r.Driver.best_config (flag "strict-aliasing"));
   let imp = Driver.improvement_pct b Machine.pentium4 ~best:r.Driver.best_config Trace.Ref in
@@ -756,16 +804,18 @@ let test_driver_tunes_art_on_p4 () =
 
 let test_driver_method_forcing_checks () =
   let b = bench "MCF" in
+  (* structural inapplicability is a typed error, distinct from the
+     budget-exhaustion signal Rating.No_samples *)
   Alcotest.(check bool) "CBR on MCF rejected" true
     (try
-       ignore (Driver.tune ~method_:Driver.Cbr b Machine.sparc2 Trace.Train);
+       ignore (Driver.tune ~method_:Method.Cbr b Machine.sparc2 Trace.Train);
        false
-     with Invalid_argument _ -> true)
+     with Method.Not_applicable _ -> true)
 
 let test_driver_deterministic () =
   let b = bench "APSI" in
-  let r1 = Driver.tune ~seed:7 ~method_:Driver.Cbr b Machine.sparc2 Trace.Train in
-  let r2 = Driver.tune ~seed:7 ~method_:Driver.Cbr b Machine.sparc2 Trace.Train in
+  let r1 = Driver.tune ~seed:7 ~method_:Method.Cbr b Machine.sparc2 Trace.Train in
+  let r2 = Driver.tune ~seed:7 ~method_:Method.Cbr b Machine.sparc2 Trace.Train in
   Alcotest.(check bool) "same config" true
     (Optconfig.equal r1.Driver.best_config r2.Driver.best_config);
   Alcotest.(check (float 0.0)) "same tuning time" r1.Driver.tuning_cycles r2.Driver.tuning_cycles
@@ -776,7 +826,7 @@ let test_driver_auto_method () =
   let trace = b.Benchmark.trace Trace.Train ~seed:3 in
   let profile = Profile.run tsec trace Machine.sparc2 in
   Alcotest.(check string) "auto picks MBR for MGRID" "MBR"
-    (Driver.method_name (Driver.auto_method profile tsec))
+    (Method.name (Driver.auto_method profile tsec))
 
 let test_driver_evaluation_consistency () =
   let b = bench "SWIM" in
@@ -788,21 +838,21 @@ let test_driver_evaluation_consistency () =
 
 let test_report_normalization () =
   let b = bench "SWIM" in
-  let r = Driver.tune ~method_:Driver.Cbr b Machine.sparc2 Trace.Train in
+  let r = Driver.tune ~method_:Method.Cbr b Machine.sparc2 Trace.Train in
   let norm = Report.normalized_tuning_time r in
   Alcotest.(check bool) "CBR well under WHL-equivalent cost" true (norm < 0.6);
-  let r_whl = Driver.tune ~method_:Driver.Whl b Machine.sparc2 Trace.Train in
+  let r_whl = Driver.tune ~method_:Method.Whl b Machine.sparc2 Trace.Train in
   let norm_whl = Report.normalized_tuning_time r_whl in
   Alcotest.(check bool) "WHL normalizes to ~1" true (norm_whl > 0.8 && norm_whl < 1.5)
 
 let test_report_figure7_methods () =
   let methods = Report.figure7_methods (bench "ART") Machine.pentium4 ~seed:3 in
-  Alcotest.(check bool) "ART: no CBR" true (not (List.mem Driver.Cbr methods));
-  Alcotest.(check bool) "ART: no MBR" true (not (List.mem Driver.Mbr methods));
+  Alcotest.(check bool) "ART: no CBR" true (not (List.mem Method.Cbr methods));
+  Alcotest.(check bool) "ART: no MBR" true (not (List.mem Method.Mbr methods));
   Alcotest.(check bool) "ART: has RBR/AVG/WHL" true
-    (List.mem Driver.Rbr methods && List.mem Driver.Avg methods && List.mem Driver.Whl methods);
+    (List.mem Method.Rbr methods && List.mem Method.Avg methods && List.mem Method.Whl methods);
   let swim = Report.figure7_methods (bench "SWIM") Machine.sparc2 ~seed:3 in
-  Alcotest.(check bool) "SWIM: has CBR" true (List.mem Driver.Cbr swim)
+  Alcotest.(check bool) "SWIM: has CBR" true (List.mem Method.Cbr swim)
 
 (* ------------------------------------------------------------------ *)
 (* Consistency experiment                                              *)
@@ -812,7 +862,7 @@ let test_consistency_rbr_row () =
   let rows = Consistency.measure ~n_ratings:12 ~windows:[ 10; 80 ] (bench "TWOLF") Machine.sparc2 in
   match rows with
   | [ row ] ->
-      Alcotest.(check string) "RBR used" "RBR" (Driver.method_name row.Consistency.method_used);
+      Alcotest.(check string) "RBR used" "RBR" (Method.name row.Consistency.method_used);
       let cell w = List.find (fun c -> c.Consistency.window = w) row.Consistency.cells in
       let c10 = cell 10 and c80 = cell 80 in
       Alcotest.(check bool) "means near zero" true
@@ -859,6 +909,11 @@ let suites =
         Alcotest.test_case "wupwise contexts" `Quick test_profile_wupwise_two_contexts;
         Alcotest.test_case "impure calls" `Quick test_profile_no_impure_calls;
         Alcotest.test_case "invocation cost" `Quick test_profile_avg_invocation_positive;
+      ] );
+    ( "core.method",
+      [
+        Alcotest.test_case "registry round-trips" `Quick test_method_registry;
+        Alcotest.test_case "store mirror in lockstep" `Quick test_method_names_match_codec;
       ] );
     ( "core.consultant",
       [

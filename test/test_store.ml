@@ -89,7 +89,7 @@ let arb_rating =
 let gen_event =
   QCheck.Gen.(
     map
-      (fun (m, ctx, base, idx, config, eval, used) ->
+      (fun (m, ctx, base, idx, config, (eval, converged), used) ->
         {
           Codec.e_method = m;
           e_ctx = ctx;
@@ -97,11 +97,12 @@ let gen_event =
           e_idx = idx;
           e_config = config;
           e_eval = eval;
+          e_converged = converged;
           e_used = used;
         })
       (tup7
          (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ])
-         gen_name gen_name (int_range (-1) 100) gen_optconfig gen_float
+         gen_name gen_name (int_range (-1) 100) gen_optconfig (pair gen_float bool)
          gen_consumption))
 
 let arb_event =
@@ -132,19 +133,30 @@ let gen_session_meta =
           m_start = start;
         })
       (tup8 gen_name (pair gen_name gen_name) (pair gen_name gen_name) small_nat
-         gen_float gen_name gen_name gen_optconfig))
+         gen_float gen_name
+         (oneofl [ "auto"; "cbr"; "mbr"; "rbr"; "avg"; "whl" ])
+         gen_optconfig))
 
 let arb_session_meta =
   QCheck.make
     ~print:(fun m -> Json.to_string (Codec.session_meta_to_json m))
     gen_session_meta
 
+let gen_attempt =
+  QCheck.Gen.(
+    map3
+      (fun m converged ratings ->
+        { Codec.at_method = m; at_converged = converged; at_ratings = ratings })
+      (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ])
+      bool small_nat)
+
 let gen_session_result =
   QCheck.Gen.(
     map
-      (fun (m, best, (ratings, iterations), trajectory, cycles, seconds, (passes, inv)) ->
+      (fun ((m, attempts), best, (ratings, iterations), trajectory, cycles, seconds, (passes, inv)) ->
         {
           Codec.r_method = m;
+          r_attempts = attempts;
           r_best = best;
           r_ratings = ratings;
           r_iterations = iterations;
@@ -154,7 +166,9 @@ let gen_session_result =
           r_passes = passes;
           r_invocations = inv;
         })
-      (tup7 gen_name gen_optconfig (pair small_nat small_nat) gen_trajectory gen_float
+      (tup7
+         (pair (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ]) (list_size (int_bound 4) gen_attempt))
+         gen_optconfig (pair small_nat small_nat) gen_trajectory gen_float
          gen_float (pair small_nat small_nat)))
 
 let arb_session_result =
@@ -215,6 +229,7 @@ let roundtrip_tests =
         && a.Codec.e_idx = b.Codec.e_idx
         && Optconfig.equal a.Codec.e_config b.Codec.e_config
         && same_float a.Codec.e_eval b.Codec.e_eval
+        && a.Codec.e_converged = b.Codec.e_converged
         && same_consumption a.Codec.e_used b.Codec.e_used);
     t "session_meta round-trips" arb_session_meta Codec.session_meta_to_json
       Codec.session_meta_of_json
@@ -233,6 +248,7 @@ let roundtrip_tests =
       Codec.session_result_of_json
       (fun (a : Codec.session_result) (b : Codec.session_result) ->
         a.Codec.r_method = b.Codec.r_method
+        && a.Codec.r_attempts = b.Codec.r_attempts
         && Optconfig.equal a.Codec.r_best b.Codec.r_best
         && a.Codec.r_ratings = b.Codec.r_ratings
         && a.Codec.r_iterations = b.Codec.r_iterations
@@ -252,6 +268,7 @@ let test_version_guard () =
       e_idx = 0;
       e_config = Optconfig.o3;
       e_eval = 1.0;
+      e_converged = true;
       e_used = { Codec.c_invocations = 1; c_passes = 1; c_cycles = 1.0 };
     }
   in
@@ -411,13 +428,13 @@ let meta_for ?start ?(seed = 11) ~method_ ~search b machine =
 let test_session_rejects_changed_params () =
   with_tmpdir @@ fun dir ->
   let b = bench "ART" and machine = Machine.sparc2 in
-  let meta = meta_for ~method_:Driver.Rbr ~search:Driver.Be b machine in
+  let meta = meta_for ~method_:Method.Rbr ~search:Driver.Be b machine in
   let s = Result.get_ok (Session.open_ ~dir ~meta) in
   Session.close s;
   (* same id, different rating parameters: must refuse, not silently mix *)
   let params = { Rating.default_params with Rating.window = 80 } in
   let meta' =
-    Driver.session_meta ~seed:11 ~method_:Driver.Rbr ~search:Driver.Be ~rating_params:params
+    Driver.session_meta ~seed:11 ~method_:Method.Rbr ~search:Driver.Be ~rating_params:params
       b machine Trace.Train
   in
   match Session.open_ ~dir ~meta:meta' with
@@ -538,6 +555,75 @@ let resume_case ~bname ~method_ () =
   in
   check_identical (bname ^ " store vs plain pool path") full pooled
 
+(* Kill/resume across a fallback decision: a starved rating budget
+   (max_invocations below the convergence window) makes every absolute
+   probe fail, so an auto session walks the §3 chain down to RBR.  A
+   crash kept to the first journal line lands between the failed probe
+   and the committed method — the resume must replay the probe verdict
+   from the store and land on the same chain, bit-identically, at any
+   domain count. *)
+let test_fallback_resume () =
+  with_tmpdir @@ fun root ->
+  let b = bench "MGRID" and machine = Machine.sparc2 in
+  let search = Driver.Be in
+  let rating_params = { Rating.default_params with Rating.max_invocations = 30 } in
+  let meta =
+    Driver.session_meta ~seed:11 ~search ~rating_params b machine Trace.Train
+  in
+  let id = meta.Codec.m_id in
+  let full_dir = Filename.concat root "full" in
+  let session = Result.get_ok (Session.open_ ~dir:full_dir ~meta) in
+  let full =
+    Fun.protect
+      ~finally:(fun () -> Session.close session)
+      (fun () -> Driver.tune ~seed:11 ~search ~rating_params ~store:session b machine Trace.Train)
+  in
+  Alcotest.(check bool) "starved budget forced a fallback" true
+    (List.length full.Driver.attempts > 1);
+  Alcotest.(check string) "fell back to RBR" "RBR" (Method.name full.Driver.method_used);
+  List.iter
+    (fun (a : Method.attempt) ->
+      if a.Method.a_method <> full.Driver.method_used then
+        Alcotest.(check bool)
+          (Method.name a.Method.a_method ^ " probe abandoned as non-converged")
+          false a.Method.a_converged)
+    full.Driver.attempts;
+  let n_events = (Result.get_ok (Session.load_info ~dir:full_dir ~id)).Session.info_events in
+  Alcotest.(check bool) "journaled beyond the probe" true (n_events > 1);
+  (* keep = 1 slices right after the failed probe; n_events / 2 lands
+     mid-search — both must resume to the identical result and chain *)
+  List.iter
+    (fun (keep, domains) ->
+      let dst_dir = Filename.concat root (Printf.sprintf "crash%d_%d" keep domains) in
+      ignore (crashed_copy ~src_dir:full_dir ~dst_dir ~id ~keep);
+      let session = Result.get_ok (Session.open_ ~dir:dst_dir ~meta) in
+      let resumed =
+        Fun.protect
+          ~finally:(fun () -> Session.close session)
+          (fun () ->
+            let tune pool =
+              Driver.tune ~seed:11 ~search ~rating_params ?pool ~store:session b machine
+                Trace.Train
+            in
+            if domains > 1 then Pool.run ~domains (fun p -> tune (Some p)) else tune None)
+      in
+      let tag = Printf.sprintf "fallback resume keep=%d -j%d" keep domains in
+      check_identical tag full resumed;
+      Alcotest.(check bool) (tag ^ ": same attempted-method chain") true
+        (resumed.Driver.attempts = full.Driver.attempts);
+      Alcotest.(check string) (tag ^ ": same committed method")
+        (Method.name full.Driver.method_used)
+        (Method.name resumed.Driver.method_used);
+      let info = Result.get_ok (Session.load_info ~dir:dst_dir ~id) in
+      match info.Session.info_result with
+      | None -> Alcotest.fail (tag ^ ": resumed session has no result.json")
+      | Some r ->
+          Alcotest.(check string) (tag ^ ": stored method matches") "RBR" r.Codec.r_method;
+          Alcotest.(check int) (tag ^ ": stored chain length matches")
+            (List.length full.Driver.attempts)
+            (List.length r.Codec.r_attempts))
+    [ (1, 1); (1, 2); (1, 4); (n_events / 2, 1); (n_events / 2, 2); (n_events / 2, 4) ]
+
 (* ------------------------------------------------------------------ *)
 (* Warm start                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -564,6 +650,7 @@ let fabricate_session dir ~benchmark ~machine ~seed ~best =
   Session.complete s
     {
       Codec.r_method = "RBR";
+      r_attempts = [ { Codec.at_method = "RBR"; at_converged = true; at_ratings = 1 } ];
       r_best = best;
       r_ratings = 1;
       r_iterations = 1;
@@ -643,11 +730,13 @@ let suites =
         Alcotest.test_case "changed rating params rejected" `Slow
           test_session_rejects_changed_params;
         Alcotest.test_case "CBR resume bit-identical (SWIM)" `Slow
-          (resume_case ~bname:"SWIM" ~method_:Driver.Cbr);
+          (resume_case ~bname:"SWIM" ~method_:Method.Cbr);
         Alcotest.test_case "MBR resume bit-identical (MGRID)" `Slow
-          (resume_case ~bname:"MGRID" ~method_:Driver.Mbr);
+          (resume_case ~bname:"MGRID" ~method_:Method.Mbr);
         Alcotest.test_case "RBR resume bit-identical (ART)" `Slow
-          (resume_case ~bname:"ART" ~method_:Driver.Rbr);
+          (resume_case ~bname:"ART" ~method_:Method.Rbr);
+        Alcotest.test_case "kill/resume across a fallback decision" `Slow
+          test_fallback_resume;
       ] );
     ("store.warmstart", [ Alcotest.test_case "warm start proposals" `Quick test_warmstart ]);
   ]
