@@ -7,7 +7,7 @@
    Experiments: table1, fig7ab, fig7cd, summary, flag-effects,
    ablation-rbr, ablation-outlier, ablation-search, ablation-ranges,
    ablation-batch, ablation-compile, ablation-consultant, adaptive,
-   fallback, parallel, store, micro. *)
+   fallback, parallel, store, faults, micro. *)
 
 open Peak_util
 open Peak_machine
@@ -590,7 +590,7 @@ let store_exp () =
   in
   let meta = Driver.session_meta ~method_ ~search b machine Trace.Train in
   let tune_stored () =
-    match Peak_store.Session.open_ ~dir ~meta with
+    match Peak_store.Session.open_ ~dir ~meta () with
     | Error e -> failwith e
     | Ok s ->
         Fun.protect
@@ -634,6 +634,72 @@ let store_exp () =
   note "line + batched fsync per rating); the replay run skips every simulated";
   note "execution and completes in milliseconds while reporting the same best";
   note "configuration, search stats and tuning-cycle ledger."
+
+(* ================================================================== *)
+(* Fault injection: tuning through crashing / miscompiled configs      *)
+(* ================================================================== *)
+
+let faults_exp () =
+  heading "Fault tolerance: tuning under injected crashes, miscompilations and noise";
+  note "The same sessions with no faults, the acceptance mix (5%% of configs";
+  note "crash, 2%% miscompute), and a harsher plan that adds hangs, transient";
+  note "failures and noise bursts.  Quarantined configs are validated against a";
+  note "base-output oracle and rated +inf, so the search routes around them;";
+  note "transient failures are retried on fresh attempt-keyed runners.";
+  let machine = Machine.pentium4 in
+  let open Peak_sim in
+  let plans =
+    [
+      ("none", None);
+      ("crash5+wrong2", Some Fault.default_spec);
+      ( "harsh",
+        Some
+          {
+            Fault.default_spec with
+            Fault.hang = 0.01;
+            transient = 0.02;
+            burst = 0.1;
+          } );
+    ]
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "Benchmark"; "Fault plan"; "Quar."; "Retries"; "Invocations"; "Tuning s"; "Best = clean" ]
+      ()
+  in
+  List.iter
+    (fun name ->
+      let b = bench name in
+      let tune faults =
+        Pool.run ~domains:1 (fun pool ->
+            Driver.tune ?faults ~search:Driver.Be ~pool b machine Trace.Train)
+      in
+      let clean = tune None in
+      List.iter
+        (fun (label, spec) ->
+          let faults = Option.map (fun spec -> Fault.create ~spec ~seed:3 ()) spec in
+          let r = tune faults in
+          Table.add_row t
+            [
+              b.Benchmark.name;
+              label;
+              string_of_int (List.length r.Driver.quarantined);
+              string_of_int r.Driver.fault_retries;
+              string_of_int r.Driver.invocations;
+              Table.fmt_float ~decimals:2 r.Driver.tuning_seconds;
+              (if Optconfig.equal r.Driver.best_config clean.Driver.best_config then "yes"
+               else "no");
+            ])
+        plans)
+    [ "SWIM"; "ART" ];
+  Table.print t;
+  note "Expected: fault runs complete on every workload.  The oracle check adds";
+  note "one validation invocation per candidate and retries re-charge doomed";
+  note "attempts, while a crashing config aborts its rating window early — so";
+  note "the invocation totals shift both ways; hang budgets make the harsh";
+  note "plan's tuning time clearly higher.  The winner may legitimately differ";
+  note "from the clean run when a would-be winner is itself condemned."
 
 (* ================================================================== *)
 (* Micro-benchmarks (Bechamel)                                         *)
@@ -867,6 +933,7 @@ let experiments =
     ("fallback", fallback_exp);
     ("parallel", parallel);
     ("store", store_exp);
+    ("faults", faults_exp);
     ("micro", micro);
   ]
 

@@ -83,7 +83,33 @@ let parse_method name =
           (Printf.sprintf "unknown rating method %s (valid: auto, %s)" name
              (String.concat ", " Method.keys))
 
+(* --faults SPEC: "default" enables the canonical 5% crash / 2%
+   wrong-output plan (seeded by the experiment seed unless SPEC pins
+   one); anything else is a Fault.of_string spec. *)
+let parse_faults ~seed = function
+  | None -> Ok None
+  | Some "default" ->
+      Ok (Some (Peak_sim.Fault.create ~spec:Peak_sim.Fault.default_spec ~seed ()))
+  | Some spec -> (
+      match Peak_sim.Fault.of_string spec with
+      | Ok plan -> Ok (Some plan)
+      | Error e -> Error ("bad --faults spec: " ^ e))
+
+let print_quarantine (r : Driver.result) =
+  if r.Driver.quarantined <> [] || r.Driver.fault_retries > 0 then begin
+    Printf.printf "Fault tolerance: %d configuration%s quarantined, %d transient retr%s\n"
+      (List.length r.Driver.quarantined)
+      (if List.length r.Driver.quarantined = 1 then "" else "s")
+      r.Driver.fault_retries
+      (if r.Driver.fault_retries = 1 then "y" else "ies");
+    List.iter
+      (fun (c, reason) ->
+        Printf.printf "  quarantined (%s): %s\n" reason (Optconfig.to_string c))
+      r.Driver.quarantined
+  end
+
 let print_result machine (r : Driver.result) =
+  print_quarantine r;
   Printf.printf "Rating method: %s\n" (Method.name r.Driver.method_used);
   (match r.Driver.attempts with
   | [] | [ _ ] -> ()
@@ -256,6 +282,26 @@ let store_arg =
     & info [ "store" ] ~docv:"DIR"
         ~doc:"Persist ratings to the tuning store at $(docv); re-running resumes.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject deterministic faults while tuning: $(b,default) (5% crashing, 2% \
+           miscompiled configurations) or a spec like \
+           $(b,seed=3,crash=0.05,wrong=0.02,transient=0.01,burst=0.1).  Faulty \
+           configurations are quarantined and the session still completes.")
+
+let fault_retries_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "fault-retries" ] ~docv:"N"
+        ~doc:
+          "Retry a failing configuration on up to $(docv) fresh attempt-keyed runners \
+           before quarantining it (every attempt is charged to the tuning ledger).")
+
 let tune_cmd =
   let warm_arg =
     Arg.(
@@ -264,7 +310,8 @@ let tune_cmd =
           ~doc:"Start the search from a configuration proposed by the store's history \
                 (requires $(b,--store)).")
   in
-  let run name machine_name method_name dataset_name search_name seed store_dir warm cap =
+  let run name machine_name method_name dataset_name search_name seed store_dir warm cap
+      faults_spec retries =
     guard @@ fun () ->
     let b = or_die (find_benchmark name) in
     let machine = or_die (find_machine machine_name) in
@@ -272,6 +319,8 @@ let tune_cmd =
     let search = or_die (parse_search search_name) in
     let method_ = or_die (parse_method method_name) in
     let rating_params = rating_params_of_cap cap in
+    let faults = or_die (parse_faults ~seed faults_spec) in
+    if retries < 0 then die "--fault-retries must be >= 0";
     if warm && store_dir = None then die "--warm requires --store DIR";
     let start =
       match (warm, store_dir) with
@@ -304,12 +353,14 @@ let tune_cmd =
     match store_dir with
     | None ->
         print_result machine
-          (Driver.tune ~seed ~search ~rating_params ?method_ ?start b machine dataset)
+          (Driver.tune ~seed ~search ~rating_params ?method_ ?start ?faults ~retries b
+             machine dataset)
     | Some dir ->
         let meta =
-          Driver.session_meta ?method_ ~search ~rating_params ~seed ?start b machine dataset
+          Driver.session_meta ?method_ ~search ~rating_params ~seed ?start ?faults b machine
+            dataset
         in
-        let session = or_die (Peak_store.Session.open_ ~dir ~meta) in
+        let session = or_die (Peak_store.Session.open_ ~dir ~meta ()) in
         let id = (Peak_store.Session.meta session).Peak_store.Codec.m_id in
         let loaded = Peak_store.Session.loaded_events session in
         if loaded > 0 then
@@ -319,14 +370,14 @@ let tune_cmd =
           ~finally:(fun () -> Peak_store.Session.close session)
           (fun () ->
             print_result machine
-              (Driver.tune ~seed ~search ~rating_params ?method_ ~store:session b machine
-                 dataset))
+              (Driver.tune ~seed ~search ~rating_params ?method_ ~store:session ?faults
+                 ~retries b machine dataset))
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Run one offline tuning session (the Figure 7 experiment).")
     Term.(
       const run $ benchmark_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg
-      $ seed_arg $ store_arg $ warm_arg $ rating_cap_arg)
+      $ seed_arg $ store_arg $ warm_arg $ rating_cap_arg $ faults_arg $ fault_retries_arg)
 
 let suite_cmd =
   let benchmarks_arg =
@@ -340,7 +391,8 @@ let suite_cmd =
       value & opt int 1
       & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Tune on $(docv) domains in parallel.")
   in
-  let run names machine_name method_name dataset_name search_name seed jobs store_dir cap =
+  let run names machine_name method_name dataset_name search_name seed jobs store_dir cap
+      faults_spec retries =
     guard @@ fun () ->
     let benchmarks =
       match names with
@@ -352,6 +404,8 @@ let suite_cmd =
     let search = or_die (parse_search search_name) in
     let method_ = or_die (parse_method method_name) in
     let rating_params = rating_params_of_cap cap in
+    let faults = or_die (parse_faults ~seed faults_spec) in
+    if retries < 0 then die "--fault-retries must be >= 0";
     if jobs < 1 then die "jobs must be >= 1";
     Printf.printf "Tuning %d benchmarks on %s, %s data set, %d domain%s...\n%!"
       (List.length benchmarks) machine.Machine.name (Trace.dataset_name dataset) jobs
@@ -359,12 +413,15 @@ let suite_cmd =
     let t0 = Unix.gettimeofday () in
     let results =
       Driver.tune_suite ~seed ~search ~rating_params ?method_ ~domains:jobs ?store_dir
-        benchmarks machine dataset
+        ?faults ~retries benchmarks machine dataset
     in
     let wall = Unix.gettimeofday () -. t0 in
+    let with_faults = faults <> None in
     let t =
       Table.create
-        ~header:[ "Benchmark"; "Method"; "Best configuration"; "Improv."; "Tuning s"; "Ratings" ]
+        ~header:
+          ([ "Benchmark"; "Method"; "Best configuration"; "Improv."; "Tuning s"; "Ratings" ]
+          @ if with_faults then [ "Quar."; "Retries" ] else [])
         ()
     in
     List.iter
@@ -373,14 +430,21 @@ let suite_cmd =
           Driver.improvement_pct r.Driver.benchmark machine ~best:r.Driver.best_config Trace.Ref
         in
         Table.add_row t
-          [
-            r.Driver.benchmark.Benchmark.name;
-            Method.chain_string r.Driver.attempts;
-            Optconfig.to_string r.Driver.best_config;
-            Printf.sprintf "%.1f%%" imp;
-            Printf.sprintf "%.1f" r.Driver.tuning_seconds;
-            string_of_int r.Driver.search_stats.Search.ratings;
-          ])
+          ([
+             r.Driver.benchmark.Benchmark.name;
+             Method.chain_string r.Driver.attempts;
+             Optconfig.to_string r.Driver.best_config;
+             Printf.sprintf "%.1f%%" imp;
+             Printf.sprintf "%.1f" r.Driver.tuning_seconds;
+             string_of_int r.Driver.search_stats.Search.ratings;
+           ]
+          @
+          if with_faults then
+            [
+              string_of_int (List.length r.Driver.quarantined);
+              string_of_int r.Driver.fault_retries;
+            ]
+          else []))
       results;
     Table.print t;
     Printf.printf "Suite wall time: %.2f s on %d domain%s\n" wall jobs
@@ -393,7 +457,7 @@ let suite_cmd =
           bit-identical for every $(b,-j) value.")
     Term.(
       const run $ benchmarks_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg
-      $ seed_arg $ jobs_arg $ store_arg $ rating_cap_arg)
+      $ seed_arg $ jobs_arg $ store_arg $ rating_cap_arg $ faults_arg $ fault_retries_arg)
 
 let consistency_cmd =
   let run name machine_name seed =
@@ -574,6 +638,8 @@ let session_show_cmd =
       m.Peak_store.Codec.m_threshold;
     Printf.printf "  Start configuration: %s\n"
       (Optconfig.to_string m.Peak_store.Codec.m_start);
+    if m.Peak_store.Codec.m_faults <> "-" then
+      Printf.printf "  Fault plan: %s\n" m.Peak_store.Codec.m_faults;
     Printf.printf "  Journal: %d rating event%s" info.Peak_store.Session.info_events
       (if info.Peak_store.Session.info_events = 1 then "" else "s");
     if info.Peak_store.Session.info_dropped > 0 then
@@ -602,7 +668,17 @@ let session_show_cmd =
           r.Peak_store.Codec.r_ratings r.Peak_store.Codec.r_iterations
           r.Peak_store.Codec.r_invocations r.Peak_store.Codec.r_passes;
         Printf.printf "  Tuning time: %.2f simulated seconds\n"
-          r.Peak_store.Codec.r_tuning_seconds
+          r.Peak_store.Codec.r_tuning_seconds;
+        if r.Peak_store.Codec.r_quarantined <> [] || r.Peak_store.Codec.r_retries > 0 then begin
+          Printf.printf "  Fault tolerance: %d quarantined, %d transient retr%s\n"
+            (List.length r.Peak_store.Codec.r_quarantined)
+            r.Peak_store.Codec.r_retries
+            (if r.Peak_store.Codec.r_retries = 1 then "y" else "ies");
+          List.iter
+            (fun (c, reason) ->
+              Printf.printf "    quarantined (%s): %s\n" reason (Optconfig.to_string c))
+            r.Peak_store.Codec.r_quarantined
+        end
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Show one session's parameters, journal state and result.")
@@ -631,10 +707,21 @@ let session_resume_cmd =
       | Some p -> p
       | None -> die ("session has unreadable rating parameters: " ^ m.Peak_store.Codec.m_params)
     in
-    let meta =
-      Driver.session_meta ?method_ ~search ~rating_params ~seed ~threshold b machine dataset
+    (* a fault-injected session resumes under the same plan, rebuilt
+       from its stored spec — the quarantine decisions then replay *)
+    let faults =
+      match m.Peak_store.Codec.m_faults with
+      | "-" -> None
+      | spec -> (
+          match Peak_sim.Fault.of_string spec with
+          | Ok plan -> Some plan
+          | Error e -> die ("session has an unreadable fault plan: " ^ e))
     in
-    let session = or_die (Peak_store.Session.open_ ~dir ~meta) in
+    let meta =
+      Driver.session_meta ?method_ ~search ~rating_params ~seed ~threshold ?faults b machine
+        dataset
+    in
+    let session = or_die (Peak_store.Session.open_ ~dir ~meta ()) in
     Printf.printf "Resuming session %s (%d stored ratings)\n%!" id
       (Peak_store.Session.loaded_events session);
     Fun.protect
@@ -642,7 +729,7 @@ let session_resume_cmd =
       (fun () ->
         let tune pool =
           Driver.tune ~seed ~search ~rating_params ~threshold ?method_ ?pool ~store:session
-            b machine dataset
+            ?faults b machine dataset
         in
         let r =
           if jobs > 1 then Pool.run ~domains:jobs (fun pool -> tune (Some pool))

@@ -5,8 +5,20 @@ set -eu
 echo "== dune build"
 dune build @all
 
+# The full suite (including the Slow fault-oracle tests) must fit a
+# fixed wall-clock budget so the gate stays runnable on every change.
+# Override with PEAK_RUNTEST_BUDGET=seconds when profiling slow boxes.
 echo "== dune runtest"
+RUNTEST_BUDGET=${PEAK_RUNTEST_BUDGET:-600}
+t0=$(date +%s)
 dune runtest
+t1=$(date +%s)
+elapsed=$((t1 - t0))
+echo "   runtest took ${elapsed}s (budget ${RUNTEST_BUDGET}s)"
+if [ "$elapsed" -gt "$RUNTEST_BUDGET" ]; then
+  echo "   test suite exceeded its ${RUNTEST_BUDGET}s wall-clock budget" >&2
+  exit 1
+fi
 
 # Formatting: @fmt covers dune files always and OCaml sources when
 # ocamlformat is installed.  Without ocamlformat the OCaml rules cannot
@@ -128,5 +140,20 @@ else
   exit 1
 fi
 "$BIN" session gc --store "$SMOKE/fbcrash" > /dev/null
+
+# Fault smoke: the differential fault oracles (quarantine ground truth,
+# -j independence, auto == forced, kill/resume identity) must hold for
+# three pinned seeds.  PEAK_FAULT_SEED collapses each test's seed list
+# to the single given seed, so the three runs cover the default set.
+echo "== fault smoke"
+TESTS=_build/default/test/test_main.exe
+for s in 3 7 23; do
+  if PEAK_FAULT_SEED=$s "$TESTS" test faults > /dev/null 2>&1; then
+    echo "   fault oracles hold under seed $s"
+  else
+    echo "   fault oracles FAILED under seed $s; run: PEAK_FAULT_SEED=$s $TESTS test faults" >&2
+    exit 1
+  fi
+done
 
 echo "== OK"

@@ -19,11 +19,24 @@ let rate ?(params = Rating.default_params) runner version =
       incr added;
       samples := s.Runner.time :: !samples
     done;
-    let eval, var, n, converged = Rating.summarize ~params !samples in
-    (* AVG ships after one window regardless of convergence when the mix
-       is unstable, mirroring its naive usage; it still reports the
-       convergence flag honestly. *)
-    if converged || !consumed >= params.Rating.max_invocations || !consumed >= 4 * params.Rating.window
-    then result := Some { Rating.eval; var; samples = n; invocations = !consumed; converged }
+    (match Rating.summarize ~params !samples with
+    | Rating.Summary { eval; var; kept; converged } ->
+        (* AVG ships after one window regardless of convergence when the
+           mix is unstable, mirroring its naive usage; it still reports
+           the convergence flag honestly. *)
+        if
+          converged
+          || !consumed >= params.Rating.max_invocations
+          || !consumed >= 4 * params.Rating.window
+        then
+          result := Some { Rating.eval; var; samples = kept; invocations = !consumed; converged }
+    | Rating.Insufficient { observed } ->
+        if !consumed >= params.Rating.max_invocations then
+          raise
+            (Rating.No_samples
+               (Printf.sprintf "Avg.rate: only %d usable sample(s) of %s within %d invocations"
+                  observed
+                  (Tsection.name (Runner.tsection runner))
+                  !consumed)))
   done;
   Option.get !result

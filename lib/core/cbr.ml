@@ -23,31 +23,33 @@ let rate ?(params = Rating.default_params) runner ~sources ~target version =
         samples := s.Runner.time :: !samples
       end
     done;
-    let eval, var, n, converged = Rating.summarize ~params !samples in
-    if converged || !consumed >= params.Rating.max_invocations then begin
-      (* Rating.summarize returns eval = nan on zero kept samples; caching
-         that NaN would silently corrupt every later relative ratio, so a
-         target context that never occurred within the budget fails
-         loudly instead. *)
-      if n = 0 then
-        raise
-          (Rating.No_samples
-             (Printf.sprintf
-                "Cbr.rate: no invocation of %s matched target context [%s] within %d \
-                 invocations"
-                (Tsection.name (Runner.tsection runner))
-                (String.concat "; " (Array.to_list (Array.map string_of_float target)))
-                !consumed));
-      result :=
-        Some
-          {
-            Rating.eval;
-            var;
-            samples = n;
-            invocations = !consumed;
-            converged;
-          }
-    end
+    (match Rating.summarize ~params !samples with
+    | Rating.Summary { eval; var; kept; converged } ->
+        if converged || !consumed >= params.Rating.max_invocations then
+          result :=
+            Some
+              {
+                Rating.eval;
+                var;
+                samples = kept;
+                invocations = !consumed;
+                converged;
+              }
+    | Rating.Insufficient { observed } ->
+        (* a rating cannot be built from under two matching samples;
+           caching a NaN here would silently corrupt every later relative
+           ratio, so a target context that (almost) never occurred within
+           the budget fails loudly instead *)
+        if !consumed >= params.Rating.max_invocations then
+          raise
+            (Rating.No_samples
+               (Printf.sprintf
+                  "Cbr.rate: only %d invocation(s) of %s matched target context [%s] within \
+                   %d invocations"
+                  observed
+                  (Tsection.name (Runner.tsection runner))
+                  (String.concat "; " (Array.to_list (Array.map string_of_float target)))
+                  !consumed)))
   done;
   Option.get !result
 
@@ -64,6 +66,12 @@ let rate_all_contexts ?(params = Rating.default_params) runner ~sources version 
   done;
   Hashtbl.fold
     (fun ctx times acc ->
-      let eval, var, n, converged = Rating.summarize ~params times in
-      (ctx, { Rating.eval; var; samples = n; invocations = !consumed; converged }) :: acc)
+      match Rating.summarize ~params times with
+      | Rating.Insufficient _ ->
+          (* a context observed once cannot be rated; reporting it with a
+             NaN EVAL would poison the adaptive engine's winner table *)
+          acc
+      | Rating.Summary { eval; var; kept; converged } ->
+          (ctx, { Rating.eval; var; samples = kept; invocations = !consumed; converged })
+          :: acc)
     by_context []

@@ -24,6 +24,8 @@ type result = {
   tuning_seconds : float;
   passes : int;
   invocations : int;
+  quarantined : (Optconfig.t * string) list;
+  fault_retries : int;
   profile : Profile.t;
   advice : Consultant.advice;
 }
@@ -54,11 +56,13 @@ let result_summary (r : result) : Peak_store.Codec.session_result =
     r_tuning_seconds = r.tuning_seconds;
     r_passes = r.passes;
     r_invocations = r.invocations;
+    r_quarantined = r.quarantined;
+    r_retries = r.fault_retries;
   }
 
 let session_meta ?method_ ?(search = Ie) ?(rating_params = Rating.default_params)
-    ?(threshold = 0.005) ?(seed = 11) ?(start = Optconfig.o3) (benchmark : Benchmark.t) machine
-    dataset : Peak_store.Codec.session_meta =
+    ?(threshold = 0.005) ?(seed = 11) ?(start = Optconfig.o3) ?faults (benchmark : Benchmark.t)
+    machine dataset : Peak_store.Codec.session_meta =
   let method_str = match method_ with Some m -> Method.key m | None -> "auto" in
   let bench_name = benchmark.Benchmark.name in
   let machine_name = machine.Machine.name in
@@ -76,11 +80,13 @@ let session_meta ?method_ ?(search = Ie) ?(rating_params = Rating.default_params
     m_params = Rating.params_signature rating_params;
     m_method = method_str;
     m_start = start;
+    m_faults = (match faults with Some p -> Peak_sim.Fault.to_string p | None -> "-");
   }
 
 let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
-    ?(threshold = 0.005) ?compile ?pool ?method_ ?store ?start (benchmark : Benchmark.t)
-    machine dataset =
+    ?(threshold = 0.005) ?compile ?pool ?method_ ?store ?start ?faults ?(retries = 2)
+    (benchmark : Benchmark.t) machine dataset =
+  if retries < 0 then invalid_arg "Driver.tune: retries must be >= 0";
   let tsec = Tsection.make benchmark.Benchmark.ts in
   let trace = benchmark.Benchmark.trace dataset ~seed in
   let profile = Profile.run ~seed:(seed + 1) tsec trace machine in
@@ -165,15 +171,17 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     | None -> None
     | Some s ->
         Peak_store.Session.find s ~method_:mname ~base ~idx config
-        |> Option.map (fun (e, conv, (u : Peak_store.Codec.consumption)) ->
-               (e, conv, (u.Peak_store.Codec.c_invocations, u.c_passes, u.c_cycles)))
+        |> Option.map (fun (e, conv, (u : Peak_store.Codec.consumption), fail, job_retries) ->
+               (e, conv, (u.Peak_store.Codec.c_invocations, u.c_passes, u.c_cycles), fail, job_retries))
   in
-  let store_record ~mname ~base ~idx config (eval, converged, (inv, p, cyc)) =
+  let store_record ~mname ~base ~idx config (eval, converged, (inv, p, cyc), fail, job_retries) =
     match store with
     | None -> ()
     | Some s ->
-        Peak_store.Session.record s ~method_:mname ~base ~idx ~config ~eval ~converged
+        Peak_store.Session.record s ~method_:mname ~base ~idx ~config ~eval ~converged ?fail
+          ~retries:job_retries
           ~used:{ Peak_store.Codec.c_invocations = inv; c_passes = p; c_cycles = cyc }
+          ()
   in
   (* ---------------- sequential rating (one shared runner) ------------ *)
   let sequential_relative prepared eval_cache : Search.relative =
@@ -202,12 +210,89 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
   let job_seed ?(base_hash = 0) ~idx config =
     seed + ((idx + 2) * 1_000_003) + (Optconfig.hash config * 8191) + (base_hash * 131)
   in
-  let fresh_runner jseed =
+  let fresh_runner ?fault_attempt jseed =
     let trace = benchmark.Benchmark.trace dataset ~seed in
-    Runner.create ~seed:jseed tsec trace machine
+    Runner.create ~seed:jseed ?faults ?fault_attempt tsec trace machine
   in
   let consumption r = (Runner.invocations_consumed r, Runner.passes_started r, Runner.tuning_cycles r) in
-  let deterministic = Option.is_some pool || Option.is_some store in
+  let deterministic = Option.is_some pool || Option.is_some store || Option.is_some faults in
+  (* ---------------- fault tolerance --------------------------------
+     The start configuration is protected (tuning must be able to
+     finish, and the differential oracle needs an uncorrupted anchor);
+     every other configuration is validated against the base version's
+     output digest before it is rated, and crash/hang/transient
+     failures are retried on fresh runners — the attempt ordinal redraws
+     the plan's transient decisions — up to [retries] times.  A config
+     still failing, or producing wrong output, is quarantined: its eval
+     is [+infinity] (elimination searches then never adopt it, and FF
+     filters non-finite ratings out of its effect estimates), and it is
+     reported in submission order.  All decisions are keyed on config
+     identity and attempt ordinal, never on draw order, so fault-tolerant
+     runs keep the -j 1/2/4 and kill/resume bit-identity guarantees. *)
+  let oracle =
+    match faults with
+    | None -> None
+    | Some plan ->
+        Peak_sim.Fault.protect plan (Optconfig.digest start);
+        let r = fresh_runner (job_seed ~idx:(-2) start) in
+        let d = Runner.output_digest r (version start) in
+        account (consumption r);
+        Some d
+  in
+  let quarantine_tbl = Hashtbl.create 8 in
+  let quarantined = ref [] in
+  let total_retries = ref 0 in
+  (* folded in submission order by the rating loops below, so the
+     quarantine list and retry total are deterministic too *)
+  let note_outcome config (fail, job_retries) =
+    total_retries := !total_retries + job_retries;
+    match fail with
+    | None -> ()
+    | Some reason ->
+        let d = Optconfig.digest config in
+        if not (Hashtbl.mem quarantine_tbl d) then begin
+          Hashtbl.add quarantine_tbl d reason;
+          quarantined := (config, reason) :: !quarantined
+        end
+  in
+  (* One rating job: validate against the oracle, rate, retry failures.
+     Returns (eval, converged, total consumption, fail reason, retries
+     used) — the exact shape the store journals, so a replayed job is
+     indistinguishable from a fresh one. *)
+  let run_rated ~jseed (v : Version.t) rate_fn =
+    match faults with
+    | None ->
+        let r = fresh_runner jseed in
+        let rating = rate_fn r in
+        (rating.Rating.eval, rating.Rating.converged, consumption r, None, 0)
+    | Some _ ->
+        let sum (i1, p1, c1) (i2, p2, c2) = (i1 + i2, p1 + p2, c1 +. c2) in
+        let rec go attempt used =
+          let r = fresh_runner ~fault_attempt:attempt jseed in
+          let outcome =
+            match
+              match oracle with
+              | Some d when not (Int64.equal (Runner.output_digest r v) d) -> `Wrong
+              | _ -> `Rated (rate_fn r)
+            with
+            | o -> o
+            | exception Runner.Failed { failure; _ } -> `Failed failure
+          in
+          let used = sum used (consumption r) in
+          match outcome with
+          | `Rated rating ->
+              (rating.Rating.eval, rating.Rating.converged, used, None, attempt)
+          | `Wrong -> (infinity, true, used, Some "wrong-output", attempt)
+          | `Failed failure ->
+              if attempt >= retries then
+                let reason =
+                  match failure with Runner.Crashed -> "crashed" | Runner.Hung -> "hung"
+                in
+                (infinity, true, used, Some reason, attempt)
+              else go (attempt + 1) used
+        in
+        go 0 (0, 0, 0.0)
+  in
   (* [pmap] is how a batch of rating jobs runs: Pool.map on a domain
      pool, plain List.map when a store demands the deterministic
      per-candidate scheme without a pool.  Either way every job is a
@@ -252,15 +337,13 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
           let results =
             pmap
               (fun (idx, (v : Version.t)) ->
-                let r = fresh_runner (job_seed ~idx v.Version.config) in
-                let rating = rate r v in
-                (rating.Rating.eval, rating.Rating.converged, consumption r))
+                run_rated ~jseed:(job_seed ~idx v.Version.config) v (fun r -> rate r v))
               jobs
           in
           let q = ref results in
           List.iter
             (fun (idx, c, stored) ->
-              let e, _converged, used =
+              let e, _converged, used, fail, job_retries =
                 match stored with
                 | Some hit -> hit
                 | None ->
@@ -269,6 +352,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
                     hit
               in
               account used;
+              note_outcome c (fail, job_retries);
               Hashtbl.replace eval_cache c e)
             work
         in
@@ -298,15 +382,16 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
           let results =
             pmap
               (fun (idx, (v : Version.t)) ->
-                let r = fresh_runner (job_seed ~base_hash ~idx v.Version.config) in
-                let rating = rate r ~base:vb v in
-                (rating.Rating.eval, rating.Rating.converged, consumption r))
+                run_rated
+                  ~jseed:(job_seed ~base_hash ~idx v.Version.config)
+                  v
+                  (fun r -> rate r ~base:vb v))
               jobs
           in
           let q = ref results in
           List.map
             (fun (idx, c, stored) ->
-              let e, _converged, used =
+              let e, _converged, used, fail, job_retries =
                 match stored with
                 | Some hit -> hit
                 | None ->
@@ -315,6 +400,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
                     hit
               in
               account used;
+              note_outcome c (fail, job_retries);
               e)
             work
         in
@@ -338,18 +424,25 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     | Method.Relative _ -> true
     | Method.Absolute rate ->
         if deterministic then begin
-          let eval, converged, used =
+          let eval, converged, used, _fail, _retries =
             match store_find ~mname ~base:"-" ~idx:(-1) start with
             | Some hit -> hit
             | None ->
                 let v = version start in
                 let r = fresh_runner (job_seed ~idx:(-1) start) in
                 let eval, converged =
-                  match rate r v with
+                  (* the probe is exactly the search's base rating, so
+                     with faults it consumes the same oracle-check
+                     invocation a regular job does ([start] is
+                     protected — the check cannot fail) *)
+                  match
+                    if Option.is_some faults then ignore (Runner.output_digest r v);
+                    rate r v
+                  with
                   | rating -> (rating.Rating.eval, rating.Rating.converged)
                   | exception Rating.No_samples _ -> (nan, false)
                 in
-                let hit = (eval, converged, consumption r) in
+                let hit = (eval, converged, consumption r, None, 0) in
                 store_record ~mname ~base:"-" ~idx:(-1) start hit;
                 hit
           in
@@ -430,6 +523,8 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
       tuning_seconds = Machine.seconds_of_cycles machine tuning_cycles;
       passes;
       invocations = Runner.invocations_consumed runner + !extra_invocations;
+      quarantined = List.rev !quarantined;
+      fault_retries = !total_retries;
       profile;
       advice;
     }
@@ -440,7 +535,8 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
   result
 
 let tune_suite ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
-    ?(threshold = 0.005) ?method_ ?(domains = 1) ?store_dir benchmarks machine dataset =
+    ?(threshold = 0.005) ?method_ ?(domains = 1) ?store_dir ?faults ?retries benchmarks machine
+    dataset =
   (* Each benchmark gets its own session (own journal file); the
      journal writers themselves are mutex-serialized, so concurrent
      domain runners log safely through them. *)
@@ -449,10 +545,10 @@ let tune_suite ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_para
     | None -> None
     | Some dir ->
         let meta =
-          session_meta ?method_ ~search ~rating_params ~threshold ~seed benchmark machine
-            dataset
+          session_meta ?method_ ~search ~rating_params ~threshold ~seed ?faults benchmark
+            machine dataset
         in
-        (match Peak_store.Session.open_ ~dir ~meta with
+        (match Peak_store.Session.open_ ~dir ~meta () with
         | Ok s -> Some s
         | Error e -> failwith ("tuning store: " ^ e))
   in
@@ -463,8 +559,8 @@ let tune_suite ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_para
           Fun.protect
             ~finally:(fun () -> Option.iter Peak_store.Session.close store)
             (fun () ->
-              tune ~seed ~search ~rating_params ~threshold ~pool ?method_ ?store benchmark
-                machine dataset))
+              tune ~seed ~search ~rating_params ~threshold ~pool ?method_ ?store ?faults
+                ?retries benchmark machine dataset))
         benchmarks)
 
 (* Deterministic evaluation: same machinery, but a noise-free machine and

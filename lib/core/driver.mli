@@ -38,6 +38,14 @@ type result = {
   tuning_seconds : float;
   passes : int;  (** Program runs consumed. *)
   invocations : int;
+  quarantined : (Peak_compiler.Optconfig.t * string) list;
+      (** Configurations condemned under fault injection, in submission
+          order, each with its reason (["crashed"], ["hung"],
+          ["wrong-output"]).  Empty without [?faults]. *)
+  fault_retries : int;
+      (** Transient-failure retries absorbed across the session —
+          charged to the tuning ledger like any other execution.  [0]
+          without [?faults]. *)
   profile : Profile.t;
   advice : Consultant.advice;
 }
@@ -56,6 +64,7 @@ val session_meta :
   ?threshold:float ->
   ?seed:int ->
   ?start:Peak_compiler.Optconfig.t ->
+  ?faults:Peak_sim.Fault.t ->
   Peak_workload.Benchmark.t ->
   Peak_machine.Machine.t ->
   Peak_workload.Trace.dataset ->
@@ -75,6 +84,8 @@ val tune :
   ?method_:Method.t ->
   ?store:Peak_store.Session.t ->
   ?start:Peak_compiler.Optconfig.t ->
+  ?faults:Peak_sim.Fault.t ->
+  ?retries:int ->
   Peak_workload.Benchmark.t ->
   Peak_machine.Machine.t ->
   Peak_workload.Trace.dataset ->
@@ -138,7 +149,22 @@ val tune :
     [start] overrides the search's start configuration (default [-O3];
     a store session's recorded start — e.g. a warm start proposed by
     {!Peak_store.Warmstart} — wins over the default when [store] is
-    given). *)
+    given).
+
+    [faults] subjects every candidate execution to the given
+    {!Peak_sim.Fault} plan and makes the driver fault-tolerant: the
+    start configuration is protected (tuning always completes and
+    anchors the output oracle), every other configuration's output is
+    validated against the base version's digest before rating, and
+    failed executions are retried on fresh attempt-keyed runners up to
+    [retries] (default 2) times, every attempt charged to the tuning
+    ledger.  Configurations that keep failing or produce wrong output
+    are quarantined — rated [+infinity] so no search adopts them — and
+    reported in {!result.quarantined} (and, with [store], journaled so
+    a resumed session replays the quarantine decisions).  Fault
+    injection forces the deterministic per-candidate rating scheme, so
+    fault-tolerant runs stay bit-identical across [~domains] 1/2/4 and
+    across kill/resume. *)
 
 val tune_suite :
   ?seed:int ->
@@ -148,6 +174,8 @@ val tune_suite :
   ?method_:Method.t ->
   ?domains:int ->
   ?store_dir:string ->
+  ?faults:Peak_sim.Fault.t ->
+  ?retries:int ->
   Peak_workload.Benchmark.t list ->
   Peak_machine.Machine.t ->
   Peak_workload.Trace.dataset ->

@@ -53,23 +53,33 @@ let params_of_signature s =
 
 exception No_samples of string
 
-(* Reduce a set of raw samples to (eval, var, n, converged). *)
+type summary =
+  | Insufficient of { observed : int }
+  | Summary of { eval : float; var : float; kept : int; converged : bool }
+
+(* Reduce a set of raw samples to a summary.  Non-finite samples (an
+   all-NaN window, an infinite ratio from a degenerate base time) are
+   discarded before outlier elimination: they carry no timing
+   information, and one NaN would otherwise poison the mean.  Fewer than
+   two usable samples cannot support a variance estimate, so the window
+   is reported as Insufficient rather than as a rating with a made-up
+   confidence — the typed replacement for the old NaN-eval tuple. *)
 let summarize ~params values =
   let open Peak_util in
-  (* guard before outlier elimination: Stats.drop_outliers rejects empty
-     input, and a rating window can legitimately hold no samples (e.g.
-     CBR with a context that never occurred) *)
-  if values = [] then (nan, infinity, 0, false)
-  else
-  let kept = Stats.drop_outliers ~k:params.outlier_k (Array.of_list values) in
-  let n = Array.length kept in
-  if n = 0 then (nan, infinity, 0, false)
+  let finite = List.filter Float.is_finite values in
+  let observed = List.length finite in
+  if observed < 2 then Insufficient { observed }
   else begin
-    let eval = Stats.mean kept in
-    let var = Stats.variance kept in
-    let stderr = sqrt (var /. float_of_int n) in
-    let converged =
-      n >= params.window && stderr <= params.rel_threshold *. Float.max 1e-9 (abs_float eval)
-    in
-    (eval, var, n, converged)
+    let kept = Stats.drop_outliers ~k:params.outlier_k (Array.of_list finite) in
+    let n = Array.length kept in
+    if n < 2 then Insufficient { observed }
+    else begin
+      let eval = Stats.mean kept in
+      let var = Stats.variance kept in
+      let stderr = sqrt (var /. float_of_int n) in
+      let converged =
+        n >= params.window && stderr <= params.rel_threshold *. Float.max 1e-9 (abs_float eval)
+      in
+      Summary { eval; var; kept = n; converged }
+    end
   end

@@ -44,6 +44,19 @@ exception No_samples of string
     occurs).  Failing loudly here matters: a silent NaN rating would be
     cached by the driver and poison every subsequent relative ratio. *)
 
-val summarize : params:params -> float list -> float * float * int * bool
-(** [(eval, var, kept, converged)] of a sample list after outlier
-    elimination. *)
+type summary =
+  | Insufficient of { observed : int }
+      (** Fewer than two usable (finite) samples — no variance estimate,
+          hence no rating.  [observed] counts the finite samples seen.
+          The typed replacement for the old NaN-eval answer on empty,
+          single-sample or all-NaN windows: callers must decide (keep
+          sampling, or raise {!No_samples} at the budget cap) instead of
+          silently caching NaN. *)
+  | Summary of { eval : float; var : float; kept : int; converged : bool }
+      (** A usable rating window: mean and variance of the [kept]
+          samples that survived outlier elimination, plus the §3
+          convergence verdict. *)
+
+val summarize : params:params -> float list -> summary
+(** Summary of a sample list after dropping non-finite values and
+    outliers. *)

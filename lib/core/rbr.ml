@@ -26,7 +26,7 @@ let rate_many ?(params = Rating.default_params) runner ~base versions =
     let samples = Array.make n [] in
     let consumed = ref 0 in
     let finished = ref false in
-    let summaries = Array.make n (nan, infinity, 0, false) in
+    let summaries = Array.make n (Rating.Insufficient { observed = 0 }) in
     while not !finished do
       for _ = 1 to params.Rating.window do
         if !consumed < params.Rating.max_invocations then begin
@@ -36,13 +36,27 @@ let rate_many ?(params = Rating.default_params) runner ~base versions =
         end
       done;
       Array.iteri (fun i s -> summaries.(i) <- Rating.summarize ~params s) samples;
-      let all_converged = Array.for_all (fun (_, _, _, c) -> c) summaries in
+      let all_converged =
+        Array.for_all
+          (function Rating.Summary { converged; _ } -> converged | Rating.Insufficient _ -> false)
+          summaries
+      in
       finished := all_converged || !consumed >= params.Rating.max_invocations
     done;
     Array.to_list
       (Array.map
-         (fun (eval, var, n_kept, converged) ->
-           { Rating.eval; var; samples = n_kept; invocations = !consumed; converged })
+         (function
+           | Rating.Summary { eval; var; kept; converged } ->
+               { Rating.eval; var; samples = kept; invocations = !consumed; converged }
+           | Rating.Insufficient { observed } ->
+               raise
+                 (Rating.No_samples
+                    (Printf.sprintf
+                       "Rbr.rate_many: only %d usable relative sample(s) of %s within %d \
+                        invocations"
+                       observed
+                       (Tsection.name (Runner.tsection runner))
+                       !consumed)))
          summaries)
   end
 
@@ -58,8 +72,18 @@ let rate ?(params = Rating.default_params) ?(improved = true) runner ~base versi
       incr added;
       samples := (t_exp /. t_base) :: !samples
     done;
-    let eval, var, n, converged = Rating.summarize ~params !samples in
-    if converged || !consumed >= params.Rating.max_invocations then
-      result := Some { Rating.eval; var; samples = n; invocations = !consumed; converged }
+    (match Rating.summarize ~params !samples with
+    | Rating.Summary { eval; var; kept; converged } ->
+        if converged || !consumed >= params.Rating.max_invocations then
+          result := Some { Rating.eval; var; samples = kept; invocations = !consumed; converged }
+    | Rating.Insufficient { observed } ->
+        if !consumed >= params.Rating.max_invocations then
+          raise
+            (Rating.No_samples
+               (Printf.sprintf
+                  "Rbr.rate: only %d usable relative sample(s) of %s within %d invocations"
+                  observed
+                  (Tsection.name (Runner.tsection runner))
+                  !consumed)))
   done;
   Option.get !result

@@ -10,6 +10,21 @@ type sample = {
   context : float array;
 }
 
+type failure = Crashed | Hung
+
+type failure_info = { failure : failure; config : string; invocation : int }
+
+exception Failed of failure_info
+
+let () =
+  Printexc.register_printer (function
+    | Failed { failure; config; invocation } ->
+        Some
+          (Printf.sprintf "Runner.Failed(%s, config %s, invocation %d)"
+             (match failure with Crashed -> "crashed" | Hung -> "hung")
+             config invocation)
+    | _ -> None)
+
 type t = {
   tsec : Tsection.t;
   trace : Trace.t;
@@ -23,6 +38,10 @@ type t = {
   context_switch_rate : float;
   timer_overhead : float;
   save_words : int;
+  faults : Peak_sim.Fault.t option;
+  fault_attempt : int;
+  invocation_budget : float;
+  fault_keys : (Peak_compiler.Optconfig.t, string) Hashtbl.t;
   mutable pos : int;
   mutable passes : int;
   mutable invocations : int;
@@ -31,7 +50,8 @@ type t = {
   mutable initialized : bool;
 }
 
-let create ?(seed = 42) ?(context_switch_rate = 0.02) tsec trace machine =
+let create ?(seed = 42) ?(context_switch_rate = 0.02) ?faults ?(fault_attempt = 0)
+    ?invocation_budget tsec trace machine =
   (* fold the trace identity into the seed: distinct benchmarks must not
      share a measurement-noise stream *)
   let root = Rng.create ~seed:(seed + (Hashtbl.hash trace.Trace.name * 7919)) in
@@ -41,6 +61,17 @@ let create ?(seed = 42) ?(context_switch_rate = 0.02) tsec trace machine =
      off the memory system's conflict jitter *)
   let memsys_rng =
     if machine.Machine.noise_sigma > 0.0 then Some (Rng.split root) else None
+  in
+  (* The watchdog that turns an injected hang into a charged, typed
+     failure; without faults the default budget is infinite, so the
+     no-fault timing path is bit-identical to the pre-fault runner. *)
+  let invocation_budget =
+    match (invocation_budget, faults) with
+    | Some b, _ ->
+        if b <= 0.0 then invalid_arg "Runner.create: invocation_budget must be positive";
+        b
+    | None, Some _ -> 1e8
+    | None, None -> infinity
   in
   {
     tsec;
@@ -56,6 +87,10 @@ let create ?(seed = 42) ?(context_switch_rate = 0.02) tsec trace machine =
     context_switch_rate;
     timer_overhead = 40.0;
     save_words = (Tsection.save_restore_bytes tsec + 7) / 8;
+    faults;
+    fault_attempt;
+    invocation_budget;
+    fault_keys = Hashtbl.create 8;
     pos = 0;
     passes = 0;
     invocations = 0;
@@ -110,13 +145,63 @@ let accesses_of t (r : Interp.result) =
       if touches > 0 then Some { Memsys.base; bytes; touches } else None)
     r.Interp.array_accesses
 
+let fault_key t (version : Peak_compiler.Version.t) =
+  let config = version.Peak_compiler.Version.config in
+  match Hashtbl.find_opt t.fault_keys config with
+  | Some k -> k
+  | None ->
+      let k = Peak_compiler.Optconfig.digest config in
+      Hashtbl.add t.fault_keys config k;
+      k
+
+let fail t failure version =
+  raise
+    (Failed { failure; config = fault_key t version; invocation = t.invocations - 1 })
+
+let hang t version =
+  (* the watchdog kills the run only after waiting out the budget; the
+     wasted wall-clock is real tuning time *)
+  if Float.is_finite t.invocation_budget then
+    t.tuning_cycles <- t.tuning_cycles +. t.invocation_budget;
+  fail t Hung version
+
 (* Time one execution of [version] on the already-set-up invocation. *)
 let time_execution t version (r : Interp.result) =
   let base = Peak_compiler.Version.invocation_cycles version ~counts:r.Interp.block_counts in
   let mem = Memsys.charge t.memsys (accesses_of t r) in
   let time = Noise.apply t.noise (base +. mem) in
+  let time =
+    match t.faults with
+    | None -> time
+    | Some plan ->
+        time
+        *. Peak_sim.Fault.noise_factor plan ~key:(fault_key t version)
+             ~invocation:(t.invocations - 1)
+  in
+  (* the step budget: an execution that outlives it counts as hung even
+     without an injected fault *)
+  if time > t.invocation_budget then hang t version;
   t.tuning_cycles <- t.tuning_cycles +. time +. t.timer_overhead;
   time
+
+(* Consult the fault plan about the invocation that [advance] just
+   started.  A crash (injected or transient) still pays for the doomed
+   execution — the version ran and died, and the harness spent that time
+   watching it — so the ledger and the memory-system state advance
+   exactly as for a completed run before the typed failure surfaces. *)
+let fault_check t version (r : Interp.result) =
+  match t.faults with
+  | None -> ()
+  | Some plan -> (
+      match
+        Peak_sim.Fault.exec_failure plan ~key:(fault_key t version)
+          ~attempt:t.fault_attempt ~invocation:(t.invocations - 1)
+      with
+      | None -> ()
+      | Some (Peak_sim.Fault.Crash | Peak_sim.Fault.Transient) ->
+          let (_ : float) = time_execution t version r in
+          fail t Crashed version
+      | Some Peak_sim.Fault.Hang -> hang t version)
 
 let read_context t sources =
   Array.of_list (List.map (Interp.read_source t.env) sources)
@@ -129,6 +214,7 @@ let step ?(context = []) t version =
     t.tuning_cycles <- t.tuning_cycles +. (4.0 *. float_of_int (List.length context))
   end;
   let r = interp_result t in
+  fault_check t version r;
   let time = time_execution t version r in
   { index = t.pos - 1; time; counts = r.Interp.block_counts; context = ctx }
 
@@ -141,6 +227,7 @@ let step_choose ~context t choose =
     t.tuning_cycles <- t.tuning_cycles +. (4.0 *. float_of_int (List.length context));
   let version = choose ctx in
   let r = interp_result t in
+  fault_check t version r;
   let time = time_execution t version r in
   { index = t.pos - 1; time; counts = r.Interp.block_counts; context = ctx }
 
@@ -158,6 +245,7 @@ let copy_cycles ?(use_ranges = true) t =
 let step_pair ?(improved = true) ?(use_ranges = true) t ~base ~experimental =
   advance t;
   let r = interp_result t in
+  fault_check t experimental r;
   let charge c = t.tuning_cycles <- t.tuning_cycles +. c in
   let copy_cycles t = copy_cycles ~use_ranges t in
   charge (copy_cycles t);
@@ -188,6 +276,7 @@ let step_pair ?(improved = true) ?(use_ranges = true) t ~base ~experimental =
 let step_batch ?(use_ranges = true) t ~base ~experimentals =
   advance t;
   let r = interp_result t in
+  List.iter (fun v -> fault_check t v r) experimentals;
   let charge c = t.tuning_cycles <- t.tuning_cycles +. c in
   let copy = copy_cycles ~use_ranges t in
   charge copy;
@@ -220,6 +309,30 @@ let run_full_pass t version =
     total := !total +. s.time
   done;
   !total
+
+(* One validation run: execute the version on the next invocation and
+   digest the observable outcome (block-entry counts — the interpreter's
+   trajectory — plus the invocation index).  The interpreter is
+   version-independent, so at equal invocation ordinals every healthy
+   version yields the same digest on every runner seed; a fault plan
+   marks a miscompiled version by corrupting its digest, which the
+   driver's differential oracle then catches against the base version's.
+   The run is charged like any other timed execution, and crash/hang
+   faults fire through {!step} as usual. *)
+let output_digest t version =
+  let s = step t version in
+  let h = ref 0xcbf29ce484222325L in
+  let fold i =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int i)) 0x100000001b3L
+  in
+  fold s.index;
+  Array.iter fold s.counts;
+  let miscompiled =
+    match t.faults with
+    | None -> false
+    | Some plan -> Peak_sim.Fault.miscompiled plan (fault_key t version)
+  in
+  if miscompiled then Int64.lognot !h else !h
 
 let invocations_consumed t = t.invocations
 let passes_started t = t.passes

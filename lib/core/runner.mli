@@ -25,15 +25,46 @@ type sample = {
   context : float array;  (** Context-variable values, if requested. *)
 }
 
+type failure =
+  | Crashed  (** The version died mid-invocation (injected or transient). *)
+  | Hung  (** The invocation outlived the watchdog budget. *)
+
+type failure_info = {
+  failure : failure;
+  config : string;  (** Digest of the configuration that failed. *)
+  invocation : int;  (** 0-based invocation ordinal within this runner. *)
+}
+
+exception Failed of failure_info
+(** The typed outcome of an execution the harness could not complete.
+    By the time it is raised the ledger already carries the cost of the
+    doomed run (the executed cycles for a crash, the full watchdog
+    budget for a hang), so retrying callers charge failures naturally. *)
+
 val create :
   ?seed:int ->
   ?context_switch_rate:float ->
+  ?faults:Peak_sim.Fault.t ->
+  ?fault_attempt:int ->
+  ?invocation_budget:float ->
   Tsection.t ->
   Peak_workload.Trace.t ->
   Peak_machine.Machine.t ->
   t
 (** [context_switch_rate] is the per-invocation probability of a
-    cache-flushing perturbation (default 0.02). *)
+    cache-flushing perturbation (default 0.02).
+
+    [faults] subjects every execution to the fault plan: config-keyed
+    crashes/hangs and per-attempt transients surface as {!Failed},
+    noise bursts multiply measured times, and {!output_digest} reports
+    corrupted output for miscompiled configurations.  [fault_attempt]
+    (default 0) is the retry ordinal the plan keys transient decisions
+    on — a retrying caller passes a fresh attempt number to redraw them.
+
+    [invocation_budget] is the per-execution watchdog in cycles: an
+    execution that exceeds it raises [Failed Hung] with the budget
+    charged to the ledger.  Defaults to infinity without [faults] (the
+    pre-fault runner, bit-identical) and to [1e8] cycles with them. *)
 
 val machine : t -> Peak_machine.Machine.t
 val tsection : t -> Tsection.t
@@ -84,6 +115,15 @@ val charge_overhead : t -> float -> unit
 val run_full_pass : t -> Peak_compiler.Version.t -> float
 (** Execute every remaining invocation of the current pass under one
     version and return the summed TS time — the WHL primitive. *)
+
+val output_digest : t -> Peak_compiler.Version.t -> int64
+(** Execute the version on the next invocation (charged like any timed
+    run) and digest its observable outcome.  At equal invocation
+    ordinals every correct version produces the identical digest
+    regardless of runner seed, so comparing a candidate's digest with
+    the base version's is a differential correctness check; a fault
+    plan's miscompiled configurations yield a corrupted digest.  May
+    raise {!Failed} like {!step}. *)
 
 (** {1 Accounting} *)
 

@@ -188,7 +188,10 @@ let fractional_factorial ?(runs = 20) ?(threshold = 0.005) ?rate_many ~rng ~rela
            [ c; complement ]))
   in
   let rated = List.combine designs (rate_all ~base:start designs) in
-  (* main effect of each flag: mean rating with it on minus off *)
+  (* main effect of each flag: mean rating with it on minus off.
+     Quarantined designs carry an infinite rating; they are excluded so
+     one condemned configuration cannot poison every flag's effect. *)
+  let rated = List.filter (fun (_, r) -> Float.is_finite r) rated in
   let effect f =
     let on, off =
       List.fold_left

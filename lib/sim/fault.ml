@@ -1,0 +1,196 @@
+(* Deterministic, identity-keyed fault injection.  See fault.mli for the
+   model; the implementation note that matters is that every decision
+   derives a fresh splitmix64 generator from a textual identity
+   (seed | kind | config key | ordinals) — no query ever advances shared
+   state, so answers are independent of draw order, domain count and
+   resume point. *)
+
+open Peak_util
+
+type spec = {
+  crash : float;
+  hang : float;
+  wrong : float;
+  transient : float;
+  burst : float;
+  burst_factor : float;
+  tear : float;
+}
+
+let no_faults =
+  {
+    crash = 0.0;
+    hang = 0.0;
+    wrong = 0.0;
+    transient = 0.0;
+    burst = 0.0;
+    burst_factor = 8.0;
+    tear = 0.0;
+  }
+
+let default_spec = { no_faults with crash = 0.05; wrong = 0.02 }
+
+type t = {
+  seed : int;
+  spec : spec;
+  protected : (string, unit) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let validate spec =
+  let rate name r =
+    if not (Float.is_finite r) || r < 0.0 || r > 1.0 then
+      Error (Printf.sprintf "fault rate %s=%g outside [0, 1]" name r)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = rate "crash" spec.crash in
+  let* () = rate "hang" spec.hang in
+  let* () = rate "wrong" spec.wrong in
+  let* () = rate "transient" spec.transient in
+  let* () = rate "burst" spec.burst in
+  let* () = rate "tear" spec.tear in
+  if not (Float.is_finite spec.burst_factor) || spec.burst_factor < 1.0 then
+    Error (Printf.sprintf "burstf=%g must be >= 1" spec.burst_factor)
+  else Ok ()
+
+let create ?(spec = default_spec) ~seed () =
+  (match validate spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Fault.create: " ^ e));
+  { seed; spec; protected = Hashtbl.create 4; mutex = Mutex.create () }
+
+let seed t = t.seed
+let spec t = t.spec
+
+let protect t key =
+  Mutex.lock t.mutex;
+  if not (Hashtbl.mem t.protected key) then Hashtbl.add t.protected key ();
+  Mutex.unlock t.mutex
+
+let is_protected t key =
+  Mutex.lock t.mutex;
+  let p = Hashtbl.mem t.protected key in
+  Mutex.unlock t.mutex;
+  p
+
+(* ---------------- identity-keyed draws ---------------- *)
+
+let fnv64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let rng_for t kind key =
+  Rng.create ~seed:(Int64.to_int (fnv64 (Printf.sprintf "%d|%s|%s" t.seed kind key)))
+
+let draw t kind key = Rng.float (rng_for t kind key)
+
+(* ---------------- per-configuration properties ---------------- *)
+
+let crash_faulty t key =
+  (not (is_protected t key)) && draw t "crash-cfg" key < t.spec.crash
+
+let hang_faulty t key =
+  (not (is_protected t key)) && draw t "hang-cfg" key < t.spec.hang
+
+let miscompiled t key =
+  (not (is_protected t key)) && draw t "wrong-cfg" key < t.spec.wrong
+
+let faulty t key = crash_faulty t key || hang_faulty t key || miscompiled t key
+
+(* The chosen failure ordinal sits below every rating window (the
+   smallest budget any caller uses is a few dozen invocations), so a
+   faulty configuration cannot slip through a rating undetected. *)
+let fail_ordinal t kind key = Rng.int (rng_for t kind key) 24
+
+(* ---------------- execution-time queries ---------------- *)
+
+type exec_failure = Crash | Hang | Transient
+
+let exec_failure t ~key ~attempt ~invocation =
+  if is_protected t key then None
+  else if crash_faulty t key && invocation = fail_ordinal t "crash-at" key then
+    Some Crash
+  else if hang_faulty t key && invocation = fail_ordinal t "hang-at" key then
+    Some Hang
+  else begin
+    let akey = Printf.sprintf "%s|a%d" key attempt in
+    if
+      t.spec.transient > 0.0
+      && draw t "transient" akey < t.spec.transient
+      && invocation = fail_ordinal t "transient-at" akey
+    then Some Transient
+    else None
+  end
+
+let burst_window = 32
+
+let noise_factor t ~key ~invocation =
+  if t.spec.burst <= 0.0 then 1.0
+  else begin
+    let wkey = Printf.sprintf "%s|w%d" key (invocation / burst_window) in
+    if draw t "burst" wkey < t.spec.burst then t.spec.burst_factor else 1.0
+  end
+
+let torn_write t ~flush ~size =
+  if t.spec.tear <= 0.0 || size <= 0 then None
+  else begin
+    let fkey = Printf.sprintf "f%d" flush in
+    if draw t "tear" fkey < t.spec.tear then
+      Some (Rng.int (rng_for t "tear-at" fkey) size)
+    else None
+  end
+
+(* ---------------- spec strings ---------------- *)
+
+let to_string t =
+  Printf.sprintf
+    "seed=%d,crash=%.17g,hang=%.17g,wrong=%.17g,transient=%.17g,burst=%.17g,burstf=%.17g,tear=%.17g"
+    t.seed t.spec.crash t.spec.hang t.spec.wrong t.spec.transient t.spec.burst
+    t.spec.burst_factor t.spec.tear
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let parse_field acc field =
+    let* seed, spec = acc in
+    match String.index_opt field '=' with
+    | None -> Error (Printf.sprintf "fault spec: %S is not key=value" field)
+    | Some i -> (
+        let k = String.sub field 0 i in
+        let v = String.sub field (i + 1) (String.length field - i - 1) in
+        let float_v f =
+          match float_of_string_opt v with
+          | Some x -> Ok (seed, f x)
+          | None -> Error (Printf.sprintf "fault spec: %s=%S is not a number" k v)
+        in
+        match k with
+        | "seed" -> (
+            match int_of_string_opt v with
+            | Some n -> Ok (n, spec)
+            | None -> Error (Printf.sprintf "fault spec: seed=%S is not an integer" v))
+        | "crash" -> float_v (fun x -> { spec with crash = x })
+        | "hang" -> float_v (fun x -> { spec with hang = x })
+        | "wrong" -> float_v (fun x -> { spec with wrong = x })
+        | "transient" -> float_v (fun x -> { spec with transient = x })
+        | "burst" -> float_v (fun x -> { spec with burst = x })
+        | "burstf" -> float_v (fun x -> { spec with burst_factor = x })
+        | "tear" -> float_v (fun x -> { spec with tear = x })
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "fault spec: unknown key %S (valid: seed, crash, hang, wrong, \
+                  transient, burst, burstf, tear)"
+                 k))
+  in
+  let fields =
+    String.split_on_char ',' (String.trim s)
+    |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+  in
+  let* seed, spec = List.fold_left parse_field (Ok (11, no_faults)) fields in
+  let* () = validate spec in
+  Ok { seed; spec; protected = Hashtbl.create 4; mutex = Mutex.create () }

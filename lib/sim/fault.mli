@@ -1,0 +1,125 @@
+(** Deterministic fault injection for the tuning pipeline.
+
+    A fault plan turns the failure modes of real offline tuning —
+    experimental versions that crash, hang or compute wrong answers,
+    measurement noise arriving in bursts, and torn store writes — into
+    reproducible events.  Every decision is a pure function of the plan
+    seed and the identity of the thing being decided about (a
+    configuration digest, an invocation ordinal, a retry attempt, a
+    journal flush index), {e never} of draw order.  That identity keying
+    is what lets the determinism guarantees of the tuning engine survive
+    the failure path: two domains rating candidates in different orders,
+    or a killed-and-resumed session, see the exact same faults.
+
+    Fault kinds:
+
+    - {b crash / hang}: a per-configuration property ("this version was
+      miscompiled into a crashing binary").  Every execution of a faulty
+      configuration fails at the same chosen invocation ordinal, on every
+      attempt — retries cannot save it, which is what lets the driver
+      quarantine it.
+    - {b wrong output}: also per-configuration; the version runs to
+      completion but its output digest is corrupted, to be caught by a
+      differential check against a known-good base version.
+    - {b transient}: an environmental failure (scheduler kill, flaky
+      node).  Keyed by (configuration, attempt), so a retry of the same
+      rating redraws and usually succeeds.
+    - {b noise burst}: multiplies measured times inside chosen
+      invocation windows — the co-located-job interference outlier
+      rejection must absorb.
+    - {b torn write}: truncates a journal flush mid-batch, simulating a
+      crash between [write] and [fsync].
+
+    Configurations are identified by their {!Peak_compiler.Optconfig}
+    digest, passed as a string so this library sits right above
+    [peak_util] in the dependency order. *)
+
+type spec = {
+  crash : float;  (** Fraction of configurations that crash when run. *)
+  hang : float;  (** Fraction of configurations that hang when run. *)
+  wrong : float;  (** Fraction of configurations with corrupted output. *)
+  transient : float;
+      (** Per-(configuration, attempt) probability of an environmental
+          crash, independent of the configuration's own health. *)
+  burst : float;  (** Per-window probability of a measurement-noise burst. *)
+  burst_factor : float;
+      (** Multiplier applied to measured times inside a burst window. *)
+  tear : float;  (** Per-flush probability of tearing a journal write. *)
+}
+
+val no_faults : spec
+(** All rates zero (the identity plan). *)
+
+val default_spec : spec
+(** The acceptance-test mix: 5% crashing configs, 2% wrong-output
+    configs, everything else off. *)
+
+type t
+(** A fault plan: a seed, a spec, and the set of protected
+    configurations. *)
+
+val create : ?spec:spec -> seed:int -> unit -> t
+(** [create ~seed ()] builds a plan.  Equal seeds and specs make equal
+    plans: every query below answers identically. *)
+
+val seed : t -> int
+val spec : t -> spec
+
+val protect : t -> string -> unit
+(** Exempt a configuration digest from config-keyed faults (crash, hang,
+    wrong output).  The driver protects the search's start configuration:
+    the base version is the known-good build the differential oracle is
+    anchored on, so it must run clean.  Thread-safe; idempotent. *)
+
+val is_protected : t -> string -> bool
+
+(** {1 Ground truth (per-configuration properties)} *)
+
+val crash_faulty : t -> string -> bool
+(** Does the plan make this configuration crash?  [false] for protected
+    configurations.  Tests use these predicates as the ground truth the
+    driver's quarantine list is checked against. *)
+
+val hang_faulty : t -> string -> bool
+val miscompiled : t -> string -> bool
+
+val faulty : t -> string -> bool
+(** Any of the three config-keyed faults. *)
+
+(** {1 Execution-time queries (the runner's hooks)} *)
+
+type exec_failure = Crash | Hang | Transient
+
+val exec_failure :
+  t -> key:string -> attempt:int -> invocation:int -> exec_failure option
+(** Should the [invocation]-th execution (0-based, within one runner) of
+    the configuration [key] on retry [attempt] fail?  Config-keyed
+    crashes and hangs fire at a per-configuration chosen ordinal below
+    any rating window, so every rating of a faulty configuration fails;
+    transients fire at a per-(key, attempt) ordinal with probability
+    [spec.transient]. *)
+
+val noise_factor : t -> key:string -> invocation:int -> float
+(** Measurement-noise multiplier for one execution: [burst_factor]
+    inside a burst window, 1.0 outside.  Windows are 32 invocations
+    wide and chosen per configuration. *)
+
+val torn_write : t -> flush:int -> size:int -> int option
+(** Should the [flush]-th journal flush of [size] bytes be torn?
+    [Some n] truncates the write to its first [n < size] bytes. *)
+
+(** {1 Spec strings}
+
+    The textual form used by [peak-tune --faults] and stored in session
+    metadata so a resumed session reconstructs the exact plan. *)
+
+val to_string : t -> string
+(** Canonical ["seed=11,crash=0.05,..."] form; floats are printed with
+    full precision, so [of_string (to_string t)] rebuilds an equivalent
+    plan (protections excluded — the driver re-derives them). *)
+
+val of_string : string -> (t, string) result
+(** Parse a comma-separated [key=value] list.  Keys: [seed], [crash],
+    [hang], [wrong], [transient], [burst], [burstf], [tear]; omitted
+    keys default to [no_faults] with seed 11.  Rates must lie in
+    [0, 1]; [burstf] must be >= 1. *)

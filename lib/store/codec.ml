@@ -1,6 +1,6 @@
 open Peak_compiler
 
-let version = 2
+let version = 3
 
 (* Canonical rating-method names — kept in lockstep with
    [Peak.Method.all] (the store sits below the core library in the
@@ -58,6 +58,10 @@ type event = {
   e_eval : float;
   e_converged : bool;
   e_used : consumption;
+  e_fail : string option;
+      (* quarantine reason ("crashed", "hung", "wrong-output") when the
+         config was condemned rather than rated; [None] for clean ratings *)
+  e_retries : int;  (* transient failures absorbed before this outcome *)
 }
 
 type session_meta = {
@@ -71,6 +75,9 @@ type session_meta = {
   m_params : string;
   m_method : string;
   m_start : Optconfig.t;
+  m_faults : string;
+      (* serialized fault plan ([Fault.to_string]) or "-" when the
+         session ran without injection — resume rebuilds the plan *)
 }
 
 type attempt = { at_method : string; at_converged : bool; at_ratings : int }
@@ -86,6 +93,10 @@ type session_result = {
   r_tuning_seconds : float;
   r_passes : int;
   r_invocations : int;
+  r_quarantined : (Optconfig.t * string) list;
+      (* condemned configs in submission order, with the reason each
+         was condemned *)
+  r_retries : int;  (* transient-failure retries absorbed session-wide *)
 }
 
 (* ---------------- floats ---------------- *)
@@ -187,20 +198,22 @@ let trajectory_of_json v =
 
 let event_to_json (e : event) =
   Json.Obj
-    [
-      ("v", Json.Int version);
-      ("t", Json.String "rating");
-      ("method", Json.String e.e_method);
-      ("ctx", Json.String e.e_ctx);
-      ("base", Json.String e.e_base);
-      ("idx", Json.Int e.e_idx);
-      ("config", optconfig_to_json e.e_config);
-      ("eval", float_to_json e.e_eval);
-      ("conv", Json.Bool e.e_converged);
-      ("inv", Json.Int e.e_used.c_invocations);
-      ("passes", Json.Int e.e_used.c_passes);
-      ("cycles", float_to_json e.e_used.c_cycles);
-    ]
+    ([
+       ("v", Json.Int version);
+       ("t", Json.String "rating");
+       ("method", Json.String e.e_method);
+       ("ctx", Json.String e.e_ctx);
+       ("base", Json.String e.e_base);
+       ("idx", Json.Int e.e_idx);
+       ("config", optconfig_to_json e.e_config);
+       ("eval", float_to_json e.e_eval);
+       ("conv", Json.Bool e.e_converged);
+       ("inv", Json.Int e.e_used.c_invocations);
+       ("passes", Json.Int e.e_used.c_passes);
+       ("cycles", float_to_json e.e_used.c_cycles);
+     ]
+    @ (match e.e_fail with None -> [] | Some r -> [ ("fail", Json.String r) ])
+    @ if e.e_retries = 0 then [] else [ ("retries", Json.Int e.e_retries) ])
 
 let event_of_json v =
   let* () = check_version v in
@@ -221,6 +234,16 @@ let event_of_json v =
   let* c_invocations = Json.get_int "inv" v in
   let* c_passes = Json.get_int "passes" v in
   let* c_cycles = get_special_float "cycles" v in
+  (* v2 journals predate fault tolerance: every recorded rating was
+     clean and retry-free *)
+  let* e_fail =
+    match Json.member "fail" v with
+    | Error _ -> Ok None
+    | Ok j ->
+        let* r = Json.to_str j in
+        Ok (Some r)
+  in
+  let* e_retries = match Json.member "retries" v with Error _ -> Ok 0 | Ok j -> Json.to_int j in
   Ok
     {
       e_method;
@@ -231,6 +254,8 @@ let event_of_json v =
       e_eval;
       e_converged;
       e_used = { c_invocations; c_passes; c_cycles };
+      e_fail;
+      e_retries;
     }
 
 (* ---------------- session metadata ---------------- *)
@@ -250,6 +275,7 @@ let session_meta_to_json (m : session_meta) =
       ("params", Json.String m.m_params);
       ("method", Json.String m.m_method);
       ("start", optconfig_to_json m.m_start);
+      ("faults", Json.String m.m_faults);
     ]
 
 let session_meta_of_json v =
@@ -265,6 +291,10 @@ let session_meta_of_json v =
   let* m_method = Result.bind (Json.get_str "method" v) valid_method_request in
   let* sj = Json.member "start" v in
   let* m_start = optconfig_of_json sj in
+  (* v2 sessions predate fault injection *)
+  let* m_faults =
+    match Json.member "faults" v with Error _ -> Ok "-" | Ok j -> Json.to_str j
+  in
   Ok
     {
       m_id;
@@ -277,6 +307,7 @@ let session_meta_of_json v =
       m_params;
       m_method;
       m_start;
+      m_faults;
     }
 
 (* ---------------- session results ---------------- *)
@@ -310,6 +341,13 @@ let session_result_to_json (r : session_result) =
       ("tuning_seconds", float_to_json r.r_tuning_seconds);
       ("passes", Json.Int r.r_passes);
       ("invocations", Json.Int r.r_invocations);
+      ( "quarantined",
+        Json.List
+          (List.map
+             (fun (c, reason) ->
+               Json.Obj [ ("config", optconfig_to_json c); ("reason", Json.String reason) ])
+             r.r_quarantined) );
+      ("retries", Json.Int r.r_retries);
     ]
 
 let session_result_of_json v =
@@ -341,6 +379,25 @@ let session_result_of_json v =
   let* r_tuning_seconds = get_special_float "tuning_seconds" v in
   let* r_passes = Json.get_int "passes" v in
   let* r_invocations = Json.get_int "invocations" v in
+  (* v2 results predate quarantine bookkeeping *)
+  let* r_quarantined =
+    match Json.member "quarantined" v with
+    | Error _ -> Ok []
+    | Ok j ->
+        let* items = Json.to_list j in
+        let* qs =
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              let* cj = Json.member "config" item in
+              let* c = optconfig_of_json cj in
+              let* reason = Json.get_str "reason" item in
+              Ok ((c, reason) :: acc))
+            (Ok []) items
+        in
+        Ok (List.rev qs)
+  in
+  let* r_retries = match Json.member "retries" v with Error _ -> Ok 0 | Ok j -> Json.to_int j in
   Ok
     {
       r_method;
@@ -353,4 +410,6 @@ let session_result_of_json v =
       r_tuning_seconds;
       r_passes;
       r_invocations;
+      r_quarantined;
+      r_retries;
     }

@@ -17,9 +17,13 @@
 open Peak_compiler
 
 val version : int
-(** Current store format version (2).  v2 added the per-event
+(** Current store format version (3).  v2 added the per-event
     convergence flag and the session result's attempted-method chain;
-    v1 records decode with [converged = true] and an empty chain. *)
+    v1 records decode with [converged = true] and an empty chain.  v3
+    added fault-tolerance bookkeeping: per-event quarantine reason and
+    retry count, the session result's quarantine list and retry total,
+    and the session metadata's serialized fault plan; v2 records decode
+    with no failures, no retries, and no fault plan (["-"]). *)
 
 val fnv64 : string -> string
 (** Stable 16-hex-digit FNV-1a 64 digest of a string — used for
@@ -70,6 +74,13 @@ type event = {
           re-simulating them.  [true] for decoded v1 events (which
           predate probes). *)
   e_used : consumption;
+  e_fail : string option;
+      (** Quarantine reason (["crashed"], ["hung"], ["wrong-output"])
+          when the config was condemned rather than rated; [None] for a
+          clean rating.  [None] for decoded v2 events. *)
+  e_retries : int;
+      (** Transient failures absorbed before this outcome ([0] for
+          decoded v2 events). *)
 }
 (** One rating event — one journal line. *)
 
@@ -84,6 +95,10 @@ type session_meta = {
   m_params : string;  (** [Rating.params_signature] of the rating params. *)
   m_method : string;  (** Requested method, ["auto"] when unforced. *)
   m_start : Optconfig.t;  (** Search start configuration (warm starts). *)
+  m_faults : string;
+      (** Serialized fault plan ([Fault.to_string]) the session ran
+          under, or ["-"] for none — resume rebuilds the plan from it.
+          ["-"] for decoded v2 sessions. *)
 }
 
 type attempt = { at_method : string; at_converged : bool; at_ratings : int }
@@ -103,6 +118,12 @@ type session_result = {
   r_tuning_seconds : float;
   r_passes : int;
   r_invocations : int;
+  r_quarantined : (Optconfig.t * string) list;
+      (** Condemned configurations in submission order with the reason
+          each was condemned ([[]] for decoded v2 results). *)
+  r_retries : int;
+      (** Transient-failure retries absorbed across the whole session
+          ([0] for decoded v2 results). *)
 }
 (** The durable summary of a [Driver.result] (profile and advice are
     recomputed deterministically on resume, so only the outcome is

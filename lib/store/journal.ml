@@ -1,3 +1,5 @@
+exception Torn_write
+
 type t = {
   fd : Unix.file_descr;
   buf : Buffer.t;
@@ -5,30 +7,60 @@ type t = {
   fsync_every : int;
   mutex : Mutex.t;
   mutable closed : bool;
+  tear : (flush:int -> size:int -> int option) option;
+  mutable flushes : int;
 }
 
-let open_append ?(fsync_every = 32) path =
+let open_append ?(fsync_every = 32) ?tear path =
   if fsync_every < 1 then invalid_arg "Journal.open_append: fsync_every must be >= 1";
   let fd =
     try Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
     with Unix.Unix_error (e, _, _) ->
       raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
   in
-  { fd; buf = Buffer.create 4096; pending = 0; fsync_every; mutex = Mutex.create (); closed = false }
+  {
+    fd;
+    buf = Buffer.create 4096;
+    pending = 0;
+    fsync_every;
+    mutex = Mutex.create ();
+    closed = false;
+    tear;
+    flushes = 0;
+  }
 
-let write_all fd bytes =
-  let len = Bytes.length bytes in
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write fd bytes !off (len - !off)
+let write_all fd bytes off len =
+  let off = ref off in
+  let stop = !off + len in
+  while !off < stop do
+    off := !off + Unix.write fd bytes !off (stop - !off)
   done
 
 let flush_locked t =
   if Buffer.length t.buf > 0 then begin
-    write_all t.fd (Buffer.to_bytes t.buf);
-    Buffer.clear t.buf;
-    t.pending <- 0;
-    Unix.fsync t.fd
+    let bytes = Buffer.to_bytes t.buf in
+    let size = Bytes.length bytes in
+    let flush = t.flushes in
+    t.flushes <- t.flushes + 1;
+    let cut =
+      match t.tear with None -> None | Some f -> f ~flush ~size
+    in
+    match cut with
+    | Some n when n >= 0 && n < size ->
+        (* Simulated power cut mid-batch: persist only the torn prefix,
+           then die.  The journal is left closed — exactly the state a
+           crashed process leaves behind — so recovery goes through
+           [read] on a fresh open. *)
+        write_all t.fd bytes 0 n;
+        Unix.fsync t.fd;
+        Unix.close t.fd;
+        t.closed <- true;
+        raise Torn_write
+    | _ ->
+        write_all t.fd bytes 0 size;
+        Buffer.clear t.buf;
+        t.pending <- 0;
+        Unix.fsync t.fd
   end
 
 let locked t f =

@@ -14,9 +14,21 @@
 
 type t
 
-val open_append : ?fsync_every:int -> string -> t
+exception Torn_write
+(** Raised by a [?tear]-injected flush after persisting only a prefix
+    of the batch — the simulated power cut (see {!open_append}). *)
+
+val open_append : ?fsync_every:int -> ?tear:(flush:int -> size:int -> int option) -> string -> t
 (** Open (creating if needed) a journal for appending.  [fsync_every]
     (default 32) is the batch size between fsyncs.
+
+    [tear] is a fault-injection hook consulted at every flush with the
+    0-based flush ordinal and the batch size in bytes.  Returning
+    [Some n] with [0 <= n < size] simulates a power cut mid-batch: only
+    the first [n] bytes are written and fsynced, the descriptor is
+    closed, and {!Torn_write} is raised; the journal behaves as closed
+    thereafter, so recovery exercises the same {!read} path a real
+    crash does.  [None] (and any out-of-range cut) writes normally.
     @raise Sys_error on filesystem failure. *)
 
 val append : t -> Json.t -> unit

@@ -64,7 +64,7 @@ type t = {
   dir : string;
   mutable meta : Codec.session_meta;
   journal : Journal.t;
-  cache : (string, float * bool * Codec.consumption) Hashtbl.t;
+  cache : (string, float * bool * Codec.consumption * string option * int) Hashtbl.t;
   mutable loaded : int;
 }
 
@@ -84,6 +84,7 @@ let meta_compatible (a : Codec.session_meta) (b : Codec.session_meta) =
       mismatch "seed" (string_of_int a.Codec.m_seed) (string_of_int b.Codec.m_seed);
       mismatch "method" a.Codec.m_method b.Codec.m_method;
       mismatch "rating params" a.Codec.m_params b.Codec.m_params;
+      mismatch "fault plan" a.Codec.m_faults b.Codec.m_faults;
     ]
 
 let replay_into cache path =
@@ -96,12 +97,12 @@ let replay_into cache path =
           incr n;
           Hashtbl.replace cache
             (cache_key ~ctx:e.Codec.e_ctx ~config_digest:(Optconfig.digest e.Codec.e_config))
-            (e.Codec.e_eval, e.Codec.e_converged, e.Codec.e_used)
+            (e.Codec.e_eval, e.Codec.e_converged, e.Codec.e_used, e.Codec.e_fail, e.Codec.e_retries)
       | Error _ -> ())
     records;
   !n
 
-let open_ ~dir ~(meta : Codec.session_meta) =
+let open_ ?tear ~dir ~(meta : Codec.session_meta) () =
   let id = meta.Codec.m_id in
   match mkdir_p (session_dir dir id) with
   | exception Sys_error msg -> Error msg
@@ -124,14 +125,14 @@ let open_ ~dir ~(meta : Codec.session_meta) =
       in
       let cache = Hashtbl.create 256 in
       let loaded = replay_into cache (journal_path dir id) in
-      let journal = Journal.open_append (journal_path dir id) in
+      let journal = Journal.open_append ?tear (journal_path dir id) in
       Ok { dir; meta = effective; journal; cache; loaded }
 
 let find t ~method_ ~base ~idx config =
   let ctx = ctx_digest t.meta ~method_ ~base ~idx in
   Hashtbl.find_opt t.cache (cache_key ~ctx ~config_digest:(Optconfig.digest config))
 
-let record t ~method_ ~base ~idx ~config ~eval ~converged ~used =
+let record t ~method_ ~base ~idx ~config ~eval ~converged ?fail ?(retries = 0) ~used () =
   let ctx = ctx_digest t.meta ~method_ ~base ~idx in
   let event =
     {
@@ -143,12 +144,14 @@ let record t ~method_ ~base ~idx ~config ~eval ~converged ~used =
       e_eval = eval;
       e_converged = converged;
       e_used = used;
+      e_fail = fail;
+      e_retries = retries;
     }
   in
   Journal.append t.journal (Codec.event_to_json event);
   Hashtbl.replace t.cache
     (cache_key ~ctx ~config_digest:(Optconfig.digest config))
-    (eval, converged, used)
+    (eval, converged, used, fail, retries)
 
 let complete t result =
   Journal.flush t.journal;

@@ -40,14 +40,22 @@ val id_for :
   string
 (** Deterministic session id, e.g. ["art-pentium4-train-ie-rbr-s11"]. *)
 
-val open_ : dir:string -> meta:Codec.session_meta -> (t, string) result
+val open_ :
+  ?tear:(flush:int -> size:int -> int option) ->
+  dir:string ->
+  meta:Codec.session_meta ->
+  unit ->
+  (t, string) result
 (** Open (creating directories as needed) the session [meta.m_id] under
     store [dir].  If the session already exists its stored metadata wins
     (in particular the start configuration — a warm-started session
     resumes from its original start) after checking that the immutable
     parameters (benchmark, machine, dataset, search, seed, method,
     rating-parameter signature) match; the existing journal is replayed
-    into the rating cache, tolerating a truncated crash tail. *)
+    into the rating cache, tolerating a truncated crash tail.
+
+    [tear] is forwarded to {!Journal.open_append} — the fault-injection
+    hook that simulates a power cut mid-flush (see {!Journal.Torn_write}). *)
 
 val meta : t -> Codec.session_meta
 (** The effective metadata (the stored one when resuming). *)
@@ -62,11 +70,12 @@ val find :
   base:string ->
   idx:int ->
   Optconfig.t ->
-  (float * bool * Codec.consumption) option
-(** Cached [(eval, converged, consumption)] for a (method, base-digest,
-    batch-index, configuration) coordinate, if this session already
-    rated it.  The convergence flag is what lets a resumed session
-    replay the driver's fallback-probe decisions. *)
+  (float * bool * Codec.consumption * string option * int) option
+(** Cached [(eval, converged, consumption, fail, retries)] for a
+    (method, base-digest, batch-index, configuration) coordinate, if
+    this session already rated it.  The convergence flag is what lets a
+    resumed session replay the driver's fallback-probe decisions; the
+    fail reason and retry count let it replay quarantine decisions. *)
 
 val record :
   t ->
@@ -76,9 +85,15 @@ val record :
   config:Optconfig.t ->
   eval:float ->
   converged:bool ->
+  ?fail:string ->
+  ?retries:int ->
   used:Codec.consumption ->
+  unit ->
   unit
-(** Log one rating event to the journal (batched fsync) and the cache. *)
+(** Log one rating event to the journal (batched fsync) and the cache.
+    [fail] is the quarantine reason when the config was condemned
+    rather than rated; [retries] (default 0) counts the transient
+    failures absorbed on the way to this outcome. *)
 
 val complete : t -> Codec.session_result -> unit
 (** Flush the journal and atomically write [result.json]. *)

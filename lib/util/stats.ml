@@ -126,24 +126,35 @@ let drop_outliers ?k a =
   done;
   Array.of_list !out
 
+type welch = Insufficient_data | Welch of { t_stat : float; df : float }
+
 let welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =
-  if n1 < 2 || n2 < 2 then (0.0, 1.0)
+  if
+    n1 < 2 || n2 < 2
+    || not (Float.is_finite mean1)
+    || not (Float.is_finite mean2)
+    || not (Float.is_finite var1)
+    || not (Float.is_finite var2)
+  then
+    (* a sample that cannot support a variance estimate (or carries NaN
+       summary statistics) must not masquerade as "no difference" *)
+    Insufficient_data
   else begin
     let s1 = var1 /. float_of_int n1 and s2 = var2 /. float_of_int n2 in
     let se2 = s1 +. s2 in
     if se2 <= 0.0 then
       (* zero pooled variance: the difference is deterministic, so report
          a signed infinite statistic rather than losing the direction *)
-      if mean1 = mean2 then (0.0, 1.0)
-      else if mean1 < mean2 then (neg_infinity, 1.0)
-      else (infinity, 1.0)
+      if mean1 = mean2 then Welch { t_stat = 0.0; df = 1.0 }
+      else if mean1 < mean2 then Welch { t_stat = neg_infinity; df = 1.0 }
+      else Welch { t_stat = infinity; df = 1.0 }
     else begin
       let t = (mean1 -. mean2) /. sqrt se2 in
       let df =
         se2 *. se2
         /. ((s1 *. s1 /. float_of_int (n1 - 1)) +. (s2 *. s2 /. float_of_int (n2 - 1)))
       in
-      (t, df)
+      Welch { t_stat = t; df }
     end
   end
 
@@ -169,8 +180,9 @@ let t_critical95 ~df =
   if df <= 1.0 then snd t_table.(0) else find 0
 
 let significantly_less ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =
-  let t, df = welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 in
-  t < -.t_critical95 ~df
+  match welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 with
+  | Insufficient_data -> false
+  | Welch { t_stat; df } -> t_stat < -.t_critical95 ~df
 
 let windows a ~size =
   if size <= 0 then invalid_arg "Stats.windows: size must be positive";

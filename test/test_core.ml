@@ -570,9 +570,30 @@ let test_rating_outlier_elimination () =
   (* the summarize helper must shrug off interrupt-like spikes *)
   let clean = List.init 50 (fun i -> 100.0 +. (0.1 *. float_of_int (i mod 5))) in
   let spiked = (500.0 :: clean) @ [ 900.0 ] in
-  let eval, _, n, _ = Rating.summarize ~params:Rating.default_params spiked in
-  Alcotest.(check bool) "spikes dropped" true (n <= List.length clean + 1);
-  Alcotest.(check (float 1.0)) "eval near clean mean" 100.2 eval
+  match Rating.summarize ~params:Rating.default_params spiked with
+  | Rating.Insufficient _ -> Alcotest.fail "expected a summary"
+  | Rating.Summary { eval; kept; _ } ->
+      Alcotest.(check bool) "spikes dropped" true (kept <= List.length clean + 1);
+      Alcotest.(check (float 1.0)) "eval near clean mean" 100.2 eval
+
+let test_rating_summarize_insufficient () =
+  let params = Rating.default_params in
+  (* empty, single-sample and all-NaN windows are typed, not NaN *)
+  (match Rating.summarize ~params [] with
+  | Rating.Insufficient { observed } -> Alcotest.(check int) "empty observes 0" 0 observed
+  | Rating.Summary _ -> Alcotest.fail "empty window must be insufficient");
+  (match Rating.summarize ~params [ 42.0 ] with
+  | Rating.Insufficient { observed } -> Alcotest.(check int) "single observes 1" 1 observed
+  | Rating.Summary _ -> Alcotest.fail "single-sample window must be insufficient");
+  (match Rating.summarize ~params [ nan; nan; nan; infinity ] with
+  | Rating.Insufficient { observed } -> Alcotest.(check int) "all-NaN observes 0" 0 observed
+  | Rating.Summary _ -> Alcotest.fail "all-NaN window must be insufficient");
+  (* NaNs mixed into a usable window are dropped, not propagated *)
+  match Rating.summarize ~params (nan :: List.init 50 (fun _ -> 7.0)) with
+  | Rating.Insufficient _ -> Alcotest.fail "finite window must summarize"
+  | Rating.Summary { eval; converged; _ } ->
+      Alcotest.(check (float 1e-9)) "NaN dropped from mean" 7.0 eval;
+      Alcotest.(check bool) "constant window converges" true converged
 
 (* ------------------------------------------------------------------ *)
 (* Harness fallback                                                    *)
@@ -945,6 +966,8 @@ let suites =
         Alcotest.test_case "whl whole program" `Quick test_whl_eval_includes_non_ts;
         Alcotest.test_case "avg = cbr on one context" `Quick test_avg_matches_cbr_single_context;
         Alcotest.test_case "outlier elimination" `Quick test_rating_outlier_elimination;
+        Alcotest.test_case "summarize types insufficient data" `Quick
+          test_rating_summarize_insufficient;
       ] );
     ( "core.harness",
       [

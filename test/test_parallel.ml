@@ -7,7 +7,10 @@ open Peak_compiler
 open Peak_workload
 open Peak
 
-let bench name = Option.get (Registry.by_name name)
+(* Shared fixtures — the bit-identity oracle lives in [Oracles] so every
+   determinism suite compares the same fields. *)
+let bench = Oracles.bench
+let check_identical = Oracles.check_identical
 
 (* ------------------------------------------------------------------ *)
 (* tune_suite determinism                                              *)
@@ -17,23 +20,6 @@ let suite_results domains =
   Driver.tune_suite ~search:Driver.Be ~domains
     [ bench "SWIM"; bench "MGRID"; bench "ART" ]
     Machine.sparc2 Trace.Train
-
-let check_identical tag (a : Driver.result) (b : Driver.result) =
-  Alcotest.(check bool)
-    (tag ^ ": best_config identical")
-    true
-    (Optconfig.equal a.Driver.best_config b.Driver.best_config);
-  Alcotest.(check int)
-    (tag ^ ": ratings identical")
-    a.Driver.search_stats.Search.ratings b.Driver.search_stats.Search.ratings;
-  Alcotest.(check bool)
-    (tag ^ ": search stats identical")
-    true
-    (a.Driver.search_stats = b.Driver.search_stats);
-  Alcotest.(check (float 0.0))
-    (tag ^ ": tuning_cycles bit-identical")
-    a.Driver.tuning_cycles b.Driver.tuning_cycles;
-  Alcotest.(check int) (tag ^ ": invocations identical") a.Driver.invocations b.Driver.invocations
 
 let test_tune_suite_deterministic () =
   let r1 = suite_results 1 in
@@ -146,13 +132,8 @@ let test_cbr_no_samples () =
   match Cbr.rate runner ~sources ~target v with
   | (_ : Rating.t) -> Alcotest.fail "expected Rating.No_samples"
   | exception Rating.No_samples msg ->
-      let contains ~sub s =
-        let n = String.length sub and m = String.length s in
-        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-        go 0
-      in
       Alcotest.(check bool) "message names the tuning section" true
-        (contains ~sub:(Tsection.name tsec) msg)
+        (Oracles.contains ~sub:(Tsection.name tsec) msg)
 
 let suites =
   [

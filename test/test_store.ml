@@ -9,27 +9,13 @@ open Peak_workload
 open Peak_store
 open Peak
 
-let bench name = Option.get (Registry.by_name name)
-
-let rec rm_rf path =
-  match (Unix.lstat path).Unix.st_kind with
-  | Unix.S_DIR ->
-      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
-      Unix.rmdir path
-  | _ -> Sys.remove path
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
-
-let with_tmpdir f =
-  let dir = Filename.temp_file "peak-store-test" "" in
-  Sys.remove dir;
-  Unix.mkdir dir 0o755;
-  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
-
-(* Bit-exact float comparison (any nan equals any nan: the codec
-   canonicalizes the payload through the "nan" string encoding). *)
-let same_float a b =
-  (Float.is_nan a && Float.is_nan b)
-  || Int64.bits_of_float a = Int64.bits_of_float b
+(* Shared fixtures — temp dirs, crash artifacts, the bit-identity
+   oracle — live in [Oracles]. *)
+let bench = Oracles.bench
+let with_tmpdir = Oracles.with_tmpdir
+let same_float = Oracles.same_float
+let check_identical = Oracles.check_identical
+let crashed_copy = Oracles.crashed_copy
 
 (* ------------------------------------------------------------------ *)
 (* Generators                                                          *)
@@ -89,7 +75,7 @@ let arb_rating =
 let gen_event =
   QCheck.Gen.(
     map
-      (fun (m, ctx, base, idx, config, (eval, converged), used) ->
+      (fun (m, ctx, base, idx, config, ((eval, converged), (fail, retries)), used) ->
         {
           Codec.e_method = m;
           e_ctx = ctx;
@@ -99,10 +85,16 @@ let gen_event =
           e_eval = eval;
           e_converged = converged;
           e_used = used;
+          e_fail = fail;
+          e_retries = retries;
         })
       (tup7
          (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ])
-         gen_name gen_name (int_range (-1) 100) gen_optconfig (pair gen_float bool)
+         gen_name gen_name (int_range (-1) 100) gen_optconfig
+         (pair (pair gen_float bool)
+            (pair
+               (oneofl [ None; Some "crashed"; Some "hung"; Some "wrong-output" ])
+               small_nat))
          gen_consumption))
 
 let arb_event =
@@ -119,7 +111,7 @@ let arb_trajectory =
 let gen_session_meta =
   QCheck.Gen.(
     map
-      (fun (id, (b, m), (d, s), seed, threshold, params, method_, start) ->
+      (fun (id, (b, m), (d, s), seed, threshold, params, method_, (start, faults)) ->
         {
           Codec.m_id = id;
           m_benchmark = b;
@@ -131,11 +123,12 @@ let gen_session_meta =
           m_params = params;
           m_method = method_;
           m_start = start;
+          m_faults = faults;
         })
       (tup8 gen_name (pair gen_name gen_name) (pair gen_name gen_name) small_nat
          gen_float gen_name
          (oneofl [ "auto"; "cbr"; "mbr"; "rbr"; "avg"; "whl" ])
-         gen_optconfig))
+         (pair gen_optconfig (oneofl [ "-"; "seed=3,crash=0.05"; "seed=7,wrong=0.02" ]))))
 
 let arb_session_meta =
   QCheck.make
@@ -150,10 +143,23 @@ let gen_attempt =
       (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ])
       bool small_nat)
 
+let gen_quarantined =
+  QCheck.Gen.(
+    list_size (int_bound 3)
+      (pair gen_optconfig (oneofl [ "crashed"; "hung"; "wrong-output" ])))
+
 let gen_session_result =
   QCheck.Gen.(
     map
-      (fun ((m, attempts), best, (ratings, iterations), trajectory, cycles, seconds, (passes, inv)) ->
+      (fun
+        ( (m, attempts),
+          best,
+          (ratings, iterations),
+          trajectory,
+          cycles,
+          seconds,
+          ((passes, inv), (quarantined, retries)) )
+      ->
         {
           Codec.r_method = m;
           r_attempts = attempts;
@@ -165,11 +171,14 @@ let gen_session_result =
           r_tuning_seconds = seconds;
           r_passes = passes;
           r_invocations = inv;
+          r_quarantined = quarantined;
+          r_retries = retries;
         })
       (tup7
          (pair (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ]) (list_size (int_bound 4) gen_attempt))
          gen_optconfig (pair small_nat small_nat) gen_trajectory gen_float
-         gen_float (pair small_nat small_nat)))
+         gen_float
+         (pair (pair small_nat small_nat) (pair gen_quarantined small_nat))))
 
 let arb_session_result =
   QCheck.make
@@ -230,7 +239,9 @@ let roundtrip_tests =
         && Optconfig.equal a.Codec.e_config b.Codec.e_config
         && same_float a.Codec.e_eval b.Codec.e_eval
         && a.Codec.e_converged = b.Codec.e_converged
-        && same_consumption a.Codec.e_used b.Codec.e_used);
+        && same_consumption a.Codec.e_used b.Codec.e_used
+        && a.Codec.e_fail = b.Codec.e_fail
+        && a.Codec.e_retries = b.Codec.e_retries);
     t "session_meta round-trips" arb_session_meta Codec.session_meta_to_json
       Codec.session_meta_of_json
       (fun (a : Codec.session_meta) (b : Codec.session_meta) ->
@@ -243,7 +254,8 @@ let roundtrip_tests =
         && same_float a.Codec.m_threshold b.Codec.m_threshold
         && a.Codec.m_params = b.Codec.m_params
         && a.Codec.m_method = b.Codec.m_method
-        && Optconfig.equal a.Codec.m_start b.Codec.m_start);
+        && Optconfig.equal a.Codec.m_start b.Codec.m_start
+        && a.Codec.m_faults = b.Codec.m_faults);
     t "session_result round-trips" arb_session_result Codec.session_result_to_json
       Codec.session_result_of_json
       (fun (a : Codec.session_result) (b : Codec.session_result) ->
@@ -256,7 +268,12 @@ let roundtrip_tests =
         && same_float a.Codec.r_tuning_cycles b.Codec.r_tuning_cycles
         && same_float a.Codec.r_tuning_seconds b.Codec.r_tuning_seconds
         && a.Codec.r_passes = b.Codec.r_passes
-        && a.Codec.r_invocations = b.Codec.r_invocations);
+        && a.Codec.r_invocations = b.Codec.r_invocations
+        && List.length a.Codec.r_quarantined = List.length b.Codec.r_quarantined
+        && List.for_all2
+             (fun (c1, x1) (c2, x2) -> Optconfig.equal c1 c2 && String.equal x1 x2)
+             a.Codec.r_quarantined b.Codec.r_quarantined
+        && a.Codec.r_retries = b.Codec.r_retries);
   ]
 
 let test_version_guard () =
@@ -270,6 +287,8 @@ let test_version_guard () =
       e_eval = 1.0;
       e_converged = true;
       e_used = { Codec.c_invocations = 1; c_passes = 1; c_cycles = 1.0 };
+      e_fail = None;
+      e_retries = 0;
     }
   in
   let bump = function
@@ -283,13 +302,8 @@ let test_version_guard () =
   match Codec.event_of_json (bump (Codec.event_to_json e)) with
   | Ok _ -> Alcotest.fail "decoder accepted a future format version"
   | Error msg ->
-      let contains ~sub s =
-        let n = String.length sub and m = String.length s in
-        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-        go 0
-      in
       Alcotest.(check bool) "error says the format is newer" true
-        (contains ~sub:"newer" (String.lowercase_ascii msg))
+        (Oracles.contains ~sub:"newer" (String.lowercase_ascii msg))
 
 let test_config_digest_mismatch () =
   (* A record whose flag list was tampered with must be rejected. *)
@@ -373,6 +387,92 @@ let test_journal_interior_corruption () =
   Alcotest.(check int) "both good records survive" 2 (List.length records);
   Alcotest.(check int) "corrupt interior line dropped" 1 dropped
 
+(* Torture: a journal truncated at *every* byte offset must read back
+   without error as a prefix of the original records — whole lines
+   survive, the torn tail is dropped, nothing is invented. *)
+let test_journal_truncate_every_offset () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "journal.jsonl" in
+  let j = Journal.open_append path in
+  let payloads =
+    [ Json.Int 1; Json.String "two\n\"three\""; Json.List [ Json.Float 2.5; Json.Null ];
+      Json.Obj [ ("nested", Json.Obj [ ("deep", Json.Bool true) ]) ] ]
+  in
+  List.iteri (fun i p -> Journal.append j (Json.Obj [ ("i", Json.Int i); ("p", p) ])) payloads;
+  Journal.close j;
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  (* records recoverable from the first [k] bytes: every whole line,
+     plus a torn tail that happens to end exactly at a record boundary
+     (the newline alone was lost — the record itself is intact) *)
+  let recoverable k =
+    match String.split_on_char '\n' (String.sub contents 0 k) with
+    | [] -> 0
+    | parts ->
+        let whole = List.length parts - 1 in
+        let tail = List.nth parts whole in
+        whole + (match Json.of_string tail with Ok _ -> 1 | Error _ -> 0)
+  in
+  let full, _ = Journal.read path in
+  Alcotest.(check int) "all records readable" (List.length payloads) (List.length full);
+  let cut = Filename.concat dir "cut.jsonl" in
+  for k = 0 to len do
+    let oc = open_out_bin cut in
+    output_string oc (String.sub contents 0 k);
+    close_out oc;
+    let records, dropped = Journal.read cut in
+    Alcotest.(check int)
+      (Printf.sprintf "offset %d: whole-line prefix survives" k)
+      (recoverable k) (List.length records);
+    (* surviving records are exactly the original prefix *)
+    List.iteri
+      (fun i r ->
+        Alcotest.(check int)
+          (Printf.sprintf "offset %d: record %d intact" k i)
+          i
+          (Result.get_ok (Json.get_int "i" r)))
+      records;
+    Alcotest.(check bool)
+      (Printf.sprintf "offset %d: at most one torn tail dropped" k)
+      true (dropped <= 1)
+  done
+
+(* The fault hook: a torn flush persists exactly the chosen prefix,
+   raises Torn_write, and leaves the journal closed — and the torn file
+   recovers through [read] like any crash artifact. *)
+let test_journal_tear_hook () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "journal.jsonl" in
+  let torn_at = ref None in
+  let tear ~flush ~size =
+    if flush = 0 then begin
+      torn_at := Some (size / 2);
+      Some (size / 2)
+    end
+    else None
+  in
+  let j = Journal.open_append ~fsync_every:2 ~tear path in
+  (* a long first record keeps the mid-batch tear inside it, so no
+     whole line survives *)
+  Journal.append j (Json.Obj [ ("a", Json.Int 1); ("pad", Json.String (String.make 100 'x')) ]);
+  (match Journal.append j (Json.Obj [ ("a", Json.Int 2) ]) with
+  | () -> Alcotest.fail "torn flush did not raise"
+  | exception Journal.Torn_write -> ());
+  (* the journal is dead, as after a power cut *)
+  (match Journal.append j (Json.Obj [ ("a", Json.Int 3) ]) with
+  | () -> Alcotest.fail "append to a torn journal succeeded"
+  | exception Invalid_argument _ -> ());
+  Journal.close j;
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Alcotest.(check int) "exactly the torn prefix persisted" (Option.get !torn_at) len;
+  let records, dropped = Journal.read path in
+  Alcotest.(check int) "no whole record survived the torn batch" 0 (List.length records);
+  Alcotest.(check int) "the torn tail is dropped, not fatal" 1 dropped
+
 let test_journal_missing_file () =
   with_tmpdir @@ fun dir ->
   let records, dropped = Journal.read (Filename.concat dir "absent.jsonl") in
@@ -429,7 +529,7 @@ let test_session_rejects_changed_params () =
   with_tmpdir @@ fun dir ->
   let b = bench "ART" and machine = Machine.sparc2 in
   let meta = meta_for ~method_:Method.Rbr ~search:Driver.Be b machine in
-  let s = Result.get_ok (Session.open_ ~dir ~meta) in
+  let s = Result.get_ok (Session.open_ ~dir ~meta ()) in
   Session.close s;
   (* same id, different rating parameters: must refuse, not silently mix *)
   let params = { Rating.default_params with Rating.window = 80 } in
@@ -437,67 +537,12 @@ let test_session_rejects_changed_params () =
     Driver.session_meta ~seed:11 ~method_:Method.Rbr ~search:Driver.Be ~rating_params:params
       b machine Trace.Train
   in
-  match Session.open_ ~dir ~meta:meta' with
+  match Session.open_ ~dir ~meta:meta' () with
   | Ok s' ->
       Session.close s';
       Alcotest.fail "session reopened under different rating parameters"
   | Error msg ->
       Alcotest.(check bool) "one-line reason" false (String.contains msg '\n')
-
-let check_identical tag (a : Driver.result) (b : Driver.result) =
-  Alcotest.(check bool)
-    (tag ^ ": best_config identical")
-    true
-    (Optconfig.equal a.Driver.best_config b.Driver.best_config);
-  Alcotest.(check bool)
-    (tag ^ ": search stats identical")
-    true
-    (a.Driver.search_stats = b.Driver.search_stats);
-  Alcotest.(check (float 0.0))
-    (tag ^ ": tuning_cycles bit-identical")
-    a.Driver.tuning_cycles b.Driver.tuning_cycles;
-  Alcotest.(check int) (tag ^ ": invocations identical") a.Driver.invocations b.Driver.invocations;
-  Alcotest.(check int) (tag ^ ": passes identical") a.Driver.passes b.Driver.passes
-
-(* Crash simulation: given a completed session's store, build a copy
-   whose journal ends after [keep] whole events plus a torn half-line —
-   exactly what a SIGKILL between fsync batches leaves behind. *)
-let crashed_copy ~src_dir ~dst_dir ~id ~keep =
-  let src = Filename.concat (Filename.concat src_dir "sessions") id in
-  let dst = Filename.concat (Filename.concat dst_dir "sessions") id in
-  let rec mkdir_p d =
-    if not (Sys.file_exists d) then begin
-      mkdir_p (Filename.dirname d);
-      Unix.mkdir d 0o755
-    end
-  in
-  mkdir_p dst;
-  let copy name =
-    let ic = open_in (Filename.concat src name) in
-    let n = in_channel_length ic in
-    let contents = really_input_string ic n in
-    close_in ic;
-    let oc = open_out (Filename.concat dst name) in
-    output_string oc contents;
-    close_out oc
-  in
-  copy "meta.json";
-  let lines = ref [] in
-  let ic = open_in (Filename.concat src "journal.jsonl") in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> close_in ic);
-  let lines = List.rev !lines in
-  Alcotest.(check bool) "enough journal lines to truncate" true (List.length lines > keep);
-  let oc = open_out (Filename.concat dst "journal.jsonl") in
-  List.iteri (fun i l -> if i < keep then output_string oc (l ^ "\n")) lines;
-  (* the torn tail: a prefix of the first dropped line, no newline *)
-  let tail = List.nth lines keep in
-  output_string oc (String.sub tail 0 (String.length tail / 2));
-  close_out oc;
-  List.length lines
 
 let resume_case ~bname ~method_ () =
   with_tmpdir @@ fun root ->
@@ -507,7 +552,7 @@ let resume_case ~bname ~method_ () =
   let meta = meta_for ~method_ ~search b machine in
   let id = meta.Codec.m_id in
   (* the uninterrupted reference run, journaling as it goes *)
-  let session = Result.get_ok (Session.open_ ~dir:full_dir ~meta) in
+  let session = Result.get_ok (Session.open_ ~dir:full_dir ~meta ()) in
   let full =
     Fun.protect
       ~finally:(fun () -> Session.close session)
@@ -521,7 +566,7 @@ let resume_case ~bname ~method_ () =
       let dst_dir = Filename.concat root (Printf.sprintf "crash%d" domains) in
       let total = crashed_copy ~src_dir:full_dir ~dst_dir ~id ~keep:(n_events / 2) in
       ignore total;
-      let session = Result.get_ok (Session.open_ ~dir:dst_dir ~meta) in
+      let session = Result.get_ok (Session.open_ ~dir:dst_dir ~meta ()) in
       Alcotest.(check int)
         (Printf.sprintf "%s -j%d: replayed the surviving prefix" bname domains)
         (n_events / 2) (Session.loaded_events session);
@@ -572,7 +617,7 @@ let test_fallback_resume () =
   in
   let id = meta.Codec.m_id in
   let full_dir = Filename.concat root "full" in
-  let session = Result.get_ok (Session.open_ ~dir:full_dir ~meta) in
+  let session = Result.get_ok (Session.open_ ~dir:full_dir ~meta ()) in
   let full =
     Fun.protect
       ~finally:(fun () -> Session.close session)
@@ -596,7 +641,7 @@ let test_fallback_resume () =
     (fun (keep, domains) ->
       let dst_dir = Filename.concat root (Printf.sprintf "crash%d_%d" keep domains) in
       ignore (crashed_copy ~src_dir:full_dir ~dst_dir ~id ~keep);
-      let session = Result.get_ok (Session.open_ ~dir:dst_dir ~meta) in
+      let session = Result.get_ok (Session.open_ ~dir:dst_dir ~meta ()) in
       let resumed =
         Fun.protect
           ~finally:(fun () -> Session.close session)
@@ -644,9 +689,10 @@ let fabricate_session dir ~benchmark ~machine ~seed ~best =
       m_params = Rating.params_signature Rating.default_params;
       m_method = "rbr";
       m_start = Optconfig.o3;
+      m_faults = "-";
     }
   in
-  let s = Result.get_ok (Session.open_ ~dir ~meta) in
+  let s = Result.get_ok (Session.open_ ~dir ~meta ()) in
   Session.complete s
     {
       Codec.r_method = "RBR";
@@ -659,6 +705,8 @@ let fabricate_session dir ~benchmark ~machine ~seed ~best =
       r_tuning_seconds = 1.0;
       r_passes = 1;
       r_invocations = 1;
+      r_quarantined = [];
+      r_retries = 0;
     };
   Session.close s
 
@@ -721,6 +769,10 @@ let suites =
         Alcotest.test_case "truncated tail tolerated" `Quick test_journal_truncated_tail;
         Alcotest.test_case "interior corruption tolerated" `Quick
           test_journal_interior_corruption;
+        Alcotest.test_case "truncation tolerated at every byte offset" `Quick
+          test_journal_truncate_every_offset;
+        Alcotest.test_case "torn flush persists a prefix and dies" `Quick
+          test_journal_tear_hook;
         Alcotest.test_case "missing journal reads empty" `Quick test_journal_missing_file;
         Alcotest.test_case "index last-write-wins and save/load" `Quick
           test_index_last_write_wins;

@@ -164,34 +164,61 @@ let test_windows () =
   Alcotest.(check (array (float 0.0))) "first" [| 0.0; 1.0; 2.0 |] w.(0);
   Alcotest.(check (array (float 0.0))) "last" [| 6.0; 7.0; 8.0 |] w.(2)
 
+let welch_exn name = function
+  | Stats.Welch { t_stat; df } -> (t_stat, df)
+  | Stats.Insufficient_data -> Alcotest.fail (name ^ ": unexpected Insufficient_data")
+
 let test_welch_t () =
   (* clearly separated populations *)
   let t, df =
-    Stats.welch_t_summary ~mean1:10.0 ~var1:1.0 ~n1:30 ~mean2:12.0 ~var2:1.0 ~n2:30
+    welch_exn "separated"
+      (Stats.welch_t_summary ~mean1:10.0 ~var1:1.0 ~n1:30 ~mean2:12.0 ~var2:1.0 ~n2:30)
   in
   Alcotest.(check bool) "strongly negative t" true (t < -5.0);
   Alcotest.(check bool) "df near 58" true (df > 50.0 && df < 60.0);
   (* identical populations *)
-  let t0, _ = Stats.welch_t_summary ~mean1:5.0 ~var1:2.0 ~n1:20 ~mean2:5.0 ~var2:2.0 ~n2:20 in
-  check_float "zero t" 0.0 t0;
-  (* degenerate inputs *)
-  let td, dfd = Stats.welch_t_summary ~mean1:1.0 ~var1:0.0 ~n1:1 ~mean2:2.0 ~var2:0.0 ~n2:9 in
-  check_float "small-sample t" 0.0 td;
-  check_float "small-sample df" 1.0 dfd
+  let t0, _ =
+    welch_exn "identical"
+      (Stats.welch_t_summary ~mean1:5.0 ~var1:2.0 ~n1:20 ~mean2:5.0 ~var2:2.0 ~n2:20)
+  in
+  check_float "zero t" 0.0 t0
+
+let test_welch_insufficient_data () =
+  (* a single-point sample carries no variance evidence: typed, not (0,1) *)
+  let insufficient name outcome =
+    match outcome with
+    | Stats.Insufficient_data -> ()
+    | Stats.Welch _ -> Alcotest.fail (name ^ ": expected Insufficient_data")
+  in
+  insufficient "single point"
+    (Stats.welch_t_summary ~mean1:1.0 ~var1:0.0 ~n1:1 ~mean2:2.0 ~var2:0.0 ~n2:9);
+  (* NaN summary statistics (an all-NaN measurement window) likewise *)
+  insufficient "NaN mean"
+    (Stats.welch_t_summary ~mean1:nan ~var1:1.0 ~n1:10 ~mean2:2.0 ~var2:1.0 ~n2:10);
+  insufficient "infinite variance"
+    (Stats.welch_t_summary ~mean1:1.0 ~var1:infinity ~n1:10 ~mean2:2.0 ~var2:1.0 ~n2:10);
+  (* and the significance test treats no-evidence as no-win *)
+  Alcotest.(check bool) "no evidence, no swap" false
+    (Stats.significantly_less ~mean1:1.0 ~var1:0.0 ~n1:1 ~mean2:2.0 ~var2:0.0 ~n2:9);
+  Alcotest.(check bool) "NaN evidence, no swap" false
+    (Stats.significantly_less ~mean1:nan ~var1:1.0 ~n1:10 ~mean2:2.0 ~var2:1.0 ~n2:10)
 
 let test_welch_zero_variance_direction () =
   (* zero pooled variance: the statistic must keep the sign of the
      deterministic difference, not collapse to +infinity *)
   let t_less, _ =
-    Stats.welch_t_summary ~mean1:9.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10
+    welch_exn "less"
+      (Stats.welch_t_summary ~mean1:9.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10)
   in
   check_float "mean1 < mean2 gives -inf" neg_infinity t_less;
   let t_greater, _ =
-    Stats.welch_t_summary ~mean1:11.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10
+    welch_exn "greater"
+      (Stats.welch_t_summary ~mean1:11.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10)
   in
   check_float "mean1 > mean2 gives +inf" infinity t_greater;
   let t_equal, _ =
-    Stats.welch_t_summary ~mean1:10.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10
+    welch_exn "equal"
+      (Stats.welch_t_summary ~mean1:10.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10)
   in
   check_float "equal means give 0" 0.0 t_equal;
   (* and the significance test now sees the deterministic win *)
@@ -438,6 +465,65 @@ let prop_least_squares_recovers_exact =
         Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-5) coeff x
       with Failure _ -> QCheck.assume_fail ())
 
+let prop_outlier_spike_rejected =
+  (* the k=3.5 rule: a spike far outside a bounded cluster is always
+     rejected, and nothing outside the cluster survives *)
+  QCheck.Test.make ~name:"drop_outliers rejects a planted far spike" ~count:200
+    QCheck.(pair (int_range 10 50) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let cluster = Array.init n (fun _ -> Rng.float rng) in
+      let spike = 1000.0 +. Rng.float rng in
+      let a = Array.append cluster [| spike |] in
+      let kept = Stats.drop_outliers a in
+      Array.length kept > 0
+      && Array.for_all (fun x -> x <> spike) kept
+      && Array.for_all (fun x -> x >= 0.0 && x <= 1.0) kept)
+
+let prop_outlier_zero_mad_inert =
+  (* zero MAD (a majority of identical samples) disables the filter:
+     the input comes back unchanged, spikes and all *)
+  QCheck.Test.make ~name:"drop_outliers is inert on zero MAD" ~count:200
+    QCheck.(triple (float_range (-100.0) 100.0) (small_list (float_range (-1e6) 1e6))
+        (int_range 0 1000))
+    (fun (c, others, seed) ->
+      let rng = Rng.create ~seed in
+      let a = Array.of_list (List.concat_map (fun x -> [ c; c; x ]) (c :: others)) in
+      Rng.shuffle rng a;
+      Stats.drop_outliers a = a)
+
+let prop_outlier_mask_agrees =
+  QCheck.Test.make ~name:"outlier_mask agrees with drop_outliers" ~count:200 nonempty_floats
+    (fun a ->
+      let mask = Stats.outlier_mask a in
+      let kept = ref [] in
+      Array.iteri (fun i keep -> if keep then kept := a.(i) :: !kept) mask;
+      Array.of_list (List.rev !kept) = Stats.drop_outliers a)
+
+let prop_outlier_keeps_half =
+  QCheck.Test.make ~name:"drop_outliers keeps at least half" ~count:200 nonempty_floats
+    (fun a ->
+      2 * Array.length (Stats.drop_outliers a) >= Array.length a)
+
+let prop_linear_relation_tolerance =
+  (* tolerance is a relative band on max |y|: a perturbation well inside
+     it keeps the relation, one well outside breaks it *)
+  QCheck.Test.make ~name:"linear_relation honors its tolerance" ~count:200
+    QCheck.(triple (float_range (-5.0) 5.0) (float_range (-100.0) 100.0) (int_range 0 1000))
+    (fun (alpha, beta, seed) ->
+      let rng = Rng.create ~seed in
+      let tolerance = 1e-3 in
+      let xs = Array.init 20 (fun _ -> Rng.float rng *. 100.0) in
+      let ys = Array.map (fun x -> (alpha *. x) +. beta) xs in
+      let scale = Float.max 1.0 (Array.fold_left (fun m y -> Float.max m (abs_float y)) 0.0 ys) in
+      let j = 2 + Rng.int rng (Array.length xs - 2) in
+      let perturbed factor =
+        let ys = Array.copy ys in
+        ys.(j) <- ys.(j) +. (factor *. tolerance *. scale);
+        Regression.linear_relation ~tolerance xs ys
+      in
+      perturbed 0.1 <> None && perturbed 10.0 = None)
+
 let prop_linear_relation_detects_planted =
   QCheck.Test.make ~name:"linear_relation detects planted relation" ~count:200
     QCheck.(triple (float_range (-5.0) 5.0) (float_range (-100.0) 100.0) (int_range 0 1000))
@@ -456,9 +542,14 @@ let qcheck_cases =
       prop_variance_nonneg;
       prop_outliers_subset;
       prop_welford_matches;
+      prop_outlier_spike_rejected;
+      prop_outlier_zero_mad_inert;
+      prop_outlier_mask_agrees;
+      prop_outlier_keeps_half;
       prop_solve_roundtrip;
       prop_least_squares_recovers_exact;
       prop_linear_relation_detects_planted;
+      prop_linear_relation_tolerance;
     ]
 
 let suites =
@@ -492,6 +583,8 @@ let suites =
         Alcotest.test_case "outliers keep majority" `Quick test_outlier_keeps_majority;
         Alcotest.test_case "windows" `Quick test_windows;
         Alcotest.test_case "welch t" `Quick test_welch_t;
+        Alcotest.test_case "welch t types insufficient data" `Quick
+          test_welch_insufficient_data;
         Alcotest.test_case "welch t zero-variance direction" `Quick
           test_welch_zero_variance_direction;
         Alcotest.test_case "t critical" `Quick test_t_critical;
