@@ -130,7 +130,104 @@ let print_result machine (r : Driver.result) =
   let imp =
     Driver.improvement_pct r.Driver.benchmark machine ~best:r.Driver.best_config Trace.Ref
   in
-  Printf.printf "Whole-program improvement over -O3 (ref data set): %.1f%%\n" imp
+  Printf.printf "Whole-program improvement over -O3 (ref data set): %s\n"
+    (Table.fmt_signed_percent imp)
+
+(* ---------------- tracing ---------------- *)
+
+let print_metrics (s : Peak_obs.snapshot) =
+  Printf.printf "Tracer: %d buffered event%s, %d dropped, %d open span%s\n"
+    s.Peak_obs.events
+    (if s.Peak_obs.events = 1 then "" else "s")
+    s.Peak_obs.dropped s.Peak_obs.open_spans
+    (if s.Peak_obs.open_spans = 1 then "" else "s");
+  if s.Peak_obs.span_stats <> [] then begin
+    let t = Table.create ~header:[ "Span category"; "Count"; "Total (ms)" ] () in
+    List.iter
+      (fun (cat, st) ->
+        Table.add_row t
+          [
+            cat;
+            string_of_int st.Peak_obs.s_count;
+            Printf.sprintf "%.3f" (st.Peak_obs.s_total *. 1e3);
+          ])
+      s.Peak_obs.span_stats;
+    Table.print t
+  end;
+  if s.Peak_obs.counters <> [] then begin
+    let t = Table.create ~header:[ "Counter"; "Value" ] () in
+    List.iter (fun (k, v) -> Table.add_row t [ k; string_of_int v ]) s.Peak_obs.counters;
+    Table.print t
+  end;
+  if s.Peak_obs.timings <> [] then begin
+    let t = Table.create ~header:[ "Timing"; "Count"; "Total (ms)" ] () in
+    List.iter
+      (fun (k, tm) ->
+        Table.add_row t
+          [
+            k;
+            string_of_int tm.Peak_obs.t_count;
+            Printf.sprintf "%.3f" (tm.Peak_obs.t_total *. 1e3);
+          ])
+      s.Peak_obs.timings;
+    Table.print t
+  end
+
+(* Install the tracer sink around [f] when asked to.  The export runs in
+   the finalizer, so an interrupted run still leaves a (partial but
+   valid) trace behind. *)
+let with_tracing ~trace ~metrics f =
+  if trace = None && not metrics then f ()
+  else begin
+    (* open the trace file up front: an unwritable path must die with
+       the usual one-line error before the tuning run, not after it *)
+    let out =
+      match trace with
+      | None -> None
+      | Some path -> (
+          match open_out path with
+          | oc -> Some (path, oc)
+          | exception Sys_error e -> die ("cannot write trace file: " ^ e))
+    in
+    Peak_obs.install ();
+    Fun.protect
+      ~finally:(fun () ->
+        (match (out, Peak_obs.export ()) with
+        | Some (path, oc), Some doc -> (
+            try
+              output_string oc doc;
+              close_out oc;
+              Printf.printf "Trace written to %s\n" path
+            with Sys_error e ->
+              close_out_noerr oc;
+              prerr_endline ("peak-tune: trace write failed: " ^ e))
+        | Some (_, oc), None -> close_out_noerr oc
+        | None, _ -> ());
+        (match (metrics, Peak_obs.snapshot ()) with
+        | true, Some snap -> print_metrics snap
+        | _ -> ());
+        Peak_obs.uninstall ())
+      f
+  end
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Record a span/event trace of the run and write it to $(docv) in Chrome trace \
+           format (load in about://tracing or Perfetto; inspect with $(b,trace \
+           summarize)).  Tracing only observes: results are bit-identical with it on or \
+           off.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the tracer's metrics snapshot (span, counter and timing totals) after \
+           the run.")
 
 (* ---------------- arguments ---------------- *)
 
@@ -311,7 +408,7 @@ let tune_cmd =
                 (requires $(b,--store)).")
   in
   let run name machine_name method_name dataset_name search_name seed store_dir warm cap
-      faults_spec retries =
+      faults_spec retries trace metrics =
     guard @@ fun () ->
     let b = or_die (find_benchmark name) in
     let machine = or_die (find_machine machine_name) in
@@ -350,6 +447,7 @@ let tune_cmd =
     in
     Printf.printf "Tuning %s (%s) on %s, %s data set...\n%!" b.Benchmark.name
       b.Benchmark.ts_name machine.Machine.name (Trace.dataset_name dataset);
+    with_tracing ~trace ~metrics @@ fun () ->
     match store_dir with
     | None ->
         print_result machine
@@ -377,7 +475,8 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Run one offline tuning session (the Figure 7 experiment).")
     Term.(
       const run $ benchmark_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg
-      $ seed_arg $ store_arg $ warm_arg $ rating_cap_arg $ faults_arg $ fault_retries_arg)
+      $ seed_arg $ store_arg $ warm_arg $ rating_cap_arg $ faults_arg $ fault_retries_arg
+      $ trace_arg $ metrics_arg)
 
 let suite_cmd =
   let benchmarks_arg =
@@ -392,7 +491,7 @@ let suite_cmd =
       & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Tune on $(docv) domains in parallel.")
   in
   let run names machine_name method_name dataset_name search_name seed jobs store_dir cap
-      faults_spec retries =
+      faults_spec retries trace metrics =
     guard @@ fun () ->
     let benchmarks =
       match names with
@@ -410,6 +509,7 @@ let suite_cmd =
     Printf.printf "Tuning %d benchmarks on %s, %s data set, %d domain%s...\n%!"
       (List.length benchmarks) machine.Machine.name (Trace.dataset_name dataset) jobs
       (if jobs = 1 then "" else "s");
+    with_tracing ~trace ~metrics @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let results =
       Driver.tune_suite ~seed ~search ~rating_params ?method_ ~domains:jobs ?store_dir
@@ -434,7 +534,7 @@ let suite_cmd =
              r.Driver.benchmark.Benchmark.name;
              Method.chain_string r.Driver.attempts;
              Optconfig.to_string r.Driver.best_config;
-             Printf.sprintf "%.1f%%" imp;
+             Table.fmt_signed_percent imp;
              Printf.sprintf "%.1f" r.Driver.tuning_seconds;
              string_of_int r.Driver.search_stats.Search.ratings;
            ]
@@ -457,7 +557,8 @@ let suite_cmd =
           bit-identical for every $(b,-j) value.")
     Term.(
       const run $ benchmarks_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg
-      $ seed_arg $ jobs_arg $ store_arg $ rating_cap_arg $ faults_arg $ fault_retries_arg)
+      $ seed_arg $ jobs_arg $ store_arg $ rating_cap_arg $ faults_arg $ fault_retries_arg
+      $ trace_arg $ metrics_arg)
 
 let consistency_cmd =
   let run name machine_name seed =
@@ -669,6 +770,24 @@ let session_show_cmd =
           r.Peak_store.Codec.r_invocations r.Peak_store.Codec.r_passes;
         Printf.printf "  Tuning time: %.2f simulated seconds\n"
           r.Peak_store.Codec.r_tuning_seconds;
+        (match r.Peak_store.Codec.r_metrics with
+        | None -> ()
+        | Some x ->
+            Printf.printf "  Metrics: %s over %d tuning cycle%s\n"
+              (match x.Peak_store.Codec.x_methods with
+              | [] -> "no ratings"
+              | ms ->
+                  String.concat ", "
+                    (List.map
+                       (fun (mm : Peak_store.Codec.method_metrics) ->
+                         Printf.sprintf "%s %d rating%s/%d invocation%s"
+                           mm.Peak_store.Codec.mm_method mm.Peak_store.Codec.mm_ratings
+                           (if mm.Peak_store.Codec.mm_ratings = 1 then "" else "s")
+                           mm.Peak_store.Codec.mm_invocations
+                           (if mm.Peak_store.Codec.mm_invocations = 1 then "" else "s"))
+                       ms))
+              (int_of_float x.Peak_store.Codec.x_cycles)
+              (if x.Peak_store.Codec.x_cycles = 1.0 then "" else "s"));
         if r.Peak_store.Codec.r_quarantined <> [] || r.Peak_store.Codec.r_retries > 0 then begin
           Printf.printf "  Fault tolerance: %d quarantined, %d transient retr%s\n"
             (List.length r.Peak_store.Codec.r_quarantined)
@@ -777,6 +896,33 @@ let session_cmd =
        ~doc:"Inspect and manage the persistent tuning store (see $(b,tune --store)).")
     [ session_list_cmd; session_show_cmd; session_resume_cmd; session_gc_cmd; session_export_cmd ]
 
+(* ---------------- trace: inspect Chrome-trace files ---------------- *)
+
+let trace_summarize_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"A trace file written by $(b,tune --trace).")
+  in
+  let run path =
+    guard @@ fun () ->
+    let t = or_die (Tracefile.load path) in
+    let () = or_die (Tracefile.validate t) in
+    print_string (Tracefile.summary t)
+  in
+  Cmd.v
+    (Cmd.info "summarize"
+       ~doc:
+         "Validate a Chrome-trace file's schema (unique span ids, resolvable parents, \
+          non-negative durations) and print its span, counter and timing summaries.")
+    Term.(const run $ path_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Inspect trace files written by $(b,tune --trace).")
+    [ trace_summarize_cmd ]
+
 (* Per-method attempt statistics, recomputed from the store alone: the
    journal carries every rating event tagged with its method, and
    result.json carries the attempted-method chain of each completed
@@ -836,8 +982,8 @@ let main =
   let doc = "PEAK: rating compiler optimizations for automatic performance tuning" in
   Cmd.group (Cmd.info "peak-tune" ~version:"1.0.0" ~doc)
     [
-      list_cmd; flags_cmd; analyze_cmd; tune_cmd; suite_cmd; session_cmd; report_cmd;
-      consistency_cmd; instrument_cmd; show_cmd; methods_cmd;
+      list_cmd; flags_cmd; analyze_cmd; tune_cmd; suite_cmd; session_cmd; trace_cmd;
+      report_cmd; consistency_cmd; instrument_cmd; show_cmd; methods_cmd;
     ]
 
 let () = exit (Cmd.eval main)

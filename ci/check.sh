@@ -156,4 +156,53 @@ for s in 3 7 23; do
   fi
 done
 
+# Tracer smoke: the same tune with --trace must print the same result
+# (tracing never perturbs tuning), stay within a modest wall-clock
+# envelope, and write a trace.json that `trace summarize` validates.
+echo "== tracer overhead smoke"
+t0=$(date +%s%N)
+"$BIN" tune SWIM -m pentium4 -r rbr --search be | tail -5 > "$SMOKE/plain.out"
+t1=$(date +%s%N)
+"$BIN" tune SWIM -m pentium4 -r rbr --search be --trace "$SMOKE/trace.json" \
+  | grep -v '^Trace written' | tail -5 > "$SMOKE/traced.out"
+t2=$(date +%s%N)
+
+if diff "$SMOKE/plain.out" "$SMOKE/traced.out"; then
+  echo "   traced result identical to untraced run"
+else
+  echo "   traced result DIFFERS from untraced run" >&2
+  exit 1
+fi
+
+plain_ms=$(( (t1 - t0) / 1000000 ))
+traced_ms=$(( (t2 - t1) / 1000000 ))
+# within 10% of the untraced wall clock, plus 1s of absolute slack for
+# scheduler jitter on short runs
+limit_ms=$(( plain_ms + plain_ms / 10 + 1000 ))
+if [ "$traced_ms" -le "$limit_ms" ]; then
+  echo "   tracer overhead within budget (${plain_ms}ms untraced, ${traced_ms}ms traced)"
+else
+  echo "   tracer overhead too high: ${plain_ms}ms untraced vs ${traced_ms}ms traced" >&2
+  exit 1
+fi
+
+if [ ! -s "$SMOKE/trace.json" ]; then
+  echo "   --trace wrote no trace file" >&2
+  exit 1
+fi
+if "$BIN" trace summarize "$SMOKE/trace.json" > "$SMOKE/trace-summary.out"; then
+  echo "   trace.json parses and validates"
+else
+  echo "   trace summarize rejected the written trace:" >&2
+  cat "$SMOKE/trace-summary.out" >&2
+  exit 1
+fi
+if grep -q "Spans by category" "$SMOKE/trace-summary.out"; then
+  echo "   summary reports span categories"
+else
+  echo "   unexpected trace summary output:" >&2
+  cat "$SMOKE/trace-summary.out" >&2
+  exit 1
+fi
+
 echo "== OK"

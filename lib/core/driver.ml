@@ -26,6 +26,7 @@ type result = {
   invocations : int;
   quarantined : (Optconfig.t * string) list;
   fault_retries : int;
+  metrics : Peak_store.Codec.metrics;
   profile : Profile.t;
   advice : Consultant.advice;
 }
@@ -58,6 +59,7 @@ let result_summary (r : result) : Peak_store.Codec.session_result =
     r_invocations = r.invocations;
     r_quarantined = r.quarantined;
     r_retries = r.fault_retries;
+    r_metrics = Some r.metrics;
   }
 
 let session_meta ?method_ ?(search = Ie) ?(rating_params = Rating.default_params)
@@ -87,9 +89,25 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     ?(threshold = 0.005) ?compile ?pool ?method_ ?store ?start ?faults ?(retries = 2)
     (benchmark : Benchmark.t) machine dataset =
   if retries < 0 then invalid_arg "Driver.tune: retries must be >= 0";
+  (* Tracing is observational only: spans and counters are emitted on
+     the side and nothing below ever reads the tracer back, so a traced
+     run computes bit-identical results to an untraced one. *)
+  let tune_span =
+    Peak_obs.begin_span ~cat:"tune"
+      (Printf.sprintf "tune:%s:%s:%s" benchmark.Benchmark.name machine.Machine.name
+         (Trace.dataset_name dataset))
+  in
+  Fun.protect ~finally:(fun () -> Peak_obs.end_span tune_span) @@ fun () ->
+  (* rating spans begun on pool domains attach to the phase that
+     submitted their batch; the ref is only ever written between
+     batches, so workers read a stable value *)
+  let span_parent = ref tune_span in
   let tsec = Tsection.make benchmark.Benchmark.ts in
   let trace = benchmark.Benchmark.trace dataset ~seed in
-  let profile = Profile.run ~seed:(seed + 1) tsec trace machine in
+  let profile =
+    Peak_obs.with_span ~parent:tune_span ~cat:"phase.profile" "profile" (fun _ ->
+        Profile.run ~seed:(seed + 1) tsec trace machine)
+  in
   let advice = Consultant.advise tsec profile in
   (* [method_] forces a single-entry chain (no fallback, no probes — a
      forced run is bit-identical to the pre-fallback driver); omitted
@@ -111,6 +129,18 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     extra_invocations := !extra_invocations + inv;
     extra_passes := !extra_passes + p;
     extra_cycles := !extra_cycles +. cyc
+  in
+  (* Per-method metrics (result.json v4): ratings produced and
+     invocations consumed, tallied at the same submission-order fold
+     positions as [account] — so the block is a pure function of the
+     rating outcomes, identical for traced/untraced, -j 1/-j N and
+     resumed runs. *)
+  let method_tally : (string, int * int) Hashtbl.t = Hashtbl.create 4 in
+  let tally mname inv =
+    let r, i =
+      match Hashtbl.find_opt method_tally mname with Some x -> x | None -> (0, 0)
+    in
+    Hashtbl.replace method_tally mname (r + 1, i + inv)
   in
   let now () = Runner.tuning_cycles runner +. !extra_cycles in
   (* the Remote Optimizer of Figure 6: versions must be compiled before
@@ -184,7 +214,15 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
           ()
   in
   (* ---------------- sequential rating (one shared runner) ------------ *)
-  let sequential_relative prepared eval_cache : Search.relative =
+  let sequential_relative prepared eval_cache mname : Search.relative =
+    (* the shared runner's ledger is simulated (cycle counts), so the
+       per-rating invocation delta is deterministic *)
+    let tallied f =
+      let before = Runner.invocations_consumed runner in
+      let e = f () in
+      tally mname (Runner.invocations_consumed runner - before);
+      e
+    in
     let eval_with f config =
       match Hashtbl.find_opt eval_cache config with
       | Some e -> e
@@ -196,9 +234,12 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     match prepared with
     | Method.Relative { rate; _ } ->
         fun ~base candidate ->
-          (rate runner ~base:(version base) (version candidate)).Rating.eval
+          tallied (fun () ->
+              (rate runner ~base:(version base) (version candidate)).Rating.eval)
     | Method.Absolute rate ->
-        let eval = eval_with (fun c -> (rate runner (version c)).Rating.eval) in
+        let eval =
+          eval_with (fun c -> tallied (fun () -> (rate runner (version c)).Rating.eval))
+        in
         fun ~base candidate -> eval candidate /. eval base
   in
   (* ---------------- parallel rating (one runner per candidate) ------- *)
@@ -233,6 +274,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     match faults with
     | None -> None
     | Some plan ->
+        Peak_obs.with_span ~parent:tune_span ~cat:"phase.oracle" "oracle" @@ fun _ ->
         Peak_sim.Fault.protect plan (Optconfig.digest start);
         let r = fresh_runner (job_seed ~idx:(-2) start) in
         let d = Runner.output_digest r (version start) in
@@ -246,12 +288,14 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
      quarantine list and retry total are deterministic too *)
   let note_outcome config (fail, job_retries) =
     total_retries := !total_retries + job_retries;
+    if job_retries > 0 then Peak_obs.count ~n:job_retries "driver.fault_retries";
     match fail with
     | None -> ()
     | Some reason ->
         let d = Optconfig.digest config in
         if not (Hashtbl.mem quarantine_tbl d) then begin
           Hashtbl.add quarantine_tbl d reason;
+          Peak_obs.count "driver.quarantined";
           quarantined := (config, reason) :: !quarantined
         end
   in
@@ -259,15 +303,23 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
      Returns (eval, converged, total consumption, fail reason, retries
      used) — the exact shape the store journals, so a replayed job is
      indistinguishable from a fresh one. *)
-  let run_rated ~jseed (v : Version.t) rate_fn =
+  let run_rated ~mname ~jseed (v : Version.t) rate_fn =
+    (* span names are deterministic — method, config digest, attempt
+       ordinal — so the traces of two runs of the same session differ
+       only in timestamps *)
+    let span_name attempt =
+      Printf.sprintf "rate:%s:%s:a%d" mname (Optconfig.digest v.Version.config) attempt
+    in
     match faults with
     | None ->
+        Peak_obs.with_span ~parent:!span_parent ~cat:"rate" (span_name 0) @@ fun _ ->
         let r = fresh_runner jseed in
         let rating = rate_fn r in
         (rating.Rating.eval, rating.Rating.converged, consumption r, None, 0)
     | Some _ ->
         let sum (i1, p1, c1) (i2, p2, c2) = (i1 + i2, p1 + p2, c1 +. c2) in
         let rec go attempt used =
+          let sid = Peak_obs.begin_span ~parent:!span_parent ~cat:"rate" (span_name attempt) in
           let r = fresh_runner ~fault_attempt:attempt jseed in
           let outcome =
             match
@@ -281,15 +333,23 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
           let used = sum used (consumption r) in
           match outcome with
           | `Rated rating ->
+              Peak_obs.end_span ~args:[ ("outcome", "rated") ] sid;
               (rating.Rating.eval, rating.Rating.converged, used, None, attempt)
-          | `Wrong -> (infinity, true, used, Some "wrong-output", attempt)
+          | `Wrong ->
+              Peak_obs.end_span ~args:[ ("outcome", "wrong-output") ] sid;
+              (infinity, true, used, Some "wrong-output", attempt)
           | `Failed failure ->
-              if attempt >= retries then
-                let reason =
-                  match failure with Runner.Crashed -> "crashed" | Runner.Hung -> "hung"
-                in
+              let reason =
+                match failure with Runner.Crashed -> "crashed" | Runner.Hung -> "hung"
+              in
+              if attempt >= retries then begin
+                Peak_obs.end_span ~args:[ ("outcome", reason) ] sid;
                 (infinity, true, used, Some reason, attempt)
-              else go (attempt + 1) used
+              end
+              else begin
+                Peak_obs.end_span ~args:[ ("outcome", reason ^ ":retry") ] sid;
+                go (attempt + 1) used
+              end
         in
         go 0 (0, 0, 0.0)
   in
@@ -337,7 +397,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
           let results =
             pmap
               (fun (idx, (v : Version.t)) ->
-                run_rated ~jseed:(job_seed ~idx v.Version.config) v (fun r -> rate r v))
+                run_rated ~mname ~jseed:(job_seed ~idx v.Version.config) v (fun r -> rate r v))
               jobs
           in
           let q = ref results in
@@ -352,6 +412,8 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
                     hit
               in
               account used;
+              (let inv, _, _ = used in
+               tally mname inv);
               note_outcome c (fail, job_retries);
               Hashtbl.replace eval_cache c e)
             work
@@ -382,7 +444,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
           let results =
             pmap
               (fun (idx, (v : Version.t)) ->
-                run_rated
+                run_rated ~mname
                   ~jseed:(job_seed ~base_hash ~idx v.Version.config)
                   v
                   (fun r -> rate r ~base:vb v))
@@ -400,6 +462,8 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
                     hit
               in
               account used;
+              (let inv, _, _ = used in
+               tally mname inv);
               note_outcome c (fail, job_retries);
               e)
             work
@@ -430,7 +494,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
             | None ->
                 let v = version start in
                 let r = fresh_runner (job_seed ~idx:(-1) start) in
-                let eval, converged =
+                let eval, converged, fail =
                   (* the probe is exactly the search's base rating, so
                      with faults it consumes the same oracle-check
                      invocation a regular job does ([start] is
@@ -439,26 +503,38 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
                     if Option.is_some faults then ignore (Runner.output_digest r v);
                     rate r v
                   with
-                  | rating -> (rating.Rating.eval, rating.Rating.converged)
-                  | exception Rating.No_samples _ -> (nan, false)
+                  | rating -> (rating.Rating.eval, rating.Rating.converged, None)
+                  | exception Rating.No_samples _ ->
+                      (* journaled as an infinite-eval sentinel with a
+                         reason, never as NaN: codec v4 rejects NaN
+                         ratings, and the probe path only consults the
+                         convergence flag on replay *)
+                      (infinity, false, Some "no-samples")
                 in
-                let hit = (eval, converged, consumption r, None, 0) in
+                let hit = (eval, converged, consumption r, fail, 0) in
                 store_record ~mname ~base:"-" ~idx:(-1) start hit;
                 hit
           in
           account used;
+          (let inv, _, _ = used in
+           tally mname inv);
           if converged then Hashtbl.replace eval_cache start eval;
           converged
         end
         else begin
           (* the shared runner consumes the probe's invocations in
              stream order, charging the attempt naturally *)
-          match rate runner (version start) with
-          | rating when rating.Rating.converged ->
-              Hashtbl.replace eval_cache start rating.Rating.eval;
-              true
-          | _ -> false
-          | exception Rating.No_samples _ -> false
+          let before = Runner.invocations_consumed runner in
+          let verdict =
+            match rate runner (version start) with
+            | rating when rating.Rating.converged ->
+                Hashtbl.replace eval_cache start rating.Rating.eval;
+                true
+            | _ -> false
+            | exception Rating.No_samples _ -> false
+          in
+          tally mname (Runner.invocations_consumed runner - before);
+          verdict
         end
   in
   let failed_attempts = ref [] in
@@ -471,8 +547,21 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     | m :: rest ->
         let prepared = Method.prepare ~params ~non_ts_cycles:non_ts m profile in
         let eval_cache = Hashtbl.create 64 in
-        if rest = [] || probe prepared eval_cache (Method.name m) then
-          (m, prepared, eval_cache)
+        let committed =
+          rest = []
+          || begin
+               let pid =
+                 Peak_obs.begin_span ~parent:tune_span ~cat:"probe"
+                   ("probe:" ^ Method.name m)
+               in
+               let ok = probe prepared eval_cache (Method.name m) in
+               Peak_obs.end_span
+                 ~args:[ ("outcome", if ok then "commit" else "abandon") ]
+                 pid;
+               ok
+             end
+        in
+        if committed then (m, prepared, eval_cache)
         else begin
           failed_attempts :=
             { Method.a_method = m; a_converged = false; a_ratings = 1 } :: !failed_attempts;
@@ -482,9 +571,19 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
   let method_, prepared, eval_cache = select chain in
   let relative, rate_many =
     if deterministic then deterministic_rating prepared eval_cache (Method.name method_)
-    else (sequential_relative prepared eval_cache, None)
+    else (sequential_relative prepared eval_cache (Method.name method_), None)
   in
   let best_config, search_stats =
+    let sid =
+      Peak_obs.begin_span ~parent:tune_span ~cat:"phase.search"
+        ("search:" ^ search_name search)
+    in
+    span_parent := sid;
+    Fun.protect
+      ~finally:(fun () ->
+        span_parent := tune_span;
+        Peak_obs.end_span sid)
+    @@ fun () ->
     match search with
     | Ie -> Search.iterative_elimination ~threshold ~prepare ?rate_many ~relative start
     | Be -> Search.batch_elimination ~threshold ~prepare ?rate_many ~relative start
@@ -510,6 +609,25 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
   in
   let passes = Runner.passes_started runner + !extra_passes in
   let tuning_cycles = now () +. (float_of_int passes *. non_ts) in
+  let invocations = Runner.invocations_consumed runner + !extra_invocations in
+  let quarantined = List.rev !quarantined in
+  let metrics =
+    {
+      Peak_store.Codec.x_methods =
+        List.filter_map
+          (fun m ->
+            let n = Method.name m in
+            Option.map
+              (fun (ratings, inv) ->
+                { Peak_store.Codec.mm_method = n; mm_ratings = ratings; mm_invocations = inv })
+              (Hashtbl.find_opt method_tally n))
+          Method.all;
+      x_quarantined = List.length quarantined;
+      x_retries = !total_retries;
+      x_invocations = invocations;
+      x_cycles = tuning_cycles;
+    }
+  in
   let result =
     {
       benchmark;
@@ -522,9 +640,10 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
       tuning_cycles;
       tuning_seconds = Machine.seconds_of_cycles machine tuning_cycles;
       passes;
-      invocations = Runner.invocations_consumed runner + !extra_invocations;
-      quarantined = List.rev !quarantined;
+      invocations;
+      quarantined;
       fault_retries = !total_retries;
+      metrics;
       profile;
       advice;
     }
@@ -552,6 +671,9 @@ let tune_suite ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_para
         | Ok s -> Some s
         | Error e -> failwith ("tuning store: " ^ e))
   in
+  Peak_obs.with_span ~cat:"suite"
+    (Printf.sprintf "suite:%d-benchmarks:j%d" (List.length benchmarks) domains)
+  @@ fun _ ->
   Peak_util.Pool.run ~domains (fun pool ->
       Peak_util.Pool.map pool
         (fun benchmark ->

@@ -46,6 +46,16 @@ type result = {
       (** Transient-failure retries absorbed across the session —
           charged to the tuning ledger like any other execution.  [0]
           without [?faults]. *)
+  metrics : Peak_store.Codec.metrics;
+      (** Deterministic per-method accounting (ratings produced and
+          invocations consumed per method, quarantine/retry totals,
+          session-wide invocation and cycle charges).  Computed from the
+          rating outcomes in submission order — never from wall-clock
+          time or the tracer — so it is bit-identical for traced and
+          untraced runs, every domain count, and kill/resume.
+          Serialized as the [metrics] block of [result.json] (store
+          codec v4).  Wall-clock observability (phase timings, queue
+          depths, journal fsync costs) lives in {!Peak_obs} instead. *)
   profile : Profile.t;
   advice : Consultant.advice;
 }

@@ -101,7 +101,18 @@ let rate ?(params = Rating.default_params) ?(mode = Avg) runner ~components
         if converged then finish eval var true
         else if !consumed >= params.Rating.max_invocations then finish eval var false
     | None ->
-        if !consumed >= params.Rating.max_invocations then finish nan infinity false);
+        (* budget exhausted before the regression could be fit (fewer
+           observations than components, or a singular system): a NaN
+           eval here would flow into Search comparison/sort paths and
+           poison the candidate ranking, so fail loudly like CBR does *)
+        if !consumed >= params.Rating.max_invocations then
+          raise
+            (Rating.No_samples
+               (Printf.sprintf
+                  "Mbr.rate: no model fit for %s after %d invocation(s) (%d component(s) \
+                   need at least %d observations)"
+                  (Tsection.name (Runner.tsection runner))
+                  !consumed k k)));
     target := !target + params.Rating.window
   done;
   Option.get !result

@@ -173,9 +173,55 @@ let fallback_chain ?max_contexts ?max_components profile =
     (fun m -> Result.is_ok (applicable ?max_contexts ?max_components m profile))
     auto_chain
 
+(* Per-rating observability: when a tracer sink is installed, every
+   rating call emits a "rating:<METHOD>" instant carrying the number of
+   ratings produced and invocations consumed, plus method-keyed
+   counters.  With tracing off the wrappers reduce to the raw raters —
+   one branch, no clock reads. *)
+let observed mname prepared =
+  let emit runner before ~ratings outcome =
+    let delta = Runner.invocations_consumed runner - before in
+    Peak_obs.count ~n:ratings ("method.ratings." ^ mname);
+    Peak_obs.count ~n:delta ("method.invocations." ^ mname);
+    Peak_obs.instant ~cat:"method"
+      ~args:
+        [
+          ("ratings", string_of_int ratings);
+          ("invocations", string_of_int delta);
+          ("outcome", outcome);
+        ]
+      ("rating:" ^ mname)
+  in
+  let watch runner ~ratings f =
+    if not (Peak_obs.active ()) then f ()
+    else
+      let before = Runner.invocations_consumed runner in
+      match f () with
+      | r ->
+          emit runner before ~ratings "rated";
+          r
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          emit runner before ~ratings
+            (match e with Rating.No_samples _ -> "no-samples" | _ -> "raised");
+          Printexc.raise_with_backtrace e bt
+  in
+  match prepared with
+  | Absolute rate ->
+      Absolute (fun runner v -> watch runner ~ratings:1 (fun () -> rate runner v))
+  | Relative { rate; rate_many } ->
+      Relative
+        {
+          rate =
+            (fun runner ~base v -> watch runner ~ratings:1 (fun () -> rate runner ~base v));
+          rate_many =
+            (fun runner ~base vs ->
+              watch runner ~ratings:(List.length vs) (fun () -> rate_many runner ~base vs));
+        }
+
 let prepare ?(params = Rating.default_params) ~non_ts_cycles m profile =
   let module R = (val rater m) in
-  R.prepare ~params ~non_ts_cycles profile
+  observed R.name (R.prepare ~params ~non_ts_cycles profile)
 
 type attempt = { a_method : t; a_converged : bool; a_ratings : int }
 

@@ -33,9 +33,16 @@ let params_signature p =
   Printf.sprintf "w%d:t%.17g:m%d:k%.17g" p.window p.rel_threshold p.max_invocations
     p.outlier_k
 
+(* float_of_string accepts "inf"/"nan", which %.17g emits for non-finite
+   values; a non-finite threshold or outlier factor read back from a
+   journal would make every convergence test and outlier mask vacuous,
+   so decoding rejects them outright. *)
+let finite_float_opt s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f -> Some f
+  | Some _ | None -> None
+
 let params_of_signature s =
-  (* float_of_string rather than Scanf %g: it accepts "inf"/"nan",
-     which %.17g emits for non-finite thresholds *)
   match String.split_on_char ':' s with
   | [ w; t; m; k ] ->
       let field prefix v conv =
@@ -44,11 +51,11 @@ let params_of_signature s =
         else None
       in
       Option.bind (field 'w' w int_of_string_opt) (fun window ->
-          Option.bind (field 't' t float_of_string_opt) (fun rel_threshold ->
+          Option.bind (field 't' t finite_float_opt) (fun rel_threshold ->
               Option.bind (field 'm' m int_of_string_opt) (fun max_invocations ->
                   Option.map
                     (fun outlier_k -> { window; rel_threshold; max_invocations; outlier_k })
-                    (field 'k' k float_of_string_opt))))
+                    (field 'k' k finite_float_opt))))
   | _ -> None
 
 exception No_samples of string

@@ -35,8 +35,16 @@ val params_signature : params -> string
 val params_of_signature : string -> params option
 (** Inverse of {!params_signature} — how [session resume] reconstructs
     the rating parameters a stored session was created with.
-    [params_of_signature (params_signature p) = Some p] for every [p],
-    non-finite fields included. *)
+    [params_of_signature (params_signature p) = Some p] for every [p]
+    with finite float fields.  Signatures carrying non-finite floats
+    ("inf"/"nan", which [float_of_string] would happily accept) are
+    rejected with [None]: a non-finite threshold or outlier factor read
+    from a journal would silently disable convergence testing. *)
+
+val finite_float_opt : string -> float option
+(** [float_of_string_opt] restricted to finite results — the shared
+    decode-boundary guard (rating params, store codec, CLI) against
+    "inf"/"nan" strings entering numeric state. *)
 
 exception No_samples of string
 (** Raised by a rater that exhausted its invocation budget without a

@@ -155,8 +155,14 @@ let fault_key t (version : Peak_compiler.Version.t) =
       k
 
 let fail t failure version =
-  raise
-    (Failed { failure; config = fault_key t version; invocation = t.invocations - 1 })
+  let config = fault_key t version in
+  let kind = match failure with Crashed -> "crashed" | Hung -> "hung" in
+  Peak_obs.count ("runner." ^ kind);
+  if Peak_obs.active () then
+    Peak_obs.instant ~cat:"runner"
+      ~args:[ ("config", config); ("invocation", string_of_int (t.invocations - 1)) ]
+      ("runner:" ^ kind);
+  raise (Failed { failure; config; invocation = t.invocations - 1 })
 
 let hang t version =
   (* the watchdog kills the run only after waiting out the budget; the

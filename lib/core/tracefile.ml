@@ -1,0 +1,245 @@
+open Peak_store
+
+let ( let* ) r f = Result.bind r f
+
+type span = {
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;
+  sp_ts : float;  (* microseconds *)
+  sp_dur : float;  (* microseconds *)
+  sp_unclosed : bool;
+}
+
+type instant = { i_name : string; i_cat : string; i_ts : float }
+
+type t = {
+  spans : span list;
+  instants : instant list;
+  counters : (string * int) list;
+  timings : (string * (int * float)) list;
+  dropped : int;
+  open_spans : int;
+}
+
+let arg name v =
+  match Json.member "args" v with
+  | Error _ -> None
+  | Ok args -> ( match Json.get_str name args with Ok s -> Some s | Error _ -> None)
+
+let int_arg name v = Option.bind (arg name v) int_of_string_opt
+
+let span_of_json v =
+  let* sp_name = Json.get_str "name" v in
+  let* sp_cat = Json.get_str "cat" v in
+  let* sp_tid = Json.get_int "tid" v in
+  let* sp_ts = Json.get_float "ts" v in
+  let* sp_dur = Json.get_float "dur" v in
+  let* sp_id =
+    match int_arg "span_id" v with
+    | Some id -> Ok id
+    | None -> Error (Printf.sprintf "span %S: missing args.span_id" sp_name)
+  in
+  let* sp_parent =
+    match int_arg "parent_id" v with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "span %S: missing args.parent_id" sp_name)
+  in
+  let sp_unclosed = arg "unclosed" v = Some "true" in
+  Ok { sp_id; sp_parent; sp_name; sp_cat; sp_tid; sp_ts; sp_dur; sp_unclosed }
+
+let instant_of_json v =
+  let* i_name = Json.get_str "name" v in
+  let* i_cat = Json.get_str "cat" v in
+  let* i_ts = Json.get_float "ts" v in
+  Ok { i_name; i_cat; i_ts }
+
+(* otherData scalars and counter values are serialized as JSON strings;
+   timings as "count:total_seconds". *)
+let str_int name v =
+  let* s = Json.get_str name v in
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "member %S: not an integer: %s" name s)
+
+let timing_of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+      match
+        ( int_of_string_opt (String.sub s 0 i),
+          float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+      with
+      | Some c, Some t -> Some (c, t)
+      | _ -> None)
+
+let of_json v =
+  let* events = Json.get_list "traceEvents" v in
+  let* spans, instants =
+    List.fold_left
+      (fun acc ev ->
+        let* spans, instants = acc in
+        let* ph = Json.get_str "ph" ev in
+        match ph with
+        | "X" ->
+            let* s = span_of_json ev in
+            Ok (s :: spans, instants)
+        | "i" ->
+            let* i = instant_of_json ev in
+            Ok (spans, i :: instants)
+        | other -> Error (Printf.sprintf "unsupported event phase %S" other))
+      (Ok ([], [])) events
+  in
+  let* other = Json.member "otherData" v in
+  let* dropped = str_int "dropped" other in
+  let* open_spans = str_int "open_spans" other in
+  let* counters =
+    let* c = Json.member "counters" other in
+    match c with
+    | Json.Obj kvs ->
+        List.fold_left
+          (fun acc (k, jv) ->
+            let* acc = acc in
+            let* s = Json.to_str jv in
+            match int_of_string_opt s with
+            | Some n -> Ok ((k, n) :: acc)
+            | None -> Error (Printf.sprintf "counter %S: not an integer: %s" k s))
+          (Ok []) kvs
+        |> Result.map List.rev
+    | _ -> Error "member \"counters\": expected an object"
+  in
+  let* timings =
+    let* tj = Json.member "timings" other in
+    match tj with
+    | Json.Obj kvs ->
+        List.fold_left
+          (fun acc (k, jv) ->
+            let* acc = acc in
+            let* s = Json.to_str jv in
+            match timing_of_string s with
+            | Some ct -> Ok ((k, ct) :: acc)
+            | None -> Error (Printf.sprintf "timing %S: malformed: %s" k s))
+          (Ok []) kvs
+        |> Result.map List.rev
+    | _ -> Error "member \"timings\": expected an object"
+  in
+  Ok { spans = List.rev spans; instants = List.rev instants; counters; timings; dropped; open_spans }
+
+let load path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such file")
+  else
+    let ic = open_in path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let* v = Json.of_string (String.trim content) in
+    of_json v
+
+(* Schema validation: the invariants the tracer promises.  Any failure
+   here means a bug in the exporter (or a hand-edited file), not a bad
+   tuning run. *)
+let validate t =
+  let ids = Hashtbl.create 256 in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if Hashtbl.mem ids s.sp_id then
+          Error (Printf.sprintf "span id %d appears twice" s.sp_id)
+        else begin
+          Hashtbl.replace ids s.sp_id ();
+          Ok ()
+        end)
+      (Ok ()) t.spans
+  in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if s.sp_dur < 0.0 then
+          Error (Printf.sprintf "span %S (id %d): negative duration" s.sp_name s.sp_id)
+        else if s.sp_ts < 0.0 then
+          Error (Printf.sprintf "span %S (id %d): negative timestamp" s.sp_name s.sp_id)
+        else if s.sp_parent <> 0 && not (Hashtbl.mem ids s.sp_parent) then
+          Error
+            (Printf.sprintf "span %S (id %d): parent %d not in trace" s.sp_name s.sp_id
+               s.sp_parent)
+        else Ok ())
+      (Ok ()) t.spans
+  in
+  let unclosed = List.filter (fun s -> s.sp_unclosed) t.spans in
+  let* () =
+    if List.length unclosed <> t.open_spans then
+      Error
+        (Printf.sprintf "otherData.open_spans is %d but %d span(s) are flagged unclosed"
+           t.open_spans (List.length unclosed))
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc i ->
+      let* () = acc in
+      if i.i_ts < 0.0 then Error (Printf.sprintf "instant %S: negative timestamp" i.i_name)
+      else Ok ())
+    (Ok ()) t.instants
+
+let ms us = Printf.sprintf "%.3f" (us /. 1e3)
+
+let summary t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d span(s), %d instant(s), %d dropped, %d unclosed\n"
+       (List.length t.spans) (List.length t.instants) t.dropped t.open_spans);
+  let by_cat = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let c, d =
+        match Hashtbl.find_opt by_cat s.sp_cat with
+        | Some cd -> cd
+        | None ->
+            let cd = (ref 0, ref 0.0) in
+            Hashtbl.replace by_cat s.sp_cat cd;
+            cd
+      in
+      incr c;
+      d := !d +. s.sp_dur)
+    t.spans;
+  let cats =
+    Hashtbl.fold (fun k (c, d) acc -> (k, !c, !d) :: acc) by_cat []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  if cats <> [] then begin
+    let tbl =
+      Peak_util.Table.create ~title:"Spans by category"
+        ~header:[ "category"; "count"; "total (ms)" ] ()
+    in
+    List.iter
+      (fun (cat, c, d) -> Peak_util.Table.add_row tbl [ cat; string_of_int c; ms d ])
+      cats;
+    Buffer.add_string buf (Peak_util.Table.render tbl);
+    Buffer.add_char buf '\n'
+  end;
+  if t.counters <> [] then begin
+    let tbl = Peak_util.Table.create ~title:"Counters" ~header:[ "counter"; "value" ] () in
+    List.iter
+      (fun (k, v) -> Peak_util.Table.add_row tbl [ k; string_of_int v ])
+      t.counters;
+    Buffer.add_string buf (Peak_util.Table.render tbl);
+    Buffer.add_char buf '\n'
+  end;
+  if t.timings <> [] then begin
+    let tbl =
+      Peak_util.Table.create ~title:"Timings"
+        ~header:[ "timing"; "count"; "total (ms)" ] ()
+    in
+    List.iter
+      (fun (k, (c, total)) ->
+        Peak_util.Table.add_row tbl [ k; string_of_int c; ms (total *. 1e6) ])
+      t.timings;
+    Buffer.add_string buf (Peak_util.Table.render tbl);
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf

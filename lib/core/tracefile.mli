@@ -1,0 +1,46 @@
+(** Reading back Chrome-trace files written by {!Peak_obs.export}.
+
+    The tracer serializes without a JSON library (it must not depend on
+    the store); this module is the read side — parse a [trace.json],
+    check the invariants the exporter promises, and render the summary
+    tables behind [peak-tune trace summarize].  Durations and
+    timestamps are in microseconds, as in the file. *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** 0 at top level. *)
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;
+  sp_ts : float;  (** Start, microseconds since sink install. *)
+  sp_dur : float;  (** Microseconds. *)
+  sp_unclosed : bool;  (** Still open at export time. *)
+}
+
+type instant = { i_name : string; i_cat : string; i_ts : float }
+
+type t = {
+  spans : span list;
+  instants : instant list;
+  counters : (string * int) list;
+  timings : (string * (int * float)) list;
+      (** Name → (count, total seconds), from {!Peak_obs.observe}. *)
+  dropped : int;
+  open_spans : int;
+}
+
+val of_json : Peak_store.Json.t -> (t, string) result
+
+val load : string -> (t, string) result
+(** Read and parse a trace file. *)
+
+val validate : t -> (unit, string) result
+(** Check the exporter's invariants: span ids unique, every non-zero
+    parent id present in the trace, no negative timestamps or
+    durations, and the unclosed-span flags consistent with
+    [otherData.open_spans].  A failure indicates a tracer bug or a
+    corrupted file. *)
+
+val summary : t -> string
+(** Human-readable report: event totals, spans aggregated by category,
+    counters and timings — the output of [peak-tune trace summarize]. *)

@@ -1,0 +1,361 @@
+type event =
+  | Span of {
+      id : int;
+      parent : int;
+      name : string;
+      cat : string;
+      tid : int;
+      ts : float;
+      dur : float;
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      tid : int;
+      ts : float;
+      args : (string * string) list;
+    }
+
+type timing = { t_count : int; t_total : float }
+
+type span_stat = { s_count : int; s_total : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  timings : (string * timing) list;
+  span_stats : (string * span_stat) list;
+  events : int;
+  dropped : int;
+  open_spans : int;
+}
+
+type open_span = {
+  o_parent : int;
+  o_name : string;
+  o_cat : string;
+  o_tid : int;
+  o_ts : float;
+  o_args : (string * string) list;
+}
+
+type sink = {
+  mutex : Mutex.t;
+  t0 : float;  (* Unix.gettimeofday at install; all timestamps are relative *)
+  mutable last : float;  (* clamp: the clock never runs backwards *)
+  ring : event option array;
+  mutable write : int;  (* next slot *)
+  mutable count : int;  (* completed events buffered, <= capacity *)
+  mutable lost : int;
+  mutable next_id : int;
+  open_spans : (int, open_span) Hashtbl.t;
+  counters : (string, int ref) Hashtbl.t;
+  timings : (string, (int ref * float ref)) Hashtbl.t;
+}
+
+let sink : sink option Atomic.t = Atomic.make None
+
+let default_capacity = 65_536
+
+let install ?(capacity = default_capacity) () =
+  let capacity = max 16 capacity in
+  Atomic.set sink
+    (Some
+       {
+         mutex = Mutex.create ();
+         t0 = Unix.gettimeofday ();
+         last = 0.0;
+         ring = Array.make capacity None;
+         write = 0;
+         count = 0;
+         lost = 0;
+         next_id = 1;
+         open_spans = Hashtbl.create 64;
+         counters = Hashtbl.create 64;
+         timings = Hashtbl.create 64;
+       })
+
+let uninstall () = Atomic.set sink None
+
+let active () = Atomic.get sink <> None
+
+(* Callers hold s.mutex.  Wall clock clamped to the last reading: a
+   stepping NTP adjustment must not produce a negative span duration. *)
+let now_locked s =
+  let t = Unix.gettimeofday () -. s.t0 in
+  if t > s.last then s.last <- t;
+  s.last
+
+let push_locked s ev =
+  if s.ring.(s.write) <> None then s.lost <- s.lost + 1 else s.count <- s.count + 1;
+  s.ring.(s.write) <- Some ev;
+  s.write <- (s.write + 1) mod Array.length s.ring
+
+let locked s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) (fun () -> f s)
+
+let tid () = (Domain.self () :> int)
+
+let begin_span ?(parent = 0) ?(cat = "") ?(args = []) name =
+  match Atomic.get sink with
+  | None -> 0
+  | Some s ->
+      locked s (fun s ->
+          let id = s.next_id in
+          s.next_id <- id + 1;
+          Hashtbl.replace s.open_spans id
+            {
+              o_parent = parent;
+              o_name = name;
+              o_cat = cat;
+              o_tid = tid ();
+              o_ts = now_locked s;
+              o_args = args;
+            };
+          id)
+
+let end_span ?(args = []) id =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s ->
+      if id <> 0 then
+        locked s (fun s ->
+            match Hashtbl.find_opt s.open_spans id with
+            | None -> ()
+            | Some o ->
+                Hashtbl.remove s.open_spans id;
+                let t = now_locked s in
+                push_locked s
+                  (Span
+                     {
+                       id;
+                       parent = o.o_parent;
+                       name = o.o_name;
+                       cat = o.o_cat;
+                       tid = o.o_tid;
+                       ts = o.o_ts;
+                       dur = Float.max 0.0 (t -. o.o_ts);
+                       args = o.o_args @ args;
+                     }))
+
+let with_span ?parent ?cat ?args name f =
+  let id = begin_span ?parent ?cat ?args name in
+  match f id with
+  | v ->
+      end_span id;
+      v
+  | exception e ->
+      end_span ~args:[ ("raised", "true") ] id;
+      raise e
+
+let instant ?(cat = "") ?(args = []) name =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s ->
+      locked s (fun s ->
+          push_locked s (Instant { name; cat; tid = tid (); ts = now_locked s; args }))
+
+let count ?(n = 1) name =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s ->
+      locked s (fun s ->
+          match Hashtbl.find_opt s.counters name with
+          | Some r -> r := !r + n
+          | None -> Hashtbl.replace s.counters name (ref n))
+
+let observe name seconds =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s ->
+      locked s (fun s ->
+          match Hashtbl.find_opt s.timings name with
+          | Some (c, t) ->
+              incr c;
+              t := !t +. seconds
+          | None -> Hashtbl.replace s.timings name (ref 1, ref seconds))
+
+let timed name f =
+  match Atomic.get sink with
+  | None -> f ()
+  | Some _ -> (
+      let t0 = Unix.gettimeofday () in
+      match f () with
+      | v ->
+          observe name (Unix.gettimeofday () -. t0);
+          v
+      | exception e ->
+          observe name (Unix.gettimeofday () -. t0);
+          raise e)
+
+let dropped () =
+  match Atomic.get sink with None -> 0 | Some s -> locked s (fun s -> s.lost)
+
+(* Buffered events oldest-first.  Once the ring has wrapped, the oldest
+   live event sits at the write cursor. *)
+let events_locked s =
+  let cap = Array.length s.ring in
+  let start = if s.count < cap then 0 else s.write in
+  let out = ref [] in
+  for i = s.count - 1 downto 0 do
+    match s.ring.((start + i) mod cap) with
+    | Some ev -> out := ev :: !out
+    | None -> ()
+  done;
+  !out
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () =
+  match Atomic.get sink with
+  | None -> None
+  | Some s ->
+      Some
+        (locked s (fun s ->
+             let stats = Hashtbl.create 16 in
+             List.iter
+               (function
+                 | Span { cat; dur; _ } ->
+                     let key = if cat = "" then "(uncategorized)" else cat in
+                     let c, t =
+                       match Hashtbl.find_opt stats key with
+                       | Some ct -> ct
+                       | None ->
+                           let ct = (ref 0, ref 0.0) in
+                           Hashtbl.replace stats key ct;
+                           ct
+                     in
+                     incr c;
+                     t := !t +. dur
+                 | Instant _ -> ())
+               (events_locked s);
+             {
+               counters = sorted_bindings s.counters (fun r -> !r);
+               timings =
+                 sorted_bindings s.timings (fun (c, t) -> { t_count = !c; t_total = !t });
+               span_stats =
+                 sorted_bindings stats (fun (c, t) -> { s_count = !c; s_total = !t });
+               events = s.count;
+               dropped = s.lost;
+               open_spans = Hashtbl.length s.open_spans;
+             }))
+
+(* --- Chrome-trace JSON serialization (dependency-free) --- *)
+
+let escape buf str =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    str;
+  Buffer.add_char buf '"'
+
+let add_us buf seconds = Buffer.add_string buf (Printf.sprintf "%.3f" (seconds *. 1e6))
+
+let add_args buf args =
+  Buffer.add_string buf "\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      escape buf k;
+      Buffer.add_char buf ':';
+      escape buf v)
+    args;
+  Buffer.add_char buf '}'
+
+let add_span buf ~first ~id ~parent ~name ~cat ~tid ~ts ~dur ~args =
+  if not first then Buffer.add_string buf ",\n";
+  Buffer.add_string buf "{\"name\":";
+  escape buf name;
+  Buffer.add_string buf ",\"cat\":";
+  escape buf (if cat = "" then "default" else cat);
+  Buffer.add_string buf ",\"ph\":\"X\",\"ts\":";
+  add_us buf ts;
+  Buffer.add_string buf ",\"dur\":";
+  add_us buf dur;
+  Buffer.add_string buf ",\"pid\":1,\"tid\":";
+  Buffer.add_string buf (string_of_int tid);
+  Buffer.add_char buf ',';
+  add_args buf
+    (("span_id", string_of_int id) :: ("parent_id", string_of_int parent) :: args);
+  Buffer.add_char buf '}'
+
+let export () =
+  match Atomic.get sink with
+  | None -> None
+  | Some s ->
+      Some
+        (locked s (fun s ->
+             let buf = Buffer.create 4096 in
+             Buffer.add_string buf "{\"traceEvents\":[\n";
+             let first = ref true in
+             List.iter
+               (fun ev ->
+                 (match ev with
+                 | Span { id; parent; name; cat; tid; ts; dur; args } ->
+                     add_span buf ~first:!first ~id ~parent ~name ~cat ~tid ~ts ~dur ~args
+                 | Instant { name; cat; tid; ts; args } ->
+                     if not !first then Buffer.add_string buf ",\n";
+                     Buffer.add_string buf "{\"name\":";
+                     escape buf name;
+                     Buffer.add_string buf ",\"cat\":";
+                     escape buf (if cat = "" then "default" else cat);
+                     Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+                     add_us buf ts;
+                     Buffer.add_string buf ",\"pid\":1,\"tid\":";
+                     Buffer.add_string buf (string_of_int tid);
+                     Buffer.add_char buf ',';
+                     add_args buf args;
+                     Buffer.add_char buf '}');
+                 first := false)
+               (events_locked s);
+             (* spans still open: emit with the duration so far, flagged so
+                the summarizer can report them *)
+             let opens =
+               Hashtbl.fold (fun id o acc -> (id, o) :: acc) s.open_spans []
+               |> List.sort (fun (a, _) (b, _) -> compare a b)
+             in
+             let t = now_locked s in
+             List.iter
+               (fun (id, o) ->
+                 add_span buf ~first:!first ~id ~parent:o.o_parent ~name:o.o_name
+                   ~cat:o.o_cat ~tid:o.o_tid ~ts:o.o_ts
+                   ~dur:(Float.max 0.0 (t -. o.o_ts))
+                   ~args:(o.o_args @ [ ("unclosed", "true") ]);
+                 first := false)
+               opens;
+             Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+             Buffer.add_string buf "\"dropped\":";
+             escape buf (string_of_int s.lost);
+             Buffer.add_string buf ",\"open_spans\":";
+             escape buf (string_of_int (Hashtbl.length s.open_spans));
+             Buffer.add_string buf ",\"counters\":{";
+             let cs = sorted_bindings s.counters (fun r -> !r) in
+             List.iteri
+               (fun i (k, v) ->
+                 if i > 0 then Buffer.add_char buf ',';
+                 escape buf k;
+                 Buffer.add_char buf ':';
+                 escape buf (string_of_int v))
+               cs;
+             Buffer.add_string buf "},\"timings\":{";
+             let ts' = sorted_bindings s.timings (fun (c, t) -> (!c, !t)) in
+             List.iteri
+               (fun i (k, (c, total)) ->
+                 if i > 0 then Buffer.add_char buf ',';
+                 escape buf k;
+                 Buffer.add_char buf ':';
+                 escape buf (Printf.sprintf "%d:%.6f" c total))
+               ts';
+             Buffer.add_string buf "}}}\n";
+             Buffer.contents buf))

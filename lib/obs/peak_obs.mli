@@ -1,0 +1,103 @@
+(** Structured tracing and metrics for tuning runs.
+
+    A zero-dependency span/event tracer: monotonic-clock spans with
+    parent ids, named instants, counters and duration accumulators, all
+    stored in a bounded ring buffer behind a single installed sink.
+
+    {b Off by default.}  Every entry point branches once on whether a
+    sink is installed ([Atomic.get]); with no sink the calls are no-ops
+    that allocate nothing, so instrumented code pays near-zero cost in
+    production.  Tracing only ever {e observes} — span timestamps never
+    feed back into tuning decisions, digests or stored results, so a
+    traced run is bit-identical to an untraced one.
+
+    The sink is process-global and domain-safe: events arriving from
+    pool workers are serialized by an internal mutex.  Memory is bounded
+    by the ring capacity — once full, the oldest completed events are
+    overwritten and counted in {!dropped}. *)
+
+type event =
+  | Span of {
+      id : int;  (** Unique per sink, 1-based; 0 means "no parent". *)
+      parent : int;  (** Enclosing span id, or 0 at top level. *)
+      name : string;  (** Deterministic identity, e.g. [rate:cbr:<digest>:a0]. *)
+      cat : string;  (** Bounded-cardinality category for aggregation. *)
+      tid : int;  (** Domain id that closed the span. *)
+      ts : float;  (** Start, seconds since sink install (monotonic). *)
+      dur : float;  (** Duration in seconds, never negative. *)
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      tid : int;
+      ts : float;
+      args : (string * string) list;
+    }
+
+type timing = { t_count : int; t_total : float (** seconds *) }
+
+type span_stat = { s_count : int; s_total : float (** seconds *) }
+
+type snapshot = {
+  counters : (string * int) list;  (** Sorted by name. *)
+  timings : (string * timing) list;  (** From {!observe}, sorted by name. *)
+  span_stats : (string * span_stat) list;  (** Aggregated by span [cat]. *)
+  events : int;  (** Completed events currently buffered. *)
+  dropped : int;  (** Events overwritten after the ring filled. *)
+  open_spans : int;  (** Spans begun but not yet ended. *)
+}
+
+val install : ?capacity:int -> unit -> unit
+(** Install a fresh sink, enabling tracing.  [capacity] bounds the
+    number of buffered completed events (default 65536, min 16).  An
+    already-installed sink is replaced, discarding its events. *)
+
+val uninstall : unit -> unit
+(** Remove the sink; subsequent calls become no-ops again. *)
+
+val active : unit -> bool
+(** [true] iff a sink is installed. *)
+
+val begin_span : ?parent:int -> ?cat:string -> ?args:(string * string) list -> string -> int
+(** Open a span; returns its id, or 0 when tracing is off.  [parent] of
+    0 (or an omitted parent) makes a top-level span. *)
+
+val end_span : ?args:(string * string) list -> int -> unit
+(** Close a span by id, appending [args] to those given at open.  Id 0
+    and unknown ids are ignored, so a span begun while tracing was off
+    closes harmlessly. *)
+
+val with_span :
+  ?parent:int -> ?cat:string -> ?args:(string * string) list -> string -> (int -> 'a) -> 'a
+(** [with_span name f] runs [f span_id] inside a span, closing it on
+    both normal return and exception (the failing span is tagged
+    [raised=true]). *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** Record a point event. *)
+
+val count : ?n:int -> string -> unit
+(** Bump a named counter by [n] (default 1). *)
+
+val observe : string -> float -> unit
+(** Accumulate [seconds] into a named duration histogram (count + total). *)
+
+val timed : string -> (unit -> 'a) -> 'a
+(** [timed name f] runs [f ()], accumulating its wall-clock duration via
+    {!observe} (also on exception).  When tracing is off this is exactly
+    [f ()] — the clock is never read. *)
+
+val dropped : unit -> int
+(** Events lost to ring overwrite since install; 0 when off. *)
+
+val snapshot : unit -> snapshot option
+(** Aggregate view of the current sink; [None] when off. *)
+
+val export : unit -> string option
+(** Serialize the sink as a Chrome-trace-format JSON document
+    ([traceEvents] with ["ph":"X"] spans and ["ph":"i"] instants,
+    timestamps in microseconds; counters/timings/drop counts under
+    [otherData]).  Spans still open at export time are emitted with the
+    elapsed duration so far and tagged [unclosed=true].  [None] when
+    off. *)

@@ -163,8 +163,12 @@ let of_string s =
         let k = String.sub field 0 i in
         let v = String.sub field (i + 1) (String.length field - i - 1) in
         let float_v f =
+          (* float_of_string accepts "inf"/"nan"; a non-finite rate
+             would make every probability draw vacuous, so the spec
+             decode boundary rejects them like the rating params do *)
           match float_of_string_opt v with
-          | Some x -> Ok (seed, f x)
+          | Some x when Float.is_finite x -> Ok (seed, f x)
+          | Some _ -> Error (Printf.sprintf "fault spec: %s=%S is not finite" k v)
           | None -> Error (Printf.sprintf "fault spec: %s=%S is not a number" k v)
         in
         match k with

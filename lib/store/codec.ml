@@ -1,6 +1,6 @@
 open Peak_compiler
 
-let version = 3
+let version = 4
 
 (* Canonical rating-method names — kept in lockstep with
    [Peak.Method.all] (the store sits below the core library in the
@@ -32,12 +32,23 @@ let fnv64 s =
 let ( let* ) r f = Result.bind r f
 
 (* Every record carries the format version; refuse to decode the
-   future. *)
-let check_version v =
+   future.  Decoders that enforce version-dependent rules (v4 numeric
+   hygiene) use [checked_version] to learn which version wrote the
+   record. *)
+let checked_version v =
   match Json.get_int "v" v with
   | Error _ -> Error "missing format version"
   | Ok n when n > version -> Error (Printf.sprintf "store format v%d is newer than v%d" n version)
-  | Ok _ -> Ok ()
+  | Ok n -> Ok n
+
+(* v4 numeric hygiene: NaN never decodes from a v4+ record, and
+   infinities only where a decoder explicitly allows a sentinel (the
+   quarantine eval).  Older records decode leniently — they were written
+   before the rule existed. *)
+let require_finite ~ver key f =
+  if ver >= 4 && not (Float.is_finite f) then
+    Error (Printf.sprintf "member %S: non-finite value in a v%d record" key ver)
+  else Ok f
 
 type rating = {
   eval : float;
@@ -82,6 +93,16 @@ type session_meta = {
 
 type attempt = { at_method : string; at_converged : bool; at_ratings : int }
 
+type method_metrics = { mm_method : string; mm_ratings : int; mm_invocations : int }
+
+type metrics = {
+  x_methods : method_metrics list;
+  x_quarantined : int;
+  x_retries : int;
+  x_invocations : int;
+  x_cycles : float;
+}
+
 type session_result = {
   r_method : string;
   r_attempts : attempt list;
@@ -97,6 +118,9 @@ type session_result = {
       (* condemned configs in submission order, with the reason each
          was condemned *)
   r_retries : int;  (* transient-failure retries absorbed session-wide *)
+  r_metrics : metrics option;
+      (* deterministic per-method accounting (v4); [None] for decoded
+         v1–v3 results *)
 }
 
 (* ---------------- floats ---------------- *)
@@ -164,9 +188,9 @@ let rating_to_json (r : rating) =
     ]
 
 let rating_of_json v =
-  let* () = check_version v in
-  let* eval = get_special_float "eval" v in
-  let* var = get_special_float "var" v in
+  let* ver = checked_version v in
+  let* eval = Result.bind (get_special_float "eval" v) (require_finite ~ver "eval") in
+  let* var = Result.bind (get_special_float "var" v) (require_finite ~ver "var") in
   let* samples = Json.get_int "samples" v in
   let* invocations = Json.get_int "invocations" v in
   let* converged = Json.get_bool "converged" v in
@@ -216,7 +240,7 @@ let event_to_json (e : event) =
     @ if e.e_retries = 0 then [] else [ ("retries", Json.Int e.e_retries) ])
 
 let event_of_json v =
-  let* () = check_version v in
+  let* ver = checked_version v in
   let* t = Json.get_str "t" v in
   let* () = if t = "rating" then Ok () else Error ("unexpected record type " ^ t) in
   let* e_method = Result.bind (Json.get_str "method" v) valid_method in
@@ -244,6 +268,19 @@ let event_of_json v =
         Ok (Some r)
   in
   let* e_retries = match Json.member "retries" v with Error _ -> Ok 0 | Ok j -> Json.to_int j in
+  (* v4 numeric hygiene: a NaN eval is never a valid rating, and an
+     infinite one is only the quarantine/no-samples sentinel — it must
+     carry a failure reason.  Without this, a hand-edited or corrupted
+     journal line could feed a non-finite rating into the index and
+     poison warm-start distances. *)
+  let* () =
+    if ver < 4 then Ok ()
+    else if Float.is_nan e_eval then Error "member \"eval\": NaN rating in a v4 record"
+    else if (not (Float.is_finite e_eval)) && e_fail = None then
+      Error "member \"eval\": infinite rating without a failure reason in a v4 record"
+    else Ok ()
+  in
+  let* c_cycles = require_finite ~ver "cycles" c_cycles in
   Ok
     {
       e_method;
@@ -279,14 +316,16 @@ let session_meta_to_json (m : session_meta) =
     ]
 
 let session_meta_of_json v =
-  let* () = check_version v in
+  let* ver = checked_version v in
   let* m_id = Json.get_str "id" v in
   let* m_benchmark = Json.get_str "benchmark" v in
   let* m_machine = Json.get_str "machine" v in
   let* m_dataset = Json.get_str "dataset" v in
   let* m_search = Json.get_str "search" v in
   let* m_seed = Json.get_int "seed" v in
-  let* m_threshold = get_special_float "threshold" v in
+  let* m_threshold =
+    Result.bind (get_special_float "threshold" v) (require_finite ~ver "threshold")
+  in
   let* m_params = Json.get_str "params" v in
   let* m_method = Result.bind (Json.get_str "method" v) valid_method_request in
   let* sj = Json.member "start" v in
@@ -326,32 +365,73 @@ let attempt_of_json v =
   let* at_ratings = Json.get_int "ratings" v in
   Ok { at_method; at_converged; at_ratings }
 
-let session_result_to_json (r : session_result) =
+let metrics_to_json (x : metrics) =
   Json.Obj
     [
-      ("v", Json.Int version);
-      ("t", Json.String "result");
-      ("method", Json.String r.r_method);
-      ("attempts", Json.List (List.map attempt_to_json r.r_attempts));
-      ("best", optconfig_to_json r.r_best);
-      ("ratings", Json.Int r.r_ratings);
-      ("iterations", Json.Int r.r_iterations);
-      ("trajectory", trajectory_to_json r.r_trajectory);
-      ("tuning_cycles", float_to_json r.r_tuning_cycles);
-      ("tuning_seconds", float_to_json r.r_tuning_seconds);
-      ("passes", Json.Int r.r_passes);
-      ("invocations", Json.Int r.r_invocations);
-      ( "quarantined",
+      ( "methods",
         Json.List
           (List.map
-             (fun (c, reason) ->
-               Json.Obj [ ("config", optconfig_to_json c); ("reason", Json.String reason) ])
-             r.r_quarantined) );
-      ("retries", Json.Int r.r_retries);
+             (fun mm ->
+               Json.Obj
+                 [
+                   ("method", Json.String mm.mm_method);
+                   ("ratings", Json.Int mm.mm_ratings);
+                   ("invocations", Json.Int mm.mm_invocations);
+                 ])
+             x.x_methods) );
+      ("quarantined", Json.Int x.x_quarantined);
+      ("retries", Json.Int x.x_retries);
+      ("invocations", Json.Int x.x_invocations);
+      ("cycles", float_to_json x.x_cycles);
     ]
 
+let metrics_of_json v =
+  let* mj = Json.get_list "methods" v in
+  let* methods =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* mm_method = Result.bind (Json.get_str "method" item) valid_method in
+        let* mm_ratings = Json.get_int "ratings" item in
+        let* mm_invocations = Json.get_int "invocations" item in
+        Ok ({ mm_method; mm_ratings; mm_invocations } :: acc))
+      (Ok []) mj
+  in
+  let* x_quarantined = Json.get_int "quarantined" v in
+  let* x_retries = Json.get_int "retries" v in
+  let* x_invocations = Json.get_int "invocations" v in
+  let* x_cycles =
+    Result.bind (get_special_float "cycles" v) (require_finite ~ver:version "cycles")
+  in
+  Ok { x_methods = List.rev methods; x_quarantined; x_retries; x_invocations; x_cycles }
+
+let session_result_to_json (r : session_result) =
+  Json.Obj
+    ([
+       ("v", Json.Int version);
+       ("t", Json.String "result");
+       ("method", Json.String r.r_method);
+       ("attempts", Json.List (List.map attempt_to_json r.r_attempts));
+       ("best", optconfig_to_json r.r_best);
+       ("ratings", Json.Int r.r_ratings);
+       ("iterations", Json.Int r.r_iterations);
+       ("trajectory", trajectory_to_json r.r_trajectory);
+       ("tuning_cycles", float_to_json r.r_tuning_cycles);
+       ("tuning_seconds", float_to_json r.r_tuning_seconds);
+       ("passes", Json.Int r.r_passes);
+       ("invocations", Json.Int r.r_invocations);
+       ( "quarantined",
+         Json.List
+           (List.map
+              (fun (c, reason) ->
+                Json.Obj [ ("config", optconfig_to_json c); ("reason", Json.String reason) ])
+              r.r_quarantined) );
+       ("retries", Json.Int r.r_retries);
+     ]
+    @ match r.r_metrics with None -> [] | Some x -> [ ("metrics", metrics_to_json x) ])
+
 let session_result_of_json v =
-  let* () = check_version v in
+  let* ver = checked_version v in
   let* r_method = Result.bind (Json.get_str "method" v) valid_method in
   (* v1 results predate the attempted-method chain *)
   let* r_attempts =
@@ -375,8 +455,16 @@ let session_result_of_json v =
   let* r_iterations = Json.get_int "iterations" v in
   let* tj = Json.member "trajectory" v in
   let* r_trajectory = trajectory_of_json tj in
-  let* r_tuning_cycles = get_special_float "tuning_cycles" v in
-  let* r_tuning_seconds = get_special_float "tuning_seconds" v in
+  let* () =
+    if ver < 4 || List.for_all (fun (_, g) -> Float.is_finite g) r_trajectory then Ok ()
+    else Error "member \"trajectory\": non-finite gain in a v4 record"
+  in
+  let* r_tuning_cycles =
+    Result.bind (get_special_float "tuning_cycles" v) (require_finite ~ver "tuning_cycles")
+  in
+  let* r_tuning_seconds =
+    Result.bind (get_special_float "tuning_seconds" v) (require_finite ~ver "tuning_seconds")
+  in
   let* r_passes = Json.get_int "passes" v in
   let* r_invocations = Json.get_int "invocations" v in
   (* v2 results predate quarantine bookkeeping *)
@@ -398,6 +486,14 @@ let session_result_of_json v =
         Ok (List.rev qs)
   in
   let* r_retries = match Json.member "retries" v with Error _ -> Ok 0 | Ok j -> Json.to_int j in
+  (* v3 results predate the metrics block *)
+  let* r_metrics =
+    match Json.member "metrics" v with
+    | Error _ -> Ok None
+    | Ok j ->
+        let* x = metrics_of_json j in
+        Ok (Some x)
+  in
   Ok
     {
       r_method;
@@ -412,4 +508,5 @@ let session_result_of_json v =
       r_invocations;
       r_quarantined;
       r_retries;
+      r_metrics;
     }

@@ -17,13 +17,19 @@
 open Peak_compiler
 
 val version : int
-(** Current store format version (3).  v2 added the per-event
+(** Current store format version (4).  v2 added the per-event
     convergence flag and the session result's attempted-method chain;
     v1 records decode with [converged = true] and an empty chain.  v3
     added fault-tolerance bookkeeping: per-event quarantine reason and
     retry count, the session result's quarantine list and retry total,
     and the session metadata's serialized fault plan; v2 records decode
-    with no failures, no retries, and no fault plan (["-"]). *)
+    with no failures, no retries, and no fault plan (["-"]).  v4 added
+    the session result's deterministic {!metrics} block (v3 results
+    decode with [r_metrics = None]) and tightened numeric hygiene: in a
+    v4+ record a NaN eval, threshold, cycle count or trajectory gain is
+    a decode error, and an infinite event eval is only accepted as the
+    quarantine/no-samples sentinel (it must carry a failure reason).
+    v1–v3 records keep decoding leniently. *)
 
 val fnv64 : string -> string
 (** Stable 16-hex-digit FNV-1a 64 digest of a string — used for
@@ -106,6 +112,24 @@ type attempt = { at_method : string; at_converged : bool; at_ratings : int }
     fallback chain (abandoned probes first, the committed method
     last). *)
 
+type method_metrics = { mm_method : string; mm_ratings : int; mm_invocations : int }
+(** Per-method accounting: how many ratings the method produced and the
+    trace invocations they consumed. *)
+
+type metrics = {
+  x_methods : method_metrics list;
+      (** Sorted by canonical method order; methods that never rated are
+          omitted. *)
+  x_quarantined : int;  (** Configurations condemned by fault oracles. *)
+  x_retries : int;  (** Transient-failure retries absorbed. *)
+  x_invocations : int;  (** Total rating invocations consumed. *)
+  x_cycles : float;  (** Total simulated cycles charged to the session. *)
+}
+(** The session result's deterministic metrics block (v4).  Every field
+    is a pure function of the rating outcomes in submission order —
+    never of wall-clock time — so a traced, untraced, parallel or
+    resumed run of the same session serializes the identical block. *)
+
 type session_result = {
   r_method : string;  (** Method actually used. *)
   r_attempts : attempt list;
@@ -124,6 +148,9 @@ type session_result = {
   r_retries : int;
       (** Transient-failure retries absorbed across the whole session
           ([0] for decoded v2 results). *)
+  r_metrics : metrics option;
+      (** Deterministic metrics block ([None] for decoded v1–v3
+          results). *)
 }
 (** The durable summary of a [Driver.result] (profile and advice are
     recomputed deterministically on resume, so only the outcome is
@@ -145,6 +172,9 @@ val trajectory_of_json : Json.t -> ((Optconfig.t * float) list, string) result
 
 val attempt_to_json : attempt -> Json.t
 val attempt_of_json : Json.t -> (attempt, string) result
+
+val metrics_to_json : metrics -> Json.t
+val metrics_of_json : Json.t -> (metrics, string) result
 
 val event_to_json : event -> Json.t
 val event_of_json : Json.t -> (event, string) result

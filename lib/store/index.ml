@@ -67,9 +67,21 @@ let entry_of_json v =
   let* cj = Json.member "config" v in
   let* config = Codec.optconfig_of_json cj in
   let* eval = Result.bind (Json.member "eval" v) Codec.float_of_json in
+  (* a non-finite eval here would poison every warm-start
+     nearest-neighbor distance computed against it; the gc never writes
+     one (failed ratings are filtered), so reading one back means a
+     corrupted or hand-edited index *)
+  let* () =
+    if Float.is_finite eval then Ok ()
+    else Error "member \"eval\": non-finite rating in index entry"
+  in
   let* c_invocations = Json.get_int "inv" v in
   let* c_passes = Json.get_int "passes" v in
   let* c_cycles = Result.bind (Json.member "cycles" v) Codec.float_of_json in
+  let* () =
+    if Float.is_finite c_cycles then Ok ()
+    else Error "member \"cycles\": non-finite cycle count in index entry"
+  in
   Ok
     {
       key =
@@ -105,9 +117,17 @@ let of_json v =
       List.fold_left
         (fun acc item ->
           let* () = acc in
-          let* e = entry_of_json item in
-          add t e;
-          Ok ())
+          match entry_of_json item with
+          | Ok e ->
+              add t e;
+              Ok ()
+          | Error _ when n < 4 ->
+              (* pre-v4 indexes could legitimately contain entries the
+                 tightened rules now reject (e.g. a non-finite eval from
+                 an old failed rating); skip them — warm start simply
+                 loses those proposals *)
+              Ok ()
+          | Error _ as e -> e)
         (Ok ()) items
     in
     Ok t

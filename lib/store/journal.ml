@@ -57,10 +57,11 @@ let flush_locked t =
         t.closed <- true;
         raise Torn_write
     | _ ->
-        write_all t.fd bytes 0 size;
-        Buffer.clear t.buf;
-        t.pending <- 0;
-        Unix.fsync t.fd
+        Peak_obs.timed "journal.fsync" (fun () ->
+            write_all t.fd bytes 0 size;
+            Buffer.clear t.buf;
+            t.pending <- 0;
+            Unix.fsync t.fd)
   end
 
 let locked t f =
@@ -69,6 +70,7 @@ let locked t f =
 
 let append t record =
   let line = Json.to_string record in
+  Peak_obs.count "journal.appends";
   locked t (fun () ->
       if t.closed then invalid_arg "Journal.append: closed journal";
       Buffer.add_string t.buf line;

@@ -154,6 +154,8 @@ let record t ~method_ ~base ~idx ~config ~eval ~converged ?fail ?(retries = 0) ~
     (eval, converged, used, fail, retries)
 
 let complete t result =
+  Peak_obs.count "store.completes";
+  Peak_obs.timed "store.complete" @@ fun () ->
   Journal.flush t.journal;
   write_atomic
     (result_path t.dir t.meta.Codec.m_id)
@@ -224,6 +226,7 @@ type gc_stats = {
 }
 
 let gc ~dir =
+  Peak_obs.timed "store.gc" @@ fun () ->
   let index = Index.create () in
   let* sessions, events_total, dropped_total =
     List.fold_left
@@ -249,21 +252,25 @@ let gc ~dir =
         let m = info.info_meta in
         List.iter
           (fun (e : Codec.event) ->
-            Index.add index
-              {
-                Index.key =
-                  {
-                    Index.k_benchmark = m.Codec.m_benchmark;
-                    k_machine = m.Codec.m_machine;
-                    k_method = e.Codec.e_method;
-                    k_config = Optconfig.digest e.Codec.e_config;
-                    k_ctx = e.Codec.e_ctx;
-                  };
-                session = id;
-                config = e.Codec.e_config;
-                eval = e.Codec.e_eval;
-                used = e.Codec.e_used;
-              })
+            (* failed events carry a quarantine/no-samples sentinel, not
+               a rating; indexing their +inf (or an old journal's NaN)
+               eval would poison warm-start nearest-neighbor distances *)
+            if e.Codec.e_fail = None && Float.is_finite e.Codec.e_eval then
+              Index.add index
+                {
+                  Index.key =
+                    {
+                      Index.k_benchmark = m.Codec.m_benchmark;
+                      k_machine = m.Codec.m_machine;
+                      k_method = e.Codec.e_method;
+                      k_config = Optconfig.digest e.Codec.e_config;
+                      k_ctx = e.Codec.e_ctx;
+                    };
+                  session = id;
+                  config = e.Codec.e_config;
+                  eval = e.Codec.e_eval;
+                  used = e.Codec.e_used;
+                })
           evs;
         Ok (sessions + 1, events_total + List.length evs, dropped_total + dropped))
       (Ok (0, 0, 0))

@@ -19,6 +19,7 @@ let rec worker_loop pool =
   match Queue.take_opt pool.queue with
   | Some task ->
       Mutex.unlock pool.mutex;
+      Peak_obs.count "pool.worker_tasks";
       task ();
       worker_loop pool
   | None ->
@@ -63,6 +64,15 @@ let map (type b) pool (f : 'a -> b) items =
     for i = 0 to n - 1 do
       Queue.push (task i) pool.queue
     done;
+    Peak_obs.count ~n "pool.submitted";
+    if Peak_obs.active () then
+      Peak_obs.instant ~cat:"pool"
+        ~args:
+          [
+            ("batch", string_of_int n);
+            ("depth", string_of_int (Queue.length pool.queue));
+          ]
+        "pool:batch";
     Condition.broadcast pool.cond;
     (* The caller works too.  It may pick up a task from another batch
        (nested maps share the queue); that only delays this batch, and
@@ -71,6 +81,8 @@ let map (type b) pool (f : 'a -> b) items =
       match Queue.take_opt pool.queue with
       | Some task ->
           Mutex.unlock pool.mutex;
+          (* the submitter helping drain its own (or a nested) batch *)
+          Peak_obs.count "pool.steals";
           task ();
           Mutex.lock pool.mutex
       | None -> if !remaining > 0 then Condition.wait pool.cond pool.mutex

@@ -126,7 +126,7 @@ let drop_outliers ?k a =
   done;
   Array.of_list !out
 
-type welch = Insufficient_data | Welch of { t_stat : float; df : float }
+type welch = Insufficient_data | Equal | Welch of { t_stat : float; df : float }
 
 let welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =
   if
@@ -144,8 +144,11 @@ let welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =
     let se2 = s1 +. s2 in
     if se2 <= 0.0 then
       (* zero pooled variance: the difference is deterministic, so report
-         a signed infinite statistic rather than losing the direction *)
-      if mean1 = mean2 then Welch { t_stat = 0.0; df = 1.0 }
+         a signed infinite statistic rather than losing the direction.
+         Equal constant samples are exactly equal — a degenerate verdict,
+         not a t = 0 at a made-up df = 1 (which misreported the strength
+         of the "no difference" conclusion). *)
+      if mean1 = mean2 then Equal
       else if mean1 < mean2 then Welch { t_stat = neg_infinity; df = 1.0 }
       else Welch { t_stat = infinity; df = 1.0 }
     else begin
@@ -181,7 +184,7 @@ let t_critical95 ~df =
 
 let significantly_less ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =
   match welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 with
-  | Insufficient_data -> false
+  | Insufficient_data | Equal -> false
   | Welch { t_stat; df } -> t_stat < -.t_critical95 ~df
 
 let windows a ~size =

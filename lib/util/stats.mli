@@ -73,12 +73,15 @@ val outlier_mask : ?k:float -> float array -> bool array
 
 (** {1 Significance testing} *)
 
-type welch = Insufficient_data | Welch of { t_stat : float; df : float }
+type welch = Insufficient_data | Equal | Welch of { t_stat : float; df : float }
 (** Outcome of a Welch comparison.  [Insufficient_data] replaces the old
     silent [(0, 1)] answer: a sample with fewer than two points (or NaN
     summary statistics, e.g. from an all-NaN measurement window) carries
     no evidence either way, and pretending it showed "no difference"
-    propagated into rating decisions. *)
+    propagated into rating decisions.  [Equal] is the degenerate verdict
+    for two constant samples with the same mean: both variances are
+    zero, so no finite t statistic or honest degrees of freedom exists —
+    the old [t_stat = 0, df = 1] answer misreported significance. *)
 
 val welch_t_summary :
   mean1:float -> var1:float -> n1:int -> mean2:float -> var2:float -> n2:int -> welch
@@ -86,7 +89,7 @@ val welch_t_summary :
     two independent samples given by their summary statistics.
     [Insufficient_data] when either sample has fewer than two points or
     any summary statistic is non-finite.  Both variances zero with equal
-    means yields [t_stat = 0]; unequal means with zero variances yield a
+    means yields [Equal]; unequal means with zero variances yield a
     signed infinity ([neg_infinity] when [mean1 < mean2]) so that
     directional tests keep working on deterministic data. *)
 
@@ -99,7 +102,8 @@ val significantly_less :
   mean1:float -> var1:float -> n1:int -> mean2:float -> var2:float -> n2:int -> bool
 (** One-sided test at 97.5%: is population 1's mean credibly below
     population 2's?  [false] on {!Insufficient_data} — no evidence, no
-    swap.  (Used by the adaptive engine to swap versions only on
+    swap — and [false] on {!Equal} — exactly equal constants are never a
+    win.  (Used by the adaptive engine to swap versions only on
     statistically real wins.) *)
 
 (** {1 Aggregation helpers} *)

@@ -87,3 +87,14 @@ let print ?align t = print_string (render ?align t)
 let fmt_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
 
 let fmt_percent ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals (v *. 100.0)
+
+let fmt_signed_percent ?(decimals = 1) v =
+  (* The sign comes from the rounded text, not the raw float: a tiny
+     regression that rounds to zero must print "0.0%", never "-0.0%",
+     and anything positive gets an explicit "+" so gains and losses read
+     consistently across every table. *)
+  let s = Printf.sprintf "%.*f" decimals v in
+  let zero = Printf.sprintf "%.*f" decimals 0.0 in
+  if s = zero || s = "-" ^ zero then zero ^ "%"
+  else if s.[0] = '-' then s ^ "%"
+  else "+" ^ s ^ "%"

@@ -31,3 +31,10 @@ val fmt_float : ?decimals:int -> float -> string
 
 val fmt_percent : ?decimals:int -> float -> string
 (** [fmt_percent 0.26] is ["26.0%"] with default decimals = 1. *)
+
+val fmt_signed_percent : ?decimals:int -> float -> string
+(** Signed percent for values already in percent units:
+    [fmt_signed_percent 3.14] is ["+3.1%"], [fmt_signed_percent (-2.0)]
+    is ["-2.0%"].  Values that round to zero — including negative zero
+    and tiny regressions — print as ["0.0%"], so reports never show the
+    confusing ["-0.0%"]. *)

@@ -71,7 +71,25 @@ let check_identical tag (a : Driver.result) (b : Driver.result) =
     a.Driver.quarantined b.Driver.quarantined;
   Alcotest.(check int)
     (tag ^ ": fault retries identical")
-    a.Driver.fault_retries b.Driver.fault_retries
+    a.Driver.fault_retries b.Driver.fault_retries;
+  (* the metrics block is part of result.json, so it is held to the same
+     bit-identity bar as the ledger itself *)
+  Alcotest.(check bool)
+    (tag ^ ": per-method metrics identical")
+    true
+    (a.Driver.metrics.Peak_store.Codec.x_methods = b.Driver.metrics.Peak_store.Codec.x_methods);
+  Alcotest.(check int)
+    (tag ^ ": metrics quarantine count identical")
+    a.Driver.metrics.Peak_store.Codec.x_quarantined b.Driver.metrics.Peak_store.Codec.x_quarantined;
+  Alcotest.(check int)
+    (tag ^ ": metrics retries identical")
+    a.Driver.metrics.Peak_store.Codec.x_retries b.Driver.metrics.Peak_store.Codec.x_retries;
+  Alcotest.(check int)
+    (tag ^ ": metrics invocations identical")
+    a.Driver.metrics.Peak_store.Codec.x_invocations b.Driver.metrics.Peak_store.Codec.x_invocations;
+  Alcotest.(check (float 0.0))
+    (tag ^ ": metrics cycles bit-identical")
+    a.Driver.metrics.Peak_store.Codec.x_cycles b.Driver.metrics.Peak_store.Codec.x_cycles
 
 (* Crash simulation: given a completed session's store, build a copy
    whose journal ends after [keep] whole events plus a torn half-line —

@@ -595,6 +595,80 @@ let test_rating_summarize_insufficient () =
       Alcotest.(check (float 1e-9)) "NaN dropped from mean" 7.0 eval;
       Alcotest.(check bool) "constant window converges" true converged
 
+let test_mbr_no_samples_at_budget_cap () =
+  (* a budget one short of the k observations the regression needs: the
+     fit can never happen, and the failure must be the typed No_samples
+     (like CBR), never a NaN eval leaking into the search *)
+  let runner, version, _, _ = make_runner "MGRID" in
+  let b = bench "MGRID" in
+  let tsec = tsec_of b.Benchmark.ts in
+  let trace = b.Benchmark.trace Trace.Train ~seed:31 in
+  let profile = Profile.run tsec trace Machine.sparc2 in
+  let k = Component_analysis.n_components profile.Profile.components in
+  Alcotest.(check bool) "multi-component section" true (k >= 2);
+  let params = { fast_params with Rating.max_invocations = k - 1 } in
+  match
+    Mbr.rate ~params runner ~components:profile.Profile.components
+      ~avg_counts:profile.Profile.avg_component_counts
+      ~dominant:profile.Profile.dominant_component version
+  with
+  | r ->
+      Alcotest.fail
+        (Printf.sprintf "expected No_samples, got eval=%h from %d invocation(s)"
+           r.Rating.eval r.Rating.invocations)
+  | exception Rating.No_samples msg ->
+      Alcotest.(check bool) "message names the section" true
+        (Oracles.contains ~sub:"no model fit" msg);
+      (* sweep the budget across the fit boundary: whatever the cap,
+         the outcome is the typed No_samples or a finite rating whose
+         convergence flag is honest — never a NaN eval *)
+      let min_obs = max fast_params.Rating.window (3 * k) in
+      List.iter
+        (fun budget ->
+          let runner, version, _, _ = make_runner "MGRID" in
+          let params = { fast_params with Rating.max_invocations = budget } in
+          match
+            Mbr.rate ~params runner ~components:profile.Profile.components
+              ~avg_counts:profile.Profile.avg_component_counts
+              ~dominant:profile.Profile.dominant_component version
+          with
+          | r ->
+              Alcotest.(check bool)
+                (Printf.sprintf "budget %d: eval finite" budget)
+                true
+                (Float.is_finite r.Rating.eval);
+              Alcotest.(check bool)
+                (Printf.sprintf "budget %d: budget respected" budget)
+                true
+                (r.Rating.invocations <= budget);
+              if r.Rating.converged then
+                Alcotest.(check bool)
+                  (Printf.sprintf "budget %d: convergence honest" budget)
+                  true
+                  (r.Rating.samples >= min_obs)
+          | exception Rating.No_samples _ -> ())
+        [ k - 1; k; (2 * k) + 1; min_obs - 1; min_obs; 2 * min_obs ]
+
+let test_params_signature_rejects_nonfinite () =
+  (* the round-trip law holds on finite parameters… *)
+  let p = { Rating.window = 40; rel_threshold = 0.01; max_invocations = 20000; outlier_k = 3.5 } in
+  (match Rating.params_of_signature (Rating.params_signature p) with
+  | Some p' -> Alcotest.(check bool) "finite params round-trip" true (p = p')
+  | None -> Alcotest.fail "finite signature rejected");
+  (* …and non-finite floats in a signature are refused, never parsed *)
+  List.iter
+    (fun sig_ ->
+      Alcotest.(check bool) (sig_ ^ " rejected") true
+        (Rating.params_of_signature sig_ = None))
+    [ "w40:tinf:m20000:k3.5"; "w40:tnan:m20000:k3.5"; "w40:t0.01:m20000:kinf";
+      "w40:t-inf:m20000:k3.5"; "w40:t0.01:m20000:knan" ];
+  (* the shared helper underneath behaves the same way *)
+  Alcotest.(check bool) "finite accepted" true (Rating.finite_float_opt "0.25" = Some 0.25);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " not finite") true (Rating.finite_float_opt s = None))
+    [ "inf"; "-inf"; "nan"; "infinity"; "bogus" ]
+
 (* ------------------------------------------------------------------ *)
 (* Harness fallback                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -968,6 +1042,10 @@ let suites =
         Alcotest.test_case "outlier elimination" `Quick test_rating_outlier_elimination;
         Alcotest.test_case "summarize types insufficient data" `Quick
           test_rating_summarize_insufficient;
+        Alcotest.test_case "mbr no-samples at budget cap" `Quick
+          test_mbr_no_samples_at_budget_cap;
+        Alcotest.test_case "params signature rejects non-finite" `Quick
+          test_params_signature_rejects_nonfinite;
       ] );
     ( "core.harness",
       [

@@ -37,6 +37,13 @@ let gen_float =
 
 let arb_float = QCheck.make ~print:(Printf.sprintf "%h") gen_float
 
+(* v4 records refuse non-finite floats at decode time, so generators for
+   record fields map the special values onto an extreme-but-finite
+   double; the sentinel cases (infinite quarantine evals) are exercised
+   explicitly below. *)
+let gen_finite =
+  QCheck.Gen.map (fun f -> if Float.is_finite f then f else 0x1.fp1023) gen_float
+
 let gen_optconfig =
   QCheck.Gen.(
     list_size (int_bound 38) (int_bound (Array.length Flags.all - 1)) >|= fun idxs ->
@@ -56,14 +63,14 @@ let gen_consumption =
   QCheck.Gen.(
     map3
       (fun i p c -> { Codec.c_invocations = i; c_passes = p; c_cycles = c })
-      small_nat small_nat gen_float)
+      small_nat small_nat gen_finite)
 
 let gen_rating =
   QCheck.Gen.(
     map
       (fun (eval, var, samples, invocations, converged) ->
         { Codec.eval; var; samples; invocations; converged })
-      (tup5 gen_float gen_float small_nat small_nat bool))
+      (tup5 gen_finite gen_finite small_nat small_nat bool))
 
 let arb_rating =
   QCheck.make
@@ -76,6 +83,12 @@ let gen_event =
   QCheck.Gen.(
     map
       (fun (m, ctx, base, idx, config, ((eval, converged), (fail, retries)), used) ->
+        (* keep the generated event v4-valid: a non-finite eval becomes
+           the +inf sentinel, which must carry a failure reason *)
+        let eval, fail =
+          if Float.is_finite eval then (eval, fail)
+          else (Float.infinity, Some (Option.value fail ~default:"crashed"))
+        in
         {
           Codec.e_method = m;
           e_ctx = ctx;
@@ -103,7 +116,7 @@ let arb_event =
     gen_event
 
 let gen_trajectory =
-  QCheck.Gen.(list_size (int_bound 6) (pair gen_optconfig gen_float))
+  QCheck.Gen.(list_size (int_bound 6) (pair gen_optconfig gen_finite))
 
 let arb_trajectory =
   QCheck.make ~print:(fun t -> Json.to_string (Codec.trajectory_to_json t)) gen_trajectory
@@ -126,7 +139,7 @@ let gen_session_meta =
           m_faults = faults;
         })
       (tup8 gen_name (pair gen_name gen_name) (pair gen_name gen_name) small_nat
-         gen_float gen_name
+         gen_finite gen_name
          (oneofl [ "auto"; "cbr"; "mbr"; "rbr"; "avg"; "whl" ])
          (pair gen_optconfig (oneofl [ "-"; "seed=3,crash=0.05"; "seed=7,wrong=0.02" ]))))
 
@@ -148,6 +161,27 @@ let gen_quarantined =
     list_size (int_bound 3)
       (pair gen_optconfig (oneofl [ "crashed"; "hung"; "wrong-output" ])))
 
+let gen_method_metrics =
+  QCheck.Gen.(
+    map3
+      (fun m r i -> { Codec.mm_method = m; mm_ratings = r; mm_invocations = i })
+      (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ])
+      small_nat small_nat)
+
+let gen_metrics =
+  QCheck.Gen.(
+    map
+      (fun (methods, q, retries, inv, cycles) ->
+        {
+          Codec.x_methods = methods;
+          x_quarantined = q;
+          x_retries = retries;
+          x_invocations = inv;
+          x_cycles = cycles;
+        })
+      (tup5 (list_size (int_bound 4) gen_method_metrics) small_nat small_nat small_nat
+         gen_finite))
+
 let gen_session_result =
   QCheck.Gen.(
     map
@@ -158,7 +192,7 @@ let gen_session_result =
           trajectory,
           cycles,
           seconds,
-          ((passes, inv), (quarantined, retries)) )
+          ((passes, inv), ((quarantined, retries), metrics)) )
       ->
         {
           Codec.r_method = m;
@@ -173,12 +207,14 @@ let gen_session_result =
           r_invocations = inv;
           r_quarantined = quarantined;
           r_retries = retries;
+          r_metrics = metrics;
         })
       (tup7
          (pair (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ]) (list_size (int_bound 4) gen_attempt))
-         gen_optconfig (pair small_nat small_nat) gen_trajectory gen_float
-         gen_float
-         (pair (pair small_nat small_nat) (pair gen_quarantined small_nat))))
+         gen_optconfig (pair small_nat small_nat) gen_trajectory gen_finite
+         gen_finite
+         (pair (pair small_nat small_nat)
+            (pair (pair gen_quarantined small_nat) (option gen_metrics)))))
 
 let arb_session_result =
   QCheck.make
@@ -210,6 +246,17 @@ let same_consumption (a : Codec.consumption) (b : Codec.consumption) =
   a.Codec.c_invocations = b.Codec.c_invocations
   && a.Codec.c_passes = b.Codec.c_passes
   && same_float a.Codec.c_cycles b.Codec.c_cycles
+
+let same_metrics a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (a : Codec.metrics), Some (b : Codec.metrics) ->
+      a.Codec.x_methods = b.Codec.x_methods
+      && a.Codec.x_quarantined = b.Codec.x_quarantined
+      && a.Codec.x_retries = b.Codec.x_retries
+      && a.Codec.x_invocations = b.Codec.x_invocations
+      && same_float a.Codec.x_cycles b.Codec.x_cycles
+  | _ -> false
 
 let roundtrip_tests =
   let t name arb encode decode equal =
@@ -273,7 +320,8 @@ let roundtrip_tests =
         && List.for_all2
              (fun (c1, x1) (c2, x2) -> Optconfig.equal c1 c2 && String.equal x1 x2)
              a.Codec.r_quarantined b.Codec.r_quarantined
-        && a.Codec.r_retries = b.Codec.r_retries);
+        && a.Codec.r_retries = b.Codec.r_retries
+        && same_metrics a.Codec.r_metrics b.Codec.r_metrics);
   ]
 
 let test_version_guard () =
@@ -304,6 +352,156 @@ let test_version_guard () =
   | Error msg ->
       Alcotest.(check bool) "error says the format is newer" true
         (Oracles.contains ~sub:"newer" (String.lowercase_ascii msg))
+
+(* v4 numeric hygiene: non-finite floats are rejected at every decode
+   boundary, while the same bytes stamped v3 still decode leniently —
+   journals written before the rule must stay readable. *)
+let set_version n = function
+  | Json.Obj fields ->
+      Json.Obj (List.map (function "v", _ -> ("v", Json.Int n) | f -> f) fields)
+  | j -> j
+
+let hygiene_event ?(eval = 1.0) ?fail ?(cycles = 1.0) () =
+  {
+    Codec.e_method = "RBR";
+    e_ctx = "c";
+    e_base = "-";
+    e_idx = 0;
+    e_config = Optconfig.o3;
+    e_eval = eval;
+    e_converged = true;
+    e_used = { Codec.c_invocations = 1; c_passes = 1; c_cycles = cycles };
+    e_fail = fail;
+    e_retries = 0;
+  }
+
+let hygiene_result ?(cycles = 1.0) ?(seconds = 1.0) ?(trajectory = []) () =
+  {
+    Codec.r_method = "RBR";
+    r_attempts = [];
+    r_best = Optconfig.o3;
+    r_ratings = 1;
+    r_iterations = 1;
+    r_trajectory = trajectory;
+    r_tuning_cycles = cycles;
+    r_tuning_seconds = seconds;
+    r_passes = 1;
+    r_invocations = 1;
+    r_quarantined = [];
+    r_retries = 0;
+    r_metrics = None;
+  }
+
+let rejects name decode j =
+  match decode j with
+  | Ok _ -> Alcotest.fail (name ^ ": decoder accepted a non-finite value")
+  | Error msg ->
+      Alcotest.(check bool) (name ^ ": one-line error") false (String.contains msg '\n')
+
+let test_v4_rejects_nonfinite () =
+  let ev e = Codec.event_to_json e in
+  rejects "NaN eval" Codec.event_of_json (ev (hygiene_event ~eval:Float.nan ()));
+  rejects "infinite eval without failure reason" Codec.event_of_json
+    (ev (hygiene_event ~eval:Float.infinity ()));
+  rejects "NaN cycles" Codec.event_of_json (ev (hygiene_event ~cycles:Float.nan ()));
+  (* the quarantine sentinel — infinite eval *with* a reason — stays valid *)
+  (match
+     Codec.event_of_json (ev (hygiene_event ~eval:Float.infinity ~fail:"crashed" ()))
+   with
+  | Ok e ->
+      Alcotest.(check bool) "quarantine sentinel survives" true
+        (e.Codec.e_eval = Float.infinity)
+  | Error e -> Alcotest.fail ("quarantine sentinel rejected: " ^ e));
+  let rating eval var =
+    Codec.rating_to_json { Codec.eval; var; samples = 1; invocations = 1; converged = true }
+  in
+  rejects "NaN rating eval" Codec.rating_of_json (rating Float.nan 1.0);
+  rejects "infinite rating var" Codec.rating_of_json (rating 1.0 Float.infinity);
+  let meta threshold =
+    Codec.session_meta_to_json
+      {
+        Codec.m_id = "id";
+        m_benchmark = "ART";
+        m_machine = "sparc2";
+        m_dataset = "train";
+        m_search = "be";
+        m_seed = 1;
+        m_threshold = threshold;
+        m_params = "w40";
+        m_method = "rbr";
+        m_start = Optconfig.o3;
+        m_faults = "-";
+      }
+  in
+  rejects "NaN threshold" Codec.session_meta_of_json (meta Float.nan);
+  rejects "NaN tuning cycles" Codec.session_result_of_json
+    (Codec.session_result_to_json (hygiene_result ~cycles:Float.nan ()));
+  rejects "infinite trajectory gain" Codec.session_result_of_json
+    (Codec.session_result_to_json
+       (hygiene_result ~trajectory:[ (Optconfig.o3, Float.infinity) ] ()))
+
+let test_v3_lenient_decode () =
+  (* identical bytes, version stamp rewritten to 3: the lenient path *)
+  (match
+     Codec.event_of_json (set_version 3 (Codec.event_to_json (hygiene_event ~eval:Float.nan ())))
+   with
+  | Ok e -> Alcotest.(check bool) "v3 NaN eval decodes" true (Float.is_nan e.Codec.e_eval)
+  | Error e -> Alcotest.fail ("v3 event rejected: " ^ e));
+  match
+    Codec.session_result_of_json
+      (set_version 3 (Codec.session_result_to_json (hygiene_result ~cycles:Float.nan ())))
+  with
+  | Ok r ->
+      Alcotest.(check bool) "v3 NaN cycles decode" true (Float.is_nan r.Codec.r_tuning_cycles);
+      Alcotest.(check bool) "v3 result has no metrics block" true (r.Codec.r_metrics = None)
+  | Error e -> Alcotest.fail ("v3 result rejected: " ^ e)
+
+let test_index_rejects_nonfinite () =
+  let entry =
+    {
+      Index.key =
+        {
+          Index.k_benchmark = "ART";
+          k_machine = "sparc2";
+          k_method = "RBR";
+          k_config = Optconfig.digest Optconfig.o3;
+          k_ctx = "deadbeef";
+        };
+      session = "s1";
+      config = Optconfig.o3;
+      eval = 1.0;
+      used = { Codec.c_invocations = 1; c_passes = 1; c_cycles = 1.0 };
+    }
+  in
+  let idx0 = Index.create () in
+  Index.add idx0 entry;
+  let tamper = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map (function "eval", _ -> ("eval", Json.String "inf") | f -> f) fields)
+    | j -> j
+  in
+  let doc v =
+    match Index.to_json idx0 with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "v", _ -> ("v", Json.Int v)
+               | "entries", Json.List [ e ] -> ("entries", Json.List [ tamper e ])
+               | f -> f)
+             fields)
+    | j -> j
+  in
+  (match Index.of_json (doc Codec.version) with
+  | Ok _ -> Alcotest.fail "v4 index accepted a non-finite eval"
+  | Error msg ->
+      Alcotest.(check bool) "error names the member" true
+        (Oracles.contains ~sub:"eval" msg));
+  (* a pre-v4 index skips the entry instead of failing the whole load *)
+  match Index.of_json (doc 3) with
+  | Ok idx -> Alcotest.(check int) "v3 index drops the bad entry" 0 (Index.size idx)
+  | Error e -> Alcotest.fail ("v3 index rejected: " ^ e)
 
 let test_config_digest_mismatch () =
   (* A record whose flag list was tampered with must be rejected. *)
@@ -707,6 +905,7 @@ let fabricate_session dir ~benchmark ~machine ~seed ~best =
       r_invocations = 1;
       r_quarantined = [];
       r_retries = 0;
+      r_metrics = None;
     };
   Session.close s
 
@@ -758,6 +957,11 @@ let suites =
       List.map QCheck_alcotest.to_alcotest (roundtrip_tests @ [ digest_agrees_with_equal ])
       @ [
           Alcotest.test_case "future format version rejected" `Quick test_version_guard;
+          Alcotest.test_case "v4 rejects non-finite floats" `Quick test_v4_rejects_nonfinite;
+          Alcotest.test_case "v3 records still decode leniently" `Quick
+            test_v3_lenient_decode;
+          Alcotest.test_case "index rejects non-finite evals" `Quick
+            test_index_rejects_nonfinite;
           Alcotest.test_case "tampered config digest rejected" `Quick
             test_config_digest_mismatch;
           Alcotest.test_case "JSON parser basics" `Quick test_json_parser_basics;

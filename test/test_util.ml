@@ -167,6 +167,7 @@ let test_windows () =
 let welch_exn name = function
   | Stats.Welch { t_stat; df } -> (t_stat, df)
   | Stats.Insufficient_data -> Alcotest.fail (name ^ ": unexpected Insufficient_data")
+  | Stats.Equal -> Alcotest.fail (name ^ ": unexpected Equal")
 
 let test_welch_t () =
   (* clearly separated populations *)
@@ -188,7 +189,8 @@ let test_welch_insufficient_data () =
   let insufficient name outcome =
     match outcome with
     | Stats.Insufficient_data -> ()
-    | Stats.Welch _ -> Alcotest.fail (name ^ ": expected Insufficient_data")
+    | Stats.Welch _ | Stats.Equal ->
+        Alcotest.fail (name ^ ": expected Insufficient_data")
   in
   insufficient "single point"
     (Stats.welch_t_summary ~mean1:1.0 ~var1:0.0 ~n1:1 ~mean2:2.0 ~var2:0.0 ~n2:9);
@@ -216,11 +218,15 @@ let test_welch_zero_variance_direction () =
       (Stats.welch_t_summary ~mean1:11.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10)
   in
   check_float "mean1 > mean2 gives +inf" infinity t_greater;
-  let t_equal, _ =
-    welch_exn "equal"
-      (Stats.welch_t_summary ~mean1:10.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10)
-  in
-  check_float "equal means give 0" 0.0 t_equal;
+  (* equal constant samples: the degenerate Equal verdict, not t = 0 at
+     a fabricated df = 1 *)
+  (match Stats.welch_t_summary ~mean1:10.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10 with
+  | Stats.Equal -> ()
+  | Stats.Welch _ -> Alcotest.fail "equal constants: expected Equal, got Welch"
+  | Stats.Insufficient_data ->
+      Alcotest.fail "equal constants: expected Equal, got Insufficient_data");
+  Alcotest.(check bool) "exactly equal is never a win" false
+    (Stats.significantly_less ~mean1:10.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10);
   (* and the significance test now sees the deterministic win *)
   Alcotest.(check bool) "deterministic win is significant" true
     (Stats.significantly_less ~mean1:9.0 ~var1:0.0 ~n1:10 ~mean2:10.0 ~var2:0.0 ~n2:10);
@@ -394,6 +400,21 @@ let test_table_fmt () =
   Alcotest.(check string) "float" "3.14" (Table.fmt_float 3.14159);
   Alcotest.(check string) "percent" "26.0%" (Table.fmt_percent 0.26)
 
+let test_table_fmt_signed_percent () =
+  Alcotest.(check string) "positive gains carry a sign" "+3.1%" (Table.fmt_signed_percent 3.14);
+  Alcotest.(check string) "losses too" "-2.0%" (Table.fmt_signed_percent (-2.0));
+  (* everything that rounds to zero prints as the one canonical "0.0%" *)
+  Alcotest.(check string) "exact zero" "0.0%" (Table.fmt_signed_percent 0.0);
+  Alcotest.(check string) "negative zero" "0.0%" (Table.fmt_signed_percent (-0.0));
+  Alcotest.(check string) "tiny regression" "0.0%" (Table.fmt_signed_percent (-0.04));
+  Alcotest.(check string) "tiny gain" "0.0%" (Table.fmt_signed_percent 0.04);
+  (* rounding happens before the sign decision at any precision *)
+  Alcotest.(check string) "two decimals keeps -0.04"
+    "-0.04%"
+    (Table.fmt_signed_percent ~decimals:2 (-0.04));
+  Alcotest.(check string) "zero decimals" "0%" (Table.fmt_signed_percent ~decimals:0 (-0.4));
+  Alcotest.(check string) "zero decimals positive" "+1%" (Table.fmt_signed_percent ~decimals:0 0.9)
+
 (* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -524,6 +545,30 @@ let prop_linear_relation_tolerance =
       in
       perturbed 0.1 <> None && perturbed 10.0 = None)
 
+let prop_welch_constant_pairs =
+  (* constant samples: equal means yield the degenerate Equal verdict,
+     unequal means a signed infinite statistic in the right direction *)
+  QCheck.Test.make ~name:"welch on constant-sample pairs" ~count:300
+    QCheck.(
+      triple (float_range (-1000.0) 1000.0) (float_range (-1000.0) 1000.0)
+        (pair (int_range 2 50) (int_range 2 50)))
+    (fun (c1, c2, (n1, n2)) ->
+      match Stats.welch_t_summary ~mean1:c1 ~var1:0.0 ~n1 ~mean2:c2 ~var2:0.0 ~n2 with
+      | Stats.Equal -> c1 = c2
+      | Stats.Welch { t_stat; df } ->
+          df = 1.0
+          && ((c1 < c2 && t_stat = neg_infinity) || (c1 > c2 && t_stat = infinity))
+      | Stats.Insufficient_data -> false)
+
+let prop_welch_constant_significance =
+  (* on constant pairs, significantly_less is exactly "strictly less":
+     deterministic wins count, equality and losses never do *)
+  QCheck.Test.make ~name:"significantly_less on constant-sample pairs" ~count:300
+    QCheck.(pair (float_range (-1000.0) 1000.0) (float_range (-1000.0) 1000.0))
+    (fun (c1, c2) ->
+      Stats.significantly_less ~mean1:c1 ~var1:0.0 ~n1:10 ~mean2:c2 ~var2:0.0 ~n2:10
+      = (c1 < c2))
+
 let prop_linear_relation_detects_planted =
   QCheck.Test.make ~name:"linear_relation detects planted relation" ~count:200
     QCheck.(triple (float_range (-5.0) 5.0) (float_range (-100.0) 100.0) (int_range 0 1000))
@@ -548,6 +593,8 @@ let qcheck_cases =
       prop_outlier_keeps_half;
       prop_solve_roundtrip;
       prop_least_squares_recovers_exact;
+      prop_welch_constant_pairs;
+      prop_welch_constant_significance;
       prop_linear_relation_detects_planted;
       prop_linear_relation_tolerance;
     ]
@@ -619,6 +666,7 @@ let suites =
         Alcotest.test_case "render" `Quick test_table_render;
         Alcotest.test_case "arity check" `Quick test_table_arity_check;
         Alcotest.test_case "formatting" `Quick test_table_fmt;
+        Alcotest.test_case "signed percent" `Quick test_table_fmt_signed_percent;
       ] );
     ("util.properties", qcheck_cases);
   ]
