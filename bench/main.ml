@@ -1015,6 +1015,166 @@ let fallback_exp () =
   in
   note "JSON: %s" (Json.to_string (Json.Obj [ ("fallback", Json.List (List.map cell_json cells)) ]))
 
+(* ================================================================== *)
+(* Allocation budget: the zero-allocation hot-path contract            *)
+(* ================================================================== *)
+
+(* Amortized bytes allocated per call, after two warmup calls (the
+   warmups grow every scratch buffer to steady-state capacity). *)
+let bytes_per_call f n =
+  ignore (f ());
+  ignore (f ());
+  let b0 = Gc.allocated_bytes () in
+  for _ = 1 to n do
+    ignore (f ())
+  done;
+  let b1 = Gc.allocated_bytes () in
+  (b1 -. b0) /. float_of_int n
+
+(* The same three probes measured on this harness before the slot
+   compiler / scratch-buffer refactor (string-keyed environment,
+   allocating summarize) — the "before" column of BENCH_alloc.json. *)
+let alloc_before =
+  [ ("interp_step", 61907.7); ("rating_window", 105913.0); ("runner_step", 271011.1) ]
+
+(* Figure-2 shape: a loop-body component plus a tail component. *)
+let alloc_loop_ts =
+  let open Peak_ir in
+  let module B = Builder in
+  B.ts ~name:"alloc_probe" ~params:[ "n" ] ~arrays:[ ("a", 256); ("b", 256) ]
+    ~locals:[ "i"; "t" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 0) ~hi:(v "n") [ store "a" (v "i") (idx "b" (v "i") + c 1.0) ];
+        "t" := idx "a" (ci 0) * c 2.0;
+      ]
+
+let alloc_budget_file = "ci/alloc_budget.json"
+let alloc_report_file = "BENCH_alloc.json"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let alloc_exp () =
+  heading "Allocation budget: bytes per invocation on the rating hot paths";
+  let open Peak_ir in
+  (* interp_step: one compiled invocation of the Figure-2 loop (n=256)
+     on a reused scratch *)
+  let cfg = Cfg.of_ts alloc_loop_ts in
+  let env = Interp.make_env alloc_loop_ts in
+  Interp.set_scalar env "n" 256.0;
+  let compiled = Interp.compile cfg env in
+  let scratch = Interp.make_scratch compiled in
+  let interp_step = bytes_per_call (fun () -> Interp.run_compiled compiled scratch) 2000 in
+  (* rating_window: one 80-sample convergence check on a warm scratch *)
+  let rng = Rng.create ~seed:1 in
+  let samples = List.init 80 (fun _ -> 100.0 +. Rng.float rng) in
+  let params = Rating.default_params in
+  let rscratch = Rating.make_scratch () in
+  let rating_window =
+    bytes_per_call (fun () -> Rating.summarize_into rscratch ~params samples) 5000
+  in
+  (* runner_step: one full simulated invocation (interpret + cost model)
+     of ART — a trace without a class_of cache, so the compiled
+     interpreter actually runs every step *)
+  let b = bench "ART" in
+  let tsec = Tsection.make b.Benchmark.ts in
+  let trace = b.Benchmark.trace Trace.Train ~seed:3 in
+  let runner = Runner.create ~seed:3 tsec trace Machine.sparc2 in
+  let version = Version.compile Machine.sparc2 tsec.Tsection.features Optconfig.o3 in
+  let runner_step = bytes_per_call (fun () -> Runner.step runner version) 2000 in
+  let after =
+    [
+      ("interp_step", interp_step);
+      ("rating_window", rating_window);
+      ("runner_step", runner_step);
+    ]
+  in
+  let budgets =
+    let open Peak_store in
+    match Json.of_string (read_file alloc_budget_file) with
+    | Ok j ->
+        Some
+          (List.map
+             (fun (k, _) ->
+               match Json.get_float k j with
+               | Ok v -> (k, v)
+               | Error e -> failwith (Printf.sprintf "%s: %s" alloc_budget_file e))
+             after)
+    | Error e ->
+        note "cannot read %s (%s); reporting without a gate" alloc_budget_file e;
+        None
+    | exception Sys_error e ->
+        note "cannot read %s (%s); reporting without a gate" alloc_budget_file e;
+        None
+  in
+  let t = Table.create ~header:[ "Meter"; "Before B/call"; "After B/call"; "Budget"; "Verdict" ] () in
+  let failures = ref [] in
+  List.iter
+    (fun (k, after_b) ->
+      let before_b = List.assoc k alloc_before in
+      let budget = Option.map (List.assoc k) budgets in
+      let verdict =
+        match budget with
+        | None -> "-"
+        | Some limit ->
+            if after_b <= limit then "ok"
+            else begin
+              failures := k :: !failures;
+              "OVER"
+            end
+      in
+      Table.add_row t
+        [
+          k;
+          Printf.sprintf "%.1f" before_b;
+          Printf.sprintf "%.1f" after_b;
+          (match budget with None -> "-" | Some l -> Printf.sprintf "%.1f" l);
+          verdict;
+        ])
+    after;
+  Table.print t;
+  note "interp_step is the compiled Figure-2 loop (n=256) on a reused scratch;";
+  note "its budget of %s byte/call means the steady-state loop allocates nothing."
+    (match budgets with
+    | Some b -> Printf.sprintf "%.0f" (List.assoc "interp_step" b)
+    | None -> "1");
+  let open Peak_store in
+  let json =
+    Json.Obj
+      (List.map
+         (fun (k, after_b) ->
+           ( k,
+             Json.Obj
+               ([
+                  ("before_bytes_per_call", Json.Float (List.assoc k alloc_before));
+                  ("after_bytes_per_call", Json.Float after_b);
+                ]
+               @
+               match budgets with
+               | Some b -> [ ("budget_bytes_per_call", Json.Float (List.assoc k b)) ]
+               | None -> []) ))
+         after)
+  in
+  let oc = open_out alloc_report_file in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" alloc_report_file;
+  match (!failures, Sys.getenv_opt "PEAK_ALLOC_GATE") with
+  | [], _ -> ()
+  | over, Some "off" ->
+      note "allocation budget exceeded by %s, but PEAK_ALLOC_GATE=off"
+        (String.concat ", " (List.rev over))
+  | over, _ ->
+      Printf.eprintf "allocation budget exceeded: %s (see %s)\n"
+        (String.concat ", " (List.rev over))
+        alloc_budget_file;
+      exit 1
+
 let experiments =
   [
     ("table1", table1);
@@ -1036,6 +1196,7 @@ let experiments =
     ("faults", faults_exp);
     ("tracing", tracing_exp);
     ("micro", micro);
+    ("alloc", alloc_exp);
   ]
 
 let () =

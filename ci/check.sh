@@ -50,6 +50,24 @@ else
   echo "   odoc not installed; skipping the documentation gate"
 fi
 
+# Allocation budget: the bench `alloc` experiment measures bytes per
+# invocation on the rating hot paths and exits nonzero when a meter
+# exceeds ci/alloc_budget.json (PEAK_ALLOC_GATE=off downgrades the
+# failure to a notice).  Same skip-with-notice policy as the tool gates
+# when the bench binary is absent.
+echo "== allocation budget"
+ALLOC_BIN=_build/default/bench/main.exe
+if [ -x "$ALLOC_BIN" ]; then
+  if "$ALLOC_BIN" alloc > /dev/null; then
+    echo "   hot-path allocation within budget"
+  else
+    echo "   allocation budget exceeded; run: dune exec bench/main.exe -- alloc" >&2
+    exit 1
+  fi
+else
+  echo "   bench binary not built; skipping the allocation gate"
+fi
+
 # CLI error contract: an unknown rating method must die with a one-line
 # error naming the valid methods, exit status 1.
 echo "== unknown method rejection"

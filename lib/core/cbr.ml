@@ -12,6 +12,7 @@ let rate ?(params = Rating.default_params) runner ~sources ~target version =
   let samples = ref [] in
   let consumed = ref 0 in
   let result = ref None in
+  let scratch = Rating.make_scratch () in
   while !result = None do
     (* gather one window's worth of matching invocations *)
     let matched = ref 0 in
@@ -23,7 +24,7 @@ let rate ?(params = Rating.default_params) runner ~sources ~target version =
         samples := s.Runner.time :: !samples
       end
     done;
-    (match Rating.summarize ~params !samples with
+    (match Rating.summarize_into scratch ~params !samples with
     | Rating.Summary { eval; var; kept; converged } ->
         if converged || !consumed >= params.Rating.max_invocations then
           result :=
@@ -58,6 +59,7 @@ let rate ?(params = Rating.default_params) runner ~sources ~target version =
 let rate_all_contexts ?(params = Rating.default_params) runner ~sources version =
   let by_context = Hashtbl.create 8 in
   let consumed = ref 0 in
+  let scratch = Rating.make_scratch () in
   while !consumed < params.Rating.max_invocations do
     let s = Runner.step ~context:sources runner version in
     incr consumed;
@@ -66,7 +68,7 @@ let rate_all_contexts ?(params = Rating.default_params) runner ~sources version 
   done;
   Hashtbl.fold
     (fun ctx times acc ->
-      match Rating.summarize ~params times with
+      match Rating.summarize_into scratch ~params times with
       | Rating.Insufficient _ ->
           (* a context observed once cannot be rated; reporting it with a
              NaN EVAL would poison the adaptive engine's winner table *)

@@ -24,6 +24,7 @@ let rate ?(params = Rating.default_params) ?(mode = Avg) runner ~components
   let n_collected = ref 0 in
   let consumed = ref 0 in
   let k = Component_analysis.n_components components in
+  let scratch = Peak_util.Stats.Scratch.create () in
   let min_obs = max params.Rating.window (3 * k) in
   let target = ref min_obs in
   let result = ref None in
@@ -59,18 +60,18 @@ let rate ?(params = Rating.default_params) ?(mode = Avg) runner ~components
              cache-flush events dwarf the model error), refit on the
              rest. *)
           let first = Peak_util.Regression.fit ~counts:counts_a ~times:times_a in
-          let residuals =
-            Array.mapi
-              (fun j t -> t -. Peak_util.Regression.predict first counts_a.(j))
-              times_a
-          in
-          let mask = Peak_util.Stats.outlier_mask ~k:params.Rating.outlier_k residuals in
-          let kept = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+          let module Sc = Peak_util.Stats.Scratch in
+          Sc.clear scratch;
+          Array.iteri
+            (fun j t -> Sc.push scratch (t -. Peak_util.Regression.predict first counts_a.(j)))
+            times_a;
+          Sc.outlier_mask ~k:params.Rating.outlier_k scratch;
+          let kept = Sc.kept_count scratch in
           if kept = Array.length times_a || kept < k then Some first
           else begin
             let keep a =
               let out = ref [] in
-              Array.iteri (fun j x -> if mask.(j) then out := x :: !out) a;
+              Array.iteri (fun j x -> if Sc.kept scratch j then out := x :: !out) a;
               Array.of_list (List.rev !out)
             in
             Some (Peak_util.Regression.fit ~counts:(keep counts_a) ~times:(keep times_a))

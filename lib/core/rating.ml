@@ -71,18 +71,23 @@ type summary =
    two usable samples cannot support a variance estimate, so the window
    is reported as Insufficient rather than as a rating with a made-up
    confidence — the typed replacement for the old NaN-eval tuple. *)
-let summarize ~params values =
-  let open Peak_util in
-  let finite = List.filter Float.is_finite values in
-  let observed = List.length finite in
+type scratch = Peak_util.Stats.Scratch.t
+
+let make_scratch () = Peak_util.Stats.Scratch.create ()
+
+let summarize_into scratch ~params values =
+  let open Peak_util.Stats in
+  Scratch.clear scratch;
+  List.iter (fun x -> if Float.is_finite x then Scratch.push scratch x) values;
+  let observed = Scratch.length scratch in
   if observed < 2 then Insufficient { observed }
   else begin
-    let kept = Stats.drop_outliers ~k:params.outlier_k (Array.of_list finite) in
-    let n = Array.length kept in
+    Scratch.outlier_mask ~k:params.outlier_k scratch;
+    let n = Scratch.kept_count scratch in
     if n < 2 then Insufficient { observed }
     else begin
-      let eval = Stats.mean kept in
-      let var = Stats.variance kept in
+      let eval = Scratch.kept_mean scratch in
+      let var = Scratch.kept_variance scratch in
       let stderr = sqrt (var /. float_of_int n) in
       let converged =
         n >= params.window && stderr <= params.rel_threshold *. Float.max 1e-9 (abs_float eval)
@@ -90,3 +95,5 @@ let summarize ~params values =
       Summary { eval; var; kept = n; converged }
     end
   end
+
+let summarize ~params values = summarize_into (make_scratch ()) ~params values

@@ -67,4 +67,17 @@ type summary =
 
 val summarize : params:params -> float list -> summary
 (** Summary of a sample list after dropping non-finite values and
-    outliers. *)
+    outliers.  Allocates fresh working buffers per call; raters on the
+    hot path use {!summarize_into} with a reused {!scratch}. *)
+
+type scratch
+(** Reusable working buffers for {!summarize_into} — the convergence
+    check runs once per rating window, and with a warm scratch it
+    allocates nothing.  Single-owner mutable state: one scratch per
+    rate call (never shared across pool domains). *)
+
+val make_scratch : unit -> scratch
+
+val summarize_into : scratch -> params:params -> float list -> summary
+(** [summarize ~params values] out of preallocated buffers;
+    bit-identical results. *)

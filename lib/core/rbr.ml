@@ -27,6 +27,7 @@ let rate_many ?(params = Rating.default_params) runner ~base versions =
     let consumed = ref 0 in
     let finished = ref false in
     let summaries = Array.make n (Rating.Insufficient { observed = 0 }) in
+    let scratch = Rating.make_scratch () in
     while not !finished do
       for _ = 1 to params.Rating.window do
         if !consumed < params.Rating.max_invocations then begin
@@ -35,7 +36,7 @@ let rate_many ?(params = Rating.default_params) runner ~base versions =
           List.iteri (fun i t -> samples.(i) <- (t /. t_base) :: samples.(i)) t_exps
         end
       done;
-      Array.iteri (fun i s -> summaries.(i) <- Rating.summarize ~params s) samples;
+      Array.iteri (fun i s -> summaries.(i) <- Rating.summarize_into scratch ~params s) samples;
       let all_converged =
         Array.for_all
           (function Rating.Summary { converged; _ } -> converged | Rating.Insufficient _ -> false)
@@ -64,6 +65,7 @@ let rate ?(params = Rating.default_params) ?(improved = true) runner ~base versi
   let samples = ref [] in
   let consumed = ref 0 in
   let result = ref None in
+  let scratch = Rating.make_scratch () in
   while !result = None do
     let added = ref 0 in
     while !added < params.Rating.window && !consumed < params.Rating.max_invocations do
@@ -72,7 +74,7 @@ let rate ?(params = Rating.default_params) ?(improved = true) runner ~base versi
       incr added;
       samples := (t_exp /. t_base) :: !samples
     done;
-    (match Rating.summarize ~params !samples with
+    (match Rating.summarize_into scratch ~params !samples with
     | Rating.Summary { eval; var; kept; converged } ->
         if converged || !consumed >= params.Rating.max_invocations then
           result := Some { Rating.eval; var; samples = kept; invocations = !consumed; converged }

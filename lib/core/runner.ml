@@ -33,6 +33,8 @@ type t = {
   noise : Noise.t;
   perturb_rng : Rng.t;
   env : Interp.env;
+  compiled : Interp.compiled;
+  scratch : Interp.scratch;
   array_bytes : (string * int) list;
   class_cache : (int, Interp.result) Hashtbl.t;
   context_switch_rate : float;
@@ -73,6 +75,10 @@ let create ?(seed = 42) ?(context_switch_rate = 0.02) ?faults ?(fault_attempt = 
     | None, Some _ -> 1e8
     | None, None -> infinity
   in
+  (* compile once against this runner's environment; every invocation
+     reuses the same instruction arrays and scratch *)
+  let env = Interp.make_env tsec.Tsection.ts in
+  let compiled = Interp.compile tsec.Tsection.cfg env in
   {
     tsec;
     trace;
@@ -80,7 +86,9 @@ let create ?(seed = 42) ?(context_switch_rate = 0.02) ?faults ?(fault_attempt = 
     memsys = Memsys.create ?rng:memsys_rng machine;
     noise = Noise.create ~rng:noise_rng machine;
     perturb_rng;
-    env = Interp.make_env tsec.Tsection.ts;
+    env;
+    compiled;
+    scratch = Interp.make_scratch compiled;
     array_bytes =
       List.map (fun (a, n) -> (a, 8 * n)) tsec.Tsection.ts.Peak_ir.Types.arrays;
     class_cache = Hashtbl.create 16;
@@ -120,9 +128,11 @@ let advance t =
 let interp_result t =
   let index = t.pos - 1 in
   let run () =
-    let r = Interp.run t.tsec.Tsection.cfg t.env in
-    t.interp_steps <- t.interp_steps + Array.fold_left ( + ) 0 r.Interp.block_counts;
-    r
+    Interp.run_compiled t.compiled t.scratch;
+    t.interp_steps <- t.interp_steps + Interp.scratch_steps t.scratch;
+    (* fresh snapshot: the counts array escapes into samples and the
+       class cache, so it must not alias the reused scratch *)
+    Interp.result_of_scratch t.compiled t.scratch
   in
   match t.trace.Trace.class_of with
   | None -> run ()

@@ -25,7 +25,7 @@ let save (tsec : Tsection.t) env =
         match loc with
         | Loc.Scalar v -> (Scalar (v, Interp.get_scalar env v) :: entries, bytes + 8)
         | Loc.Pointer p ->
-            let target = Hashtbl.find env.Interp.pointers p in
+            let target = Interp.get_pointer env p in
             (Pointer (p, target) :: entries, bytes + 8)
         | Loc.Array a ->
             let arr = Interp.get_array env a in
@@ -74,7 +74,7 @@ let restore t env =
   List.iter
     (function
       | Scalar (v, x) -> Interp.set_scalar env v x
-      | Pointer (p, target) -> Hashtbl.replace env.Interp.pointers p target
+      | Pointer (p, target) -> Interp.set_pointer env p target
       | Whole_array (a, saved) ->
           let arr = Interp.get_array env a in
           Array.blit saved 0 arr 0 (Array.length saved)

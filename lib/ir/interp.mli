@@ -8,20 +8,28 @@
     timing never re-executes the interpreter per version: a code
     version's simulated time is a function of these counts and the
     version's per-block cycle table, which is what makes full Figure-7
-    sweeps tractable. *)
+    sweeps tractable.
 
-type env = {
-  scalars : (string, float) Hashtbl.t;
-  arrays : (string, float array) Hashtbl.t;
-  pointers : (string, string) Hashtbl.t;
-}
+    The environment interns names into integer slots; the hot path
+    ([compile] + [run_compiled] on a reused {!scratch}) executes
+    slot-resolved instruction arrays and performs no allocation in the
+    steady state.  The string-keyed accessors below are a thin
+    compatibility layer over the slot tables. *)
+
+type env
+(** Mutable execution environment: scalar values, array storage, and
+    pointer targets, keyed by interned name slots.  A write to an
+    undeclared name creates the binding (matching [Hashtbl.replace]
+    semantics the original environment had); a read of a name never
+    written raises {!Out_of_bounds}. *)
 
 type result = {
   block_counts : int array;  (** Entry count per CFG block id. *)
   mem_reads : int;
   mem_writes : int;
   flops : int;
-  array_accesses : (string * int) list;  (** Accesses per array/pointee base. *)
+  array_accesses : (string * int) list;
+      (** Accesses per array/pointee base, sorted by base name. *)
   impure_calls : int;
 }
 
@@ -37,18 +45,82 @@ val make_env : Types.ts -> env
 val copy_env : env -> env
 (** Deep copy (used by RBR's save/restore and by tests). *)
 
+val env_equal : env -> env -> bool
+(** Name-keyed equality of the bound bindings of two environments
+    (slot layouts may differ; only visible state is compared). *)
+
 val set_scalar : env -> string -> float -> unit
 val get_scalar : env -> string -> float
 val set_array : env -> string -> float array -> unit
 val get_array : env -> string -> float array
 
+val set_pointer : env -> string -> string -> unit
+(** [set_pointer env p target] retargets pointer [p] at scalar [target]. *)
+
+val get_pointer : env -> string -> string
+(** Current target scalar of a pointer; raises {!Out_of_bounds} on an
+    unbound pointer. *)
+
 val read_source : env -> Expr.source -> float
 (** Current value of a context-variable source (scalar, constant-subscript
     array element, or pointer dereference). *)
 
+(** {1 Compiled execution — the zero-allocation hot path} *)
+
+type compiled
+(** A CFG lowered to slot-resolved instruction arrays, bound to the
+    specific environment it was compiled against (compilation interns
+    every name the CFG mentions into that environment). *)
+
+type scratch
+(** Preallocated per-invocation state: operand stack and counter
+    accumulators.  Reusing one scratch across invocations is what makes
+    the steady-state loop allocation-free.  Not domain-safe — use one
+    scratch per domain. *)
+
+val compile : Cfg.t -> env -> compiled
+val make_scratch : compiled -> scratch
+
+val run_compiled : ?max_steps:int -> compiled -> scratch -> unit
+(** Execute one invocation, mutating the compiled-against environment
+    and accumulating counts into [scratch] (reset on entry).  Allocates
+    nothing on the non-raising path.  [max_steps] (default 10e6 block
+    transitions) guards against non-terminating sections. *)
+
+val scratch_steps : scratch -> int
+(** Total block entries recorded by the last [run_compiled]. *)
+
+val result_of_scratch : compiled -> scratch -> result
+(** Fresh {!result} snapshot of the scratch counters ([array_accesses]
+    sorted by base name). *)
+
 val run : ?max_steps:int -> Cfg.t -> env -> result
-(** Execute one invocation, mutating [env].  [max_steps] (default 10e6
-    block transitions) guards against non-terminating sections. *)
+(** Compatibility one-shot: [compile] + [run_compiled] + snapshot.
+    Prefer the compiled API when invoking the same section repeatedly. *)
 
 val eval : env -> Types.expr -> float
 (** Expression evaluation against the environment (exposed for tests). *)
+
+(** {1 Reference interpreter}
+
+    The original string-keyed hashtable interpreter, kept as the
+    executable specification that the compiled path is differentially
+    tested against (test/test_compile.ml).  It shares the three
+    accounting fixes: negative fractional indices raise, access lists
+    are name-sorted, and a branch charges no flop beyond its
+    comparison's. *)
+module Reference : sig
+  type renv = {
+    scalars : (string, float) Hashtbl.t;
+    arrays : (string, float array) Hashtbl.t;
+    pointers : (string, string) Hashtbl.t;
+  }
+
+  val make_env : Types.ts -> renv
+  val set_scalar : renv -> string -> float -> unit
+  val get_scalar : renv -> string -> float
+  val set_array : renv -> string -> float array -> unit
+  val get_array : renv -> string -> float array
+  val get_pointer : renv -> string -> string
+  val run : ?max_steps:int -> Cfg.t -> renv -> result
+end

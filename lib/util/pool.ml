@@ -48,14 +48,19 @@ let map (type b) pool (f : 'a -> b) items =
   let n = Array.length items in
   if n = 0 then []
   else begin
-    let results : (b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
+    (* one slot per item, written exactly once before [remaining] hits 0;
+       the placeholder is never read back *)
+    let placeholder : (b, exn * Printexc.raw_backtrace) result =
+      Error (Not_found, Printexc.get_callstack 0)
+    in
+    let results = Array.make n placeholder in
     let remaining = ref n in
     let task i () =
       let r =
         try Ok (f items.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
       in
       Mutex.lock pool.mutex;
-      results.(i) <- Some r;
+      results.(i) <- r;
       decr remaining;
       Condition.broadcast pool.cond;
       Mutex.unlock pool.mutex
@@ -88,22 +93,22 @@ let map (type b) pool (f : 'a -> b) items =
       | None -> if !remaining > 0 then Condition.wait pool.cond pool.mutex
     done;
     Mutex.unlock pool.mutex;
-    let out =
-      Array.to_list
-        (Array.map
-           (function
-             | Some (Ok v) -> Ok v
-             | Some (Error e) -> Error e
-             | None -> assert false)
-           results)
-    in
-    (* the whole batch has completed, so re-raising here leaves no task of
-       this batch behind in the queue: the pool stays reusable *)
-    List.map
-      (function
-        | Ok v -> v
-        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
-      out
+    (* The whole batch has completed, so re-raising here leaves no task
+       of this batch behind in the queue: the pool stays reusable.  The
+       scan is in index order — the error surfaced is the first failing
+       item's, independent of which domain finished when. *)
+    for i = 0 to n - 1 do
+      match results.(i) with
+      | Ok _ -> ()
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+    done;
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      match results.(i) with
+      | Ok v -> out := v :: !out
+      | Error _ -> assert false
+    done;
+    !out
   end
 
 let shutdown pool =

@@ -126,6 +126,181 @@ let drop_outliers ?k a =
   done;
   Array.of_list !out
 
+(* Reusable buffers for the statistics the rating loop recomputes at
+   every convergence check.  The heap-allocating entry points above stay
+   as the reference implementations; [Scratch] gives bit-identical
+   results out of preallocated storage — the per-check [List.filter] +
+   [Array.of_list] + mask/kept arrays were the rating layer's dominant
+   allocation.  A scratch is single-owner mutable state: use one per
+   domain. *)
+module Scratch = struct
+  type t = {
+    mutable vals : float array;  (* collected values, indices 0..n-1 *)
+    mutable aux : float array;  (* order-statistics working buffer *)
+    mutable mask : Bytes.t;  (* '\001' = kept by the last outlier pass *)
+    mutable n : int;
+  }
+
+  let create () =
+    { vals = Array.make 64 0.0; aux = Array.make 64 0.0; mask = Bytes.make 64 '\000'; n = 0 }
+
+  let grow t needed =
+    let cap = max needed (2 * Array.length t.vals) in
+    let v = Array.make cap 0.0 in
+    Array.blit t.vals 0 v 0 t.n;
+    t.vals <- v;
+    (* aux and mask carry no live data across operations *)
+    t.aux <- Array.make cap 0.0;
+    t.mask <- Bytes.make cap '\000'
+
+  let clear t = t.n <- 0
+
+  let push t x =
+    if t.n >= Array.length t.vals then grow t (t.n + 1);
+    t.vals.(t.n) <- x;
+    t.n <- t.n + 1
+
+  let length t = t.n
+  let get t i = t.vals.(i)
+  let kept t i = Bytes.get t.mask i <> '\000'
+
+  (* In-place heapsort of a.(0..n-1).  The buffer holds finite floats
+     (callers filter non-finite values first), so plain [<] agrees with
+     [compare]'s total order up to the placement of equal keys — and
+     only order statistics of the sorted prefix are ever read, which
+     equal-key placement cannot change. *)
+  let sort_prefix (a : float array) n =
+    let sift root last =
+      let r = ref root in
+      let continue = ref true in
+      while !continue do
+        let child = (2 * !r) + 1 in
+        if child > last then continue := false
+        else begin
+          let child = if child < last && a.(child) < a.(child + 1) then child + 1 else child in
+          if a.(!r) < a.(child) then begin
+            let tmp = a.(!r) in
+            a.(!r) <- a.(child);
+            a.(child) <- tmp;
+            r := child
+          end
+          else continue := false
+        end
+      done
+    in
+    for root = (n - 2) / 2 downto 0 do
+      sift root (n - 1)
+    done;
+    for last = n - 1 downto 1 do
+      let tmp = a.(0) in
+      a.(0) <- a.(last);
+      a.(last) <- tmp;
+      sift 0 (last - 1)
+    done
+
+  (* Median of the sorted prefix a.(0..n-1). *)
+  let median_sorted (a : float array) n =
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+  let all_finite t =
+    let ok = ref true in
+    for i = 0 to t.n - 1 do
+      if not (Float.is_finite t.vals.(i)) then ok := false
+    done;
+    !ok
+
+  (* [outlier_mask] over the collected values, writing the verdicts into
+     [t.mask].  Bit-identical to the array version above: same median,
+     same MAD, same keep-at-least-half fallback (which reuses the
+     original index-sorting code verbatim — its allocation only happens
+     on pathological spreads).  Buffers containing non-finite values
+     (possible for MBR residuals from a degenerate fit) delegate to the
+     reference implementation, whose polymorphic compare has defined NaN
+     ordering. *)
+  let outlier_mask ?(k = 3.5) t =
+    let n = t.n in
+    if n = 0 then invalid_arg "Stats.Scratch.outlier_mask: empty input";
+    if not (all_finite t) then begin
+      let mask = outlier_mask ~k (Array.sub t.vals 0 n) in
+      for i = 0 to n - 1 do
+        Bytes.set t.mask i (if mask.(i) then '\001' else '\000')
+      done
+    end
+    else begin
+      let a = t.vals and aux = t.aux in
+      Array.blit a 0 aux 0 n;
+      sort_prefix aux n;
+      let m = median_sorted aux n in
+      for i = 0 to n - 1 do
+        aux.(i) <- abs_float (a.(i) -. m)
+      done;
+      sort_prefix aux n;
+      let spread = 1.4826 *. median_sorted aux n in
+      if spread <= 0.0 then Bytes.fill t.mask 0 n '\001'
+      else begin
+        let kept = ref 0 in
+        for i = 0 to n - 1 do
+          if abs_float (a.(i) -. m) <= k *. spread then begin
+            Bytes.set t.mask i '\001';
+            incr kept
+          end
+          else Bytes.set t.mask i '\000'
+        done;
+        if !kept * 2 < n then begin
+          (* Pathological spread: retain the half closest to the median. *)
+          let idx = Array.init n (fun i -> i) in
+          Array.sort
+            (fun i j -> compare (abs_float (a.(i) -. m)) (abs_float (a.(j) -. m)))
+            idx;
+          Bytes.fill t.mask 0 n '\000';
+          let keep = (n + 1) / 2 in
+          for r = 0 to keep - 1 do
+            Bytes.set t.mask idx.(r) '\001'
+          done
+        end
+      end
+    end
+
+  let kept_count t =
+    let c = ref 0 in
+    for i = 0 to t.n - 1 do
+      if kept t i then incr c
+    done;
+    !c
+
+  (* Mean over the kept values in collection order — the same ascending
+     fold (hence the same partial sums) as [mean (drop_outliers a)]. *)
+  let kept_mean t =
+    let sum = ref 0.0 in
+    let c = ref 0 in
+    for i = 0 to t.n - 1 do
+      if kept t i then begin
+        sum := !sum +. t.vals.(i);
+        incr c
+      end
+    done;
+    if !c = 0 then invalid_arg "Stats.Scratch.kept_mean: nothing kept";
+    !sum /. float_of_int !c
+
+  (* Two-pass unbiased variance over the kept values, matching
+     [variance] on the dropped-outliers array. *)
+  let kept_variance t =
+    let n = kept_count t in
+    if n = 0 then invalid_arg "Stats.Scratch.kept_variance: nothing kept";
+    if n = 1 then 0.0
+    else begin
+      let m = kept_mean t in
+      let acc = ref 0.0 in
+      for i = 0 to t.n - 1 do
+        if kept t i then begin
+          let d = t.vals.(i) -. m in
+          acc := !acc +. (d *. d)
+        end
+      done;
+      !acc /. float_of_int (n - 1)
+    end
+end
+
 type welch = Insufficient_data | Equal | Welch of { t_stat : float; df : float }
 
 let welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =

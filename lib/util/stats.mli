@@ -71,6 +71,43 @@ val drop_outliers : ?k:float -> float array -> float array
 val outlier_mask : ?k:float -> float array -> bool array
 (** Mask form of {!drop_outliers}: [true] marks a kept sample. *)
 
+(** {1 Reusable-buffer statistics}
+
+    The rating loop recomputes median/MAD/mean/variance at every
+    convergence check; the entry points above allocate fresh arrays per
+    call.  A [Scratch.t] owns growable buffers reused across checks, and
+    its operations return bit-identical results to the allocating forms
+    (same fold orders, same outlier fallback).  Steady-state (buffers
+    already grown, no pathological outlier spread, finite data) they
+    allocate nothing.  Single-owner mutable state: use one per domain. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val push : t -> float -> unit
+  val length : t -> int
+  val get : t -> int -> float
+
+  val outlier_mask : ?k:float -> t -> unit
+  (** {!outlier_mask} over the collected values, recording verdicts
+      queryable via {!kept}.  Defaults to [k = 3.5].
+      @raise Invalid_argument on an empty buffer. *)
+
+  val kept : t -> int -> bool
+  (** Verdict of the last {!outlier_mask} for index [i]. *)
+
+  val kept_count : t -> int
+
+  val kept_mean : t -> float
+  (** Mean of the kept values, equal to [mean (drop_outliers a)].
+      @raise Invalid_argument when nothing is kept. *)
+
+  val kept_variance : t -> float
+  (** Unbiased variance of the kept values, equal to
+      [variance (drop_outliers a)]. *)
+end
+
 (** {1 Significance testing} *)
 
 type welch = Insufficient_data | Equal | Welch of { t_stat : float; df : float }

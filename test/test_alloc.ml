@@ -1,0 +1,71 @@
+(* Allocation-regression tests for the rating hot paths.
+
+   The budgets pinned here mirror ci/alloc_budget.json: the steady-state
+   compiled interpreter loop allocates nothing (sub-byte amortized), and
+   a warm rating-summary scratch stays within a small constant.  The
+   assertions only run on the native backend — bytecode boxes every
+   float and would trip any budget. *)
+
+open Peak_ir
+module B = Builder
+
+let native = Sys.backend_type = Sys.Native
+
+(* Amortized bytes per call after two warmup calls (the warmups grow
+   scratch buffers to their steady-state capacity). *)
+let bytes_per_call f n =
+  ignore (f ());
+  ignore (f ());
+  let b0 = Gc.allocated_bytes () in
+  for _ = 1 to n do
+    ignore (f ())
+  done;
+  let b1 = Gc.allocated_bytes () in
+  (b1 -. b0) /. float_of_int n
+
+(* The Figure-2 shape: a loop-body component plus a tail component —
+   the same probe the bench `alloc` experiment meters. *)
+let loop_ts =
+  B.ts ~name:"alloc_probe" ~params:[ "n" ] ~arrays:[ ("a", 256); ("b", 256) ]
+    ~locals:[ "i"; "t" ]
+    B.
+      [
+        for_ "i" ~lo:(ci 0) ~hi:(v "n") [ store "a" (v "i") (idx "b" (v "i") + c 1.0) ];
+        "t" := idx "a" (ci 0) * c 2.0;
+      ]
+
+let test_interp_steady_state_zero_alloc () =
+  if native then begin
+    let cfg = Cfg.of_ts loop_ts in
+    let env = Interp.make_env loop_ts in
+    Interp.set_scalar env "n" 256.0;
+    let compiled = Interp.compile cfg env in
+    let scratch = Interp.make_scratch compiled in
+    let per_call = bytes_per_call (fun () -> Interp.run_compiled compiled scratch) 1000 in
+    if per_call >= 1.0 then
+      Alcotest.failf "run_compiled allocates %.1f bytes/invocation (budget < 1)" per_call
+  end
+
+let test_summarize_into_budget () =
+  if native then begin
+    let rng = Peak_util.Rng.create ~seed:1 in
+    let samples = List.init 80 (fun _ -> 100.0 +. Peak_util.Rng.float rng) in
+    let params = Peak.Rating.default_params in
+    let scratch = Peak.Rating.make_scratch () in
+    let per_call =
+      bytes_per_call (fun () -> Peak.Rating.summarize_into scratch ~params samples) 2000
+    in
+    if per_call > 64.0 then
+      Alcotest.failf "summarize_into allocates %.1f bytes/window (budget 64)" per_call
+  end
+
+let suites =
+  [
+    ( "alloc",
+      [
+        Alcotest.test_case "interp steady state is allocation-free" `Quick
+          test_interp_steady_state_zero_alloc;
+        Alcotest.test_case "summarize_into stays within budget" `Quick
+          test_summarize_into_budget;
+      ] );
+  ]

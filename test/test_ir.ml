@@ -170,6 +170,70 @@ let test_step_limit () =
        false
      with Interp.Step_limit_exceeded _ -> true)
 
+let test_negative_index_rejected () =
+  (* both the read and the write path must reject negative fractional
+     subscripts: int_of_float truncation toward zero used to turn -0.9
+     into index 0 silently *)
+  let read_ts =
+    B.ts ~name:"oob_read" ~params:[ "i" ] ~arrays:[ ("a", 4) ] ~locals:[ "r" ]
+      B.[ "r" := idx "a" (v "i") ]
+  in
+  let write_ts =
+    B.ts ~name:"oob_write" ~params:[ "i" ] ~arrays:[ ("a", 4) ]
+      B.[ store "a" (v "i") (c 1.0) ]
+  in
+  let raises ts i =
+    let cfg = Cfg.of_ts ts in
+    let env = Interp.make_env ts in
+    Interp.set_scalar env "i" i;
+    try
+      ignore (Interp.run cfg env);
+      false
+    with Interp.Out_of_bounds _ -> true
+  in
+  List.iter
+    (fun ts ->
+      List.iter
+        (fun i -> Alcotest.(check bool) (Printf.sprintf "i=%g in bounds" i) false (raises ts i))
+        [ 0.0; 0.9; 3.0; 3.9 ];
+      List.iter
+        (fun i -> Alcotest.(check bool) (Printf.sprintf "i=%g rejected" i) true (raises ts i))
+        [ -0.9; -1.0; 4.0 ])
+    [ read_ts; write_ts ]
+
+let test_sorted_array_accesses () =
+  (* the access list is sorted by base name regardless of touch order —
+     it used to surface in Hashtbl iteration order *)
+  let ts =
+    B.ts ~name:"acc" ~params:[] ~arrays:[ ("zz", 2); ("mm", 2); ("aa", 2) ] ~locals:[ "r" ]
+      B.
+        [
+          store "zz" (ci 0) (c 1.0);
+          "r" := idx "mm" (ci 0) + idx "zz" (ci 0) + idx "aa" (ci 1);
+        ]
+  in
+  let cfg = Cfg.of_ts ts in
+  let env = Interp.make_env ts in
+  let r = Interp.run cfg env in
+  Alcotest.(check (list (pair string int)))
+    "sorted by base name"
+    [ ("aa", 1); ("mm", 1); ("zz", 2) ]
+    r.Interp.array_accesses
+
+let test_flop_accounting () =
+  (* a branch charges no flop beyond its comparison's: the old
+     interpreter charged the Cmp once in eval and again at the branch *)
+  let branch_ts =
+    B.ts ~name:"br" ~params:[ "x" ] ~locals:[ "r" ]
+      B.[ if_ (v "x" > c 0.0) [ "r" := c 1.0 ] [ "r" := c 2.0 ] ]
+  in
+  let _, _, r = run_with branch_ts (fun env -> Interp.set_scalar env "x" 5.0) in
+  Alcotest.(check int) "if: one flop for the comparison" 1 r.Interp.flops;
+  (* figure2 at n=8: 9 header compares + 8 body adds + 8 index
+     increments + 1 tail multiply *)
+  let _, _, r = run_with figure2_ts (fun env -> Interp.set_scalar env "n" 8.0) in
+  Alcotest.(check int) "figure2 n=8" 26 r.Interp.flops
+
 let test_dynamic_counters () =
   let _, _, result = run_with figure2_ts (fun env -> Interp.set_scalar env "n" 8.0) in
   (* per iteration: read b[i]; tail: read a[0]; writes: a[i] each iter *)
@@ -569,6 +633,9 @@ let suites =
         Alcotest.test_case "pointer ops" `Quick test_pointer_ops;
         Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
         Alcotest.test_case "step limit" `Quick test_step_limit;
+        Alcotest.test_case "negative index rejected" `Quick test_negative_index_rejected;
+        Alcotest.test_case "sorted array accesses" `Quick test_sorted_array_accesses;
+        Alcotest.test_case "flop accounting" `Quick test_flop_accounting;
         Alcotest.test_case "dynamic counters" `Quick test_dynamic_counters;
         Alcotest.test_case "copy env isolation" `Quick test_copy_env_isolation;
         Alcotest.test_case "control conditions" `Quick test_control_conditions;

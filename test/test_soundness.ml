@@ -42,20 +42,7 @@ let scramble_non_inputs tsec env rng =
         Benchmark.fill_random rng (-1e6) 1e6 (Interp.get_array env a))
     ts.Types.arrays
 
-let env_equal (a : Interp.env) (b : Interp.env) =
-  let scalars_equal =
-    Hashtbl.fold (fun k v acc -> acc && Hashtbl.find_opt b.Interp.scalars k = Some v)
-      a.Interp.scalars true
-  in
-  let arrays_equal =
-    Hashtbl.fold (fun k v acc -> acc && Hashtbl.find_opt b.Interp.arrays k = Some v)
-      a.Interp.arrays true
-  in
-  let pointers_equal =
-    Hashtbl.fold (fun k v acc -> acc && Hashtbl.find_opt b.Interp.pointers k = Some v)
-      a.Interp.pointers true
-  in
-  scalars_equal && arrays_equal && pointers_equal
+let env_equal = Interp.env_equal
 
 (* ------------------------------------------------------------------ *)
 
@@ -138,9 +125,9 @@ let test_snapshot_pointer_restore () =
   let env = Interp.make_env ts in
   let snap = Snapshot.save tsec env in
   ignore (Interp.run tsec.Tsection.cfg env);
-  Alcotest.(check string) "pointer retargeted by run" "y" (Hashtbl.find env.Interp.pointers "p");
+  Alcotest.(check string) "pointer retargeted by run" "y" (Interp.get_pointer env "p");
   Snapshot.restore snap env;
-  Alcotest.(check string) "pointer restored" "x" (Hashtbl.find env.Interp.pointers "p")
+  Alcotest.(check string) "pointer restored" "x" (Interp.get_pointer env "p")
 
 let suites =
   [

@@ -142,20 +142,21 @@ let check_equivalent (b : Benchmark.t) transform ~seed ~invocation =
   else begin
     (* same arrays and pointers; scalars compared on the original's
        read-set plus params (dead locals may legitimately differ) *)
+    let ts = b.Benchmark.ts in
     let arrays_ok =
-      Hashtbl.fold
-        (fun k v acc -> acc && Hashtbl.find_opt env2.Interp.arrays k = Some v)
-        env1.Interp.arrays true
+      List.for_all
+        (fun (a, _) -> Interp.get_array env1 a = Interp.get_array env2 a)
+        ts.Types.arrays
     in
     let pointers_ok =
-      Hashtbl.fold
-        (fun k v acc -> acc && Hashtbl.find_opt env2.Interp.pointers k = Some v)
-        env1.Interp.pointers true
+      List.for_all
+        (fun (p, _) -> Interp.get_pointer env1 p = Interp.get_pointer env2 p)
+        ts.Types.pointers
     in
     let scalars_ok =
       List.for_all
-        (fun v -> Hashtbl.find_opt env1.Interp.scalars v = Hashtbl.find_opt env2.Interp.scalars v)
-        b.Benchmark.ts.Types.params
+        (fun v -> Interp.get_scalar env1 v = Interp.get_scalar env2 v)
+        ts.Types.params
     in
     arrays_ok && pointers_ok && scalars_ok
   end
