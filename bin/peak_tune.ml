@@ -57,19 +57,7 @@ let parse_dataset name =
 
 (* Accepts the stored "random<n>" spelling too, so a session's recorded
    search name round-trips through [session resume]. *)
-let parse_search name =
-  match String.lowercase_ascii name with
-  | "ie" -> Ok Driver.Ie
-  | "be" -> Ok Driver.Be
-  | "ce" -> Ok Driver.Ce
-  | "ff" -> Ok Driver.Ff
-  | "ose" -> Ok Driver.Ose
-  | "random" -> Ok (Driver.Random 100)
-  | other when String.length other > 6 && String.sub other 0 6 = "random" -> (
-      match int_of_string_opt (String.sub other 6 (String.length other - 6)) with
-      | Some n when n > 0 -> Ok (Driver.Random n)
-      | _ -> Error ("unknown search " ^ other))
-  | other -> Error ("unknown search " ^ other)
+let parse_search = Driver.search_of_string
 
 (* "auto" is left to Driver.tune, which resolves it from its own
    profiling pass (with §3 fallback) instead of profiling twice. *)
@@ -696,6 +684,7 @@ let session_list_cmd =
             | Some r ->
                 ( Printf.sprintf "done (%s)" r.Peak_store.Codec.r_method,
                   Optconfig.to_string r.Peak_store.Codec.r_best )
+            | None when i.Peak_store.Session.info_live -> ("live", "-")
             | None -> ("in progress", "-")
           in
           Table.add_row t
@@ -978,12 +967,199 @@ let report_cmd =
           rating-event counts, recomputed from the journals and results alone.")
     Term.(const run $ store_req_arg)
 
+(* ---------------- client: talk to a peak-tuned daemon ---------------- *)
+
+let daemon_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "daemon" ] ~docv:"ADDR"
+        ~doc:"Daemon endpoint: $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+
+let detach_arg =
+  Arg.(
+    value & flag
+    & info [ "detach" ]
+        ~doc:"Return as soon as the session is admitted; poll with $(b,client status).")
+
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:"Print the daemon's progress events (to stderr) while waiting.")
+
+let client_mode detach stream =
+  if detach && stream then die "--detach and --stream are mutually exclusive";
+  if detach then Peak_serve.Wire.Detach
+  else if stream then Peak_serve.Wire.Stream
+  else Peak_serve.Wire.Wait
+
+let print_wire_event ev =
+  match ev with
+  | Peak_serve.Wire.Ev_instant { ei_name; ei_args } ->
+      Printf.eprintf "ev %s%s\n%!" ei_name
+        (String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) ei_args))
+  | Peak_serve.Wire.Ev_counter { ec_name; ec_value } ->
+      Printf.eprintf "ev %s = %d\n%!" ec_name ec_value
+  | Peak_serve.Wire.Ev_span { es_name; es_dur; es_args } ->
+      Printf.eprintf "ev %s (%.3fs)%s\n%!" es_name es_dur
+        (String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) es_args))
+
+(* The last four lines (method/best/ratings/tuning-cycles) are stable
+   across resumed and uninterrupted runs of the same session — CI's
+   bit-identity smoke diffs exactly that tail. *)
+let print_client_result ~id ~resumed (r : Peak_store.Codec.session_result) =
+  Printf.printf "session: %s\n" id;
+  Printf.printf "resumed: %d replayed rating(s)\n" resumed;
+  Printf.printf "method: %s\n" r.Peak_store.Codec.r_method;
+  Printf.printf "best: %s\n" (Optconfig.to_string r.Peak_store.Codec.r_best);
+  Printf.printf "ratings: %d over %d iterations\n" r.Peak_store.Codec.r_ratings
+    r.Peak_store.Codec.r_iterations;
+  Printf.printf "tuning-cycles: %.17g\n" r.Peak_store.Codec.r_tuning_cycles
+
+let with_client daemon f =
+  let endpoint = or_die (Peak_serve.Wire.endpoint_of_string daemon) in
+  let c = or_die (Peak_serve.Client.connect endpoint) in
+  Fun.protect ~finally:(fun () -> Peak_serve.Client.close c) (fun () -> f c)
+
+let run_to_completion ~stream c req =
+  let on_event = if stream then print_wire_event else fun _ -> () in
+  match or_die (Peak_serve.Client.run ~on_event c req) with
+  | Peak_serve.Client.Saturated retry_after ->
+      die (Printf.sprintf "saturated; retry after %.2f s" retry_after)
+  | Peak_serve.Client.Accepted_only { id; resumed } ->
+      Printf.printf "session: %s\n" id;
+      Printf.printf "resumed: %d replayed rating(s)\n" resumed;
+      print_endline "accepted: running detached"
+  | Peak_serve.Client.Finished { id; resumed; result } ->
+      print_client_result ~id ~resumed result
+
+let client_submit_cmd =
+  let run daemon bench machine dataset search method_ seed cap detach stream =
+    guard @@ fun () ->
+    let mode = client_mode detach stream in
+    let spec =
+      {
+        Peak_serve.Wire.sb_benchmark = bench;
+        sb_machine = machine;
+        sb_dataset = dataset;
+        sb_search = search;
+        sb_method = method_;
+        sb_seed = seed;
+        sb_cap = cap;
+        sb_mode = mode;
+      }
+    in
+    with_client daemon @@ fun c ->
+    run_to_completion ~stream c (Peak_serve.Wire.Submit spec)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a tuning session to a daemon.  Waits for the result by default; results \
+          are bit-identical to $(b,tune --store) with the same parameters.")
+    Term.(
+      const run $ daemon_arg $ benchmark_arg $ machine_arg $ dataset_arg $ search_arg
+      $ method_arg $ seed_arg $ rating_cap_arg $ detach_arg $ stream_arg)
+
+let client_resume_cmd =
+  let run daemon id detach stream =
+    guard @@ fun () ->
+    let mode = client_mode detach stream in
+    with_client daemon @@ fun c ->
+    run_to_completion ~stream c (Peak_serve.Wire.Resume { rs_id = id; rs_mode = mode })
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume a stored session by id on the daemon.  Completed ratings replay from \
+          the journal; the result is bit-identical to an uninterrupted run.")
+    Term.(const run $ daemon_arg $ session_id_arg $ detach_arg $ stream_arg)
+
+let client_status_cmd =
+  let run daemon id =
+    guard @@ fun () ->
+    with_client daemon @@ fun c ->
+    match or_die (Peak_serve.Client.request c (Peak_serve.Wire.Status_of id)) with
+    | Peak_serve.Wire.Status_r { st_id; st_state; st_ratings } ->
+        Printf.printf "session: %s\nstate: %s\nratings: %d\n" st_id
+          (Peak_serve.Wire.state_to_string st_state)
+          st_ratings
+    | Peak_serve.Wire.Error_r e -> die e
+    | _ -> die "unexpected response from daemon"
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Show a session's state and rating count on the daemon.")
+    Term.(const run $ daemon_arg $ session_id_arg)
+
+let client_stream_cmd =
+  let run daemon id =
+    guard @@ fun () ->
+    with_client daemon @@ fun c ->
+    match
+      or_die
+        (Peak_serve.Client.run ~on_event:print_wire_event c (Peak_serve.Wire.Stream_of id))
+    with
+    | Peak_serve.Client.Finished { id; resumed; result } ->
+        print_client_result ~id ~resumed result
+    | Peak_serve.Client.Accepted_only _ | Peak_serve.Client.Saturated _ ->
+        die "unexpected response from daemon"
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Attach to a running session, printing progress events until it finishes.")
+    Term.(const run $ daemon_arg $ session_id_arg)
+
+let client_cancel_cmd =
+  let run daemon id =
+    guard @@ fun () ->
+    with_client daemon @@ fun c ->
+    match or_die (Peak_serve.Client.request c (Peak_serve.Wire.Cancel_of id)) with
+    | Peak_serve.Wire.Cancel_ack id -> Printf.printf "cancelled: %s\n" id
+    | Peak_serve.Wire.Error_r e -> die e
+    | _ -> die "unexpected response from daemon"
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Cancel a running session.  The journal stays consistent, so the session can be \
+          resumed later.")
+    Term.(const run $ daemon_arg $ session_id_arg)
+
+let client_stats_cmd =
+  let run daemon =
+    guard @@ fun () ->
+    with_client daemon @@ fun c ->
+    match or_die (Peak_serve.Client.request c Peak_serve.Wire.Stats_req) with
+    | Peak_serve.Wire.Stats_r s ->
+        Printf.printf "active: %d / %d\ncompleted: %d\nrejected: %d\ndomains: %d\n"
+          s.Peak_serve.Wire.ss_active s.Peak_serve.Wire.ss_capacity
+          s.Peak_serve.Wire.ss_completed s.Peak_serve.Wire.ss_rejected
+          s.Peak_serve.Wire.ss_domains
+    | Peak_serve.Wire.Error_r e -> die e
+    | _ -> die "unexpected response from daemon"
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show the daemon's admission and pool statistics.")
+    Term.(const run $ daemon_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a $(b,peak-tuned) daemon: submit, resume, watch and cancel tuning \
+          sessions over its socket.")
+    [
+      client_submit_cmd; client_resume_cmd; client_status_cmd; client_stream_cmd;
+      client_cancel_cmd; client_stats_cmd;
+    ]
+
 let main =
   let doc = "PEAK: rating compiler optimizations for automatic performance tuning" in
   Cmd.group (Cmd.info "peak-tune" ~version:"1.0.0" ~doc)
     [
       list_cmd; flags_cmd; analyze_cmd; tune_cmd; suite_cmd; session_cmd; trace_cmd;
-      report_cmd; consistency_cmd; instrument_cmd; show_cmd; methods_cmd;
+      report_cmd; consistency_cmd; instrument_cmd; show_cmd; methods_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

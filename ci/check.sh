@@ -223,4 +223,111 @@ else
   exit 1
 fi
 
+# Serve smoke: a real daemon on a temp socket must serve concurrent
+# clients bit-identically to the batch CLI, tolerate `session list` on
+# a held store, drain on SIGTERM with a resumable journal, and resume
+# the interrupted session to the exact uninterrupted result.
+echo "== serve smoke"
+TUNED=_build/default/bin/peak_tuned.exe
+SOCK="unix:$SMOKE/serve/peak-tuned.sock"
+
+wait_for_sock() {
+  i=0
+  while [ ! -S "$SMOKE/serve/peak-tuned.sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "   daemon never bound its socket" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+"$TUNED" --store "$SMOKE/serve" -j 2 --trace "$SMOKE/serve-trace.json" \
+  > "$SMOKE/daemon1.log" 2>&1 &
+tuned_pid=$!
+wait_for_sock
+
+# two concurrent tenants; tails must match the batch CLI's results below
+"$BIN" client submit ART --daemon "$SOCK" -m pentium4 -r rbr --search be \
+  | tail -4 > "$SMOKE/serve-art.out" &
+client1=$!
+"$BIN" client submit SWIM --daemon "$SOCK" -m pentium4 -r rbr --search be \
+  | tail -4 > "$SMOKE/serve-swim.out" &
+client2=$!
+wait "$client1" "$client2"
+
+# the daemon holds the store; listing it must still work (live label)
+if "$BIN" session list --store "$SMOKE/serve" > /dev/null; then
+  echo "   session list works on a daemon-held store"
+else
+  echo "   session list failed on a daemon-held store" >&2
+  exit 1
+fi
+
+# the stored results must be byte-identical to the batch CLI's
+for b in ART SWIM; do
+  out=$(echo "$b" | tr 'A-Z' 'a-z')
+  "$BIN" tune "$b" -m pentium4 -r rbr --search be --store "$SMOKE/serve-batch" \
+    > /dev/null
+  id=$("$BIN" session list --store "$SMOKE/serve-batch" -q | grep "^$out-")
+  if diff "$SMOKE/serve/sessions/$id/result.json" \
+          "$SMOKE/serve-batch/sessions/$id/result.json"; then
+    echo "   $b via daemon identical to batch CLI"
+  else
+    echo "   $b daemon result DIFFERS from batch CLI" >&2
+    exit 1
+  fi
+done
+
+# a third, longer session: detach, kill the daemon mid-flight
+"$BIN" client submit SWIM --daemon "$SOCK" -m pentium4 --search random2000 \
+  --rating-cap 100 -s 5 --detach > /dev/null
+sleep 0.7
+kill -TERM "$tuned_pid"
+wait "$tuned_pid" || { echo "   daemon exited nonzero after SIGTERM" >&2; exit 1; }
+if ! grep -q "drained" "$SMOKE/daemon1.log"; then
+  echo "   daemon did not drain cleanly:" >&2
+  cat "$SMOKE/daemon1.log" >&2
+  exit 1
+fi
+
+# the daemon's own trace must parse and summarize
+if "$BIN" trace summarize "$SMOKE/serve-trace.json" > /dev/null; then
+  echo "   server trace parses and validates"
+else
+  echo "   trace summarize rejected the server trace" >&2
+  exit 1
+fi
+
+# restart and resume the interrupted session: bit-identical to an
+# uninterrupted client run of the same spec on a fresh daemon
+"$TUNED" --store "$SMOKE/serve" -j 2 > "$SMOKE/daemon2.log" 2>&1 &
+tuned_pid=$!
+wait_for_sock
+rid=$("$BIN" session list --store "$SMOKE/serve" -q | grep random2000)
+"$BIN" client resume --daemon "$SOCK" "$rid" | tail -4 > "$SMOKE/serve-resumed.out"
+kill -TERM "$tuned_pid"
+wait "$tuned_pid" || true
+
+"$TUNED" --store "$SMOKE/serve-ref" -j 2 > "$SMOKE/daemon3.log" 2>&1 &
+tuned_pid=$!
+SOCK="unix:$SMOKE/serve-ref/peak-tuned.sock"
+i=0
+while [ ! -S "$SMOKE/serve-ref/peak-tuned.sock" ]; do
+  i=$((i + 1)); [ "$i" -gt 100 ] && exit 1
+  sleep 0.1
+done
+"$BIN" client submit SWIM --daemon "$SOCK" -m pentium4 --search random2000 \
+  --rating-cap 100 -s 5 | tail -4 > "$SMOKE/serve-uninterrupted.out"
+kill -TERM "$tuned_pid"
+wait "$tuned_pid" || true
+
+if diff "$SMOKE/serve-resumed.out" "$SMOKE/serve-uninterrupted.out"; then
+  echo "   resumed daemon session identical to uninterrupted run"
+else
+  echo "   resumed daemon session DIFFERS from uninterrupted run" >&2
+  exit 1
+fi
+
 echo "== OK"

@@ -12,6 +12,20 @@ let search_name = function
   | Ff -> "ff"
   | Ose -> "ose"
 
+let search_of_string name =
+  match String.lowercase_ascii name with
+  | "ie" -> Ok Ie
+  | "be" -> Ok Be
+  | "ce" -> Ok Ce
+  | "ff" -> Ok Ff
+  | "ose" -> Ok Ose
+  | "random" -> Ok (Random 100)
+  | other when String.length other > 6 && String.sub other 0 6 = "random" -> (
+      match int_of_string_opt (String.sub other 6 (String.length other - 6)) with
+      | Some n when n > 0 -> Ok (Random n)
+      | _ -> Error ("unknown search " ^ other))
+  | other -> Error ("unknown search " ^ other)
+
 type result = {
   benchmark : Benchmark.t;
   machine : Machine.t;
@@ -87,7 +101,7 @@ let session_meta ?method_ ?(search = Ie) ?(rating_params = Rating.default_params
 
 let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     ?(threshold = 0.005) ?compile ?pool ?method_ ?store ?start ?faults ?(retries = 2)
-    (benchmark : Benchmark.t) machine dataset =
+    ?progress (benchmark : Benchmark.t) machine dataset =
   if retries < 0 then invalid_arg "Driver.tune: retries must be >= 0";
   (* Tracing is observational only: spans and counters are emitted on
      the side and nothing below ever reads the tracer back, so a traced
@@ -141,6 +155,22 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
       match Hashtbl.find_opt method_tally mname with Some x -> x | None -> (0, 0)
     in
     Hashtbl.replace method_tally mname (r + 1, i + inv)
+  in
+  (* Progress reporting rides the same submission-order fold as [tally]:
+     [ratings] counts every rating folded into the session (store
+     replays included), [fresh] only the freshly computed ones.  The
+     callback runs on the submitting domain, outside any pool worker,
+     and may raise to abort the session — the store journal is already
+     consistent at every callback point, so an aborted session resumes
+     cleanly. *)
+  let ratings_done = ref 0 in
+  let fresh_done = ref 0 in
+  let note_progress fresh =
+    incr ratings_done;
+    if fresh then incr fresh_done;
+    match progress with
+    | None -> ()
+    | Some f -> f ~ratings:!ratings_done ~fresh:!fresh_done
   in
   let now () = Runner.tuning_cycles runner +. !extra_cycles in
   (* the Remote Optimizer of Figure 6: versions must be compiled before
@@ -221,6 +251,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
       let before = Runner.invocations_consumed runner in
       let e = f () in
       tally mname (Runner.invocations_consumed runner - before);
+      note_progress true;
       e
     in
     let eval_with f config =
@@ -414,6 +445,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
               account used;
               (let inv, _, _ = used in
                tally mname inv);
+              note_progress (Option.is_none stored);
               note_outcome c (fail, job_retries);
               Hashtbl.replace eval_cache c e)
             work
@@ -464,6 +496,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
               account used;
               (let inv, _, _ = used in
                tally mname inv);
+              note_progress (Option.is_none stored);
               note_outcome c (fail, job_retries);
               e)
             work
@@ -488,8 +521,9 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     | Method.Relative _ -> true
     | Method.Absolute rate ->
         if deterministic then begin
+          let stored_probe = store_find ~mname ~base:"-" ~idx:(-1) start in
           let eval, converged, used, _fail, _retries =
-            match store_find ~mname ~base:"-" ~idx:(-1) start with
+            match stored_probe with
             | Some hit -> hit
             | None ->
                 let v = version start in
@@ -518,6 +552,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
           account used;
           (let inv, _, _ = used in
            tally mname inv);
+          note_progress (Option.is_none stored_probe);
           if converged then Hashtbl.replace eval_cache start eval;
           converged
         end
@@ -534,6 +569,7 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
             | exception Rating.No_samples _ -> false
           in
           tally mname (Runner.invocations_consumed runner - before);
+          note_progress true;
           verdict
         end
   in

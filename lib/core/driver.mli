@@ -23,6 +23,12 @@ val search_name : search_algo -> string
 (** Stable lower-case name used in store session ids and metadata
     (["ie"], ["be"], ["ce"], ["random100"], ["ff"], ["ose"]). *)
 
+val search_of_string : string -> (search_algo, string) result
+(** Inverse of {!search_name}, case-insensitive; ["random"] alone means
+    [Random 100] and ["random<n>"] any positive sample count.  The
+    parser behind the CLI's [--search] and the service protocol's
+    submit requests. *)
+
 type result = {
   benchmark : Peak_workload.Benchmark.t;
   machine : Peak_machine.Machine.t;
@@ -96,6 +102,7 @@ val tune :
   ?start:Peak_compiler.Optconfig.t ->
   ?faults:Peak_sim.Fault.t ->
   ?retries:int ->
+  ?progress:(ratings:int -> fresh:int -> unit) ->
   Peak_workload.Benchmark.t ->
   Peak_machine.Machine.t ->
   Peak_workload.Trace.dataset ->
@@ -174,7 +181,19 @@ val tune :
     a resumed session replays the quarantine decisions).  Fault
     injection forces the deterministic per-candidate rating scheme, so
     fault-tolerant runs stay bit-identical across [~domains] 1/2/4 and
-    across kill/resume. *)
+    across kill/resume.
+
+    [progress] is called after each rating is folded into the session,
+    always on the calling domain (never inside a pool worker), with
+    cumulative totals: [ratings] counts every rating including ones
+    replayed from [store], [fresh] only freshly computed ones — the
+    quantity a fair-share scheduler should charge, since replays cost
+    nothing.  The callback is observational (its return value is unit
+    and nothing reads it back), but it may {e raise} to abort the
+    session: every callback point leaves the store journal consistent,
+    so an aborted store-backed session resumes bit-identically.  This is
+    the hook the tuning service daemon uses for streamed progress,
+    fair-share budgets and cancellation. *)
 
 val tune_suite :
   ?seed:int ->

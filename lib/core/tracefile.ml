@@ -19,6 +19,7 @@ type t = {
   spans : span list;
   instants : instant list;
   counters : (string * int) list;
+  gauges : (string * int) list;
   timings : (string * (int * float)) list;
   dropped : int;
   open_spans : int;
@@ -95,9 +96,8 @@ let of_json v =
   let* other = Json.member "otherData" v in
   let* dropped = str_int "dropped" other in
   let* open_spans = str_int "open_spans" other in
-  let* counters =
-    let* c = Json.member "counters" other in
-    match c with
+  let int_table label j =
+    match j with
     | Json.Obj kvs ->
         List.fold_left
           (fun acc (k, jv) ->
@@ -105,10 +105,21 @@ let of_json v =
             let* s = Json.to_str jv in
             match int_of_string_opt s with
             | Some n -> Ok ((k, n) :: acc)
-            | None -> Error (Printf.sprintf "counter %S: not an integer: %s" k s))
+            | None -> Error (Printf.sprintf "%s %S: not an integer: %s" label k s))
           (Ok []) kvs
         |> Result.map List.rev
-    | _ -> Error "member \"counters\": expected an object"
+    | _ -> Error (Printf.sprintf "member %S: expected an object" label)
+  in
+  let* counters =
+    let* c = Json.member "counters" other in
+    int_table "counters" c
+  in
+  (* gauges arrived with the serve subsystem; traces written before then
+     simply have none *)
+  let* gauges =
+    match Json.member "gauges" other with
+    | Error _ -> Ok []
+    | Ok g -> int_table "gauges" g
   in
   let* timings =
     let* tj = Json.member "timings" other in
@@ -125,7 +136,16 @@ let of_json v =
         |> Result.map List.rev
     | _ -> Error "member \"timings\": expected an object"
   in
-  Ok { spans = List.rev spans; instants = List.rev instants; counters; timings; dropped; open_spans }
+  Ok
+    {
+      spans = List.rev spans;
+      instants = List.rev instants;
+      counters;
+      gauges;
+      timings;
+      dropped;
+      open_spans;
+    }
 
 let load path =
   if not (Sys.file_exists path) then Error (path ^ ": no such file")
@@ -227,6 +247,12 @@ let summary t =
     List.iter
       (fun (k, v) -> Peak_util.Table.add_row tbl [ k; string_of_int v ])
       t.counters;
+    Buffer.add_string buf (Peak_util.Table.render tbl);
+    Buffer.add_char buf '\n'
+  end;
+  if t.gauges <> [] then begin
+    let tbl = Peak_util.Table.create ~title:"Gauges" ~header:[ "gauge"; "value" ] () in
+    List.iter (fun (k, v) -> Peak_util.Table.add_row tbl [ k; string_of_int v ]) t.gauges;
     Buffer.add_string buf (Peak_util.Table.render tbl);
     Buffer.add_char buf '\n'
   end;

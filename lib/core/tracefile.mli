@@ -23,6 +23,9 @@ type t = {
   spans : span list;
   instants : instant list;
   counters : (string * int) list;
+  gauges : (string * int) list;
+      (** Last value per gauge, from {!Peak_obs.gauge}; empty for
+          traces written before gauges existed. *)
   timings : (string * (int * float)) list;
       (** Name → (count, total seconds), from {!Peak_obs.observe}. *)
   dropped : int;
@@ -43,4 +46,5 @@ val validate : t -> (unit, string) result
 
 val summary : t -> string
 (** Human-readable report: event totals, spans aggregated by category,
-    counters and timings — the output of [peak-tune trace summarize]. *)
+    counters, gauges and timings — the output of
+    [peak-tune trace summarize]. *)

@@ -23,6 +23,7 @@ type span_stat = { s_count : int; s_total : float }
 
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * int) list;
   timings : (string * timing) list;
   span_stats : (string * span_stat) list;
   events : int;
@@ -50,6 +51,7 @@ type sink = {
   mutable next_id : int;
   open_spans : (int, open_span) Hashtbl.t;
   counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
   timings : (string, (int ref * float ref)) Hashtbl.t;
 }
 
@@ -72,6 +74,7 @@ let install ?(capacity = default_capacity) () =
          next_id = 1;
          open_spans = Hashtbl.create 64;
          counters = Hashtbl.create 64;
+         gauges = Hashtbl.create 64;
          timings = Hashtbl.create 64;
        })
 
@@ -165,6 +168,15 @@ let count ?(n = 1) name =
           | Some r -> r := !r + n
           | None -> Hashtbl.replace s.counters name (ref n))
 
+let gauge name value =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s ->
+      locked s (fun s ->
+          match Hashtbl.find_opt s.gauges name with
+          | Some r -> r := value
+          | None -> Hashtbl.replace s.gauges name (ref value))
+
 let observe name seconds =
   match Atomic.get sink with
   | None -> ()
@@ -234,6 +246,7 @@ let snapshot () =
                (events_locked s);
              {
                counters = sorted_bindings s.counters (fun r -> !r);
+               gauges = sorted_bindings s.gauges (fun r -> !r);
                timings =
                  sorted_bindings s.timings (fun (c, t) -> { t_count = !c; t_total = !t });
                span_stats =
@@ -348,6 +361,15 @@ let export () =
                  Buffer.add_char buf ':';
                  escape buf (string_of_int v))
                cs;
+             Buffer.add_string buf "},\"gauges\":{";
+             let gs = sorted_bindings s.gauges (fun r -> !r) in
+             List.iteri
+               (fun i (k, v) ->
+                 if i > 0 then Buffer.add_char buf ',';
+                 escape buf k;
+                 Buffer.add_char buf ':';
+                 escape buf (string_of_int v))
+               gs;
              Buffer.add_string buf "},\"timings\":{";
              let ts' = sorted_bindings s.timings (fun (c, t) -> (!c, !t)) in
              List.iteri

@@ -41,6 +41,7 @@ type span_stat = { s_count : int; s_total : float (** seconds *) }
 
 type snapshot = {
   counters : (string * int) list;  (** Sorted by name. *)
+  gauges : (string * int) list;  (** Last {!gauge} value per name, sorted. *)
   timings : (string * timing) list;  (** From {!observe}, sorted by name. *)
   span_stats : (string * span_stat) list;  (** Aggregated by span [cat]. *)
   events : int;  (** Completed events currently buffered. *)
@@ -80,6 +81,13 @@ val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 val count : ?n:int -> string -> unit
 (** Bump a named counter by [n] (default 1). *)
 
+val gauge : string -> int -> unit
+(** Set a named gauge to an absolute value — a level, not a total
+    (queue depth, sessions in flight).  Unlike {!count} the previous
+    value is overwritten; the snapshot and export carry the last value
+    written.  Same single-branch no-op contract as every other entry
+    point when tracing is off. *)
+
 val observe : string -> float -> unit
 (** Accumulate [seconds] into a named duration histogram (count + total). *)
 
@@ -97,7 +105,7 @@ val snapshot : unit -> snapshot option
 val export : unit -> string option
 (** Serialize the sink as a Chrome-trace-format JSON document
     ([traceEvents] with ["ph":"X"] spans and ["ph":"i"] instants,
-    timestamps in microseconds; counters/timings/drop counts under
-    [otherData]).  Spans still open at export time are emitted with the
+    timestamps in microseconds; counters/gauges/timings/drop counts
+    under [otherData]).  Spans still open at export time are emitted with the
     elapsed duration so far and tagged [unclosed=true].  [None] when
     off. *)

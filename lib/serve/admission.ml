@@ -1,0 +1,109 @@
+type ticket = { tk_serial : int; mutable tk_fresh : int }
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  capacity : int;
+  quantum : int;
+  active : (int, ticket) Hashtbl.t;
+  mutable serial : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable ewma : float;  (* seconds per completed session, 0 until one finishes *)
+  mutable closed : bool;
+}
+
+type verdict = Admitted of ticket | Saturated of float
+
+type stats = { a_active : int; a_capacity : int; a_completed : int; a_rejected : int }
+
+let create ~capacity ~quantum =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  if quantum < 1 then invalid_arg "Admission.create: quantum must be >= 1";
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    capacity;
+    quantum;
+    active = Hashtbl.create 32;
+    serial = 0;
+    completed = 0;
+    rejected = 0;
+    ewma = 0.0;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let note_inflight t = Peak_obs.gauge "serve.inflight" (Hashtbl.length t.active)
+
+(* A saturated submit is told when to come back: roughly when the next
+   active session should finish, from the EWMA of completed session
+   wall times.  Before any completion there is no estimate — quote a
+   small constant so clients retry promptly. *)
+let retry_after t =
+  let per_session = if t.ewma > 0.0 then t.ewma else 0.05 in
+  Float.max 0.01 (per_session /. float_of_int t.capacity)
+
+let try_admit t =
+  locked t @@ fun () ->
+  if t.closed || Hashtbl.length t.active >= t.capacity then begin
+    t.rejected <- t.rejected + 1;
+    Peak_obs.count "serve.rejected";
+    Saturated (retry_after t)
+  end
+  else begin
+    t.serial <- t.serial + 1;
+    let tk = { tk_serial = t.serial; tk_fresh = 0 } in
+    Hashtbl.replace t.active tk.tk_serial tk;
+    Peak_obs.count "serve.admitted";
+    note_inflight t;
+    Admitted tk
+  end
+
+let min_active_fresh t =
+  Hashtbl.fold (fun _ tk acc -> min acc tk.tk_fresh) t.active max_int
+
+let default_abort () = false
+
+let charge t tk ?(abort = default_abort) ~fresh () =
+  locked t @@ fun () ->
+  tk.tk_fresh <- fresh;
+  (* this ticket's advance may have raised the minimum — re-evaluate
+     everyone blocked on it *)
+  Condition.broadcast t.cond;
+  while
+    (not t.closed) && (not (abort ()))
+    && Hashtbl.mem t.active tk.tk_serial
+    && tk.tk_fresh > min_active_fresh t + t.quantum
+  do
+    Condition.wait t.cond t.mutex
+  done
+
+let release t tk ~wall =
+  locked t @@ fun () ->
+  if Hashtbl.mem t.active tk.tk_serial then begin
+    Hashtbl.remove t.active tk.tk_serial;
+    t.completed <- t.completed + 1;
+    t.ewma <- (if t.ewma = 0.0 then wall else (0.8 *. t.ewma) +. (0.2 *. wall));
+    note_inflight t;
+    Condition.broadcast t.cond
+  end
+
+let kick t = locked t @@ fun () -> Condition.broadcast t.cond
+
+let close t =
+  locked t @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.cond
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    a_active = Hashtbl.length t.active;
+    a_capacity = t.capacity;
+    a_completed = t.completed;
+    a_rejected = t.rejected;
+  }

@@ -1,0 +1,108 @@
+type conn = { fd : Unix.file_descr; reader : Wire.reader }
+
+let connect endpoint =
+  match endpoint with
+  | Wire.Unix_sock path -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> Ok { fd; reader = Wire.reader_of_fd fd }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e)))
+  | Wire.Tcp (host, port) -> (
+      let addr =
+        match Unix.inet_addr_of_string host with
+        | a -> Some a
+        | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> None
+            | h -> Some h.Unix.h_addr_list.(0)
+            | exception Not_found -> None)
+      in
+      match addr with
+      | None -> Error ("cannot resolve host " ^ host)
+      | Some addr -> (
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+          | () -> Ok { fd; reader = Wire.reader_of_fd fd }
+          | exception Unix.Unix_error (e, _, _) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error
+                (Printf.sprintf "cannot connect to %s:%d: %s" host port
+                   (Unix.error_message e))))
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send c req =
+  match Wire.write_frame c.fd (Wire.request_to_json req) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("cannot send request: " ^ Unix.error_message e)
+
+let default_on_event (_ : Wire.event) = ()
+
+(* Read frames until the next response, routing interleaved "ev" frames
+   to [on_event]. *)
+let rec next_response ?(on_event = default_on_event) c =
+  match Wire.read_frame c.reader with
+  | `Eof -> Error "connection closed by server"
+  | `Overflow -> Error "server frame exceeds the size limit"
+  | `Malformed e -> Error ("malformed server frame: " ^ e)
+  | `Frame j -> (
+      match Wire.frame_tag j with
+      | Ok "ev" -> (
+          match Wire.event_of_json j with
+          | Ok ev ->
+              on_event ev;
+              next_response ~on_event c
+          | Error e -> Error ("malformed event frame: " ^ e))
+      | Ok "resp" -> Wire.response_of_json j
+      | Ok tag -> Error ("unexpected frame type from server: " ^ tag)
+      | Error e -> Error e)
+
+let request ?on_event c req =
+  let ( let* ) = Result.bind in
+  let* () = send c req in
+  next_response ?on_event c
+
+type outcome =
+  | Accepted_only of { id : string; resumed : int }
+  | Finished of {
+      id : string;
+      resumed : int;
+      result : Peak_store.Codec.session_result;
+    }
+  | Saturated of float
+
+let run ?on_event c req =
+  let ( let* ) = Result.bind in
+  let mode =
+    match req with
+    | Wire.Submit sp -> Some sp.Wire.sb_mode
+    | Wire.Resume { rs_mode; _ } -> Some rs_mode
+    | _ -> None
+  in
+  let* first = request ?on_event c req in
+  match first with
+  | Wire.Rejected { rj_retry_after; _ } -> Ok (Saturated rj_retry_after)
+  | Wire.Error_r e -> Error e
+  | Wire.Result_r { rr_id; rr_result } ->
+      (* a Stream_of/Resume of an already-completed session answers with
+         the result directly *)
+      Ok (Finished { id = rr_id; resumed = 0; result = rr_result })
+  | Wire.Accepted { ac_id; ac_resumed } -> (
+      match mode with
+      | Some Wire.Detach | None -> Ok (Accepted_only { id = ac_id; resumed = ac_resumed })
+      | Some (Wire.Wait | Wire.Stream) -> (
+          let* final = next_response ?on_event c in
+          match final with
+          | Wire.Result_r { rr_id; rr_result } ->
+              Ok (Finished { id = rr_id; resumed = ac_resumed; result = rr_result })
+          | Wire.Error_r e -> Error e
+          | other ->
+              Error
+                ("unexpected final response: "
+                ^ Peak_store.Json.to_string (Wire.response_to_json other))))
+  | other ->
+      Error
+        ("unexpected response: " ^ Peak_store.Json.to_string (Wire.response_to_json other))

@@ -1,0 +1,41 @@
+(** Client side of the tuning service protocol: connect to a
+    [peak-tuned] daemon, exchange {!Wire} frames, and drive a session
+    to completion.  Used by the [peak-tune client] command group and
+    the bench fleet's synthetic clients. *)
+
+type conn
+
+val connect : Wire.endpoint -> (conn, string) result
+val close : conn -> unit
+
+val send : conn -> Wire.request -> (unit, string) result
+
+val next_response :
+  ?on_event:(Wire.event -> unit) -> conn -> (Wire.response, string) result
+(** Block for the next response frame, routing any interleaved progress
+    events to [on_event] (dropped by default). *)
+
+val request :
+  ?on_event:(Wire.event -> unit) ->
+  conn ->
+  Wire.request ->
+  (Wire.response, string) result
+(** {!send} then {!next_response}. *)
+
+(** How a submit/resume ended, from the client's point of view. *)
+type outcome =
+  | Accepted_only of { id : string; resumed : int }
+      (** {!Wire.Detach} mode: admitted, running in the background. *)
+  | Finished of {
+      id : string;
+      resumed : int;  (** Journal events replayed at open. *)
+      result : Peak_store.Codec.session_result;
+    }
+  | Saturated of float  (** Rejected; retry after this many seconds. *)
+
+val run :
+  ?on_event:(Wire.event -> unit) -> conn -> Wire.request -> (outcome, string) result
+(** Drive a [Submit]/[Resume] to its outcome: waits for the final
+    result in [Wait]/[Stream] modes, returns after admission in
+    [Detach] mode.  Failed or cancelled sessions and protocol errors
+    surface as [Error] with the server's one-line reason. *)

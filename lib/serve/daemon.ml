@@ -1,0 +1,653 @@
+open Peak_machine
+open Peak_workload
+open Peak
+
+let ( let* ) r f = Result.bind r f
+
+let ( // ) = Filename.concat
+
+exception Aborted of string
+(* raised from the driver's progress callback to stop a session; the
+   store journal is consistent at every callback point, so an aborted
+   session resumes bit-identically *)
+
+type config = {
+  store : string;
+  endpoint : Wire.endpoint;
+  domains : int;
+  max_sessions : int;
+  quantum : int;
+}
+
+type session_state =
+  | Running
+  | Done of Peak_store.Codec.session_result
+  | Failed of string
+  | Cancelled of string
+
+type entry = {
+  e_id : string;
+  e_mutex : Mutex.t;
+  e_cond : Condition.t;
+  mutable e_state : session_state;
+  mutable e_ratings : int;
+  mutable e_fresh : int;
+  mutable e_resumed : int;  (* -1 until the session journal is open *)
+  e_cancel : bool Atomic.t;
+}
+
+type t = {
+  cfg : config;
+  lock_fd : Unix.file_descr;
+  pool : Peak_util.Pool.t;
+  adm : Admission.t;
+  lsock : Unix.file_descr;
+  stopping : bool Atomic.t;
+  reg_mutex : Mutex.t;
+  registry : (string, entry) Hashtbl.t;
+  mutable runners : Thread.t list;  (* guarded by reg_mutex *)
+  conn_mutex : Mutex.t;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+}
+
+(* ---------------- name resolution ----------------
+   The server resolves benchmark/machine/dataset/search/method names
+   itself (the wire carries strings), with the CLI's spellings. *)
+
+type job = {
+  j_benchmark : Benchmark.t;
+  j_machine : Machine.t;
+  j_dataset : Trace.dataset;
+  j_search : Driver.search_algo;
+  j_method : Method.t option;
+  j_params : Rating.params;
+  j_threshold : float;
+  j_seed : int;
+  j_faults : Peak_sim.Fault.t option;
+}
+
+let find_benchmark name =
+  match Registry.by_name name with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %s (valid: %s)" name
+           (String.concat ", "
+              (List.sort String.compare
+                 (List.map (fun b -> b.Benchmark.name) Registry.all))))
+
+let find_machine name =
+  match Machine.by_name name with
+  | Some m -> Ok m
+  | None -> (
+      match String.lowercase_ascii name with
+      | "sparc2" | "sparc" -> Ok Machine.sparc2
+      | "pentium4" | "p4" -> Ok Machine.pentium4
+      | _ -> Error (Printf.sprintf "unknown machine %s (sparc2 | pentium4)" name))
+
+let find_dataset name =
+  match String.lowercase_ascii name with
+  | "train" -> Ok Trace.Train
+  | "ref" -> Ok Trace.Ref
+  | other -> Error ("unknown dataset " ^ other ^ " (train | ref)")
+
+let find_method name =
+  if String.lowercase_ascii name = "auto" then Ok None
+  else
+    match Method.of_string name with
+    | Some m -> Ok (Some m)
+    | None ->
+        Error
+          (Printf.sprintf "unknown rating method %s (valid: auto, %s)" name
+             (String.concat ", " Method.keys))
+
+let job_of_spec (sp : Wire.submit_spec) =
+  let* j_benchmark = find_benchmark sp.Wire.sb_benchmark in
+  let* j_machine = find_machine sp.Wire.sb_machine in
+  let* j_dataset = find_dataset sp.Wire.sb_dataset in
+  let* j_search = Driver.search_of_string sp.Wire.sb_search in
+  let* j_method = find_method sp.Wire.sb_method in
+  let* j_params =
+    match sp.Wire.sb_cap with
+    | None -> Ok Rating.default_params
+    | Some n when n >= 1 -> Ok { Rating.default_params with Rating.max_invocations = n }
+    | Some _ -> Error "rating cap must be >= 1"
+  in
+  Ok
+    {
+      j_benchmark;
+      j_machine;
+      j_dataset;
+      j_search;
+      j_method;
+      j_params;
+      j_threshold = 0.005;
+      j_seed = sp.Wire.sb_seed;
+      j_faults = None;
+    }
+
+(* Resume rebuilds the job from the session's stored metadata — same
+   recipe as the CLI's [session resume], so daemon-side resume is
+   bit-identical to batch-side resume. *)
+let job_of_stored ~dir id =
+  let* info = Peak_store.Session.load_info ~dir ~id in
+  let m = info.Peak_store.Session.info_meta in
+  let* j_benchmark = find_benchmark m.Peak_store.Codec.m_benchmark in
+  let* j_machine = find_machine m.Peak_store.Codec.m_machine in
+  let* j_dataset = find_dataset m.Peak_store.Codec.m_dataset in
+  let* j_search = Driver.search_of_string m.Peak_store.Codec.m_search in
+  let* j_method = find_method m.Peak_store.Codec.m_method in
+  let* j_params =
+    match Rating.params_of_signature m.Peak_store.Codec.m_params with
+    | Some p -> Ok p
+    | None ->
+        Error ("session has unreadable rating parameters: " ^ m.Peak_store.Codec.m_params)
+  in
+  let* j_faults =
+    match m.Peak_store.Codec.m_faults with
+    | "-" -> Ok None
+    | spec -> (
+        match Peak_sim.Fault.of_string spec with
+        | Ok plan -> Ok (Some plan)
+        | Error e -> Error ("session has an unreadable fault plan: " ^ e))
+  in
+  Ok
+    {
+      j_benchmark;
+      j_machine;
+      j_dataset;
+      j_search;
+      j_method;
+      j_params;
+      j_threshold = m.Peak_store.Codec.m_threshold;
+      j_seed = m.Peak_store.Codec.m_seed;
+      j_faults;
+    }
+
+let meta_of_job job =
+  Driver.session_meta ?method_:job.j_method ~search:job.j_search
+    ~rating_params:job.j_params ~threshold:job.j_threshold ~seed:job.j_seed
+    ?faults:job.j_faults job.j_benchmark job.j_machine job.j_dataset
+
+(* ---------------- lifecycle ---------------- *)
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let lock_path store = store // ".peak-tuned.lock"
+
+(* fcntl locks do not conflict within one process, so lockf alone cannot
+   stop two in-process daemons (a test harness, a library embedder) from
+   sharing a store — this table covers the intra-process half. *)
+let held_stores : (string, unit) Hashtbl.t = Hashtbl.create 4
+let held_mutex = Mutex.create ()
+
+let acquire_store_lock store =
+  Mutex.lock held_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock held_mutex) @@ fun () ->
+  if Hashtbl.mem held_stores store then
+    Error (Printf.sprintf "store %s is already served by another peak-tuned" store)
+  else
+    let fd = Unix.openfile (lock_path store) [ Unix.O_CREAT; Unix.O_RDWR ] 0o644 in
+    match Unix.lockf fd Unix.F_TLOCK 0 with
+    | () ->
+        (* informational: which pid serves the store *)
+        ignore (Unix.ftruncate fd 0);
+        let pid = string_of_int (Unix.getpid ()) ^ "\n" in
+        ignore (Unix.write_substring fd pid 0 (String.length pid));
+        Hashtbl.replace held_stores store ();
+        Ok fd
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "store %s is already served by another peak-tuned" store)
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "cannot lock store %s: %s" store (Unix.error_message e))
+
+let release_store_lock store fd =
+  Mutex.lock held_mutex;
+  Hashtbl.remove held_stores store;
+  Mutex.unlock held_mutex;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listen_on endpoint =
+  match endpoint with
+  | Wire.Unix_sock path ->
+      (* the store lock guarantees we are the only daemon for this
+         store; any existing socket file is a previous instance's
+         leftover *)
+      if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (match Unix.bind fd (Unix.ADDR_UNIX path) with
+      | () ->
+          Unix.listen fd 64;
+          Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e)))
+  | Wire.Tcp (host, port) -> (
+      let* addr =
+        match Unix.inet_addr_of_string host with
+        | a -> Ok a
+        | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> Error ("cannot resolve host " ^ host)
+            | h -> Ok h.Unix.h_addr_list.(0)
+            | exception Not_found -> Error ("cannot resolve host " ^ host))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      match Unix.bind fd (Unix.ADDR_INET (addr, port)) with
+      | () ->
+          Unix.listen fd 64;
+          Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message e)))
+
+let create cfg =
+  if cfg.domains < 1 then invalid_arg "Daemon.create: domains must be >= 1";
+  (match mkdir_p cfg.store with
+  | () -> ()
+  | exception Sys_error _ | (exception Unix.Unix_error _) -> ());
+  let* lock_fd = acquire_store_lock cfg.store in
+  match listen_on cfg.endpoint with
+  | Error e ->
+      release_store_lock cfg.store lock_fd;
+      Error e
+  | Ok lsock ->
+      (* a client vanishing mid-write must surface as EPIPE, not kill
+         the daemon *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+      Ok
+        {
+          cfg;
+          lock_fd;
+          pool = Peak_util.Pool.create ~domains:cfg.domains;
+          adm = Admission.create ~capacity:cfg.max_sessions ~quantum:cfg.quantum;
+          lsock;
+          stopping = Atomic.make false;
+          reg_mutex = Mutex.create ();
+          registry = Hashtbl.create 64;
+          runners = [];
+          conn_mutex = Mutex.create ();
+          conns = [];
+        }
+
+let stop t = Atomic.set t.stopping true
+(* only an atomic set — safe to call from a signal handler *)
+
+let endpoint t = t.cfg.endpoint
+
+(* ---------------- running one session ---------------- *)
+
+let set_state entry st =
+  Mutex.lock entry.e_mutex;
+  entry.e_state <- st;
+  Condition.broadcast entry.e_cond;
+  Mutex.unlock entry.e_mutex
+
+let run_session t entry job ticket =
+  let t0 = Unix.gettimeofday () in
+  let meta = meta_of_job job in
+  let abort () = Atomic.get entry.e_cancel || Atomic.get t.stopping in
+  let outcome =
+    match Peak_store.Session.open_ ~dir:t.cfg.store ~meta () with
+    | Error e -> Failed e
+    | Ok session ->
+        Mutex.lock entry.e_mutex;
+        entry.e_resumed <- Peak_store.Session.loaded_events session;
+        Condition.broadcast entry.e_cond;
+        Mutex.unlock entry.e_mutex;
+        let progress ~ratings ~fresh =
+          if Atomic.get entry.e_cancel then raise (Aborted "cancelled");
+          if Atomic.get t.stopping then raise (Aborted "daemon stopping");
+          Mutex.lock entry.e_mutex;
+          entry.e_ratings <- ratings;
+          entry.e_fresh <- fresh;
+          Condition.broadcast entry.e_cond;
+          Mutex.unlock entry.e_mutex;
+          Admission.charge t.adm ticket ~abort ~fresh ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Peak_store.Session.close session)
+          (fun () ->
+            match
+              Driver.tune ~seed:job.j_seed ~search:job.j_search
+                ~rating_params:job.j_params ~threshold:job.j_threshold
+                ?method_:job.j_method ~pool:t.pool ~store:session
+                ?faults:job.j_faults ~progress job.j_benchmark job.j_machine
+                job.j_dataset
+            with
+            | r -> Done (Driver.result_summary r)
+            | exception Aborted why -> Cancelled why
+            | exception e -> Failed (Printexc.to_string e))
+  in
+  Admission.release t.adm ticket ~wall:(Unix.gettimeofday () -. t0);
+  Peak_obs.count "serve.sessions";
+  set_state entry outcome
+
+type admit_outcome =
+  | Started of entry
+  | Attached of entry
+  | Busy of float
+  | Refused of string
+
+(* One registry slot per session id: a submit for a running id attaches
+   to it (no second admission charge); a submit for a terminal or
+   unknown id re-runs it — with the store, a re-run of a completed
+   session replays entirely and finishes in milliseconds, so re-submit
+   is a cheap idempotent "ensure done". *)
+let start_or_attach t job =
+  let id = (meta_of_job job).Peak_store.Codec.m_id in
+  Mutex.lock t.reg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.reg_mutex) @@ fun () ->
+  if Atomic.get t.stopping then Refused "daemon is stopping"
+  else
+    let running =
+      match Hashtbl.find_opt t.registry id with
+      | Some e ->
+          Mutex.lock e.e_mutex;
+          let r = e.e_state = Running in
+          Mutex.unlock e.e_mutex;
+          if r then Some e else None
+      | None -> None
+    in
+    match running with
+    | Some e -> Attached e
+    | None -> (
+        match Admission.try_admit t.adm with
+        | Admission.Saturated retry_after -> Busy retry_after
+        | Admission.Admitted ticket ->
+            let entry =
+              {
+                e_id = id;
+                e_mutex = Mutex.create ();
+                e_cond = Condition.create ();
+                e_state = Running;
+                e_ratings = 0;
+                e_fresh = 0;
+                e_resumed = -1;
+                e_cancel = Atomic.make false;
+              }
+            in
+            Hashtbl.replace t.registry id entry;
+            let th = Thread.create (fun () -> run_session t entry job ticket) () in
+            t.runners <- th :: t.runners;
+            Started entry)
+
+(* ---------------- per-connection protocol ---------------- *)
+
+let wire_state = function
+  | Running -> Wire.Running
+  | Done _ -> Wire.Done
+  | Failed _ -> Wire.Failed
+  | Cancelled _ -> Wire.Cancelled
+
+(* wait until the runner has opened the session (so Accepted reports an
+   accurate replay count) or died trying *)
+let wait_open entry =
+  Mutex.lock entry.e_mutex;
+  while entry.e_resumed < 0 && entry.e_state = Running do
+    Condition.wait entry.e_cond entry.e_mutex
+  done;
+  let resumed = entry.e_resumed and state = entry.e_state in
+  Mutex.unlock entry.e_mutex;
+  (resumed, state)
+
+let wait_terminal entry =
+  Mutex.lock entry.e_mutex;
+  while entry.e_state = Running do
+    Condition.wait entry.e_cond entry.e_mutex
+  done;
+  let state = entry.e_state in
+  Mutex.unlock entry.e_mutex;
+  state
+
+let send_final send entry state =
+  match state with
+  | Done r -> send (Wire.Result_r { rr_id = entry.e_id; rr_result = r })
+  | Failed msg -> send (Wire.Error_r (Printf.sprintf "session %s failed: %s" entry.e_id msg))
+  | Cancelled why ->
+      send (Wire.Error_r (Printf.sprintf "session %s cancelled: %s" entry.e_id why))
+  | Running -> assert false
+
+(* Stream progress as obs-shaped events: a counter frame whenever the
+   session's rating count advances, closed by a span frame.  The socket
+   write happens outside the entry mutex. *)
+let stream_progress send_event entry =
+  let t0 = Unix.gettimeofday () in
+  let rec loop last =
+    Mutex.lock entry.e_mutex;
+    while entry.e_state = Running && entry.e_ratings = last do
+      Condition.wait entry.e_cond entry.e_mutex
+    done;
+    let ratings = entry.e_ratings
+    and fresh = entry.e_fresh
+    and state = entry.e_state in
+    Mutex.unlock entry.e_mutex;
+    if ratings <> last then
+      send_event (Wire.Ev_counter { ec_name = "session.ratings"; ec_value = ratings });
+    match state with
+    | Running -> loop ratings
+    | terminal ->
+        send_event
+          (Wire.Ev_span
+             {
+               es_name = "session:" ^ entry.e_id;
+               es_dur = Unix.gettimeofday () -. t0;
+               es_args =
+                 [
+                   ("ratings", string_of_int ratings);
+                   ("fresh", string_of_int fresh);
+                   ("state", Wire.state_to_string (wire_state terminal));
+                 ];
+             });
+        terminal
+  in
+  loop 0
+
+let run_job t ~send ~send_event ~mode job =
+  match start_or_attach t job with
+  | Refused e -> send (Wire.Error_r e)
+  | Busy retry_after ->
+      send
+        (Wire.Rejected
+           { rj_id = (meta_of_job job).Peak_store.Codec.m_id; rj_retry_after = retry_after })
+  | Started entry | Attached entry -> (
+      match wait_open entry with
+      | -1, state ->
+          (* the session never opened (store refused) *)
+          send_final send entry state
+      | resumed, _ -> (
+          send (Wire.Accepted { ac_id = entry.e_id; ac_resumed = resumed });
+          match mode with
+          | Wire.Detach -> ()
+          | Wire.Wait -> send_final send entry (wait_terminal entry)
+          | Wire.Stream ->
+              send_event
+                (Wire.Ev_instant
+                   {
+                     ei_name = "session.admitted";
+                     ei_args =
+                       [ ("id", entry.e_id); ("resumed", string_of_int resumed) ];
+                   });
+              send_final send entry (stream_progress send_event entry)))
+
+let status_of t id =
+  let entry =
+    Mutex.lock t.reg_mutex;
+    let e = Hashtbl.find_opt t.registry id in
+    Mutex.unlock t.reg_mutex;
+    e
+  in
+  match entry with
+  | Some e ->
+      Mutex.lock e.e_mutex;
+      let st = wire_state e.e_state and ratings = e.e_ratings in
+      Mutex.unlock e.e_mutex;
+      Ok { Wire.st_id = id; st_state = st; st_ratings = ratings }
+  | None ->
+      (* not in this daemon's registry: consult the store *)
+      let* info = Peak_store.Session.load_info ~dir:t.cfg.store ~id in
+      let st =
+        match info.Peak_store.Session.info_result with
+        | Some _ -> Wire.Done
+        | None -> Wire.Idle
+      in
+      Ok
+        {
+          Wire.st_id = id;
+          st_state = st;
+          st_ratings = info.Peak_store.Session.info_events;
+        }
+
+let handle_request t ~send ~send_event req =
+  match req with
+  | Wire.Ping -> send Wire.Pong
+  | Wire.Stats_req ->
+      let s = Admission.stats t.adm in
+      send
+        (Wire.Stats_r
+           {
+             Wire.ss_active = s.Admission.a_active;
+             ss_capacity = s.Admission.a_capacity;
+             ss_completed = s.Admission.a_completed;
+             ss_rejected = s.Admission.a_rejected;
+             ss_domains = Peak_util.Pool.domains t.pool;
+           })
+  | Wire.Submit sp -> (
+      match job_of_spec sp with
+      | Error e -> send (Wire.Error_r e)
+      | Ok job -> run_job t ~send ~send_event ~mode:sp.Wire.sb_mode job)
+  | Wire.Resume { rs_id; rs_mode } -> (
+      match job_of_stored ~dir:t.cfg.store rs_id with
+      | Error e -> send (Wire.Error_r e)
+      | Ok job -> run_job t ~send ~send_event ~mode:rs_mode job)
+  | Wire.Status_of id -> (
+      match status_of t id with
+      | Ok st -> send (Wire.Status_r st)
+      | Error e -> send (Wire.Error_r e))
+  | Wire.Stream_of id -> (
+      let entry =
+        Mutex.lock t.reg_mutex;
+        let e = Hashtbl.find_opt t.registry id in
+        Mutex.unlock t.reg_mutex;
+        e
+      in
+      match entry with
+      | Some e -> (
+          Mutex.lock e.e_mutex;
+          let state = e.e_state in
+          Mutex.unlock e.e_mutex;
+          match state with
+          | Running -> send_final send e (stream_progress send_event e)
+          | terminal -> send_final send e terminal)
+      | None -> (
+          (* maybe it completed in a previous daemon life *)
+          match Peak_store.Session.load_info ~dir:t.cfg.store ~id with
+          | Ok { Peak_store.Session.info_result = Some r; _ } ->
+              send (Wire.Result_r { rr_id = id; rr_result = r })
+          | Ok _ -> send (Wire.Error_r ("session " ^ id ^ " is not running"))
+          | Error e -> send (Wire.Error_r e)))
+  | Wire.Cancel_of id -> (
+      let entry =
+        Mutex.lock t.reg_mutex;
+        let e = Hashtbl.find_opt t.registry id in
+        Mutex.unlock t.reg_mutex;
+        e
+      in
+      match entry with
+      | Some e ->
+          Atomic.set e.e_cancel true;
+          (* wake it if it is parked in a fair-share wait *)
+          Admission.kick t.adm;
+          send (Wire.Cancel_ack id)
+      | None -> send (Wire.Error_r ("session " ^ id ^ " is not running")))
+
+let forget_conn t fd =
+  Mutex.lock t.conn_mutex;
+  t.conns <- List.filter (fun (f, _) -> f <> fd) t.conns;
+  Mutex.unlock t.conn_mutex
+
+let handle_conn t fd =
+  let reader = Wire.reader_of_fd fd in
+  let send resp = Wire.write_frame fd (Wire.response_to_json resp) in
+  let send_event ev = Wire.write_frame fd (Wire.event_to_json ev) in
+  let rec loop () =
+    match Wire.read_frame reader with
+    | `Eof -> ()
+    | `Overflow ->
+        (* cannot resync a stream mid-giant-line: error out and close *)
+        send (Wire.Error_r (Printf.sprintf "frame exceeds %d bytes" Wire.max_frame))
+    | `Malformed e ->
+        send (Wire.Error_r ("malformed frame: " ^ e));
+        loop ()
+    | `Frame j ->
+        (match Wire.request_of_json j with
+        | Error e -> send (Wire.Error_r ("bad request: " ^ e))
+        | Ok req -> handle_request t ~send ~send_event req);
+        loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      forget_conn t fd;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* a vanished client (EPIPE on send) just ends the connection *)
+      try loop () with Unix.Unix_error _ -> ())
+
+(* ---------------- the accept loop ---------------- *)
+
+let serve t =
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.lsock ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.lsock with
+          | fd, _ ->
+              Peak_obs.count "serve.connections";
+              let th = Thread.create (fun () -> handle_conn t fd) () in
+              Mutex.lock t.conn_mutex;
+              t.conns <- (fd, th) :: t.conns;
+              Mutex.unlock t.conn_mutex
+          | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Drain, in dependency order: stop accepting; unblock fair-share
+     waits; let every runner notice [stopping] at its next progress
+     callback and reach a terminal state; then wake the connections
+     (their terminal-state waits have already been broadcast) and join
+     them; finally tear down the shared machinery. *)
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  Admission.close t.adm;
+  let runners =
+    Mutex.lock t.reg_mutex;
+    let r = t.runners in
+    t.runners <- [];
+    Mutex.unlock t.reg_mutex;
+    r
+  in
+  List.iter Thread.join runners;
+  let conns =
+    Mutex.lock t.conn_mutex;
+    let c = t.conns in
+    Mutex.unlock t.conn_mutex;
+    c
+  in
+  List.iter
+    (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun (_, th) -> Thread.join th) conns;
+  Peak_util.Pool.shutdown t.pool;
+  (match t.cfg.endpoint with
+  | Wire.Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Wire.Tcp _ -> ());
+  release_store_lock t.cfg.store t.lock_fd

@@ -1,0 +1,59 @@
+(** The tuning service daemon: a long-running process that serves one
+    store directory, accepting concurrent tuning sessions over a
+    Unix-domain or TCP socket speaking the {!Wire} protocol.
+
+    {b Multiplexing.}  Every accepted connection gets a thread; every
+    admitted session gets a runner thread.  All sessions share a single
+    {!Peak_util.Pool}, so the pool's deterministic per-candidate rating
+    scheme applies and every session's result is bit-identical to
+    running the same parameters through the batch CLI with [--store].
+
+    {b Admission.}  {!Admission} bounds in-flight sessions and paces
+    them to fair-share fresh-rating budgets via {!Peak.Driver.tune}'s
+    [progress] hook; a saturated submit is rejected with a retry-after
+    estimate rather than queued.
+
+    {b Store discipline.}  One daemon per store, enforced by an
+    exclusive [lockf] lock on [STORE/.peak-tuned.lock]; one journal
+    writer per session id, enforced by the registry (a submit for a
+    running id attaches to it) and by {!Peak_store.Session}'s [.writer]
+    pidfile.
+
+    {b Crash tolerance.}  SIGTERM mid-session aborts runners at their
+    next progress callback, leaving journals consistent; restarting the
+    daemon and resuming the session replays the journal and completes
+    bit-identically. *)
+
+exception Aborted of string
+(** Raised from the driver's progress callback to stop a session
+    (cancel or daemon shutdown).  The session journal is consistent at
+    every callback point, so an aborted session resumes exactly. *)
+
+type config = {
+  store : string;  (** Store directory (created if missing). *)
+  endpoint : Wire.endpoint;
+  domains : int;  (** Worker-pool width shared by all sessions. *)
+  max_sessions : int;  (** Admission capacity. *)
+  quantum : int;  (** Fair-share fresh-rating quantum. *)
+}
+
+type t
+
+val create : config -> (t, string) result
+(** Acquire the store lock, bind the listener, build the shared pool
+    and admission controller.  [Error] (store already served, address
+    in use, …) leaves nothing held.
+    @raise Invalid_argument if [domains < 1] ([max_sessions]/[quantum]
+    bounds are checked by {!Admission.create}). *)
+
+val serve : t -> unit
+(** Run the accept loop until {!stop}, then drain: stop accepting,
+    abort in-flight sessions at their next progress callback, join all
+    runner and connection threads, shut the pool down, and release
+    socket and lock.  Returns when the daemon is fully drained. *)
+
+val stop : t -> unit
+(** Request shutdown.  Only sets an atomic flag — safe to call from a
+    signal handler; {!serve} notices within its 200 ms accept tick. *)
+
+val endpoint : t -> Wire.endpoint

@@ -26,6 +26,7 @@ let session_dir dir id = sessions_dir dir // id
 let meta_path dir id = session_dir dir id // "meta.json"
 let journal_path dir id = session_dir dir id // "journal.jsonl"
 let result_path dir id = session_dir dir id // "result.json"
+let writer_path dir id = session_dir dir id // ".writer"
 let index_path dir = dir // "index.json"
 
 let write_atomic path content =
@@ -37,6 +38,35 @@ let write_atomic path content =
       output_string oc content;
       output_char oc '\n');
   Sys.rename tmp path
+
+(* ---------------- writer liveness ----------------
+   A session being written carries a [.writer] pidfile (written once the
+   journal is open, removed on close).  Liveness is the pid still
+   existing: kill 0 probes without signalling.  EPERM means the process
+   exists but is someone else's — still alive.  A pidfile left by a
+   crashed writer is stale and silently reclaimed on the next open. *)
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+  | exception _ -> false
+
+let writer_pid dir id =
+  let path = writer_path dir id in
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in path in
+    let line =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> try input_line ic with End_of_file -> "")
+    in
+    int_of_string_opt (String.trim line)
+
+let live ~dir ~id =
+  match writer_pid dir id with Some pid -> pid_alive pid | None -> false
 
 let read_json_file path =
   if not (Sys.file_exists path) then Error (path ^ ": no such file")
@@ -123,9 +153,22 @@ let open_ ?tear ~dir ~(meta : Codec.session_meta) () =
           Ok meta
         end
       in
+      let* () =
+        match writer_pid dir id with
+        | None -> Ok ()
+        | Some pid when pid = Unix.getpid () ->
+            Error (Printf.sprintf "session %s is already open in this process" id)
+        | Some pid when pid_alive pid ->
+            Error (Printf.sprintf "session %s is held by a live writer (pid %d)" id pid)
+        | Some _ ->
+            (* crashed writer; reclaim *)
+            (try Sys.remove (writer_path dir id) with Sys_error _ -> ());
+            Ok ()
+      in
       let cache = Hashtbl.create 256 in
       let loaded = replay_into cache (journal_path dir id) in
       let journal = Journal.open_append ?tear (journal_path dir id) in
+      write_atomic (writer_path dir id) (string_of_int (Unix.getpid ()));
       Ok { dir; meta = effective; journal; cache; loaded }
 
 let find t ~method_ ~base ~idx config =
@@ -161,7 +204,9 @@ let complete t result =
     (result_path t.dir t.meta.Codec.m_id)
     (Json.to_string (Codec.session_result_to_json result))
 
-let close t = Journal.close t.journal
+let close t =
+  (try Sys.remove (writer_path t.dir t.meta.Codec.m_id) with Sys_error _ -> ());
+  Journal.close t.journal
 
 (* ---------------- read-only interrogation ---------------- *)
 
@@ -170,6 +215,7 @@ type info = {
   info_result : Codec.session_result option;
   info_events : int;
   info_dropped : int;
+  info_live : bool;
 }
 
 let session_ids dir =
@@ -191,18 +237,30 @@ let load_info ~dir ~id =
     else Ok None
   in
   let records, info_dropped = Journal.read (journal_path dir id) in
-  Ok { info_meta; info_result; info_events = List.length records; info_dropped }
+  Ok
+    {
+      info_meta;
+      info_result;
+      info_events = List.length records;
+      info_dropped;
+      info_live = live ~dir ~id;
+    }
 
 let list ~dir =
   List.fold_left
     (fun acc id ->
       let* acc = acc in
-      let* info =
-        match load_info ~dir ~id with
-        | Ok i -> Ok i
-        | Error e -> Error (Printf.sprintf "session %s: %s" id e)
-      in
-      Ok (info :: acc))
+      (* a session directory can exist for an instant before its
+         meta.json does (mkdir, then atomic write) — tolerate the race
+         when listing a store a daemon is writing to *)
+      if not (Sys.file_exists (meta_path dir id)) then Ok acc
+      else
+        let* info =
+          match load_info ~dir ~id with
+          | Ok i -> Ok i
+          | Error e -> Error (Printf.sprintf "session %s: %s" id e)
+        in
+        Ok (info :: acc))
     (Ok []) (session_ids dir)
   |> Result.map List.rev
 

@@ -54,6 +54,12 @@ val open_ :
     rating-parameter signature) match; the existing journal is replayed
     into the rating cache, tolerating a truncated crash tail.
 
+    Single-writer discipline: opening writes a [.writer] pidfile in the
+    session directory and fails with an [Error] if one already names a
+    live process (another daemon's session, or the same session opened
+    twice in this process).  A pidfile whose process is gone — a crashed
+    writer — is reclaimed silently.  {!close} removes the pidfile.
+
     [tear] is forwarded to {!Journal.open_append} — the fault-injection
     hook that simulates a power cut mid-flush (see {!Journal.Torn_write}). *)
 
@@ -99,7 +105,8 @@ val complete : t -> Codec.session_result -> unit
 (** Flush the journal and atomically write [result.json]. *)
 
 val close : t -> unit
-(** Flush and close the journal.  Idempotent. *)
+(** Remove the [.writer] pidfile, flush and close the journal.
+    Idempotent. *)
 
 (** {1 Store interrogation (read-only)} *)
 
@@ -108,12 +115,21 @@ type info = {
   info_result : Codec.session_result option;  (** [None] while in progress. *)
   info_events : int;
   info_dropped : int;  (** Malformed journal lines (crash tails). *)
+  info_live : bool;  (** A live writer (e.g. a daemon) holds the session. *)
 }
 
 val list : dir:string -> (info list, string) result
 (** All sessions in the store, sorted by id.  A store directory without
     a [sessions/] subdirectory lists as empty; sessions whose metadata
-    fails to decode are reported as an [Error]. *)
+    fails to decode are reported as an [Error].  Safe against a store
+    concurrently held by a writer: a session directory created but not
+    yet populated is skipped, and a journal mid-append reads through the
+    usual torn-tail tolerance. *)
+
+val live : dir:string -> id:string -> bool
+(** Whether a live process currently holds the session's journal open
+    (per the [.writer] pidfile).  [false] for stale pidfiles of dead
+    writers. *)
 
 val load_info : dir:string -> id:string -> (info, string) result
 

@@ -4,10 +4,19 @@ type t = {
   mutex : Mutex.t;
   cond : Condition.t;
   queue : task Queue.t;
+  mutable running : int;  (* tasks dequeued but not yet finished *)
   mutable live : bool;
   mutable workers : unit Domain.t list;
   domains : int;
 }
+
+(* Gauges mirror the level of the queue and of dequeued-but-unfinished
+   tasks; both are read and written only under [pool.mutex]. *)
+let note_levels pool =
+  if Peak_obs.active () then begin
+    Peak_obs.gauge "pool.depth" (Queue.length pool.queue);
+    Peak_obs.gauge "pool.inflight" pool.running
+  end
 
 (* Workers drain the queue until shutdown; a task never raises (map wraps
    user code in a result), so a worker cannot die early. *)
@@ -18,9 +27,15 @@ let rec worker_loop pool =
   done;
   match Queue.take_opt pool.queue with
   | Some task ->
+      pool.running <- pool.running + 1;
+      note_levels pool;
       Mutex.unlock pool.mutex;
       Peak_obs.count "pool.worker_tasks";
       task ();
+      Mutex.lock pool.mutex;
+      pool.running <- pool.running - 1;
+      note_levels pool;
+      Mutex.unlock pool.mutex;
       worker_loop pool
   | None ->
       (* queue empty and pool no longer live *)
@@ -33,6 +48,7 @@ let create ~domains =
       mutex = Mutex.create ();
       cond = Condition.create ();
       queue = Queue.create ();
+      running = 0;
       live = true;
       workers = [];
       domains;
@@ -42,6 +58,18 @@ let create ~domains =
   pool
 
 let domains pool = pool.domains
+
+let depth pool =
+  Mutex.lock pool.mutex;
+  let d = Queue.length pool.queue in
+  Mutex.unlock pool.mutex;
+  d
+
+let in_flight pool =
+  Mutex.lock pool.mutex;
+  let r = pool.running in
+  Mutex.unlock pool.mutex;
+  r
 
 let map (type b) pool (f : 'a -> b) items =
   let items = Array.of_list items in
@@ -78,6 +106,7 @@ let map (type b) pool (f : 'a -> b) items =
             ("depth", string_of_int (Queue.length pool.queue));
           ]
         "pool:batch";
+    note_levels pool;
     Condition.broadcast pool.cond;
     (* The caller works too.  It may pick up a task from another batch
        (nested maps share the queue); that only delays this batch, and
@@ -85,11 +114,15 @@ let map (type b) pool (f : 'a -> b) items =
     while !remaining > 0 do
       match Queue.take_opt pool.queue with
       | Some task ->
+          pool.running <- pool.running + 1;
+          note_levels pool;
           Mutex.unlock pool.mutex;
           (* the submitter helping drain its own (or a nested) batch *)
           Peak_obs.count "pool.steals";
           task ();
-          Mutex.lock pool.mutex
+          Mutex.lock pool.mutex;
+          pool.running <- pool.running - 1;
+          note_levels pool
       | None -> if !remaining > 0 then Condition.wait pool.cond pool.mutex
     done;
     Mutex.unlock pool.mutex;

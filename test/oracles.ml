@@ -91,6 +91,18 @@ let check_identical tag (a : Driver.result) (b : Driver.result) =
     (tag ^ ": metrics cycles bit-identical")
     a.Driver.metrics.Peak_store.Codec.x_cycles b.Driver.metrics.Peak_store.Codec.x_cycles
 
+(* The wire-level form of the same oracle: two stored session results
+   must serialize to the same bytes.  This is what the tuning service's
+   clients can actually observe, and byte equality of the codec output
+   subsumes field-by-field equality. *)
+let check_identical_summary tag (a : Peak_store.Codec.session_result)
+    (b : Peak_store.Codec.session_result) =
+  let open Peak_store in
+  Alcotest.(check string)
+    (tag ^ ": session_result bytes identical")
+    (Json.to_string (Codec.session_result_to_json a))
+    (Json.to_string (Codec.session_result_to_json b))
+
 (* Crash simulation: given a completed session's store, build a copy
    whose journal ends after [keep] whole events plus a torn half-line —
    exactly what a SIGKILL between fsync batches leaves behind.  Returns

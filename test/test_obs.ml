@@ -229,11 +229,45 @@ let test_tune_trace_schema () =
   Alcotest.(check bool) "summary mentions spans" true (contains ~sub:"Spans by category" s);
   Alcotest.(check bool) "summary mentions counters" true (contains ~sub:"Counters" s)
 
+(* Gauges: last-write-wins levels (pool queue depth, in-flight, daemon
+   admission), exported next to counters and parsed back by Tracefile. *)
+let test_gauges () =
+  Peak_obs.gauge "off.gauge" 7 (* no sink: must be a no-op *);
+  with_sink @@ fun () ->
+  Peak_obs.gauge "unit.level" 3;
+  Peak_obs.gauge "unit.level" 11;
+  (* overwrite, not accumulate *)
+  Peak_obs.gauge "unit.other" 0;
+  let s = Option.get (Peak_obs.snapshot ()) in
+  Alcotest.(check (list (pair string int)))
+    "gauges last-write-wins"
+    [ ("unit.level", 11); ("unit.other", 0) ]
+    (List.sort compare s.Peak_obs.gauges);
+  (* pool gauges exist once a pool has run work under the sink *)
+  Peak_util.Pool.run ~domains:2 (fun pool ->
+      ignore (Peak_util.Pool.map pool (fun x -> x * x) [ 1; 2; 3; 4 ]));
+  let s = Option.get (Peak_obs.snapshot ()) in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name s.Peak_obs.gauges with
+      | Some v -> Alcotest.(check int) (name ^ " drained to zero") 0 v
+      | None -> Alcotest.failf "gauge %s missing after pool work" name)
+    [ "pool.depth"; "pool.inflight" ];
+  (* export → Tracefile round-trip preserves them, summary renders them *)
+  let doc = Result.get_ok (Json.of_string (Option.get (Peak_obs.export ()))) in
+  let trace = Result.get_ok (Tracefile.of_json doc) in
+  Alcotest.(check (option int))
+    "gauge survives export" (Some 11)
+    (List.assoc_opt "unit.level" trace.Tracefile.gauges);
+  Alcotest.(check bool) "summary renders gauges" true
+    (contains ~sub:"Gauges" (Tracefile.summary trace))
+
 let suites =
   [
     ( "obs.tracer",
       [
         Alcotest.test_case "off is no-op" `Quick test_off_is_noop;
+        Alcotest.test_case "gauges overwrite and export" `Quick test_gauges;
         Alcotest.test_case "span nesting and aggregation" `Quick test_span_nesting_and_args;
         Alcotest.test_case "with_span closes on exception" `Quick test_with_span_exception;
         Alcotest.test_case "ring overflow drops oldest" `Quick test_ring_overflow_drops;

@@ -1,0 +1,718 @@
+(* The tuning service: wire codecs, framing, admission control, and the
+   daemon's lifecycle (concurrency, saturation, cancel, stop/resume).
+
+   The lifecycle tests run a real daemon on a Unix socket in a temp
+   directory and hold its results to the same differential oracle as
+   the batch paths: byte-identical to a [-j 1] library run with a
+   store. *)
+
+open Peak_machine
+open Peak_workload
+open Peak
+open Peak_serve
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_name = Test_store.gen_name
+
+let gen_nonneg_finite =
+  QCheck.Gen.map (fun f -> Float.abs (if Float.is_finite f then f else 0x1.fp1023))
+    Test_store.gen_float
+
+let gen_mode = QCheck.Gen.oneofl [ Wire.Detach; Wire.Wait; Wire.Stream ]
+
+let gen_submit_spec =
+  QCheck.Gen.(
+    map
+      (fun ((b, m), (d, s), (r, seed), (cap, mode)) ->
+        {
+          Wire.sb_benchmark = b;
+          sb_machine = m;
+          sb_dataset = d;
+          sb_search = s;
+          sb_method = r;
+          sb_seed = seed;
+          sb_cap = cap;
+          sb_mode = mode;
+        })
+      (tup4 (pair gen_name gen_name) (pair gen_name gen_name)
+         (pair gen_name small_signed_int)
+         (pair (option (int_range 1 1000)) gen_mode)))
+
+let gen_request =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun sp -> Wire.Submit sp) gen_submit_spec);
+        ( 2,
+          map
+            (fun (id, mode) -> Wire.Resume { rs_id = id; rs_mode = mode })
+            (pair gen_name gen_mode) );
+        (1, map (fun id -> Wire.Status_of id) gen_name);
+        (1, map (fun id -> Wire.Stream_of id) gen_name);
+        (1, map (fun id -> Wire.Cancel_of id) gen_name);
+        (1, return Wire.Stats_req);
+        (1, return Wire.Ping);
+      ])
+
+let arb_request =
+  QCheck.make
+    ~print:(fun r -> Peak_store.Json.to_string (Wire.request_to_json r))
+    gen_request
+
+let gen_state =
+  QCheck.Gen.oneofl [ Wire.Running; Wire.Done; Wire.Failed; Wire.Cancelled; Wire.Idle ]
+
+let gen_response =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 2,
+          map
+            (fun (id, n) -> Wire.Accepted { ac_id = id; ac_resumed = n })
+            (pair gen_name small_nat) );
+        ( 2,
+          map
+            (fun (id, ra) -> Wire.Rejected { rj_id = id; rj_retry_after = ra })
+            (pair gen_name gen_nonneg_finite) );
+        ( 2,
+          map
+            (fun ((id, st), n) ->
+              Wire.Status_r { st_id = id; st_state = st; st_ratings = n })
+            (pair (pair gen_name gen_state) small_nat) );
+        ( 2,
+          map
+            (fun (id, r) -> Wire.Result_r { rr_id = id; rr_result = r })
+            (pair gen_name Test_store.gen_session_result) );
+        (1, map (fun id -> Wire.Cancel_ack id) gen_name);
+        ( 2,
+          map
+            (fun ((a, c), (d, (r, j))) ->
+              Wire.Stats_r
+                {
+                  Wire.ss_active = a;
+                  ss_capacity = c;
+                  ss_completed = d;
+                  ss_rejected = r;
+                  ss_domains = j;
+                })
+            (pair (pair small_nat small_nat) (pair small_nat (pair small_nat small_nat)))
+        );
+        (1, return Wire.Pong);
+        (1, map (fun e -> Wire.Error_r e) gen_name);
+      ])
+
+let arb_response =
+  QCheck.make
+    ~print:(fun r -> Peak_store.Json.to_string (Wire.response_to_json r))
+    gen_response
+
+let gen_args = QCheck.Gen.(list_size (int_bound 4) (pair gen_name gen_name))
+
+let gen_event =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 2,
+          map
+            (fun (n, a) -> Wire.Ev_instant { ei_name = n; ei_args = a })
+            (pair gen_name gen_args) );
+        ( 2,
+          map
+            (fun (n, v) -> Wire.Ev_counter { ec_name = n; ec_value = v })
+            (pair gen_name small_signed_int) );
+        ( 2,
+          map
+            (fun ((n, d), a) -> Wire.Ev_span { es_name = n; es_dur = d; es_args = a })
+            (pair (pair gen_name gen_nonneg_finite) gen_args) );
+      ])
+
+let arb_event =
+  QCheck.make ~print:(fun e -> Peak_store.Json.to_string (Wire.event_to_json e)) gen_event
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Like the store codec suites: round-trip through the printed line,
+   because NDJSON text is what actually crosses the socket. *)
+let roundtrip to_json of_json v =
+  match Peak_store.Json.of_string (Peak_store.Json.to_string (to_json v)) with
+  | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+  | Ok j -> (
+      match of_json j with
+      | Ok v' -> v' = v
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let roundtrip_tests =
+  [
+    QCheck.Test.make ~count:200 ~name:"request round-trips" arb_request
+      (roundtrip Wire.request_to_json Wire.request_of_json);
+    QCheck.Test.make ~count:200 ~name:"response round-trips" arb_response
+      (roundtrip Wire.response_to_json Wire.response_of_json);
+    QCheck.Test.make ~count:200 ~name:"event round-trips" arb_event
+      (roundtrip Wire.event_to_json Wire.event_of_json);
+  ]
+
+let decode_rejects () =
+  let open Peak_store in
+  let bad j label =
+    match Wire.request_of_json j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected a decode error" label
+  in
+  bad (Json.Obj [ ("v", Json.Int 99); ("t", Json.String "req"); ("op", Json.String "ping") ])
+    "future protocol version";
+  bad (Json.Obj [ ("v", Json.Int 1); ("t", Json.String "resp"); ("op", Json.String "ping") ])
+    "wrong frame tag";
+  bad (Json.Obj [ ("v", Json.Int 1); ("t", Json.String "req"); ("op", Json.String "levitate") ])
+    "unknown op";
+  bad (Json.Int 42) "not an object";
+  (match
+     Wire.response_of_json
+       (Json.Obj
+          [
+            ("v", Json.Int 1); ("t", Json.String "resp"); ("r", Json.String "rejected");
+            ("id", Json.String "x");
+            ("retry_after", Codec.float_to_json (-1.0));
+          ])
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative retry_after: expected a decode error");
+  match Wire.endpoint_of_string "carrier-pigeon:coop" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad endpoint: expected a parse error"
+
+let endpoint_roundtrip () =
+  List.iter
+    (fun s ->
+      match Wire.endpoint_of_string s with
+      | Ok e -> Alcotest.(check string) s s (Wire.endpoint_to_string e)
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    [ "unix:/tmp/x.sock"; "tcp:localhost:7070"; "tcp:127.0.0.1:1" ]
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let rec go off =
+    if off < String.length s then
+      go (off + Unix.write_substring fd s off (String.length s - off))
+  in
+  go 0
+
+let frame_smoke () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      let r = Wire.reader_of_fd a in
+      (* a garbage line is a typed, recoverable error; the frames around
+         it still parse; empty lines are skipped *)
+      Wire.write_frame b (Wire.request_to_json Wire.Ping);
+      write_all b "this is not json\n";
+      write_all b "\n";
+      Wire.write_frame b (Wire.request_to_json Wire.Stats_req);
+      (match Wire.read_frame r with
+      | `Frame j -> (
+          match Wire.request_of_json j with
+          | Ok Wire.Ping -> ()
+          | _ -> Alcotest.fail "expected ping")
+      | _ -> Alcotest.fail "expected a frame");
+      (match Wire.read_frame r with
+      | `Malformed _ -> ()
+      | _ -> Alcotest.fail "expected a malformed frame");
+      (match Wire.read_frame r with
+      | `Frame j -> (
+          match Wire.request_of_json j with
+          | Ok Wire.Stats_req -> ()
+          | _ -> Alcotest.fail "expected stats")
+      | _ -> Alcotest.fail "expected a frame after the malformed line");
+      (* a truncated final frame reads as malformed, then EOF *)
+      write_all b "{\"v\":1";
+      Unix.close b;
+      (match Wire.read_frame r with
+      | `Malformed _ -> ()
+      | _ -> Alcotest.fail "expected a truncated-frame error");
+      match Wire.read_frame r with
+      | `Eof -> ()
+      | _ -> Alcotest.fail "expected eof")
+
+let frame_overflow () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      let r = Wire.reader_of_fd a in
+      let writer =
+        Thread.create
+          (fun () ->
+            let chunk = String.make 65536 'x' in
+            try
+              for _ = 1 to (Wire.max_frame / 65536) + 2 do
+                write_all b chunk
+              done;
+              write_all b "\n"
+            with Unix.Unix_error _ -> ())
+          ()
+      in
+      (match Wire.read_frame r with
+      | `Overflow -> ()
+      | _ -> Alcotest.fail "expected overflow");
+      Thread.join writer)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let admission_bounds () =
+  let adm = Admission.create ~capacity:2 ~quantum:8 in
+  let tk1 =
+    match Admission.try_admit adm with
+    | Admission.Admitted tk -> tk
+    | Admission.Saturated _ -> Alcotest.fail "first admit rejected"
+  in
+  let _tk2 =
+    match Admission.try_admit adm with
+    | Admission.Admitted tk -> tk
+    | Admission.Saturated _ -> Alcotest.fail "second admit rejected"
+  in
+  (match Admission.try_admit adm with
+  | Admission.Saturated ra ->
+      Alcotest.(check bool) "retry-after positive" true (ra > 0.0)
+  | Admission.Admitted _ -> Alcotest.fail "over-capacity admit accepted");
+  Admission.release adm tk1 ~wall:0.1;
+  Admission.release adm tk1 ~wall:0.1 (* idempotent *);
+  (match Admission.try_admit adm with
+  | Admission.Admitted _ -> ()
+  | Admission.Saturated _ -> Alcotest.fail "admit after release rejected");
+  let s = Admission.stats adm in
+  Alcotest.(check int) "active" 2 s.Admission.a_active;
+  Alcotest.(check int) "completed" 1 s.Admission.a_completed;
+  Alcotest.(check int) "rejected" 1 s.Admission.a_rejected
+
+let admission_fair_share () =
+  let adm = Admission.create ~capacity:4 ~quantum:8 in
+  let admit () =
+    match Admission.try_admit adm with
+    | Admission.Admitted tk -> tk
+    | Admission.Saturated _ -> Alcotest.fail "admit rejected"
+  in
+  let ahead = admit () and behind = admit () in
+  (* the least-advanced session never blocks, whatever its count *)
+  Admission.charge adm behind ~fresh:0 ();
+  let released = ref false in
+  let runner =
+    Thread.create
+      (fun () ->
+        (* 100 fresh vs 0: over budget — must block until [behind]
+           catches up or leaves *)
+        Admission.charge adm ahead ~fresh:100 ();
+        if not !released then Alcotest.fail "over-budget charge did not block")
+      ()
+  in
+  Thread.delay 0.05;
+  released := true;
+  Admission.release adm behind ~wall:0.01;
+  Thread.join runner;
+  (* an abort predicate unblocks a parked charge when kicked *)
+  let b2 = admit () in
+  Admission.charge adm b2 ~fresh:0 ();
+  let cancelled = Atomic.make false in
+  let parked =
+    Thread.create
+      (fun () ->
+        Admission.charge adm ahead ~abort:(fun () -> Atomic.get cancelled) ~fresh:300 ())
+      ()
+  in
+  Thread.delay 0.02;
+  Atomic.set cancelled true;
+  Admission.kick adm;
+  Thread.join parked;
+  (* close wakes everything still parked *)
+  let parked2 = Thread.create (fun () -> Admission.charge adm ahead ~fresh:500 ()) () in
+  Thread.delay 0.02;
+  Admission.close adm;
+  Thread.join parked2;
+  match Admission.try_admit adm with
+  | Admission.Saturated _ -> ()
+  | Admission.Admitted _ -> Alcotest.fail "admit after close accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Daemon lifecycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let start_daemon ?(max_sessions = 4) ?(domains = 2) store =
+  let endpoint = Wire.Unix_sock (Filename.concat store "peak-tuned.sock") in
+  match
+    Daemon.create { Daemon.store; endpoint; domains; max_sessions; quantum = 64 }
+  with
+  | Error e -> Alcotest.failf "daemon: %s" e
+  | Ok d -> (d, Thread.create Daemon.serve d, endpoint)
+
+let stop_daemon (d, th, _) =
+  Daemon.stop d;
+  Thread.join th
+
+let connect endpoint =
+  match Client.connect endpoint with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let cheap_spec ?(mode = Wire.Wait) seed =
+  {
+    Wire.sb_benchmark = "ART";
+    sb_machine = "pentium4";
+    sb_dataset = "train";
+    sb_search = "be";
+    sb_method = "rbr";
+    sb_seed = seed;
+    sb_cap = Some 40;
+    sb_mode = mode;
+  }
+
+(* ~1.5 s solo: long enough to stop the daemon mid-flight *)
+let slow_spec ?(mode = Wire.Wait) seed =
+  {
+    Wire.sb_benchmark = "SWIM";
+    sb_machine = "pentium4";
+    sb_dataset = "train";
+    sb_search = "random2000";
+    sb_method = "rbr";
+    sb_seed = seed;
+    sb_cap = Some 100;
+    sb_mode = mode;
+  }
+
+(* The [-j 1] batch-library reference for a spec, through a store — the
+   bit-identity baseline the daemon must match. *)
+let reference_result dir (sp : Wire.submit_spec) =
+  let b = Option.get (Registry.by_name sp.Wire.sb_benchmark) in
+  let machine = Machine.pentium4 in
+  let search =
+    match Driver.search_of_string sp.Wire.sb_search with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let method_ = Option.get (Method.of_string sp.Wire.sb_method) in
+  let params =
+    { Rating.default_params with Rating.max_invocations = Option.get sp.Wire.sb_cap }
+  in
+  let meta =
+    Driver.session_meta ~method_ ~search ~rating_params:params ~seed:sp.Wire.sb_seed b
+      machine Trace.Train
+  in
+  Peak_util.Pool.run ~domains:1 (fun pool ->
+      match Peak_store.Session.open_ ~dir ~meta () with
+      | Error e -> Alcotest.failf "reference open: %s" e
+      | Ok session ->
+          Fun.protect
+            ~finally:(fun () -> Peak_store.Session.close session)
+            (fun () ->
+              Driver.result_summary
+                (Driver.tune ~seed:sp.Wire.sb_seed ~search ~rating_params:params ~method_
+                   ~pool ~store:session b machine Trace.Train)))
+
+let daemon_serves_batch_identical () =
+  Oracles.with_tmpdir @@ fun dir ->
+  let store = Filename.concat dir "store" in
+  let d = start_daemon store in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  let _, _, endpoint = d in
+  (* two concurrent tenants, distinct seeds *)
+  let results = Array.make 2 None in
+  let clients =
+    List.init 2 (fun i ->
+        Thread.create
+          (fun () ->
+            let c = connect endpoint in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                results.(i) <- Some (Client.run c (Wire.Submit (cheap_spec (30 + i))))))
+          ())
+  in
+  List.iter Thread.join clients;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some (Ok (Client.Finished { resumed; result; _ })) ->
+          Alcotest.(check int) "fresh session: nothing replayed" 0 resumed;
+          let refdir = Filename.concat dir (Printf.sprintf "ref%d" i) in
+          Oracles.check_identical_summary
+            (Printf.sprintf "daemon vs -j 1 batch (seed %d)" (30 + i))
+            (reference_result refdir (cheap_spec (30 + i)))
+            result
+      | Some (Ok _) -> Alcotest.fail "expected Finished"
+      | Some (Error e) -> Alcotest.failf "client %d: %s" i e
+      | None -> Alcotest.fail "client did not run")
+    results
+
+let daemon_streams_progress () =
+  Oracles.with_tmpdir @@ fun dir ->
+  let store = Filename.concat dir "store" in
+  let d = start_daemon store in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  let _, _, endpoint = d in
+  let c = connect endpoint in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let counters = ref 0 and spans = ref 0 and last = ref 0 in
+  let on_event = function
+    | Wire.Ev_counter { ec_name = "session.ratings"; ec_value } ->
+        incr counters;
+        Alcotest.(check bool) "ratings monotonic" true (ec_value > !last);
+        last := ec_value
+    | Wire.Ev_counter _ | Wire.Ev_instant _ -> ()
+    | Wire.Ev_span _ -> incr spans
+  in
+  match Client.run ~on_event c (Wire.Submit (cheap_spec ~mode:Wire.Stream 31)) with
+  | Ok (Client.Finished { result; _ }) ->
+      Alcotest.(check bool) "saw progress counters" true (!counters > 0);
+      Alcotest.(check int) "saw the closing span" 1 !spans;
+      Alcotest.(check int) "counter reached the final count" result.Peak_store.Codec.r_ratings !last
+  | Ok _ -> Alcotest.fail "expected Finished"
+  | Error e -> Alcotest.fail e
+
+let daemon_rejects_when_saturated () =
+  Oracles.with_tmpdir @@ fun dir ->
+  let store = Filename.concat dir "store" in
+  let d = start_daemon ~max_sessions:1 store in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  let _, _, endpoint = d in
+  let c = connect endpoint in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.run c (Wire.Submit (slow_spec ~mode:Wire.Detach 40)) with
+  | Ok (Client.Accepted_only _) -> ()
+  | Ok _ -> Alcotest.fail "expected detached acceptance"
+  | Error e -> Alcotest.fail e);
+  (* the slot is taken: a second tenant must be rejected with a
+     retry-after hint, not queued *)
+  (match Client.run c (Wire.Submit (cheap_spec 41)) with
+  | Ok (Client.Saturated retry_after) ->
+      Alcotest.(check bool) "retry-after positive" true (retry_after > 0.0)
+  | Ok _ -> Alcotest.fail "expected saturation"
+  | Error e -> Alcotest.fail e);
+  (* a duplicate submit of the RUNNING session attaches instead of
+     being rejected *)
+  (match Client.run c (Wire.Submit (slow_spec ~mode:Wire.Detach 40)) with
+  | Ok (Client.Accepted_only _) -> ()
+  | Ok _ -> Alcotest.fail "expected attach to the running session"
+  | Error e -> Alcotest.fail e);
+  (* cancel frees the slot; the cancelled session reports a typed error *)
+  let id = "swim-pentium_iv-train-random2000-rbr-s40" in
+  (match Client.request c (Wire.Cancel_of id) with
+  | Ok (Wire.Cancel_ack id') -> Alcotest.(check string) "ack id" id id'
+  | Ok _ -> Alcotest.fail "expected cancel ack"
+  | Error e -> Alcotest.fail e);
+  let rec await_free tries =
+    if tries = 0 then Alcotest.fail "cancel never freed the admission slot"
+    else
+      match Client.run c (Wire.Submit (cheap_spec 41)) with
+      | Ok (Client.Saturated _) ->
+          Thread.delay 0.02;
+          await_free (tries - 1)
+      | Ok (Client.Finished _) -> ()
+      | Ok _ -> Alcotest.fail "expected Finished"
+      | Error e -> Alcotest.fail e
+  in
+  await_free 200
+
+let daemon_stop_resume_identical () =
+  Oracles.with_tmpdir @@ fun dir ->
+  let store = Filename.concat dir "store" in
+  let sp = slow_spec 42 in
+  let d1 = start_daemon store in
+  let id =
+    let _, _, endpoint = d1 in
+    let c = connect endpoint in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let id =
+      match Client.run c (Wire.Submit { sp with Wire.sb_mode = Wire.Detach }) with
+      | Ok (Client.Accepted_only { id; resumed }) ->
+          Alcotest.(check int) "fresh session" 0 resumed;
+          id
+      | Ok _ -> Alcotest.fail "expected detached acceptance"
+      | Error e -> Alcotest.fail e
+    in
+    (* wait until some ratings are journaled, so the stop is mid-session *)
+    let rec await_progress tries =
+      if tries = 0 then Alcotest.fail "session never made progress"
+      else
+        match Client.request c (Wire.Status_of id) with
+        | Ok (Wire.Status_r { st_ratings; _ }) when st_ratings > 0 -> ()
+        | Ok _ ->
+            Thread.delay 0.01;
+            await_progress (tries - 1)
+        | Error e -> Alcotest.fail e
+    in
+    await_progress 1000;
+    id
+  in
+  (* SIGTERM equivalent: drain with the session in flight *)
+  stop_daemon d1;
+  (* the interrupted session is visible, resumable, and not torn *)
+  (match Peak_store.Session.load_info ~dir:store ~id with
+  | Ok info ->
+      Alcotest.(check bool) "no result yet" true (info.Peak_store.Session.info_result = None);
+      Alcotest.(check bool) "no live writer after drain" false
+        info.Peak_store.Session.info_live;
+      Alcotest.(check bool) "some events journaled" true
+        (info.Peak_store.Session.info_events > 0)
+  | Error e -> Alcotest.failf "load_info: %s" e);
+  let d2 = start_daemon store in
+  Fun.protect ~finally:(fun () -> stop_daemon d2) @@ fun () ->
+  let _, _, endpoint = d2 in
+  let c = connect endpoint in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.run c (Wire.Resume { rs_id = id; rs_mode = Wire.Wait }) with
+  | Ok (Client.Finished { resumed; result; _ }) ->
+      Alcotest.(check bool) "journal replayed on resume" true (resumed > 0);
+      let refdir = Filename.concat dir "ref" in
+      Oracles.check_identical_summary "stop/restart/resume vs uninterrupted"
+        (reference_result refdir sp) result
+  | Ok _ -> Alcotest.fail "expected Finished"
+  | Error e -> Alcotest.fail e
+
+let daemon_survives_malformed_frames () =
+  Oracles.with_tmpdir @@ fun dir ->
+  let store = Filename.concat dir "store" in
+  let d = start_daemon store in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  let sock = Filename.concat store "peak-tuned.sock" in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let r = Wire.reader_of_fd fd in
+  let expect_error label =
+    match Wire.read_frame r with
+    | `Frame j -> (
+        match Wire.response_of_json j with
+        | Ok (Wire.Error_r _) -> ()
+        | Ok _ -> Alcotest.failf "%s: expected a typed error" label
+        | Error e -> Alcotest.failf "%s: %s" label e)
+    | _ -> Alcotest.failf "%s: expected a response frame" label
+  in
+  write_all fd "complete garbage\n";
+  expect_error "garbage line";
+  write_all fd "{\"v\":1,\"t\":\"req\",\"op\":\"levitate\"}\n";
+  expect_error "unknown op";
+  write_all fd "{\"v\":99,\"t\":\"req\",\"op\":\"ping\"}\n";
+  expect_error "future version";
+  (* the connection is still usable afterwards *)
+  Wire.write_frame fd (Wire.request_to_json Wire.Ping);
+  match Wire.read_frame r with
+  | `Frame j -> (
+      match Wire.response_of_json j with
+      | Ok Wire.Pong -> ()
+      | _ -> Alcotest.fail "expected pong after the malformed frames")
+  | _ -> Alcotest.fail "expected a pong frame"
+
+let store_lock_is_exclusive () =
+  Oracles.with_tmpdir @@ fun dir ->
+  let store = Filename.concat dir "store" in
+  let d = start_daemon store in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  match
+    Daemon.create
+      {
+        Daemon.store;
+        endpoint = Wire.Unix_sock (Filename.concat dir "other.sock");
+        domains = 1;
+        max_sessions = 1;
+        quantum = 64;
+      }
+  with
+  | Error e ->
+      Alcotest.(check bool) "error names the store" true (Oracles.contains ~sub:store e)
+  | Ok _ -> Alcotest.fail "second daemon on the same store must be refused"
+
+(* ------------------------------------------------------------------ *)
+(* Session writer liveness (the .writer pidfile)                       *)
+(* ------------------------------------------------------------------ *)
+
+let writer_liveness () =
+  Oracles.with_tmpdir @@ fun dir ->
+  let b = Option.get (Registry.by_name "ART") in
+  let meta = Driver.session_meta b Machine.pentium4 Trace.Train in
+  let id = meta.Peak_store.Codec.m_id in
+  let s =
+    match Peak_store.Session.open_ ~dir ~meta () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "held session is live" true (Peak_store.Session.live ~dir ~id);
+  (* the single-writer rule: a second open of a held session fails *)
+  (match Peak_store.Session.open_ ~dir ~meta () with
+  | Error e ->
+      Alcotest.(check bool) "error names the session" true (Oracles.contains ~sub:id e)
+  | Ok _ -> Alcotest.fail "double open must be refused");
+  (* session list on a held store works and flags the live session *)
+  (match Peak_store.Session.list ~dir with
+  | Ok [ info ] ->
+      Alcotest.(check bool) "listed as live" true info.Peak_store.Session.info_live
+  | Ok l -> Alcotest.failf "expected one session, got %d" (List.length l)
+  | Error e -> Alcotest.fail e);
+  Peak_store.Session.close s;
+  Alcotest.(check bool) "closed session is not live" false
+    (Peak_store.Session.live ~dir ~id);
+  (* a dead writer's stale pidfile is reclaimed: reopening succeeds.
+     (No fork — domains exist by now — so use a pid beyond pid_max,
+     which kill reports as ESRCH exactly like an exited writer.) *)
+  let dead_pid = 0x3FFFFFF in
+  (match Unix.kill dead_pid 0 with
+  | () -> Alcotest.fail "sentinel pid unexpectedly alive"
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> ()
+  | exception Unix.Unix_error _ -> ());
+  let pidfile =
+    Filename.concat (Filename.concat (Filename.concat dir "sessions") id) ".writer"
+  in
+  let oc = open_out pidfile in
+  output_string oc (string_of_int dead_pid);
+  close_out oc;
+  Alcotest.(check bool) "stale pidfile is not live" false
+    (Peak_store.Session.live ~dir ~id);
+  match Peak_store.Session.open_ ~dir ~meta () with
+  | Ok s ->
+      Peak_store.Session.close s
+  | Error e -> Alcotest.failf "stale pidfile must be reclaimed: %s" e
+
+let suites =
+  [
+    ( "serve.wire",
+      List.map QCheck_alcotest.to_alcotest roundtrip_tests
+      @ [
+          Alcotest.test_case "decoders reject bad frames" `Quick decode_rejects;
+          Alcotest.test_case "endpoints round-trip" `Quick endpoint_roundtrip;
+          Alcotest.test_case "framing recovers from garbage" `Quick frame_smoke;
+          Alcotest.test_case "oversized frames overflow" `Quick frame_overflow;
+        ] );
+    ( "serve.admission",
+      [
+        Alcotest.test_case "bounded in-flight with retry-after" `Quick admission_bounds;
+        Alcotest.test_case "fair-share charge blocks and unblocks" `Quick
+          admission_fair_share;
+      ] );
+    ( "serve.daemon",
+      [
+        Alcotest.test_case "concurrent sessions match -j 1 batch" `Quick
+          daemon_serves_batch_identical;
+        Alcotest.test_case "stream mode reports progress" `Quick daemon_streams_progress;
+        Alcotest.test_case "saturation rejects with retry-after" `Quick
+          daemon_rejects_when_saturated;
+        Alcotest.test_case "stop mid-session, restart, resume bit-identical" `Quick
+          daemon_stop_resume_identical;
+        Alcotest.test_case "malformed frames get typed errors" `Quick
+          daemon_survives_malformed_frames;
+        Alcotest.test_case "one daemon per store" `Quick store_lock_is_exclusive;
+      ] );
+    ( "serve.liveness",
+      [ Alcotest.test_case "writer pidfile discipline" `Quick writer_liveness ] );
+  ]
