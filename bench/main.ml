@@ -7,7 +7,8 @@
    Experiments: table1, fig7ab, fig7cd, summary, flag-effects,
    ablation-rbr, ablation-outlier, ablation-search, ablation-ranges,
    ablation-batch, ablation-compile, ablation-consultant, adaptive,
-   fallback, parallel, store, faults, tracing, micro, alloc, serve. *)
+   fallback, parallel, store, faults, tracing, micro, alloc, serve,
+   search. *)
 
 open Peak_util
 open Peak_machine
@@ -1403,6 +1404,193 @@ let serve_exp () =
     exit 1
   end
 
+(* ================================================================== *)
+(* Search strategies: quality vs. rating spend, head-to-head           *)
+(* ================================================================== *)
+
+let search_report_file = "BENCH_search.json"
+
+(* Snapshot a store directory (regular files and directories only) so
+   each staged domain count starts from the same warmed corpus with no
+   completed session of its own to replay. *)
+let rec search_cp_r src dst =
+  match (Unix.lstat src).Unix.st_kind with
+  | Unix.S_DIR ->
+      Unix.mkdir dst 0o755;
+      Array.iter
+        (fun e -> search_cp_r (Filename.concat src e) (Filename.concat dst e))
+        (Sys.readdir src)
+  | Unix.S_REG ->
+      let ic = open_in_bin src in
+      let len = in_channel_length ic in
+      let body = really_input_string ic len in
+      close_in ic;
+      let oc = open_out_bin dst in
+      output_string oc body;
+      close_out oc
+  | _ -> ()
+
+let search_exp () =
+  heading "Search strategies: ratings to within 1% of the best-known config";
+  let machine = Machine.pentium4 and method_ = Method.Rbr and seed = 3 in
+  note "Every registered strategy tunes every workload (Pentium IV, RBR, train";
+  note "data, seed %d); quality is the ref-data whole-program improvement of" seed;
+  note "the final configuration.  staged races in its journal-trained setup:";
+  note "the store's rating index is warmed by one Batch Elimination session";
+  note "first (spend in the corpus column, amortized across every later tune";
+  note "of that store), and the same staged session re-runs at -j 1/2/4 on";
+  note "snapshots of the warmed store to check byte-identity.";
+  let root = Filename.temp_file "peak-bench-search" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  let tolerance = 1.01 in
+  let tune_stored ~domains ~dir ~strategy b =
+    let meta = Driver.session_meta ~seed ~method_ ~strategy b machine Trace.Train in
+    match Peak_store.Session.open_ ~dir ~meta () with
+    | Error e -> failwith e
+    | Ok s ->
+        Fun.protect
+          ~finally:(fun () -> Peak_store.Session.close s)
+          (fun () ->
+            Pool.run ~domains (fun pool ->
+                Driver.tune ~seed ~strategy ~method_ ~pool ~store:s b machine Trace.Train))
+  in
+  let serialized r =
+    Peak_store.Json.to_string (Peak_store.Codec.session_result_to_json (Driver.result_summary r))
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let t =
+    Table.create
+      ~header:
+        [ "Benchmark"; "Best %"; "staged % (r)"; "CE % (r)"; "corpus r"; "<=1%"; "<CE r"; "-j id" ]
+      ()
+  in
+  let rows =
+    List.map
+      (fun (b : Benchmark.t) ->
+        let name = b.Benchmark.name in
+        let warm_dir = Filename.concat root (name ^ "-warm") in
+        let warm = tune_stored ~domains:1 ~dir:warm_dir ~strategy:Strategy.Be b in
+        (match Peak_store.Session.gc ~dir:warm_dir with
+        | Ok _ -> ()
+        | Error e -> failwith e);
+        let staged_runs =
+          List.map
+            (fun domains ->
+              let dir = Filename.concat root (Printf.sprintf "%s-j%d" name domains) in
+              search_cp_r warm_dir dir;
+              (domains, tune_stored ~domains ~dir ~strategy:Strategy.Staged b))
+            [ 1; 2; 4 ]
+        in
+        let staged = List.assoc 1 staged_runs in
+        let staged_json = serialized staged in
+        let domains_identical =
+          List.for_all (fun (_, r) -> String.equal (serialized r) staged_json) staged_runs
+        in
+        let scored =
+          List.map
+            (fun strategy ->
+              let r =
+                if strategy = Strategy.Staged then staged
+                else Driver.tune ~seed ~strategy ~method_ b machine Trace.Train
+              in
+              (strategy, r, Driver.improvement_pct b machine ~best:r.Driver.best_config Trace.Ref))
+            Strategy.all
+        in
+        let best = List.fold_left (fun acc (_, _, imp) -> Float.max acc imp) neg_infinity scored in
+        let find s =
+          let _, r, imp = List.find (fun (s', _, _) -> s' = s) scored in
+          (r, imp)
+        in
+        let staged_r, staged_imp = find Strategy.Staged in
+        let ce_r, _ = find Strategy.Ce in
+        (* within tolerance on the time axis: T(staged)/T(best), where
+           improvement i means T(-O3)/T = 1 + i/100 *)
+        let gap = (100.0 +. best) /. (100.0 +. staged_imp) in
+        let within = gap <= tolerance in
+        let fewer =
+          staged_r.Driver.search_stats.Search.ratings < ce_r.Driver.search_stats.Search.ratings
+        in
+        if not within then
+          fail "%s: staged %.1f%% is %.2f%% off the best-known %.1f%%" name staged_imp
+            ((gap -. 1.0) *. 100.0) best;
+        if not fewer then
+          fail "%s: staged spent %d ratings, CE %d" name
+            staged_r.Driver.search_stats.Search.ratings ce_r.Driver.search_stats.Search.ratings;
+        if not domains_identical then fail "%s: staged result differs across -j 1/2/4" name;
+        Table.add_row t
+          [
+            name;
+            Printf.sprintf "%.1f" best;
+            Printf.sprintf "%.1f (%d)" staged_imp staged_r.Driver.search_stats.Search.ratings;
+            Printf.sprintf "%.1f (%d)"
+              (let _, imp = find Strategy.Ce in
+               imp)
+              ce_r.Driver.search_stats.Search.ratings;
+            string_of_int warm.Driver.search_stats.Search.ratings;
+            (if within then "yes" else "NO");
+            (if fewer then "yes" else "NO");
+            (if domains_identical then "yes" else "NO");
+          ];
+        (name, warm, scored, best, within, fewer, domains_identical))
+      Registry.all
+  in
+  Table.print t;
+  note "r = ratings spent by the search; corpus r = the warmup Batch Elimination";
+  note "spend the staged screen trains on (paid once per store, not per tune).";
+  (let open Peak_store in
+   let json =
+     Json.Obj
+       [
+         ("seed", Json.Int seed);
+         ("machine", Json.String "pentium4");
+         ("method", Json.String (Method.key method_));
+         ("tolerance_pct", Json.Float ((tolerance -. 1.0) *. 100.0));
+         ( "workloads",
+           Json.Obj
+             (List.map
+                (fun (name, warm, scored, best, within, fewer, domains_identical) ->
+                  ( name,
+                    Json.Obj
+                      [
+                        ("best_known_pct", Json.Float best);
+                        ( "corpus_ratings",
+                          Json.Int warm.Driver.search_stats.Search.ratings );
+                        ("staged_within_tolerance", Json.Bool within);
+                        ("staged_fewer_ratings_than_ce", Json.Bool fewer);
+                        ("staged_byte_identical_across_domains", Json.Bool domains_identical);
+                        ( "strategies",
+                          Json.Obj
+                            (List.map
+                               (fun (s, r, imp) ->
+                                 ( Strategy.key s,
+                                   Json.Obj
+                                     [
+                                       ( "ratings",
+                                         Json.Int r.Driver.search_stats.Search.ratings );
+                                       ("improvement_pct", Json.Float imp);
+                                     ] ))
+                               scored) );
+                      ] ))
+                rows) );
+         ("pass", Json.Bool (!failures = []));
+       ]
+   in
+   let oc = open_out search_report_file in
+   output_string oc (Json.to_string json);
+   output_char oc '\n';
+   close_out oc);
+  note "wrote %s" search_report_file;
+  serve_rm_rf root;
+  match (List.rev !failures, Sys.getenv_opt "PEAK_SEARCH_GATE") with
+  | [], _ -> ()
+  | over, Some "off" ->
+      note "search-strategy gate failed (%s), but PEAK_SEARCH_GATE=off" (String.concat "; " over)
+  | over, _ ->
+      List.iter (fun e -> Printf.eprintf "search: %s\n" e) over;
+      exit 1
+
 let experiments =
   [
     ("table1", table1);
@@ -1426,6 +1614,7 @@ let experiments =
     ("micro", micro);
     ("alloc", alloc_exp);
     ("serve", serve_exp);
+    ("search", search_exp);
   ]
 
 let () =

@@ -256,13 +256,16 @@ let dataset_arg =
     & info [ "d"; "dataset" ] ~docv:"DATASET" ~doc:"Tuning data set: train or ref.")
 
 let seed_arg =
-  Arg.(value & opt int 11 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Experiment seed.")
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Experiment seed.")
 
 let search_arg =
   Arg.(
     value
     & opt string "ie"
-    & info [ "search" ] ~docv:"ALGO" ~doc:"Search: ie, be, ce, random, ff or ose.")
+    & info [ "s"; "search"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Search strategy: ie, be, ce, random[N], ff, ose or staged (see \
+           $(b,strategies)).")
 
 (* ---------------- subcommands ---------------- *)
 
@@ -439,11 +442,11 @@ let tune_cmd =
     match store_dir with
     | None ->
         print_result machine
-          (Driver.tune ~seed ~search ~rating_params ?method_ ?start ?faults ~retries b
+          (Driver.tune ~seed ~strategy:search ~rating_params ?method_ ?start ?faults ~retries b
              machine dataset)
     | Some dir ->
         let meta =
-          Driver.session_meta ?method_ ~search ~rating_params ~seed ?start ?faults b machine
+          Driver.session_meta ?method_ ~strategy:search ~rating_params ~seed ?start ?faults b machine
             dataset
         in
         let session = or_die (Peak_store.Session.open_ ~dir ~meta ()) in
@@ -456,7 +459,7 @@ let tune_cmd =
           ~finally:(fun () -> Peak_store.Session.close session)
           (fun () ->
             print_result machine
-              (Driver.tune ~seed ~search ~rating_params ?method_ ~store:session ?faults
+              (Driver.tune ~seed ~strategy:search ~rating_params ?method_ ~store:session ?faults
                  ~retries b machine dataset))
   in
   Cmd.v
@@ -500,7 +503,7 @@ let suite_cmd =
     with_tracing ~trace ~metrics @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let results =
-      Driver.tune_suite ~seed ~search ~rating_params ?method_ ~domains:jobs ?store_dir
+      Driver.tune_suite ~seed ~strategy:search ~rating_params ?method_ ~domains:jobs ?store_dir
         ?faults ~retries benchmarks machine dataset
     in
     let wall = Unix.gettimeofday () -. t0 in
@@ -644,6 +647,24 @@ let methods_cmd =
   Cmd.v
     (Cmd.info "methods"
        ~doc:"List the registered rating methods, their applicability and fallback order.")
+    Term.(const run $ const ())
+
+let strategies_cmd =
+  let run () =
+    let t = Table.create ~header:[ "Strategy"; "Key"; "Stages"; "Approach" ] () in
+    List.iter
+      (fun s ->
+        Table.add_row t [ Strategy.name s; Strategy.key s; Strategy.stage_plan s; Strategy.describe s ])
+      Strategy.all;
+    Table.print t;
+    print_endline
+      "Select with tune/suite/submit -s KEY.  random takes an optional sample count \
+       (e.g. random500); staged trains its screening stage on the store's rating index \
+       when --store is given."
+  in
+  Cmd.v
+    (Cmd.info "strategies"
+       ~doc:"List the registered search strategies and their stage structure.")
     Term.(const run $ const ())
 
 (* ---------------- session: the persistent tuning store ---------------- *)
@@ -826,7 +847,7 @@ let session_resume_cmd =
           | Error e -> die ("session has an unreadable fault plan: " ^ e))
     in
     let meta =
-      Driver.session_meta ?method_ ~search ~rating_params ~seed ~threshold ?faults b machine
+      Driver.session_meta ?method_ ~strategy:search ~rating_params ~seed ~threshold ?faults b machine
         dataset
     in
     let session = or_die (Peak_store.Session.open_ ~dir ~meta ()) in
@@ -836,7 +857,7 @@ let session_resume_cmd =
       ~finally:(fun () -> Peak_store.Session.close session)
       (fun () ->
         let tune pool =
-          Driver.tune ~seed ~search ~rating_params ~threshold ?method_ ?pool ~store:session
+          Driver.tune ~seed ~strategy:search ~rating_params ~threshold ?method_ ?pool ~store:session
             ?faults b machine dataset
         in
         let r =
@@ -1159,7 +1180,8 @@ let main =
   Cmd.group (Cmd.info "peak-tune" ~version:"1.0.0" ~doc)
     [
       list_cmd; flags_cmd; analyze_cmd; tune_cmd; suite_cmd; session_cmd; trace_cmd;
-      report_cmd; consistency_cmd; instrument_cmd; show_cmd; methods_cmd; client_cmd;
+      report_cmd; consistency_cmd; instrument_cmd; show_cmd; methods_cmd; strategies_cmd;
+      client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -159,6 +159,85 @@ else
 fi
 "$BIN" session gc --store "$SMOKE/fbcrash" > /dev/null
 
+# Strategy smoke: the search-strategy registry must reject unknown
+# names with a one-line error naming the valid strategies, list
+# `staged` in its table, and survive a mid-flight kill of a staged
+# session with a byte-identical resume.  Finally, with a BE-warmed
+# store corpus behind it, staged must spend strictly fewer ratings
+# than exhaustive CE on the same workload.
+echo "== strategy smoke"
+SMOKE_ERR_TMP=$(mktemp)
+if "$BIN" tune ART -m pentium4 -s bogus >/dev/null 2>"$SMOKE_ERR_TMP"; then
+  echo "   bogus strategy accepted (expected exit 1)" >&2
+  exit 1
+fi
+if [ "$(wc -l < "$SMOKE_ERR_TMP")" -eq 1 ] && grep -q "staged" "$SMOKE_ERR_TMP"; then
+  echo "   one-line error listing valid strategies"
+else
+  echo "   unexpected error output for a bogus strategy:" >&2
+  cat "$SMOKE_ERR_TMP" >&2
+  rm -f "$SMOKE_ERR_TMP"
+  exit 1
+fi
+rm -f "$SMOKE_ERR_TMP"
+
+if "$BIN" strategies | grep -q "staged"; then
+  echo "   strategies table lists staged"
+else
+  echo "   strategies table is missing staged:" >&2
+  "$BIN" strategies >&2
+  exit 1
+fi
+
+# warm a store with a BE sweep (one clean single-flag row per flag),
+# compact it into the index, and clone it so the reference and crash
+# runs screen against the identical corpus
+"$BIN" tune ART -m pentium4 -r rbr -s be --store "$SMOKE/stg" > /dev/null
+"$BIN" session gc --store "$SMOKE/stg" > /dev/null
+cp -r "$SMOKE/stg" "$SMOKE/stg-crash"
+
+"$BIN" tune ART -m pentium4 -r rbr -s staged --store "$SMOKE/stg" \
+  | tail -5 > "$SMOKE/stg-ref.out"
+
+"$BIN" tune ART -m pentium4 -r rbr -s staged --store "$SMOKE/stg-crash" \
+  > /dev/null 2>&1 &
+tune_pid=$!
+sleep 1
+kill -9 "$tune_pid" 2>/dev/null || true
+wait "$tune_pid" 2>/dev/null || true
+
+id=$("$BIN" session list --store "$SMOKE/stg-crash" -q | grep staged || true)
+if [ -n "$id" ]; then
+  "$BIN" session resume --store "$SMOKE/stg-crash" "$id" \
+    | tail -5 > "$SMOKE/stg-resumed.out"
+else
+  # the kill landed before the session directory existed; a fresh run
+  # against the same corpus still must match the reference
+  "$BIN" tune ART -m pentium4 -r rbr -s staged --store "$SMOKE/stg-crash" \
+    | tail -5 > "$SMOKE/stg-resumed.out"
+fi
+
+if diff "$SMOKE/stg-ref.out" "$SMOKE/stg-resumed.out"; then
+  echo "   resumed staged result identical to uninterrupted run"
+else
+  echo "   resumed staged result DIFFERS from uninterrupted run" >&2
+  exit 1
+fi
+
+# ratings budget: the journal-trained screen exists to spend less than
+# the exhaustive sweep, so hold it to that on the warmed store
+staged_ratings=$(sed -n 's/^Search: \([0-9][0-9]*\) ratings.*/\1/p' "$SMOKE/stg-ref.out")
+"$BIN" tune ART -m pentium4 -r rbr -s ce --store "$SMOKE/stg" \
+  | tail -5 > "$SMOKE/stg-ce.out"
+ce_ratings=$(sed -n 's/^Search: \([0-9][0-9]*\) ratings.*/\1/p' "$SMOKE/stg-ce.out")
+if [ -n "$staged_ratings" ] && [ -n "$ce_ratings" ] \
+   && [ "$staged_ratings" -lt "$ce_ratings" ]; then
+  echo "   staged spends fewer ratings than CE ($staged_ratings vs $ce_ratings)"
+else
+  echo "   staged did not beat CE's rating budget (staged=$staged_ratings ce=$ce_ratings)" >&2
+  exit 1
+fi
+
 # Fault smoke: the differential fault oracles (quarantine ground truth,
 # -j independence, auto == forced, kill/resume identity) must hold for
 # three pinned seeds.  PEAK_FAULT_SEED collapses each test's seed list
@@ -282,7 +361,7 @@ done
 
 # a third, longer session: detach, kill the daemon mid-flight
 "$BIN" client submit SWIM --daemon "$SOCK" -m pentium4 --search random2000 \
-  --rating-cap 100 -s 5 --detach > /dev/null
+  --rating-cap 100 --seed 5 --detach > /dev/null
 sleep 0.7
 kill -TERM "$tuned_pid"
 wait "$tuned_pid" || { echo "   daemon exited nonzero after SIGTERM" >&2; exit 1; }
@@ -319,7 +398,7 @@ while [ ! -S "$SMOKE/serve-ref/peak-tuned.sock" ]; do
   sleep 0.1
 done
 "$BIN" client submit SWIM --daemon "$SOCK" -m pentium4 --search random2000 \
-  --rating-cap 100 -s 5 | tail -4 > "$SMOKE/serve-uninterrupted.out"
+  --rating-cap 100 --seed 5 | tail -4 > "$SMOKE/serve-uninterrupted.out"
 kill -TERM "$tuned_pid"
 wait "$tuned_pid" || true
 

@@ -2,29 +2,13 @@ open Peak_machine
 open Peak_compiler
 open Peak_workload
 
-type search_algo = Ie | Be | Ce | Random of int | Ff | Ose
+(* Search identity is owned by the Strategy registry; the re-export
+   keeps the historical [Driver.Ie]-style constructors valid at every
+   existing call site. *)
+type search_algo = Strategy.t = Ie | Be | Ce | Random of int | Ff | Ose | Staged
 
-let search_name = function
-  | Ie -> "ie"
-  | Be -> "be"
-  | Ce -> "ce"
-  | Random n -> Printf.sprintf "random%d" n
-  | Ff -> "ff"
-  | Ose -> "ose"
-
-let search_of_string name =
-  match String.lowercase_ascii name with
-  | "ie" -> Ok Ie
-  | "be" -> Ok Be
-  | "ce" -> Ok Ce
-  | "ff" -> Ok Ff
-  | "ose" -> Ok Ose
-  | "random" -> Ok (Random 100)
-  | other when String.length other > 6 && String.sub other 0 6 = "random" -> (
-      match int_of_string_opt (String.sub other 6 (String.length other - 6)) with
-      | Some n when n > 0 -> Ok (Random n)
-      | _ -> Error ("unknown search " ^ other))
-  | other -> Error ("unknown search " ^ other)
+let search_name = Strategy.key
+let search_of_string = Strategy.of_string
 
 type result = {
   benchmark : Benchmark.t;
@@ -32,6 +16,8 @@ type result = {
   dataset : Trace.dataset;
   method_used : Method.t;
   attempts : Method.attempt list;
+  strategy : Strategy.t;
+  stages : Strategy.stage list;
   best_config : Optconfig.t;
   search_stats : Search.stats;
   tuning_cycles : float;
@@ -63,6 +49,16 @@ let result_summary (r : result) : Peak_store.Codec.session_result =
             at_ratings = a.Method.a_ratings;
           })
         r.attempts;
+    r_strategy = Strategy.key r.strategy;
+    r_stages =
+      List.map
+        (fun (s : Strategy.stage) ->
+          {
+            Peak_store.Codec.st_label = s.Strategy.sg_label;
+            st_ratings = s.Strategy.sg_ratings;
+            st_flags = s.Strategy.sg_flags;
+          })
+        r.stages;
     r_best = r.best_config;
     r_ratings = r.search_stats.Search.ratings;
     r_iterations = r.search_stats.Search.iterations;
@@ -76,9 +72,15 @@ let result_summary (r : result) : Peak_store.Codec.session_result =
     r_metrics = Some r.metrics;
   }
 
-let session_meta ?method_ ?(search = Ie) ?(rating_params = Rating.default_params)
+(* [?strategy] is the first-class spelling; [?search] remains as the
+   historical alias.  When both are given, [strategy] wins. *)
+let pick_strategy ?search ?strategy () =
+  match (strategy, search) with Some s, _ -> s | None, Some s -> s | None, None -> Ie
+
+let session_meta ?method_ ?search ?strategy ?(rating_params = Rating.default_params)
     ?(threshold = 0.005) ?(seed = 11) ?(start = Optconfig.o3) ?faults (benchmark : Benchmark.t)
     machine dataset : Peak_store.Codec.session_meta =
+  let search = pick_strategy ?search ?strategy () in
   let method_str = match method_ with Some m -> Method.key m | None -> "auto" in
   let bench_name = benchmark.Benchmark.name in
   let machine_name = machine.Machine.name in
@@ -99,9 +101,10 @@ let session_meta ?method_ ?(search = Ie) ?(rating_params = Rating.default_params
     m_faults = (match faults with Some p -> Peak_sim.Fault.to_string p | None -> "-");
   }
 
-let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
+let tune ?(seed = 11) ?search ?strategy ?(rating_params = Rating.default_params)
     ?(threshold = 0.005) ?compile ?pool ?method_ ?store ?start ?faults ?(retries = 2)
     ?progress (benchmark : Benchmark.t) machine dataset =
+  let search = pick_strategy ?search ?strategy () in
   if retries < 0 then invalid_arg "Driver.tune: retries must be >= 0";
   (* Tracing is observational only: spans and counters are emitted on
      the side and nothing below ever reads the tracer back, so a traced
@@ -609,7 +612,39 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     if deterministic then deterministic_rating prepared eval_cache (Method.name method_)
     else (sequential_relative prepared eval_cache (Method.name method_), None)
   in
-  let best_config, search_stats =
+  (* Staged screening trains on the store's rating index when one is
+     attached.  The index is rewritten only by [Session.gc] — never by
+     live rating — so a killed-and-resumed session reads the identical
+     corpus and replays its stage transitions bit-identically.  Rows
+     are restricted to this benchmark/machine and folded in the index's
+     deterministic sorted order. *)
+  let corpus =
+    match (search, store) with
+    | Staged, Some session -> (
+        let bench_name = benchmark.Benchmark.name in
+        let machine_name = machine.Machine.name in
+        let index_path =
+          Filename.concat (Peak_store.Session.store_dir session) "index.json"
+        in
+        match Peak_store.Index.load index_path with
+        | Error _ -> []
+        | Ok index ->
+            let rows =
+              Peak_store.Index.fold
+                (fun (e : Peak_store.Index.entry) acc ->
+                  if
+                    e.Peak_store.Index.key.Peak_store.Index.k_benchmark = bench_name
+                    && e.Peak_store.Index.key.Peak_store.Index.k_machine = machine_name
+                  then (e.Peak_store.Index.config, e.Peak_store.Index.eval) :: acc
+                  else acc)
+                index []
+            in
+            List.rev rows)
+    | _ -> []
+  in
+  if corpus <> [] then
+    Peak_obs.count ~n:(List.length corpus) ("search." ^ search_name search ^ ".corpus");
+  let best_config, search_stats, stages =
     let sid =
       Peak_obs.begin_span ~parent:tune_span ~cat:"phase.search"
         ("search:" ^ search_name search)
@@ -620,19 +655,29 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
         span_parent := tune_span;
         Peak_obs.end_span sid)
     @@ fun () ->
-    match search with
-    | Ie -> Search.iterative_elimination ~threshold ~prepare ?rate_many ~relative start
-    | Be -> Search.batch_elimination ~threshold ~prepare ?rate_many ~relative start
-    | Ce -> Search.combined_elimination ~threshold ~prepare ?rate_many ~relative start
-    | Random n ->
-        Search.random_search ~samples:n ?rate_many
-          ~rng:(Peak_util.Rng.create ~seed:(seed + 3))
-          ~relative start
-    | Ff ->
-        Search.fractional_factorial ~threshold ?rate_many
-          ~rng:(Peak_util.Rng.create ~seed:(seed + 3))
-          ~relative start
-    | Ose -> Search.ose ~threshold ~relative start
+    (* each strategy stage gets its own span nested under the search
+       span; rating spans begun inside the stage attach to it via
+       [span_parent] *)
+    let stage_span = ref None in
+    let enter_stage k label =
+      let s =
+        Peak_obs.begin_span ~parent:sid ~cat:"phase.search.stage"
+          (Printf.sprintf "search:%s:stage%d" (search_name search) k)
+      in
+      Peak_obs.count (Printf.sprintf "search.%s.%s" (search_name search) label);
+      stage_span := Some s;
+      span_parent := s
+    in
+    let leave_stage () =
+      (match !stage_span with Some s -> Peak_obs.end_span s | None -> ());
+      stage_span := None;
+      span_parent := sid
+    in
+    let ctx =
+      Strategy.make_ctx ~threshold ~seed ~prepare ?rate_many ~corpus ~enter_stage
+        ~leave_stage ~relative ()
+    in
+    Strategy.run search ctx start
   in
   let attempts =
     List.rev
@@ -671,6 +716,8 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
       dataset;
       method_used = method_;
       attempts;
+      strategy = search;
+      stages;
       best_config;
       search_stats;
       tuning_cycles;
@@ -689,9 +736,10 @@ let tune ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
     store;
   result
 
-let tune_suite ?(seed = 11) ?(search = Ie) ?(rating_params = Rating.default_params)
+let tune_suite ?(seed = 11) ?search ?strategy ?(rating_params = Rating.default_params)
     ?(threshold = 0.005) ?method_ ?(domains = 1) ?store_dir ?faults ?retries benchmarks machine
     dataset =
+  let search = pick_strategy ?search ?strategy () in
   (* Each benchmark gets its own session (own journal file); the
      journal writers themselves are mutex-serialized, so concurrent
      domain runners log safely through them. *)

@@ -17,17 +17,22 @@
     the next method.  Every attempt — failed probes and the committed
     method — is recorded in {!result.attempts}. *)
 
-type search_algo = Ie | Be | Ce | Random of int | Ff | Ose
+type search_algo = Strategy.t = Ie | Be | Ce | Random of int | Ff | Ose | Staged
+(** Re-export of {!Strategy.t}: search identity is owned by the
+    Strategy registry, and the historical [Driver.Ie]-style
+    constructors remain valid. *)
 
 val search_name : search_algo -> string
-(** Stable lower-case name used in store session ids and metadata
-    (["ie"], ["be"], ["ce"], ["random100"], ["ff"], ["ose"]). *)
+(** = {!Strategy.key}: the stable lower-case key used in store session
+    ids and metadata (["ie"], ["be"], ["ce"], ["random100"], ["ff"],
+    ["ose"], ["staged"]). *)
 
 val search_of_string : string -> (search_algo, string) result
-(** Inverse of {!search_name}, case-insensitive; ["random"] alone means
-    [Random 100] and ["random<n>"] any positive sample count.  The
-    parser behind the CLI's [--search] and the service protocol's
-    submit requests. *)
+(** = {!Strategy.of_string}, the inverse of {!search_name}
+    (case-insensitive; ["random"] alone means [Random 100] and
+    ["random<n>"] any positive sample count).  The one parser behind
+    the CLI's [-s]/[--search] and the service protocol's submit
+    requests. *)
 
 type result = {
   benchmark : Peak_workload.Benchmark.t;
@@ -38,6 +43,14 @@ type result = {
       (** The §3 fallback chain as executed: zero or more non-converged
           probe attempts followed by the committed method.  A forced
           [?method_] yields a single-attempt list. *)
+  strategy : Strategy.t;
+      (** The search strategy that produced {!result.best_config} —
+          recorded in [result.json] (codec v5) as its canonical key. *)
+  stages : Strategy.stage list;
+      (** The strategy's stage boundaries as executed: per-stage rating
+          spend and flag-universe size, in order.  One entry for the
+          classic single-stage searches; [screen]/[refine] for
+          [Staged].  Serialized alongside [strategy]. *)
   best_config : Peak_compiler.Optconfig.t;
   search_stats : Search.stats;
   tuning_cycles : float;  (** Simulated cycles spent tuning. *)
@@ -76,6 +89,7 @@ val result_summary : result -> Peak_store.Codec.session_result
 val session_meta :
   ?method_:Method.t ->
   ?search:search_algo ->
+  ?strategy:Strategy.t ->
   ?rating_params:Rating.params ->
   ?threshold:float ->
   ?seed:int ->
@@ -93,6 +107,7 @@ val session_meta :
 val tune :
   ?seed:int ->
   ?search:search_algo ->
+  ?strategy:Strategy.t ->
   ?rating_params:Rating.params ->
   ?threshold:float ->
   ?compile:Optimizer.mode * float ->
@@ -107,7 +122,19 @@ val tune :
   Peak_machine.Machine.t ->
   Peak_workload.Trace.dataset ->
   result
-(** Run one full offline tuning session.  [method_] may force a method
+(** Run one full offline tuning session.
+
+    [strategy] (first-class spelling) and [search] (historical alias;
+    [strategy] wins when both are given) select the search plan from
+    the {!Strategy} registry — default Iterative Elimination.  The
+    chosen strategy and its executed stage boundaries are recorded in
+    {!result.strategy}/{!result.stages} (and in [result.json], codec
+    v5), each stage runs under a [search:<key>:stage<k>] span, and the
+    [Staged] strategy additionally trains its screening regression on
+    the attached store's rating index (rebuilt only by [session gc],
+    so kill/resume replays stage transitions bit-identically).
+
+    [method_] may force a method
     the consultant would not choose (the Figure-7 bars include such
     cells, e.g. MGRID under CBR); forcing is exempt from fallback — the
     chain is just that method, never probed — so a forced run is
@@ -198,6 +225,7 @@ val tune :
 val tune_suite :
   ?seed:int ->
   ?search:search_algo ->
+  ?strategy:Strategy.t ->
   ?rating_params:Rating.params ->
   ?threshold:float ->
   ?method_:Method.t ->

@@ -23,6 +23,12 @@ let with_counter ratings (rate_many : rate_many) : rate_many =
   ratings := !ratings + List.length candidates;
   rate_many ~base candidates
 
+(* An empty candidate universe (all flags already off, or a screening
+   stage that eliminated everything) returns the start configuration
+   without touching the rating oracle at all — notably without the
+   implicit base rating a driver-side [rate_many] performs. *)
+let no_search start = (start, { ratings = 0; iterations = 0; trajectory = [] })
+
 let iterative_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ?rate_many ~relative
     start =
   let ratings = ref 0 in
@@ -37,21 +43,24 @@ let iterative_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ?rate_ma
   while !continue_ do
     incr iterations;
     let candidates = List.map (Optconfig.disable !current) (Optconfig.enabled !current) in
-    prepare candidates;
-    let rs = rate_all ~base:!current candidates in
-    let best = ref None in
-    List.iter2
-      (fun candidate r ->
-        if r < 1.0 -. threshold then
-          match !best with
-          | Some (_, best_r) when best_r <= r -> ()
-          | _ -> best := Some (candidate, r))
-      candidates rs;
-    match !best with
-    | Some (candidate, r) ->
-        trajectory := (candidate, 1.0 -. r) :: !trajectory;
-        current := candidate
-    | None -> continue_ := false
+    if candidates = [] then continue_ := false
+    else begin
+      prepare candidates;
+      let rs = rate_all ~base:!current candidates in
+      let best = ref None in
+      List.iter2
+        (fun candidate r ->
+          if r < 1.0 -. threshold then
+            match !best with
+            | Some (_, best_r) when best_r <= r -> ()
+            | _ -> best := Some (candidate, r))
+        candidates rs;
+      match !best with
+      | Some (candidate, r) ->
+          trajectory := (candidate, 1.0 -. r) :: !trajectory;
+          current := candidate
+      | None -> continue_ := false
+    end
   done;
   (!current, { ratings = !ratings; iterations = !iterations; trajectory = List.rev !trajectory })
 
@@ -60,6 +69,8 @@ let batch_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ?rate_many ~
     Option.value rate_many ~default:(sequential_rate_many ~relative)
   in
   let flags = Optconfig.enabled start in
+  if flags = [] then no_search start
+  else begin
   let candidates = List.map (Optconfig.disable start) flags in
   prepare candidates;
   let rs = rate_all ~base:start candidates in
@@ -80,16 +91,23 @@ let batch_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ?rate_many ~
   in
   ( final,
     { ratings = List.length candidates; iterations = 1; trajectory = List.rev trajectory } )
+  end
 
-let combined_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ?rate_many ~relative
-    start =
+(* Combined Elimination restricted to an explicit flag universe: the
+   shared engine behind [combined_elimination] (universe = every flag
+   enabled in the start configuration) and the staged strategy's
+   focused stage 2 (universe = the flags surviving screening). *)
+let focused_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ?rate_many ~flags
+    ~relative start =
+  let flags = List.filter (Optconfig.is_enabled start) flags in
+  if flags = [] then no_search start
+  else begin
   let ratings = ref 0 in
   let iterations = ref 0 in
   let rate_all =
     with_counter ratings
       (Option.value rate_many ~default:(sequential_rate_many ~relative))
   in
-  let flags = Optconfig.enabled start in
   let first_candidates = List.map (Optconfig.disable start) flags in
   prepare first_candidates;
   let trajectory = ref [] in
@@ -130,8 +148,15 @@ let combined_elimination ?(threshold = 0.005) ?(prepare = fun _ -> ()) ?rate_man
     | None -> continue_ := false
   done;
   (!current, { ratings = !ratings; iterations = !iterations; trajectory = List.rev !trajectory })
+  end
+
+let combined_elimination ?threshold ?prepare ?rate_many ~relative start =
+  focused_elimination ?threshold ?prepare ?rate_many ~flags:(Optconfig.enabled start)
+    ~relative start
 
 let random_search ?(samples = 100) ?rate_many ~rng ~relative start =
+  if samples <= 0 then no_search start
+  else begin
   let ratings = ref 0 in
   let rate_all =
     with_counter ratings
@@ -159,8 +184,11 @@ let random_search ?(samples = 100) ?rate_many ~rng ~relative start =
       iterations = 1;
       trajectory = (if r < 1.0 then [ (config, 1.0 -. r) ] else []);
     } )
+  end
 
 let fractional_factorial ?(runs = 20) ?(threshold = 0.005) ?rate_many ~rng ~relative start =
+  if runs <= 0 || Optconfig.enabled start = [] then no_search start
+  else begin
   let ratings = ref 0 in
   let rate_all =
     with_counter ratings
@@ -217,7 +245,8 @@ let fractional_factorial ?(runs = 20) ?(threshold = 0.005) ?rate_many ~rng ~rela
     |> List.filteri (fun i _ -> i < 10)
   in
   let confirm_ratings =
-    rate_all ~base:start (List.map (fun (f, _) -> Optconfig.disable start f) screened)
+    if screened = [] then []
+    else rate_all ~base:start (List.map (fun (f, _) -> Optconfig.disable start f) screened)
   in
   let confirmed =
     List.filter_map
@@ -237,6 +266,7 @@ let fractional_factorial ?(runs = 20) ?(threshold = 0.005) ?rate_many ~rng ~rela
       iterations = 2;
       trajectory = (if combined < 1.0 then [ (final, 1.0 -. combined) ] else []);
     } )
+  end
 
 (* The OSE configuration groups: coarse knobs an expert would expose. *)
 let ose_groups =
@@ -256,6 +286,8 @@ let disable_group config names =
     config names
 
 let ose ?(threshold = 0.005) ~relative start =
+  if Optconfig.enabled start = [] then no_search start
+  else begin
   let ratings = ref 0 in
   let trajectory = ref [] in
   let rate ~base c =
@@ -291,6 +323,7 @@ let ose ?(threshold = 0.005) ~relative start =
       end)
     winners;
   (!current, { ratings = !ratings; iterations = !iterations; trajectory = List.rev !trajectory })
+  end
 
 let exhaustive ~flags ~relative start =
   let k = List.length flags in

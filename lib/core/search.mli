@@ -29,6 +29,11 @@ type prepare = Peak_compiler.Optconfig.t list -> unit
     them is rated — the hook the driver uses to prefetch compiles at the
     remote optimizer (Figure 6) so they overlap with rating. *)
 
+val sequential_rate_many : relative:relative -> rate_many
+(** The default batch hook: rate the candidates one at a time with
+    [relative], in submission order.  Exposed so strategy code and
+    tests can compare batched against sequential rating. *)
+
 type stats = {
   ratings : int;  (** Rating-oracle invocations. *)
   iterations : int;
@@ -72,6 +77,21 @@ val combined_elimination :
     initially-harmful flags against the evolving baseline; every scan is
     a [rate_many] batch. *)
 
+val focused_elimination :
+  ?threshold:float ->
+  ?prepare:prepare ->
+  ?rate_many:rate_many ->
+  flags:Peak_compiler.Flags.t list ->
+  relative:relative ->
+  Peak_compiler.Optconfig.t ->
+  Peak_compiler.Optconfig.t * stats
+(** {!combined_elimination} restricted to an explicit flag universe:
+    only [flags] (intersected with the flags enabled in the start
+    configuration) are considered for removal.  This is the focused
+    stage-2 engine of the [staged] strategy, which hands it the flags
+    surviving importance screening.  An empty effective universe
+    returns the start configuration untouched with [ratings = 0]. *)
+
 val random_search :
   ?samples:int ->
   ?rate_many:rate_many ->
@@ -81,7 +101,8 @@ val random_search :
   Peak_compiler.Optconfig.t * stats
 (** Uniformly random configurations, all rated against the start
     configuration as one [rate_many] batch; returns the best found
-    (default 100 samples). *)
+    (default 100 samples).  [samples <= 0] returns the start
+    configuration with [ratings = 0] without touching the oracle. *)
 
 val exhaustive :
   flags:Peak_compiler.Flags.t list ->

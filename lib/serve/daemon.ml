@@ -58,7 +58,7 @@ type job = {
   j_benchmark : Benchmark.t;
   j_machine : Machine.t;
   j_dataset : Trace.dataset;
-  j_search : Driver.search_algo;
+  j_strategy : Strategy.t;
   j_method : Method.t option;
   j_params : Rating.params;
   j_threshold : float;
@@ -105,7 +105,7 @@ let job_of_spec (sp : Wire.submit_spec) =
   let* j_benchmark = find_benchmark sp.Wire.sb_benchmark in
   let* j_machine = find_machine sp.Wire.sb_machine in
   let* j_dataset = find_dataset sp.Wire.sb_dataset in
-  let* j_search = Driver.search_of_string sp.Wire.sb_search in
+  let* j_strategy = Strategy.of_string sp.Wire.sb_search in
   let* j_method = find_method sp.Wire.sb_method in
   let* j_params =
     match sp.Wire.sb_cap with
@@ -118,7 +118,7 @@ let job_of_spec (sp : Wire.submit_spec) =
       j_benchmark;
       j_machine;
       j_dataset;
-      j_search;
+      j_strategy;
       j_method;
       j_params;
       j_threshold = 0.005;
@@ -135,7 +135,7 @@ let job_of_stored ~dir id =
   let* j_benchmark = find_benchmark m.Peak_store.Codec.m_benchmark in
   let* j_machine = find_machine m.Peak_store.Codec.m_machine in
   let* j_dataset = find_dataset m.Peak_store.Codec.m_dataset in
-  let* j_search = Driver.search_of_string m.Peak_store.Codec.m_search in
+  let* j_strategy = Strategy.of_string m.Peak_store.Codec.m_search in
   let* j_method = find_method m.Peak_store.Codec.m_method in
   let* j_params =
     match Rating.params_of_signature m.Peak_store.Codec.m_params with
@@ -156,7 +156,7 @@ let job_of_stored ~dir id =
       j_benchmark;
       j_machine;
       j_dataset;
-      j_search;
+      j_strategy;
       j_method;
       j_params;
       j_threshold = m.Peak_store.Codec.m_threshold;
@@ -165,7 +165,7 @@ let job_of_stored ~dir id =
     }
 
 let meta_of_job job =
-  Driver.session_meta ?method_:job.j_method ~search:job.j_search
+  Driver.session_meta ?method_:job.j_method ~strategy:job.j_strategy
     ~rating_params:job.j_params ~threshold:job.j_threshold ~seed:job.j_seed
     ?faults:job.j_faults job.j_benchmark job.j_machine job.j_dataset
 
@@ -316,7 +316,7 @@ let run_session t entry job ticket =
           ~finally:(fun () -> Peak_store.Session.close session)
           (fun () ->
             match
-              Driver.tune ~seed:job.j_seed ~search:job.j_search
+              Driver.tune ~seed:job.j_seed ~strategy:job.j_strategy
                 ~rating_params:job.j_params ~threshold:job.j_threshold
                 ?method_:job.j_method ~pool:t.pool ~store:session
                 ?faults:job.j_faults ~progress job.j_benchmark job.j_machine

@@ -42,7 +42,9 @@ type submit_spec = {
   sb_benchmark : string;
   sb_machine : string;
   sb_dataset : string;  (** ["train"] or ["ref"]. *)
-  sb_search : string;  (** A {!Peak.Driver.search_of_string} spelling. *)
+  sb_search : string;
+      (** A {!Peak.Strategy.of_string} spelling — the submit carries the
+          search strategy so a daemon run matches batch byte-for-byte. *)
   sb_method : string;  (** A method key or ["auto"]. *)
   sb_seed : int;
   sb_cap : int option;  (** Per-rating invocation cap; [None] = default. *)

@@ -1,12 +1,34 @@
 open Peak_compiler
 
-let version = 4
+let version = 5
 
 (* Canonical rating-method names — kept in lockstep with
    [Peak.Method.all] (the store sits below the core library in the
    dependency order, so it carries its own mirror; a core-side test
    asserts the two lists match). *)
 let method_names = [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ]
+
+(* Canonical search-strategy keys — the same mirror arrangement with
+   [Peak.Strategy.all] ("random" stands for the parameterized
+   "random<n>" family). *)
+let search_keys = [ "ie"; "be"; "ce"; "random"; "ff"; "ose"; "staged" ]
+
+let valid_search_key name =
+  (* "" is the pre-v5 marker: a v1-v4 result decodes to it, and its
+     re-encoded form must keep round-tripping *)
+  let fixed = name = "" || List.mem name search_keys in
+  let random_n =
+    String.length name > 6
+    && String.sub name 0 6 = "random"
+    && match int_of_string_opt (String.sub name 6 (String.length name - 6)) with
+       | Some n -> n > 0
+       | None -> false
+  in
+  if fixed || random_n then Ok name
+  else
+    Error
+      (Printf.sprintf "unknown search strategy %S (valid: %s)" name
+         (String.concat ", " search_keys))
 
 let valid_method name =
   if List.mem name method_names then Ok name
@@ -103,8 +125,15 @@ type metrics = {
   x_cycles : float;
 }
 
+type stage = { st_label : string; st_ratings : int; st_flags : int }
+
 type session_result = {
   r_method : string;
+  r_strategy : string;
+      (* the search strategy's canonical key (v5); "" for decoded v1–v4
+         results, whose strategy identity lives only in session_meta *)
+  r_stages : stage list;
+      (* per-stage rating spend in execution order (v5); [] before *)
   r_attempts : attempt list;
   r_best : Optconfig.t;
   r_ratings : int;
@@ -405,12 +434,28 @@ let metrics_of_json v =
   in
   Ok { x_methods = List.rev methods; x_quarantined; x_retries; x_invocations; x_cycles }
 
+let stage_to_json (s : stage) =
+  Json.Obj
+    [
+      ("label", Json.String s.st_label);
+      ("ratings", Json.Int s.st_ratings);
+      ("flags", Json.Int s.st_flags);
+    ]
+
+let stage_of_json v =
+  let* st_label = Json.get_str "label" v in
+  let* st_ratings = Json.get_int "ratings" v in
+  let* st_flags = Json.get_int "flags" v in
+  Ok { st_label; st_ratings; st_flags }
+
 let session_result_to_json (r : session_result) =
   Json.Obj
     ([
        ("v", Json.Int version);
        ("t", Json.String "result");
        ("method", Json.String r.r_method);
+       ("strategy", Json.String r.r_strategy);
+       ("stages", Json.List (List.map stage_to_json r.r_stages));
        ("attempts", Json.List (List.map attempt_to_json r.r_attempts));
        ("best", optconfig_to_json r.r_best);
        ("ratings", Json.Int r.r_ratings);
@@ -433,6 +478,27 @@ let session_result_to_json (r : session_result) =
 let session_result_of_json v =
   let* ver = checked_version v in
   let* r_method = Result.bind (Json.get_str "method" v) valid_method in
+  (* v1–v4 results predate first-class strategy identity *)
+  let* r_strategy =
+    match Json.member "strategy" v with
+    | Error _ -> Ok ""
+    | Ok j -> Result.bind (Json.to_str j) valid_search_key
+  in
+  let* r_stages =
+    match Json.member "stages" v with
+    | Error _ -> Ok []
+    | Ok j ->
+        let* items = Json.to_list j in
+        let* stages =
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              let* s = stage_of_json item in
+              Ok (s :: acc))
+            (Ok []) items
+        in
+        Ok (List.rev stages)
+  in
   (* v1 results predate the attempted-method chain *)
   let* r_attempts =
     match Json.member "attempts" v with
@@ -497,6 +563,8 @@ let session_result_of_json v =
   Ok
     {
       r_method;
+      r_strategy;
+      r_stages;
       r_attempts;
       r_best;
       r_ratings;

@@ -17,7 +17,7 @@
 open Peak_compiler
 
 val version : int
-(** Current store format version (4).  v2 added the per-event
+(** Current store format version (5).  v2 added the per-event
     convergence flag and the session result's attempted-method chain;
     v1 records decode with [converged = true] and an empty chain.  v3
     added fault-tolerance bookkeeping: per-event quarantine reason and
@@ -29,7 +29,10 @@ val version : int
     v4+ record a NaN eval, threshold, cycle count or trajectory gain is
     a decode error, and an infinite event eval is only accepted as the
     quarantine/no-samples sentinel (it must carry a failure reason).
-    v1–v3 records keep decoding leniently. *)
+    v1–v3 records keep decoding leniently.  v5 added first-class search
+    strategy identity to the session result ([r_strategy] + the
+    per-stage [r_stages] spend); v1–v4 results decode with
+    [r_strategy = ""] and [r_stages = []]. *)
 
 val fnv64 : string -> string
 (** Stable 16-hex-digit FNV-1a 64 digest of a string — used for
@@ -48,6 +51,18 @@ val valid_method : string -> (string, string) result
 val valid_method_request : string -> (string, string) result
 (** As {!valid_method} but for session metadata's requested method:
     a lower-case canonical name or ["auto"]. *)
+
+val search_keys : string list
+(** The canonical search-strategy keys (["ie"; "be"; "ce"; "random";
+    "ff"; "ose"; "staged"]) — the store's mirror of
+    [Peak.Strategy.keys] (same lockstep arrangement as
+    {!method_names}; ["random"] stands for the parameterized
+    ["random<n>"] family). *)
+
+val valid_search_key : string -> (string, string) result
+(** [Ok name] iff [name] is in {!search_keys}, is ["random<n>"] with a
+    positive [n], or is [""] — the pre-v5 marker a v1-v4 [result.json]
+    decodes to, which must keep round-tripping once re-encoded. *)
 
 (** {1 Serialized types} *)
 
@@ -130,8 +145,22 @@ type metrics = {
     never of wall-clock time — so a traced, untraced, parallel or
     resumed run of the same session serializes the identical block. *)
 
+type stage = {
+  st_label : string;  (** Stage label, e.g. ["screen"]. *)
+  st_ratings : int;  (** Ratings spent in the stage. *)
+  st_flags : int;  (** Flag-universe size the stage worked on. *)
+}
+(** One stage boundary of a finished search (v5). *)
+
 type session_result = {
   r_method : string;  (** Method actually used. *)
+  r_strategy : string;
+      (** Canonical search-strategy key (v5); [""] for decoded v1–v4
+          results, whose strategy identity lives only in
+          {!session_meta}. *)
+  r_stages : stage list;
+      (** Per-stage rating spend in execution order ([[]] for decoded
+          v1–v4 results). *)
   r_attempts : attempt list;
       (** The attempted-method chain ([[]] for decoded v1 results). *)
   r_best : Optconfig.t;
@@ -172,6 +201,9 @@ val trajectory_of_json : Json.t -> ((Optconfig.t * float) list, string) result
 
 val attempt_to_json : attempt -> Json.t
 val attempt_of_json : Json.t -> (attempt, string) result
+
+val stage_to_json : stage -> Json.t
+val stage_of_json : Json.t -> (stage, string) result
 
 val metrics_to_json : metrics -> Json.t
 val metrics_of_json : Json.t -> (metrics, string) result

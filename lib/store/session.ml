@@ -99,6 +99,7 @@ type t = {
 }
 
 let meta t = t.meta
+let store_dir t = t.dir
 let loaded_events t = t.loaded
 
 let meta_compatible (a : Codec.session_meta) (b : Codec.session_meta) =

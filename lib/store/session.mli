@@ -66,6 +66,12 @@ val open_ :
 val meta : t -> Codec.session_meta
 (** The effective metadata (the stored one when resuming). *)
 
+val store_dir : t -> string
+(** The store root this session lives under — the [dir] given to
+    {!open_}.  Lets callers reach sibling store artifacts such as the
+    rating index ([index.json]), e.g. the staged search's training
+    corpus. *)
+
 val loaded_events : t -> int
 (** Rating events replayed from the journal at {!open_} — [0] for a
     fresh session. *)

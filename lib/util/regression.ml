@@ -6,15 +6,33 @@ type fit = {
   n_observations : int;
 }
 
-let fit ~counts ~times =
+(* Ridge solve of the normal equations (AᵀA + λI)·x = Aᵀy.  λ is scaled
+   to the mean diagonal magnitude of AᵀA, so the shrinkage is relative
+   to the design's own scale and the system is well-conditioned even
+   when A is rank deficient or has fewer rows than columns. *)
+let ridge_coefficients ?(lambda = 1e-6) a times =
+  let at = Matrix.transpose a in
+  let ata = Matrix.mul at a in
+  let aty = Matrix.mul_vec at times in
+  let k = Matrix.cols a in
+  let trace = ref 0.0 in
+  for i = 0 to k - 1 do
+    trace := !trace +. Matrix.get ata i i
+  done;
+  let l = (lambda *. Float.max (!trace /. float_of_int k) 1.0) +. 1e-12 in
+  let reg = Matrix.add ata (Matrix.scale (Matrix.identity k) l) in
+  Matrix.solve reg aty
+
+let shape_check ~fn ~counts ~times =
   let n = Array.length times in
-  if n = 0 then invalid_arg "Regression.fit: no observations";
-  if Array.length counts <> n then invalid_arg "Regression.fit: counts/times length mismatch";
+  if n = 0 then invalid_arg (fn ^ ": no observations");
+  if Array.length counts <> n then invalid_arg (fn ^ ": counts/times length mismatch");
   let k = Array.length counts.(0) in
-  if k = 0 then invalid_arg "Regression.fit: no components";
-  if n < k then invalid_arg "Regression.fit: fewer observations than components";
-  let a = Matrix.of_arrays counts in
-  let coefficients = Matrix.least_squares a times in
+  if k = 0 then invalid_arg (fn ^ ": no components");
+  (n, k)
+
+let goodness ~counts ~times ~coefficients =
+  let n = Array.length times and k = Array.length coefficients in
   let residual_ss = ref 0.0 in
   let total_ss = ref 0.0 in
   for j = 0 to n - 1 do
@@ -34,6 +52,34 @@ let fit ~counts ~times =
     var_ratio;
     n_observations = n;
   }
+
+let ridge ?lambda ~counts ~times () =
+  ignore (shape_check ~fn:"Regression.ridge" ~counts ~times);
+  let a = Matrix.of_arrays counts in
+  let coefficients = ridge_coefficients ?lambda a times in
+  (* the regularized normal equations are positive definite for λ > 0,
+     so a non-finite coefficient can only come from non-finite input —
+     refuse it rather than let a NaN importance escape *)
+  if not (Array.for_all Float.is_finite coefficients) then
+    invalid_arg "Regression.ridge: non-finite observations";
+  goodness ~counts ~times ~coefficients
+
+let fit ~counts ~times =
+  let n, k = shape_check ~fn:"Regression.fit" ~counts ~times in
+  if n < k then invalid_arg "Regression.fit: fewer observations than components";
+  let a = Matrix.of_arrays counts in
+  (* QR least squares when the design has full column rank; on rank
+     deficiency (a component whose counts never vary independently)
+     fall back to the ridge solve instead of failing — callers get
+     finite, slightly-shrunk coefficients either way *)
+  let coefficients =
+    match Matrix.least_squares a times with
+    | c -> c
+    | exception Failure _ -> ridge_coefficients a times
+  in
+  if not (Array.for_all Float.is_finite coefficients) then
+    invalid_arg "Regression.fit: non-finite observations";
+  goodness ~counts ~times ~coefficients
 
 let predict f counts =
   if Array.length counts <> Array.length f.coefficients then

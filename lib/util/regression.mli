@@ -22,10 +22,29 @@ val fit :
 (** [fit ~counts ~times] solves the least-squares system where
     [counts.(j)] is the component-count row of invocation [j] and
     [times.(j)] its measured time.  Requires at least as many
-    observations as components and full column rank.
-    @raise Invalid_argument on shape mismatch or empty input.
-    @raise Failure on rank deficiency (e.g. a component whose count never
-    varies alongside the constant component). *)
+    observations as components.  A rank-deficient design (e.g. a
+    component whose count never varies alongside the constant
+    component) falls back to the ridge solve of {!ridge}, so the
+    coefficients are always finite.
+    @raise Invalid_argument on shape mismatch, empty input, or
+    non-finite observations. *)
+
+val ridge :
+  ?lambda:float ->
+  counts:float array array ->
+  times:float array ->
+  unit ->
+  fit
+(** [ridge ~counts ~times ()] solves the L2-regularised normal
+    equations [(AᵀA + λI)·T = Aᵀy].  Unlike {!fit} it accepts any
+    number of observations — including fewer rows than components
+    (the staged-search screening regime) — and never fails on a
+    singular or ill-conditioned design: the regularised system is
+    positive definite, so the coefficients are always finite.
+    [lambda] (default [1e-6]) is scaled by the mean diagonal of
+    [AᵀA], making the shrinkage relative to the design's own scale.
+    @raise Invalid_argument on shape mismatch, empty input, or
+    non-finite observations. *)
 
 val predict : fit -> float array -> float
 (** [predict f counts] evaluates [Σ T_i · counts_i]. *)

@@ -53,6 +53,14 @@ let check_identical tag (a : Driver.result) (b : Driver.result) =
     (tag ^ ": search stats identical")
     true
     (a.Driver.search_stats = b.Driver.search_stats);
+  Alcotest.(check string)
+    (tag ^ ": strategy identical")
+    (Strategy.key a.Driver.strategy)
+    (Strategy.key b.Driver.strategy);
+  Alcotest.(check bool)
+    (tag ^ ": stage records identical")
+    true
+    (a.Driver.stages = b.Driver.stages);
   Alcotest.(check (float 0.0))
     (tag ^ ": tuning_cycles bit-identical")
     a.Driver.tuning_cycles b.Driver.tuning_cycles;

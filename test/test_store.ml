@@ -182,11 +182,18 @@ let gen_metrics =
       (tup5 (list_size (int_bound 4) gen_method_metrics) small_nat small_nat small_nat
          gen_finite))
 
+let gen_stage =
+  QCheck.Gen.(
+    map3
+      (fun l r f -> { Codec.st_label = l; st_ratings = r; st_flags = f })
+      (oneofl [ "screen"; "refine"; "eliminate"; "sample" ])
+      small_nat small_nat)
+
 let gen_session_result =
   QCheck.Gen.(
     map
       (fun
-        ( (m, attempts),
+        ( ((m, strategy), (attempts, stages)),
           best,
           (ratings, iterations),
           trajectory,
@@ -196,6 +203,8 @@ let gen_session_result =
       ->
         {
           Codec.r_method = m;
+          r_strategy = strategy;
+          r_stages = stages;
           r_attempts = attempts;
           r_best = best;
           r_ratings = ratings;
@@ -210,7 +219,11 @@ let gen_session_result =
           r_metrics = metrics;
         })
       (tup7
-         (pair (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ]) (list_size (int_bound 4) gen_attempt))
+         (pair
+            (pair
+               (oneofl [ "CBR"; "MBR"; "RBR"; "AVG"; "WHL" ])
+               (oneofl [ "ie"; "be"; "ce"; "random100"; "ff"; "ose"; "staged" ]))
+            (pair (list_size (int_bound 4) gen_attempt) (list_size (int_bound 3) gen_stage)))
          gen_optconfig (pair small_nat small_nat) gen_trajectory gen_finite
          gen_finite
          (pair (pair small_nat small_nat)
@@ -307,6 +320,8 @@ let roundtrip_tests =
       Codec.session_result_of_json
       (fun (a : Codec.session_result) (b : Codec.session_result) ->
         a.Codec.r_method = b.Codec.r_method
+        && a.Codec.r_strategy = b.Codec.r_strategy
+        && a.Codec.r_stages = b.Codec.r_stages
         && a.Codec.r_attempts = b.Codec.r_attempts
         && Optconfig.equal a.Codec.r_best b.Codec.r_best
         && a.Codec.r_ratings = b.Codec.r_ratings
@@ -378,6 +393,8 @@ let hygiene_event ?(eval = 1.0) ?fail ?(cycles = 1.0) () =
 let hygiene_result ?(cycles = 1.0) ?(seconds = 1.0) ?(trajectory = []) () =
   {
     Codec.r_method = "RBR";
+    r_strategy = "ie";
+    r_stages = [];
     r_attempts = [];
     r_best = Optconfig.o3;
     r_ratings = 1;
@@ -894,6 +911,8 @@ let fabricate_session dir ~benchmark ~machine ~seed ~best =
   Session.complete s
     {
       Codec.r_method = "RBR";
+      r_strategy = "ie";
+      r_stages = [ { Codec.st_label = "eliminate"; st_ratings = 1; st_flags = 1 } ];
       r_attempts = [ { Codec.at_method = "RBR"; at_converged = true; at_ratings = 1 } ];
       r_best = best;
       r_ratings = 1;

@@ -351,6 +351,46 @@ let test_regression_predict () =
   let f = Regression.fit ~counts ~times in
   check_floatish "predict" ~eps:1e-6 41.0 (Regression.predict f [| 4.0; 1.0 |])
 
+let test_ridge_underdetermined () =
+  (* the staged-screen regime: more unknowns than observations; plain
+     least squares is impossible, the ridge solve must stay finite and
+     recover the signal's sign *)
+  let counts = [| [| 1.0; -1.0; 1.0 |]; [| -1.0; 1.0; 1.0 |] |] in
+  let times = [| 0.4; -0.4 |] in
+  let f = Regression.ridge ~counts ~times () in
+  Alcotest.(check int) "3 coefficients" 3 (Array.length f.Regression.coefficients);
+  Array.iter
+    (fun c -> Alcotest.(check bool) "finite" true (Float.is_finite c))
+    f.Regression.coefficients;
+  Alcotest.(check bool) "signs recovered" true
+    (f.Regression.coefficients.(0) > 0.0 && f.Regression.coefficients.(1) < 0.0)
+
+let test_ridge_singular_design () =
+  (* a duplicated column makes the unregularised normal equations
+     singular; ridge splits the effect and still predicts correctly *)
+  let counts = [| [| 1.0; 1.0 |]; [| 2.0; 2.0 |]; [| 3.0; 3.0 |] |] in
+  let times = [| 2.0; 4.0; 6.0 |] in
+  let f = Regression.ridge ~counts ~times () in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "finite" true (Float.is_finite c))
+    f.Regression.coefficients;
+  check_floatish "predict on the collinear line" ~eps:1e-3 2.0
+    (Regression.predict f [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "near-zero residual" true (f.Regression.var_ratio < 1e-6)
+
+let test_fit_singular_falls_back_to_ridge () =
+  (* the same design through [fit]: least squares raises rank-deficient
+     internally, and the fallback must deliver finite coefficients
+     instead of an exception or NaNs *)
+  let counts = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |]; [| 3.0; 6.0 |] |] in
+  let times = [| 1.0; 2.0; 3.0 |] in
+  let f = Regression.fit ~counts ~times in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "finite" true (Float.is_finite c))
+    f.Regression.coefficients;
+  Alcotest.(check bool) "finite var ratio" true (Float.is_finite f.Regression.var_ratio);
+  check_floatish "predict" ~eps:1e-3 1.0 (Regression.predict f [| 1.0; 2.0 |])
+
 let test_linear_relation_positive () =
   let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
   let ys = [| 5.0; 8.0; 11.0; 14.0 |] in
@@ -656,6 +696,9 @@ let suites =
         Alcotest.test_case "paper figure 2 example" `Quick test_regression_paper_example;
         Alcotest.test_case "exact fit var ratio" `Quick test_regression_var_ratio_zero_for_exact;
         Alcotest.test_case "predict" `Quick test_regression_predict;
+        Alcotest.test_case "ridge underdetermined" `Quick test_ridge_underdetermined;
+        Alcotest.test_case "ridge singular design" `Quick test_ridge_singular_design;
+        Alcotest.test_case "fit singular fallback" `Quick test_fit_singular_falls_back_to_ridge;
         Alcotest.test_case "linear relation positive" `Quick test_linear_relation_positive;
         Alcotest.test_case "linear relation negative" `Quick test_linear_relation_negative;
         Alcotest.test_case "linear relation constant" `Quick test_linear_relation_constant;
