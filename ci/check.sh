@@ -68,6 +68,47 @@ else
   echo "   bench binary not built; skipping the allocation gate"
 fi
 
+# Adaptive drift gate: the bench `adaptive` experiment sweeps the
+# (benchmark x drift pattern) matrix with per-cell SLOs (total cycles
+# vs the drift-aware oracle, bounded time-to-readapt) and writes
+# BENCH_adaptive.json; PEAK_ADAPTIVE_GATE=off downgrades a breach.
+# The smoke runs the 3-cell mini-matrix twice on the pinned seed (the
+# SLO table must pass and the rerun must be byte-identical), then the
+# full >= 1M-invocation matrix.  Same skip-with-notice policy as the
+# other gates when the bench binary is absent.
+echo "== adaptive drift smoke"
+ADAPTIVE_BIN=_build/default/bench/main.exe
+if [ -x "$ADAPTIVE_BIN" ]; then
+  ADAPT_TMP=$(mktemp -d)
+  if PEAK_ADAPTIVE_CELLS=mini PEAK_ADAPTIVE_REPORT="$ADAPT_TMP/mini1.json" \
+     "$ADAPTIVE_BIN" adaptive > /dev/null; then
+    echo "   mini-matrix SLO table passes"
+  else
+    echo "   adaptive mini-matrix breached an SLO; run: PEAK_ADAPTIVE_CELLS=mini dune exec bench/main.exe -- adaptive" >&2
+    rm -rf "$ADAPT_TMP"
+    exit 1
+  fi
+  PEAK_ADAPTIVE_CELLS=mini PEAK_ADAPTIVE_REPORT="$ADAPT_TMP/mini2.json" \
+    "$ADAPTIVE_BIN" adaptive > /dev/null
+  if diff "$ADAPT_TMP/mini1.json" "$ADAPT_TMP/mini2.json" > /dev/null; then
+    echo "   mini-matrix rerun byte-identical"
+  else
+    echo "   adaptive mini-matrix rerun DIFFERS from the first run" >&2
+    rm -rf "$ADAPT_TMP"
+    exit 1
+  fi
+  if PEAK_ADAPTIVE_REPORT="$ADAPT_TMP/full.json" "$ADAPTIVE_BIN" adaptive > /dev/null; then
+    echo "   full drift matrix within SLOs"
+  else
+    echo "   adaptive drift matrix breached an SLO; run: dune exec bench/main.exe -- adaptive" >&2
+    rm -rf "$ADAPT_TMP"
+    exit 1
+  fi
+  rm -rf "$ADAPT_TMP"
+else
+  echo "   bench binary not built; skipping the adaptive drift gate"
+fi
+
 # CLI error contract: an unknown rating method must die with a one-line
 # error naming the valid methods, exit status 1.
 echo "== unknown method rejection"

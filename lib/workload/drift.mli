@@ -1,0 +1,106 @@
+(** Deterministic, seeded workload drift.
+
+    The PGO literature motivates {e profile drift} — the program's input
+    distribution shifting away from the one it was tuned on — as the
+    trigger for re-optimization in an online, adaptive scenario.  This
+    module turns any benchmark {!Trace} into a drifting stream: each
+    invocation belongs to one of two {e regimes}, and the probability of
+    the shifted regime follows a declared schedule over the invocation
+    index.
+
+    {b Regimes.}  Regime A (the tuned-on distribution) replays base-trace
+    invocations drawn from the first half of the base index space; regime
+    B draws from the second half {e and} applies the spec's {e warps} —
+    declared transformations of named scalar parameters after the base
+    setup has run (e.g. [numf1s*4] quadruples ART's F1 walk).  For
+    index-structured traces (MGRID's V-cycle warmup) the index remap
+    alone shifts the context mix; for i.i.d. traces the warps carry the
+    shift.  Both levers change the block-count profile, which is what a
+    tuned configuration's rating was computed over.
+
+    {b Determinism.}  Every per-invocation decision (regime membership
+    and the replayed base index) derives a fresh generator from
+    [fnv64(seed | invocation)] — the identity-keyed scheme of
+    [Peak_sim.Fault] — so the stream is a pure function of (spec,
+    invocation): independent of draw order, pass wraps and resume points.
+    Same spec + seed ⇒ bit-identical stream.
+
+    {b Class structure.}  A drifted trace refines the base trace's class
+    function with the regime bit, so the execution harness's
+    interpreter-result reuse stays sound: two drifted invocations share a
+    class only if they replay the same base class under the same regime
+    (warps are deterministic per regime, so equal classes still present
+    identical workloads). *)
+
+type pattern =
+  | Step of int  (** [Step at]: regime B from invocation [at] onward. *)
+  | Ramp of int * int
+      (** [Ramp (at, dur)]: regime-B probability rises linearly 0 → 1
+          over [[at, at+dur)]. *)
+  | Periodic of int
+      (** [Periodic p]: alternating blocks of [p] invocations — A for
+          the first block, B for the second, and so on. *)
+  | Burst of int * int
+      (** [Burst (at, dur)]: regime B during [[at, at+dur)] only. *)
+
+type warp = {
+  w_source : string;  (** Scalar parameter name in the tuning section. *)
+  w_scale : bool;  (** [true]: multiply ([name*f]); [false]: add ([name+f]). *)
+  w_amount : float;
+}
+
+type t = {
+  seed : int;
+  patterns : pattern list;
+  warps : warp list;
+}
+
+val make : ?seed:int -> ?warps:warp list -> pattern list -> t
+(** [make patterns] builds a spec (default [seed] 17, no warps).
+    @raise Invalid_argument on a negative breakpoint, a nonpositive
+    duration or period, or a non-finite warp amount. *)
+
+val weight : t -> int -> float
+(** [weight t i] is the regime-B probability at invocation [i]: the
+    maximum of the declared patterns' activations, in [[0, 1]].  No
+    patterns means a permanent 0. *)
+
+val in_shifted_regime : t -> int -> bool
+(** The identity-keyed regime draw for invocation [i]:
+    [u_i < weight t i] with [u_i] derived from [(seed, i)] alone. *)
+
+val shift_points : t -> length:int -> int list
+(** The invocations at which the declared distribution changes — the
+    ground truth a staleness detector is tested against.  Sorted,
+    deduplicated, restricted to [(0, length)).  [Step at] contributes
+    [at]; [Ramp (at, _)] contributes [at] (the shift begins there);
+    [Burst (at, dur)] contributes [at] and [at+dur]; [Periodic p]
+    contributes every block boundary [p, 2p, ...]. *)
+
+val apply : ?length:int -> t -> Trace.t -> Trace.t
+(** [apply t base] is the drifting stream over [base]: invocation [i]
+    replays a base invocation chosen by the regime draw (regime A from
+    the first half of base indices, regime B from the second half) and,
+    in regime B, applies each warp to its scalar after the base setup.
+    [length] defaults to the base trace's length.
+
+    Scalars a warp targets are snapshotted at [init] time and restored
+    before every setup, so init-owned parameters (SWIM's [n]) drift only
+    on regime-B invocations instead of latching the warped value.  Like
+    a base trace with setup-time mutation (MCF), the returned trace
+    carries per-trace mutable state: share it across runners only in
+    the single-owner pattern the rest of the harness uses.
+    @raise Invalid_argument if [length] is nonpositive. *)
+
+val to_string : t -> string
+(** Canonical spec string, e.g.
+    [seed=17,step=500,warp=conv*0.25] — fields comma-separated, [seed]
+    first, patterns in declaration order ([step=AT], [ramp=AT+DUR],
+    [periodic=P], [burst=AT+DUR]), warps last ([warp=NAME*F] or
+    [warp=NAME+F], [%.17g] amounts).  Round-trips through
+    {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse a spec string; [Error] carries a one-line message naming the
+    offending field.  Unknown keys, malformed numbers and the
+    validation rules of {!make} are all rejected. *)

@@ -99,6 +99,50 @@ let check_identical tag (a : Driver.result) (b : Driver.result) =
     (tag ^ ": metrics cycles bit-identical")
     a.Driver.metrics.Peak_store.Codec.x_cycles b.Driver.metrics.Peak_store.Codec.x_cycles
 
+(* The adaptive engine's form of the oracle: two drift runs that should
+   be bit-identical are, across every stats field — the cycle ledgers,
+   the per-phase split, the staleness record, and the per-context
+   choices. *)
+let check_identical_adaptive tag (a : Adaptive.stats) (b : Adaptive.stats) =
+  let check_f name x y =
+    Alcotest.(check bool) (tag ^ ": " ^ name ^ " bit-identical") true (same_float x y)
+  in
+  Alcotest.(check int) (tag ^ ": invocations identical") a.Adaptive.invocations b.Adaptive.invocations;
+  check_f "total_cycles" a.Adaptive.total_cycles b.Adaptive.total_cycles;
+  check_f "o3_cycles" a.Adaptive.o3_cycles b.Adaptive.o3_cycles;
+  check_f "oracle_cycles" a.Adaptive.oracle_cycles b.Adaptive.oracle_cycles;
+  Alcotest.(check int) (tag ^ ": swaps identical") a.Adaptive.swaps b.Adaptive.swaps;
+  Alcotest.(check int)
+    (tag ^ ": contexts identical")
+    a.Adaptive.contexts_seen b.Adaptive.contexts_seen;
+  Alcotest.(check int)
+    (tag ^ ": stale detections identical")
+    a.Adaptive.stale_detections b.Adaptive.stale_detections;
+  Alcotest.(check (list int))
+    (tag ^ ": stale invocations identical")
+    a.Adaptive.stale_invocations b.Adaptive.stale_invocations;
+  Alcotest.(check int) (tag ^ ": readapts identical") a.Adaptive.readapts b.Adaptive.readapts;
+  check_f "mean_time_to_readapt" a.Adaptive.mean_time_to_readapt b.Adaptive.mean_time_to_readapt;
+  Alcotest.(check int)
+    (tag ^ ": readapt invocations identical")
+    a.Adaptive.readapt_invocations b.Adaptive.readapt_invocations;
+  check_f "fresh_cycles" a.Adaptive.fresh_cycles b.Adaptive.fresh_cycles;
+  check_f "suspect_cycles" a.Adaptive.suspect_cycles b.Adaptive.suspect_cycles;
+  check_f "retuning_cycles" a.Adaptive.retuning_cycles b.Adaptive.retuning_cycles;
+  check_f "p99_invocation_cycles" a.Adaptive.p99_invocation_cycles b.Adaptive.p99_invocation_cycles;
+  Alcotest.(check int)
+    (tag ^ ": choice count identical")
+    (List.length a.Adaptive.choices)
+    (List.length b.Adaptive.choices);
+  List.iter2
+    (fun (k1, c1) (k2, c2) ->
+      Alcotest.(check bool)
+        (tag ^ ": choice key identical")
+        true
+        (Array.length k1 = Array.length k2 && Array.for_all2 same_float k1 k2);
+      Alcotest.(check bool) (tag ^ ": choice config identical") true (Optconfig.equal c1 c2))
+    a.Adaptive.choices b.Adaptive.choices
+
 (* The wire-level form of the same oracle: two stored session results
    must serialize to the same bytes.  This is what the tuning service's
    clients can actually observe, and byte equality of the codec output

@@ -1,0 +1,181 @@
+(* The scenario matrix: online adaptive tuning under drift, swept
+   ghdl-testsuite-style.  Every registry benchmark crosses every drift
+   pattern (step, ramp, periodic, burst) through one driver, and every
+   cell asserts the same SLOs:
+
+     - sanity: the drift-aware oracle is a floor on the total;
+     - adaptivity: total cycles within [slo_oracle_factor] of the
+       oracle and never catastrophically worse than static -O3;
+     - staleness: detections bounded by the spec's declared shift
+       points (no runaway false positives), and when a re-tuning cycle
+       completes, its mean lag is within [slo_readapt] invocations;
+     - determinism: a second run of the cell is bit-identical, field
+       for field, via the [Oracles] adaptive comparison.
+
+   On any failure the whole per-cell table is printed, pass/fail per
+   cell, so a regression reads as a matrix diff instead of a lone
+   assertion message. *)
+
+open Peak_machine
+open Peak_compiler
+open Peak_workload
+open Peak
+
+let bench = Oracles.bench
+let flag n = Option.get (Flags.by_name n)
+
+let candidates =
+  [
+    Optconfig.disable Optconfig.o3 (flag "schedule-insns");
+    Optconfig.disable Optconfig.o3 (flag "force-mem");
+  ]
+
+(* SLO bounds.  The oracle factor leaves room for the exploration the
+   engine must pay (every candidate rated per context, re-rated after
+   every staleness verdict); the readapt bound is roughly
+   candidates x (compile latency + window) with headroom. *)
+let slo_oracle_factor = 1.35
+let slo_readapt = 250.0
+
+(* Regime B's scalar warp per benchmark — the same bounds-safe table
+   the bench matrix streams (scale-downs everywhere; ART pins [off]
+   and quadruples the F1 walk so regime B is dearer and the staleness
+   detector has something to detect). *)
+let warp_for = function
+  | "ART" -> "warp=off*0,warp=numf1s*4"
+  | "CRAFTY" -> "warp=depth*0.5"
+  | "GZIP" -> "warp=chain_length*0.5"
+  | "MCF" -> "warp=group_size*0.6"
+  | "TWOLF" -> "warp=nterms*0.6"
+  | "MESA" -> "warp=wrap_repeat*0"
+  | "VORTEX" -> "warp=status*0"
+  | "SWIM" | "APPLU" | "MGRID" -> "warp=n*0.75"
+  | "EQUAKE" -> "warp=rows*0.8"
+  | "WUPWISE" -> "warp=k*0.5"
+  | "APSI" -> "warp=l1*0.5"
+  | "BZIP2" -> "warp=budget*0.5"
+  | name -> Alcotest.failf "no drift warp declared for %s" name
+
+let patterns invocations =
+  [
+    ("step", Printf.sprintf "step=%d" (2 * invocations / 5));
+    ("ramp", Printf.sprintf "ramp=%d+%d" (invocations / 3) (invocations / 4));
+    ("periodic", Printf.sprintf "periodic=%d" (invocations / 4));
+    ("burst", Printf.sprintf "burst=%d+%d" (invocations / 3) (invocations / 3));
+  ]
+
+(* One cell: build the drifted stream from its spec string (so the
+   parser is on the hot path of every cell) and run the engine over it. *)
+let drive ~seed (b : Benchmark.t) ~spec ~invocations =
+  let tsec = Tsection.make b.Benchmark.ts in
+  let base = b.Benchmark.trace Trace.Train ~seed in
+  let drift =
+    match Drift.of_string spec with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "cell spec %S rejected: %s" spec e
+  in
+  let trace = Drift.apply ~length:invocations drift base in
+  let a = Adaptive.create ~seed tsec trace Machine.pentium4 ~candidates in
+  (Adaptive.run a ~invocations, drift)
+
+type cell_result = {
+  c_bench : string;
+  c_pattern : string;
+  c_failures : string list;
+  c_stats : Adaptive.stats;
+}
+
+let check_cell ~seed (b : Benchmark.t) (pattern, spec_pattern) ~invocations =
+  let spec =
+    Printf.sprintf "seed=%d,%s,%s" seed spec_pattern (warp_for b.Benchmark.name)
+  in
+  let s, drift = drive ~seed b ~spec ~invocations in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (* sanity *)
+  if s.Adaptive.invocations <> invocations then
+    fail "ran %d of %d invocations" s.Adaptive.invocations invocations;
+  if s.Adaptive.oracle_cycles > s.Adaptive.total_cycles +. 1e-6 then
+    fail "oracle %.0f above total %.0f" s.Adaptive.oracle_cycles s.Adaptive.total_cycles;
+  (* adaptivity *)
+  if s.Adaptive.total_cycles > slo_oracle_factor *. s.Adaptive.oracle_cycles then
+    fail "total %.0f exceeds %.2fx oracle %.0f" s.Adaptive.total_cycles slo_oracle_factor
+      s.Adaptive.oracle_cycles;
+  if s.Adaptive.total_cycles > 1.5 *. s.Adaptive.o3_cycles then
+    fail "total %.0f exceeds 1.5x the static -O3 run" s.Adaptive.total_cycles;
+  (* staleness: bounded false positives against the declared ground truth *)
+  let shifts = Drift.shift_points drift ~length:invocations in
+  if s.Adaptive.stale_detections > List.length shifts + 2 then
+    fail "%d stale detections for %d declared shift points" s.Adaptive.stale_detections
+      (List.length shifts);
+  if s.Adaptive.readapts > 0 && s.Adaptive.mean_time_to_readapt > slo_readapt then
+    fail "mean time-to-readapt %.0f exceeds %.0f" s.Adaptive.mean_time_to_readapt slo_readapt;
+  (* per-phase ledger covers the whole spend *)
+  let ledger =
+    s.Adaptive.fresh_cycles +. s.Adaptive.suspect_cycles +. s.Adaptive.retuning_cycles
+  in
+  if Float.abs (ledger -. s.Adaptive.total_cycles) > 1e-6 *. s.Adaptive.total_cycles then
+    fail "phase ledger %.0f does not cover total %.0f" ledger s.Adaptive.total_cycles;
+  (* determinism: the rerun is bit-identical *)
+  let s2, _ = drive ~seed b ~spec ~invocations in
+  Oracles.check_identical_adaptive
+    (Printf.sprintf "%s/%s" b.Benchmark.name pattern)
+    s s2;
+  { c_bench = b.Benchmark.name; c_pattern = pattern; c_failures = List.rev !failures; c_stats = s }
+
+let print_table cells =
+  Printf.printf "%-10s %-9s %8s %8s %6s %8s %s\n" "benchmark" "pattern" "vs-O3%" "gap%"
+    "stale" "lag" "SLO";
+  List.iter
+    (fun c ->
+      let s = c.c_stats in
+      Printf.printf "%-10s %-9s %8.1f %8.1f %6d %8s %s\n" c.c_bench c.c_pattern
+        (((s.Adaptive.o3_cycles /. s.Adaptive.total_cycles) -. 1.0) *. 100.0)
+        (((s.Adaptive.total_cycles /. s.Adaptive.oracle_cycles) -. 1.0) *. 100.0)
+        s.Adaptive.stale_detections
+        (if s.Adaptive.readapts = 0 then "-"
+         else Printf.sprintf "%.0f" s.Adaptive.mean_time_to_readapt)
+        (match c.c_failures with [] -> "ok" | fs -> "FAIL: " ^ String.concat "; " fs))
+    cells
+
+let test_matrix () =
+  let seed = 3 in
+  let cells =
+    List.concat_map
+      (fun (b : Benchmark.t) ->
+        (* class-cached traces absorb long streams almost for free;
+           the others interpret every invocation, so they get shorter
+           ones to keep the matrix inside the suite's budget *)
+        let heavy = (b.Benchmark.trace Trace.Train ~seed).Trace.class_of = None in
+        let invocations = if heavy then 1_500 else 6_000 in
+        List.map (fun p -> check_cell ~seed b p ~invocations) (patterns invocations))
+      Registry.all
+  in
+  let failed = List.filter (fun c -> c.c_failures <> []) cells in
+  if failed <> [] then begin
+    print_table cells;
+    Alcotest.failf "%d of %d matrix cells breached their SLOs" (List.length failed)
+      (List.length cells)
+  end;
+  (* the matrix must include cells that actually exercised the whole
+     staleness state machine, or the SLOs above are vacuous *)
+  let readapted =
+    List.exists (fun c -> c.c_stats.Adaptive.readapts > 0 && c.c_bench = "ART") cells
+  in
+  Alcotest.(check bool) "some ART cell completed a re-tuning cycle" true readapted
+
+let test_matrix_covers_registry () =
+  (* the sweep is every registry benchmark x >= 4 patterns, by
+     construction; pin that construction so a future edit cannot
+     silently shrink the matrix *)
+  Alcotest.(check int) "fourteen benchmarks" 14 (List.length Registry.all);
+  Alcotest.(check int) "four patterns" 4 (List.length (patterns 1000))
+
+let suites =
+  [
+    ( "scenarios",
+      [
+        Alcotest.test_case "matrix covers registry x patterns" `Quick test_matrix_covers_registry;
+        Alcotest.test_case "drift matrix SLOs" `Slow test_matrix;
+      ] );
+  ]

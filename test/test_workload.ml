@@ -197,6 +197,110 @@ let prop_no_out_of_bounds =
           with Interp.Out_of_bounds _ -> false)
         all)
 
+(* ------------------------------------------------------------------ *)
+(* Drift generator properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random drift specs: an arbitrary mix of the four patterns with
+   in-range breakpoints, plus an optional warp. *)
+let drift_gen =
+  QCheck.Gen.(
+    let pattern =
+      oneof
+        [
+          map (fun at -> Drift.Step at) (int_range 0 2000);
+          map2 (fun at dur -> Drift.Ramp (at, dur)) (int_range 0 2000) (int_range 1 1000);
+          map (fun p -> Drift.Periodic p) (int_range 1 1000);
+          map2 (fun at dur -> Drift.Burst (at, dur)) (int_range 0 2000) (int_range 1 1000);
+        ]
+    in
+    let warp =
+      map2
+        (fun scale amount ->
+          { Drift.w_source = "off"; w_scale = scale; w_amount = float_of_int amount /. 8.0 })
+        bool (int_range (-16) 16)
+    in
+    map3
+      (fun seed patterns warps -> Drift.make ~seed ~warps patterns)
+      (int_range 0 10_000)
+      (list_size (int_range 1 4) pattern)
+      (list_size (int_range 0 2) warp))
+
+let drift_arb = QCheck.make ~print:Drift.to_string drift_gen
+
+let prop_drift_spec_round_trip =
+  QCheck.Test.make ~name:"drift spec round-trips through of_string" ~count:200 drift_arb
+    (fun d ->
+      match Drift.of_string (Drift.to_string d) with
+      | Ok d' -> d' = d && Drift.to_string d' = Drift.to_string d
+      | Error _ -> false)
+
+let prop_drift_stream_deterministic =
+  (* identity-keyed draws: the regime stream is a pure function of
+     (spec, invocation) — same spec and seed, same stream, in any order *)
+  QCheck.Test.make ~name:"drift stream deterministic under seed" ~count:50 drift_arb
+    (fun d ->
+      let forward = List.init 400 (Drift.in_shifted_regime d) in
+      (* evaluate in reverse index order; rev_map flips the descending
+         input back to ascending *)
+      let backward =
+        List.rev_map (Drift.in_shifted_regime d) (List.init 400 (fun i -> 399 - i))
+      in
+      let again =
+        match Drift.of_string (Drift.to_string d) with
+        | Ok d' -> List.init 400 (Drift.in_shifted_regime d')
+        | Error _ -> []
+      in
+      forward = backward && forward = again)
+
+let prop_drift_step_shifts_distribution =
+  (* the declared breakpoint is real: regime-B frequency before a step
+     is 0, after it is 1, and the replayed base indices move from the
+     first half of the index space to the second *)
+  QCheck.Test.make ~name:"step shifts the distribution at its breakpoint" ~count:50
+    QCheck.(pair (int_range 0 10_000) (int_range 100 900))
+    (fun (seed, at) ->
+      let d = Drift.make ~seed [ Drift.Step at ] in
+      let before = List.init at (Drift.in_shifted_regime d) in
+      let after = List.init (1000 - at) (fun i -> Drift.in_shifted_regime d (at + i)) in
+      List.for_all not before && List.for_all Fun.id after)
+
+let prop_drift_ramp_magnitude =
+  (* mid-ramp, the empirical regime-B share tracks the declared weight
+     to within sampling error *)
+  QCheck.Test.make ~name:"ramp's empirical shift tracks its declared magnitude" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let d = Drift.make ~seed [ Drift.Ramp (1000, 2000) ] in
+      let share lo hi =
+        let n = hi - lo in
+        let hits =
+          List.length (List.filter Fun.id (List.init n (fun i -> Drift.in_shifted_regime d (lo + i))))
+        in
+        float_of_int hits /. float_of_int n
+      in
+      (* first third of the ramp: expected weight ~1/6; last third: ~5/6 *)
+      let early = share 1000 1666 and late = share 2333 3000 in
+      early < 0.35 && late > 0.65 && late -. early > 0.3)
+
+let prop_drift_weight_bounds =
+  QCheck.Test.make ~name:"drift weight stays in [0,1]" ~count:100 drift_arb (fun d ->
+      List.for_all
+        (fun i ->
+          let w = Drift.weight d i in
+          w >= 0.0 && w <= 1.0)
+        (List.init 200 (fun i -> i * 37)))
+
+let prop_drift_shift_points_sorted =
+  QCheck.Test.make ~name:"shift points sorted, deduplicated, in range" ~count:100 drift_arb
+    (fun d ->
+      let pts = Drift.shift_points d ~length:3000 in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a < b && sorted rest
+        | _ -> true
+      in
+      sorted pts && List.for_all (fun p -> p > 0 && p < 3000) pts)
+
 let suites =
   [
     ( "workload.registry",
@@ -222,4 +326,14 @@ let suites =
       ] );
     ( "workload.properties",
       List.map QCheck_alcotest.to_alcotest [ prop_no_out_of_bounds ] );
+    ( "workload.drift",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_drift_spec_round_trip;
+          prop_drift_stream_deterministic;
+          prop_drift_step_shifts_distribution;
+          prop_drift_ramp_magnitude;
+          prop_drift_weight_bounds;
+          prop_drift_shift_points_sorted;
+        ] );
   ]
