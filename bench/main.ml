@@ -1735,6 +1735,176 @@ let search_exp () =
       List.iter (fun e -> Printf.eprintf "search: %s\n" e) over;
       exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Knowledge base: does collaborative warm starting actually save      *)
+(* ratings, and does it save more as the corpus grows?                 *)
+(* ------------------------------------------------------------------ *)
+
+let kb_report_file = "BENCH_kb.json"
+
+let kb_exp () =
+  heading "Knowledge base: tuning spend as the donor corpus grows";
+  let machine = Machine.pentium4 and method_ = Method.Rbr and seed = 3 in
+  let mname = String.lowercase_ascii machine.Machine.name in
+  let target_name = "MGRID" in
+  let target = List.find (fun b -> b.Benchmark.name = target_name) Registry.all in
+  let donors = List.filter (fun b -> b.Benchmark.name <> target_name) Registry.all in
+  note "Every donor is tuned once (Batch Elimination, Pentium IV, RBR, seed %d)" seed;
+  note "and its session becomes one knowledge-base row.  %s — held out of the" target_name;
+  note "corpus — is then tuned cold and with the KB's recommended start over";
+  note "nearest-first corpus prefixes; the gate requires the rating spend to be";
+  note "monotone non-increasing in corpus size, strictly lower at the full";
+  note "corpus than cold, with every run within 1%% of the best-known quality.";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let donor_info =
+    List.map
+      (fun (b : Benchmark.t) ->
+        let r = Driver.tune ~seed ~strategy:Strategy.Be ~method_ b machine Trace.Train in
+        let speedup =
+          match Peak_store.Kb.speedup_of_result (Driver.result_summary r) with
+          | Some s -> s
+          | None -> 1.0
+        in
+        let row =
+          {
+            Peak_store.Kb.rw_benchmark = String.lowercase_ascii b.Benchmark.name;
+            rw_machine = mname;
+            rw_features = Knowledge.program_features b machine;
+            rw_config = r.Driver.best_config;
+            rw_speedup = speedup;
+            rw_samples = 1;
+          }
+        in
+        (b.Benchmark.name, row, r.Driver.search_stats.Search.ratings))
+      donors
+  in
+  let full = Peak_store.Kb.of_rows (List.map (fun (_, row, _) -> row) donor_info) in
+  let qf = Knowledge.program_features target machine in
+  (* nearest-first donor order, from the distances the recommender itself
+     reports (min across the configs each donor voted for) *)
+  let nearest =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (name, d) ->
+            match Hashtbl.find_opt tbl name with
+            | Some d' when d' <= d -> ()
+            | _ -> Hashtbl.replace tbl name d)
+          r.Peak_store.Kb.rec_neighbors)
+      (Peak_store.Kb.recommend full ~features:qf ~machine:mname ~k:(List.length donors) ());
+    List.sort
+      (fun (n1, d1) (n2, d2) ->
+        let c = Float.compare d1 d2 in
+        if c <> 0 then c else String.compare n1 n2)
+      (Hashtbl.fold (fun n d acc -> (n, d) :: acc) tbl [])
+  in
+  let sizes = [ 0; 4; 8; List.length donors ] in
+  let curve =
+    List.map
+      (fun size ->
+        let keep =
+          List.filteri (fun i _ -> i < size) nearest |> List.map fst
+        in
+        let kb =
+          Peak_store.Kb.of_rows
+            (List.filter_map
+               (fun (name, row, _) ->
+                 if List.mem (String.lowercase_ascii name) keep then Some row else None)
+               donor_info)
+        in
+        let r =
+          if size = 0 then Driver.tune ~seed ~method_ target machine Trace.Train
+          else Driver.tune ~seed ~method_ ~kb target machine Trace.Train
+        in
+        let imp = Driver.improvement_pct target machine ~best:r.Driver.best_config Trace.Ref in
+        (size, r.Driver.search_stats.Search.ratings, imp))
+      sizes
+  in
+  let best = List.fold_left (fun acc (_, _, imp) -> Float.max acc imp) neg_infinity curve in
+  let tolerance = 1.01 in
+  let t = Table.create ~header:[ "Corpus"; "Ratings"; "Improvement %"; "<=1%" ] () in
+  let curve =
+    List.map
+      (fun (size, ratings, imp) ->
+        let gap = (100.0 +. best) /. (100.0 +. imp) in
+        let within = gap <= tolerance in
+        if not within then
+          fail "corpus %d: final quality %.1f%% is %.2f%% off the best-known %.1f%%" size imp
+            ((gap -. 1.0) *. 100.0) best;
+        Table.add_row t
+          [
+            string_of_int size;
+            string_of_int ratings;
+            Printf.sprintf "%.1f" imp;
+            (if within then "yes" else "NO");
+          ];
+        (size, ratings, imp, within))
+      curve
+  in
+  Table.print t;
+  (let rec check_monotone = function
+     | (s1, r1, _, _) :: ((s2, r2, _, _) :: _ as rest) ->
+         if r2 > r1 then fail "ratings grew from %d (corpus %d) to %d (corpus %d)" r1 s1 r2 s2;
+         check_monotone rest
+     | _ -> ()
+   in
+   check_monotone curve);
+  (match (curve, List.rev curve) with
+  | (0, cold, _, _) :: _, (fullsz, warm, _, _) :: _ ->
+      if warm >= cold then
+        fail "full corpus (%d donors) spent %d ratings, cold spent %d" fullsz warm cold
+      else note "full corpus saves %d of %d cold ratings" (cold - warm) cold
+  | _ -> ());
+  (let open Peak_store in
+   let json =
+     Json.Obj
+       [
+         ("seed", Json.Int seed);
+         ("machine", Json.String mname);
+         ("method", Json.String (Method.key method_));
+         ("target", Json.String target_name);
+         ("tolerance_pct", Json.Float ((tolerance -. 1.0) *. 100.0));
+         ( "donors",
+           Json.Obj
+             (List.map
+                (fun (name, row, ratings) ->
+                  ( name,
+                    Json.Obj
+                      [
+                        ("ratings", Json.Int ratings);
+                        ("speedup", Json.Float row.Kb.rw_speedup);
+                      ] ))
+                donor_info) );
+         ( "curve",
+           Json.List
+             (List.map
+                (fun (size, ratings, imp, within) ->
+                  Json.Obj
+                    [
+                      ("corpus", Json.Int size);
+                      ("ratings", Json.Int ratings);
+                      ("improvement_pct", Json.Float imp);
+                      ("within_tolerance", Json.Bool within);
+                    ])
+                curve) );
+         ("pass", Json.Bool (!failures = []));
+       ]
+   in
+   let oc = open_out kb_report_file in
+   output_string oc (Json.to_string json);
+   output_char oc '\n';
+   close_out oc);
+  note "wrote %s" kb_report_file;
+  match (List.rev !failures, Sys.getenv_opt "PEAK_KB_GATE") with
+  | [], _ -> ()
+  | over, Some "off" ->
+      note "kb gate failed (%s), but PEAK_KB_GATE=off" (String.concat "; " over)
+  | over, _ ->
+      List.iter (fun e -> Printf.eprintf "kb: %s\n" e) over;
+      exit 1
+
 let experiments =
   [
     ("table1", table1);
@@ -1759,6 +1929,7 @@ let experiments =
     ("alloc", alloc_exp);
     ("serve", serve_exp);
     ("search", search_exp);
+    ("kb", kb_exp);
   ]
 
 let () =

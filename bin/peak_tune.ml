@@ -398,8 +398,18 @@ let tune_cmd =
           ~doc:"Start the search from a configuration proposed by the store's history \
                 (requires $(b,--store)).")
   in
-  let run name machine_name method_name dataset_name search_name seed store_dir warm cap
-      faults_spec retries trace metrics =
+  let kb_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kb" ] ~docv:"FILE"
+          ~doc:
+            "Warm-start from a knowledge base written by $(b,kb build): its top \
+             recommendation becomes the start configuration, and its rows train the \
+             $(b,staged) strategy's screening corpus.")
+  in
+  let run name machine_name method_name dataset_name search_name seed store_dir warm
+      kb_path cap faults_spec retries trace metrics =
     guard @@ fun () ->
     let b = or_die (find_benchmark name) in
     let machine = or_die (find_machine machine_name) in
@@ -410,6 +420,8 @@ let tune_cmd =
     let faults = or_die (parse_faults ~seed faults_spec) in
     if retries < 0 then die "--fault-retries must be >= 0";
     if warm && store_dir = None then die "--warm requires --store DIR";
+    if warm && kb_path <> None then die "--warm and --kb are mutually exclusive";
+    let kb = Option.map (fun p -> or_die (Peak_store.Kb.load p)) kb_path in
     let start =
       match (warm, store_dir) with
       | true, Some dir -> (
@@ -436,14 +448,38 @@ let tune_cmd =
               Some p.Peak_store.Warmstart.start)
       | _ -> None
     in
+    (* the KB start is resolved here — not inside the driver — so a
+       store-backed session records it in its meta and resumes without
+       needing the KB file again *)
+    let start =
+      match (start, kb) with
+      | Some _, _ | None, None -> start
+      | None, Some kb -> (
+          match
+            Knowledge.recommend kb ~benchmark:b.Benchmark.name
+              ~machine:machine.Machine.name ()
+          with
+          | [] ->
+              Printf.printf
+                "Knowledge base: no recommendation for %s on %s; starting from -O3\n"
+                b.Benchmark.name machine.Machine.name;
+              None
+          | r :: _ ->
+              Printf.printf
+                "Knowledge base start (predicted speedup %.2fx, %d donor session%s): %s\n"
+                r.Peak_store.Kb.rec_predicted r.Peak_store.Kb.rec_support
+                (if r.Peak_store.Kb.rec_support = 1 then "" else "s")
+                (Optconfig.to_string r.Peak_store.Kb.rec_config);
+              Some r.Peak_store.Kb.rec_config)
+    in
     Printf.printf "Tuning %s (%s) on %s, %s data set...\n%!" b.Benchmark.name
       b.Benchmark.ts_name machine.Machine.name (Trace.dataset_name dataset);
     with_tracing ~trace ~metrics @@ fun () ->
     match store_dir with
     | None ->
         print_result machine
-          (Driver.tune ~seed ~strategy:search ~rating_params ?method_ ?start ?faults ~retries b
-             machine dataset)
+          (Driver.tune ~seed ~strategy:search ~rating_params ?method_ ?start ?kb ?faults
+             ~retries b machine dataset)
     | Some dir ->
         let meta =
           Driver.session_meta ?method_ ~strategy:search ~rating_params ~seed ?start ?faults b machine
@@ -459,15 +495,15 @@ let tune_cmd =
           ~finally:(fun () -> Peak_store.Session.close session)
           (fun () ->
             print_result machine
-              (Driver.tune ~seed ~strategy:search ~rating_params ?method_ ~store:session ?faults
-                 ~retries b machine dataset))
+              (Driver.tune ~seed ~strategy:search ~rating_params ?method_ ~store:session ?kb
+                 ?faults ~retries b machine dataset))
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Run one offline tuning session (the Figure 7 experiment).")
     Term.(
       const run $ benchmark_arg $ machine_arg $ method_arg $ dataset_arg $ search_arg
-      $ seed_arg $ store_arg $ warm_arg $ rating_cap_arg $ faults_arg $ fault_retries_arg
-      $ trace_arg $ metrics_arg)
+      $ seed_arg $ store_arg $ warm_arg $ kb_arg $ rating_cap_arg $ faults_arg
+      $ fault_retries_arg $ trace_arg $ metrics_arg)
 
 let suite_cmd =
   let benchmarks_arg =
@@ -1175,13 +1211,218 @@ let client_cmd =
       client_cancel_cmd; client_stats_cmd;
     ]
 
+(* ---------------- kb: the collaborative knowledge base ---------------- *)
+
+let kb_valid = "build | show | recommend | merge"
+
+let kb_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"KB" ~doc:"A knowledge base written by $(b,kb build) or $(b,kb merge).")
+
+let kb_build_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output path (default: $(b,kb.json) inside the store).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Shared cross-store corpus: merge every $(b,*.json) knowledge base found in \
+             $(docv) into the result.")
+  in
+  let run dir out corpus =
+    guard @@ fun () ->
+    let kb = or_die (Knowledge.build ~dir) in
+    let kb =
+      match corpus with
+      | None -> kb
+      | Some cdir -> Peak_store.Kb.merge [ kb; or_die (Peak_store.Kb.load_corpus ~dir:cdir) ]
+    in
+    let path = Option.value ~default:(Filename.concat dir "kb.json") out in
+    Peak_store.Kb.save kb path;
+    Printf.printf "Wrote %s: %d row%s over %d program%s\n" path (Peak_store.Kb.size kb)
+      (if Peak_store.Kb.size kb = 1 then "" else "s")
+      (List.length (Peak_store.Kb.programs kb))
+      (if List.length (Peak_store.Kb.programs kb) = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Aggregate the store's completed sessions into a knowledge base (deterministic: \
+          the same store always produces a byte-identical file).")
+    Term.(const run $ store_req_arg $ out_arg $ corpus_arg)
+
+let kb_show_cmd =
+  let run path =
+    guard @@ fun () ->
+    let kb = or_die (Peak_store.Kb.load path) in
+    let t =
+      Table.create ~header:[ "Benchmark"; "Machine"; "Speedup"; "Samples"; "Config" ] ()
+    in
+    List.iter
+      (fun (r : Peak_store.Kb.row) ->
+        Table.add_row t
+          [
+            r.Peak_store.Kb.rw_benchmark;
+            r.Peak_store.Kb.rw_machine;
+            Printf.sprintf "%.3fx" r.Peak_store.Kb.rw_speedup;
+            string_of_int r.Peak_store.Kb.rw_samples;
+            Optconfig.to_string r.Peak_store.Kb.rw_config;
+          ])
+      (Peak_store.Kb.rows kb);
+    Table.print t;
+    Printf.printf "(%d rows, %d programs, %d feature dims)\n" (Peak_store.Kb.size kb)
+      (List.length (Peak_store.Kb.programs kb))
+      (List.length Knowledge.dims)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"List a knowledge base's aggregated rows.")
+    Term.(const run $ kb_path_arg)
+
+let kb_recommend_cmd =
+  let bench_pos_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"The benchmark to recommend a start for.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "k" ] ~docv:"K" ~doc:"Nearest donor programs consulted (default 8).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N" ~doc:"Show at most $(docv) recommendations (default 5).")
+  in
+  let exclude_self_arg =
+    Arg.(
+      value & flag
+      & info [ "exclude-self" ]
+          ~doc:
+            "Hold the benchmark's own rows out of the corpus (transfer-only evaluation).")
+  in
+  let run path name machine_name k top exclude_self =
+    guard @@ fun () ->
+    let b = or_die (find_benchmark name) in
+    let machine = or_die (find_machine machine_name) in
+    let kb = or_die (Peak_store.Kb.load path) in
+    let exclude = if exclude_self then Some b.Benchmark.name else None in
+    match
+      Knowledge.recommend kb ~benchmark:b.Benchmark.name ~machine:machine.Machine.name ~k
+        ?exclude ()
+    with
+    | [] ->
+        Printf.printf "No recommendation: the knowledge base has no usable donors for %s on %s\n"
+          b.Benchmark.name machine.Machine.name
+    | recs ->
+        let t =
+          Table.create
+            ~header:[ "Rank"; "Predicted"; "Support"; "Neighbors"; "Config" ]
+            ()
+        in
+        List.iteri
+          (fun i (r : Peak_store.Kb.recommendation) ->
+            if i < top then
+              Table.add_row t
+                [
+                  string_of_int (i + 1);
+                  Printf.sprintf "%.3fx" r.Peak_store.Kb.rec_predicted;
+                  string_of_int r.Peak_store.Kb.rec_support;
+                  String.concat ","
+                    (List.map
+                       (fun (b, d) -> Printf.sprintf "%s(%.2f)" b d)
+                       r.Peak_store.Kb.rec_neighbors);
+                  Optconfig.to_string r.Peak_store.Kb.rec_config;
+                ])
+          recs;
+        Table.print t
+  in
+  Cmd.v
+    (Cmd.info "recommend"
+       ~doc:
+         "Rank start configurations for a benchmark by similarity-weighted collaborative \
+          filtering, with predicted speedups.")
+    Term.(
+      const run $ kb_path_arg $ bench_pos_arg $ machine_arg $ k_arg $ top_arg
+      $ exclude_self_arg)
+
+let kb_merge_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path for the merged knowledge base.")
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"KB" ~doc:"Knowledge bases to merge (order immaterial).")
+  in
+  let run out files =
+    guard @@ fun () ->
+    let kbs = List.map (fun f -> or_die (Peak_store.Kb.load f)) files in
+    let kb = Peak_store.Kb.merge kbs in
+    Peak_store.Kb.save kb out;
+    Printf.printf "Wrote %s: %d row%s over %d program%s from %d input%s\n" out
+      (Peak_store.Kb.size kb)
+      (if Peak_store.Kb.size kb = 1 then "" else "s")
+      (List.length (Peak_store.Kb.programs kb))
+      (if List.length (Peak_store.Kb.programs kb) = 1 then "" else "s")
+      (List.length files)
+      (if List.length files = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge knowledge bases (e.g. from different stores or machines) into one.")
+    Term.(const run $ out_arg $ files_arg)
+
+let kb_cmd =
+  (* the default term gives unknown subcommands the same one-line
+     exit-1 contract as unknown methods and strategies, instead of
+     cmdliner's multi-line usage error *)
+  let default =
+    let args_arg = Arg.(value & pos_all string [] & info [] ~docv:"COMMAND") in
+    let run = function
+      | [] -> die (Printf.sprintf "missing kb command (%s)" kb_valid)
+      | c :: _ -> die (Printf.sprintf "unknown kb command %s (%s)" c kb_valid)
+    in
+    Term.(const run $ args_arg)
+  in
+  Cmd.group ~default
+    (Cmd.info "kb"
+       ~doc:
+         "Build, inspect, query and merge the collaborative tuning knowledge base (see \
+          $(b,tune --kb)).")
+    [ kb_build_cmd; kb_show_cmd; kb_recommend_cmd; kb_merge_cmd ]
+
 let main =
   let doc = "PEAK: rating compiler optimizations for automatic performance tuning" in
   Cmd.group (Cmd.info "peak-tune" ~version:"1.0.0" ~doc)
     [
       list_cmd; flags_cmd; analyze_cmd; tune_cmd; suite_cmd; session_cmd; trace_cmd;
       report_cmd; consistency_cmd; instrument_cmd; show_cmd; methods_cmd; strategies_cmd;
-      client_cmd;
+      client_cmd; kb_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* the kb group shares the one-line exit-1 contract of unknown
+     methods/strategies for unknown subcommands; cmdliner's group
+     dispatch would print a multi-line usage error first, so check
+     before eval *)
+  (if Array.length Sys.argv >= 3 && Sys.argv.(1) = "kb" then
+     let sub = Sys.argv.(2) in
+     if
+       (not (List.mem sub [ "build"; "show"; "recommend"; "merge" ]))
+       && not (String.length sub > 0 && sub.[0] = '-')
+     then die (Printf.sprintf "unknown kb command %s (%s)" sub kb_valid));
+  exit (Cmd.eval main)

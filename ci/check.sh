@@ -450,4 +450,66 @@ else
   exit 1
 fi
 
+# KB smoke: build a knowledge base from the strategy smoke's warmed
+# store, recommend a start for a held-out benchmark (exit 0, non-empty
+# ranked list), require the build to be byte-identical when repeated,
+# and hold the kb command group to the one-line unknown-subcommand
+# contract the method/strategy errors follow.
+echo "== kb smoke"
+"$BIN" kb build --store "$SMOKE/stg" -o "$SMOKE/kb.json" > "$SMOKE/kb-build.out"
+if grep -q "rows over" "$SMOKE/kb-build.out"; then
+  echo "   kb built from the warmed store"
+else
+  echo "   unexpected kb build output:" >&2
+  cat "$SMOKE/kb-build.out" >&2
+  exit 1
+fi
+if "$BIN" kb recommend "$SMOKE/kb.json" MGRID -m pentium4 > "$SMOKE/kb-rec.out" \
+   && grep -q "^| 1 " "$SMOKE/kb-rec.out"; then
+  echo "   held-out benchmark gets a ranked recommendation"
+else
+  echo "   kb recommend produced no ranked list:" >&2
+  cat "$SMOKE/kb-rec.out" >&2
+  exit 1
+fi
+"$BIN" kb build --store "$SMOKE/stg" -o "$SMOKE/kb-again.json" > /dev/null
+if diff "$SMOKE/kb.json" "$SMOKE/kb-again.json" > /dev/null; then
+  echo "   rebuild is byte-identical"
+else
+  echo "   kb build is not deterministic:" >&2
+  diff "$SMOKE/kb.json" "$SMOKE/kb-again.json" >&2 || true
+  exit 1
+fi
+SMOKE_ERR_TMP=$(mktemp)
+if "$BIN" kb bogus >/dev/null 2>"$SMOKE_ERR_TMP"; then
+  echo "   bogus kb subcommand accepted (expected exit 1)" >&2
+  rm -f "$SMOKE_ERR_TMP"
+  exit 1
+fi
+if [ "$(wc -l < "$SMOKE_ERR_TMP")" -eq 1 ] && grep -q "build" "$SMOKE_ERR_TMP"; then
+  echo "   one-line error listing valid kb commands"
+else
+  echo "   unexpected error output for a bogus kb subcommand:" >&2
+  cat "$SMOKE_ERR_TMP" >&2
+  rm -f "$SMOKE_ERR_TMP"
+  exit 1
+fi
+rm -f "$SMOKE_ERR_TMP"
+
+# KB corpus-growth gate: the bench `kb` experiment tunes a held-out
+# benchmark against nearest-first corpus prefixes and requires the
+# rating spend to shrink monotonically, strictly below cold at the full
+# corpus (BENCH_kb.json; PEAK_KB_GATE=off downgrades a breach).
+KB_BIN=_build/default/bench/main.exe
+if [ -x "$KB_BIN" ]; then
+  if "$KB_BIN" kb > /dev/null; then
+    echo "   kb corpus-growth curve within its gate"
+  else
+    echo "   kb corpus-growth gate breached; run: dune exec bench/main.exe -- kb" >&2
+    exit 1
+  fi
+else
+  echo "   bench binary not built; skipping the kb corpus-growth gate"
+fi
+
 echo "== OK"

@@ -267,3 +267,47 @@ let optimize machine ts config =
 let effective_pressure machine ts config block_id =
   let ctx = make_ctx machine ts config in
   snd (optimize_block ctx ts.Peak_ir.Features.blocks.(block_id))
+
+(* Machine-conditioned response signature: how this TS reacts to the
+   flags whose profitability the paper ties to the register file
+   (Section 5.2).  The same program gets different signatures on a
+   SPARC and a Pentium IV, which is exactly what cross-machine
+   similarity must distinguish. *)
+let machine_signature_dims =
+  [
+    "o3_pressure_ratio";
+    "o3_spill_block_share";
+    "aliasing_pressure_delta";
+    "scheduling_pressure_delta";
+    "o3_ilp";
+  ]
+
+let machine_signature machine ts =
+  let blocks = ts.Peak_ir.Features.blocks in
+  let n = Array.length blocks in
+  if n = 0 then Array.make (List.length machine_signature_dims) 0.0
+  else begin
+    let fn = float_of_int n in
+    let run config =
+      let ctx = make_ctx machine ts config in
+      let regs = float_of_int (available_registers ctx) in
+      let outs = Array.map (optimize_block ctx) blocks in
+      let mean_p = Array.fold_left (fun acc (_, p) -> acc +. p) 0.0 outs /. fn in
+      let spills =
+        Array.fold_left (fun acc (_, p) -> if p > regs then acc + 1 else acc) 0 outs
+      in
+      let mean_ilp =
+        Array.fold_left (fun acc (w, _) -> acc +. w.Cost.ilp) 0.0 outs /. fn
+      in
+      (mean_p /. regs, float_of_int spills /. fn, mean_ilp)
+    in
+    let off name =
+      match Flags.by_name name with
+      | Some f -> Optconfig.disable Optconfig.o3 f
+      | None -> Optconfig.o3
+    in
+    let p3, s3, ilp3 = run Optconfig.o3 in
+    let pa, _, _ = run (off "strict-aliasing") in
+    let ps, _, _ = run (off "schedule-insns") in
+    [| p3; s3; p3 -. pa; p3 -. ps; ilp3 |]
+  end

@@ -35,3 +35,14 @@ val effective_pressure :
   Peak_machine.Machine.t -> Peak_ir.Features.ts -> Optconfig.t -> int -> float
 (** The register pressure of a block after flag effects (exposed so tests
     and the strict-aliasing ablation can observe the mechanism). *)
+
+val machine_signature_dims : string list
+(** Names of the components of {!machine_signature}, in order. *)
+
+val machine_signature : Peak_machine.Machine.t -> Peak_ir.Features.ts -> float array
+(** Machine-conditioned response features for cross-program similarity:
+    mean -O3 effective pressure relative to the register file, the share
+    of blocks whose -O3 pressure exceeds it (spill exposure), the mean
+    pressure released by turning strict aliasing or scheduling off, and
+    the mean -O3 ILP.  Deterministic and finite; length equals
+    [List.length machine_signature_dims]. *)

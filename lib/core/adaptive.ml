@@ -34,6 +34,7 @@ type t = {
   window : int;
   compile_latency : int;
   stale_threshold : float;
+  two_sided : bool;
   candidates : Optconfig.t list;
   context_sources : Peak_ir.Expr.source list;
   versions : (Optconfig.t, Version.t) Hashtbl.t;
@@ -76,7 +77,7 @@ type stats = {
 }
 
 let create ?(seed = 17) ?(window = 12) ?(compile_latency = 25) ?(stale_threshold = 0.10)
-    tsec trace machine ~candidates =
+    ?(two_sided = false) tsec trace machine ~candidates =
   if Float.is_nan stale_threshold then invalid_arg "Adaptive.create: stale_threshold is NaN";
   let context_sources =
     match Context_analysis.analyze tsec ~mutated_arrays:trace.Trace.mutated_arrays with
@@ -90,6 +91,7 @@ let create ?(seed = 17) ?(window = 12) ?(compile_latency = 25) ?(stale_threshold
     window;
     compile_latency;
     stale_threshold;
+    two_sided;
     candidates;
     context_sources;
     versions = Hashtbl.create 16;
@@ -226,9 +228,29 @@ let window_regressed (t : t) (s : slot) =
       (let xs = Array.init n float_of_int in
        Regression.pearson xs (Array.sub s.recent 0 n) > 0.6)
   in
+  (* Downward mirror, consulted only in two-sided mode (so the default
+     one-sided path computes bit-identically): the baseline credibly
+     {e above} the window plus a negative excess means the workload got
+     cheaper — the incumbent's rating is stale in the other direction,
+     and a leaner configuration may now win.  A falling trend confirms
+     a Suspect verdict the same way a rising one does upward. *)
+  let credible_down () =
+    Stats.significantly_greater ~mean1:s.baseline_mean ~var1:s.baseline_var
+      ~n1:s.baseline_n ~mean2:m ~var2:v ~n2:n
+  in
+  let excess_down () = m < s.baseline_mean *. (1.0 -. t.stale_threshold) in
+  let trend_down () =
+    let xs = Array.init n float_of_int in
+    Regression.pearson xs (Array.sub s.recent 0 n) < -0.6
+  in
+  let down ~fresh =
+    t.two_sided
+    && excess_down ()
+    && (credible_down () || ((not fresh) && trend_down ()))
+  in
   match s.phase with
-  | Fresh -> credible && excess
-  | Suspect -> (credible && excess) || (excess && Lazy.force trend)
+  | Fresh -> (credible && excess) || down ~fresh:true
+  | Suspect -> (credible && excess) || (excess && Lazy.force trend) || down ~fresh:false
   | Retuning -> false
 
 (* A stale verdict: re-open exploration for this context only.  The

@@ -80,6 +80,7 @@ val create :
   ?window:int ->
   ?compile_latency:int ->
   ?stale_threshold:float ->
+  ?two_sided:bool ->
   Tsection.t ->
   Peak_workload.Trace.t ->
   Peak_machine.Machine.t ->
@@ -99,6 +100,14 @@ val create :
     consecutive regressed windows (Fresh → Suspect → Stale), so
     measurement noise does not trigger spurious re-tuning.  A
     non-finite or nonpositive threshold disables detection.
+
+    [two_sided] (default [false]) additionally detects {e downward}
+    shifts — the recent window credibly {e below} the baseline (Welch
+    [significantly_greater] on the baseline side) by more than
+    [stale_threshold], confirmed in Suspect by a falling trend — so a
+    workload that gets cheaper also re-tunes toward a leaner
+    configuration.  The default one-sided path is bit-identical to
+    engines built before this option existed.
     @raise Invalid_argument if [stale_threshold] is NaN. *)
 
 val run : t -> invocations:int -> stats

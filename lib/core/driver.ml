@@ -102,7 +102,7 @@ let session_meta ?method_ ?search ?strategy ?(rating_params = Rating.default_par
   }
 
 let tune ?(seed = 11) ?search ?strategy ?(rating_params = Rating.default_params)
-    ?(threshold = 0.005) ?compile ?pool ?method_ ?store ?start ?faults ?(retries = 2)
+    ?(threshold = 0.005) ?compile ?pool ?method_ ?store ?start ?kb ?faults ?(retries = 2)
     ?progress (benchmark : Benchmark.t) machine dataset =
   let search = pick_strategy ?search ?strategy () in
   if retries < 0 then invalid_arg "Driver.tune: retries must be >= 0";
@@ -211,13 +211,22 @@ let tune ?(seed = 11) ?search ?strategy ?(rating_params = Rating.default_params)
   let params = rating_params in
   (* Search start configuration: an explicit [start] wins; otherwise a
      store session's recorded start (so a resumed — possibly
-     warm-started — session continues from its original start); -O3 when
-     neither applies. *)
+     warm-started — session continues from its original start); then
+     the knowledge base's top recommendation; -O3 when nothing else
+     applies.  Store-backed callers who want a KB warm start must pass
+     it as an explicit [start] recorded in the session meta (as the CLI
+     does), so a resume never depends on re-supplying the KB. *)
   let start =
     match (start, store) with
     | Some s, _ -> s
     | None, Some session -> (Peak_store.Session.meta session).Peak_store.Codec.m_start
-    | None, None -> Optconfig.o3
+    | None, None -> (
+        match kb with
+        | None -> Optconfig.o3
+        | Some kb -> (
+            match Knowledge.recommend_start kb benchmark machine with
+            | r :: _ -> r.Peak_store.Kb.rec_config
+            | [] -> Optconfig.o3))
   in
   (* ---------------- persistent store hooks ---------------------------
      A stored rating replays the value, the convergence flag (what the
@@ -641,6 +650,28 @@ let tune ?(seed = 11) ?search ?strategy ?(rating_params = Rating.default_params)
             in
             List.rev rows)
     | _ -> []
+  in
+  (* The knowledge base contributes its rows for this program too: a
+     KB row's 1/speedup is the config's relative time vs the donor
+     session's start, the same scale as an index eval.  KB rows are in
+     canonical order, so the corpus stays deterministic; a resumed
+     store session only sees them if the caller re-supplies the same
+     KB (the CLI records the KB start in the session meta instead). *)
+  let corpus =
+    match (search, kb) with
+    | Staged, Some kb ->
+        let bench_name = String.lowercase_ascii benchmark.Benchmark.name in
+        let machine_name = String.lowercase_ascii machine.Machine.name in
+        corpus
+        @ List.filter_map
+            (fun (r : Peak_store.Kb.row) ->
+              if
+                r.Peak_store.Kb.rw_benchmark = bench_name
+                && r.Peak_store.Kb.rw_machine = machine_name
+              then Some (r.Peak_store.Kb.rw_config, 1.0 /. r.Peak_store.Kb.rw_speedup)
+              else None)
+            (Peak_store.Kb.rows kb)
+    | _ -> corpus
   in
   if corpus <> [] then
     Peak_obs.count ~n:(List.length corpus) ("search." ^ search_name search ^ ".corpus");

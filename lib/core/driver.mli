@@ -115,6 +115,7 @@ val tune :
   ?method_:Method.t ->
   ?store:Peak_store.Session.t ->
   ?start:Peak_compiler.Optconfig.t ->
+  ?kb:Peak_store.Kb.t ->
   ?faults:Peak_sim.Fault.t ->
   ?retries:int ->
   ?progress:(ratings:int -> fresh:int -> unit) ->
@@ -123,6 +124,15 @@ val tune :
   Peak_workload.Trace.dataset ->
   result
 (** Run one full offline tuning session.
+
+    [kb] plugs the collaborative knowledge base in twice: its top
+    recommendation becomes the warm-start configuration when neither
+    [start] nor a store session supplies one, and its rows for this
+    benchmark × machine join the [Staged] strategy's training corpus
+    (after the store-index rows, in the KB's canonical order).  A
+    store-backed session never takes its start from [kb] — pass the
+    recommendation as an explicit [start] recorded in the session meta,
+    as the CLI's [--kb] does, so resume stays KB-independent.
 
     [strategy] (first-class spelling) and [search] (historical alias;
     [strategy] wins when both are given) select the search plan from

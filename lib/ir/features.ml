@@ -143,6 +143,57 @@ let block_features (b : Cfg.bblock) =
     impure_calls;
   }
 
+(* Whole-TS summary vector for cross-program similarity (knowledge
+   base).  Kept in lockstep with [vector_dims]; every component is a
+   finite float by construction (counts, shares and means over counts). *)
+let vector_dims =
+  [
+    "blocks";
+    "loops";
+    "max_loop_depth";
+    "loop_mass";
+    "alu";
+    "muldiv";
+    "transcendental";
+    "mem_read";
+    "mem_write";
+    "redundancy";
+    "max_pressure";
+    "mean_pressure";
+    "alias_pairs";
+    "branch_share";
+    "pointer_block_share";
+    "impure_calls";
+  ]
+
+let vector (ts : ts) =
+  let n = Array.length ts.blocks in
+  let fn = float_of_int n in
+  let sum f = Array.fold_left (fun acc b -> acc + f b) 0 ts.blocks in
+  let fsum f = float_of_int (sum f) in
+  let share p =
+    if n = 0 then 0.0 else float_of_int (sum (fun b -> if p b then 1 else 0)) /. fn
+  in
+  let max_depth = Array.fold_left (fun acc b -> max acc b.loop_depth) 0 ts.blocks in
+  [|
+    fn;
+    float_of_int ts.n_loops;
+    float_of_int max_depth;
+    fsum (fun b -> b.loop_depth);
+    fsum (fun b -> b.alu);
+    fsum (fun b -> b.muldiv);
+    fsum (fun b -> b.transcendental);
+    fsum (fun b -> b.mem_read);
+    fsum (fun b -> b.mem_write);
+    fsum (fun b -> b.redundancy);
+    float_of_int ts.max_pressure;
+    (if n = 0 then 0.0 else fsum (fun b -> b.pressure) /. fn);
+    float_of_int ts.alias_pairs;
+    share (fun b -> b.has_branch);
+    share (fun b -> b.pointer_bases <> []);
+    fsum (fun b -> b.impure_calls);
+  |]
+
 let of_cfg (cfg : Cfg.t) =
   let blocks = Array.map block_features cfg.blocks in
   let max_pressure = Array.fold_left (fun acc b -> max acc b.pressure) 0 blocks in

@@ -47,3 +47,13 @@ val of_cfg : Cfg.t -> ts
 
 val empty_block : block
 (** All-zero feature vector (identity for accumulation). *)
+
+val vector_dims : string list
+(** Names of the components of {!vector}, in order. *)
+
+val vector : ts -> float array
+(** Whole-TS static summary vector (block/loop counts, operation
+    totals, pressure and aliasing summaries, branch and pointer-access
+    shares) used for cross-program similarity in the knowledge base.
+    Every component is finite by construction; length equals
+    [List.length vector_dims]. *)

@@ -1,0 +1,376 @@
+open Peak_compiler
+
+type row = {
+  rw_benchmark : string;
+  rw_machine : string;
+  rw_features : float array;
+  rw_config : Optconfig.t;
+  rw_speedup : float;
+  rw_samples : int;
+}
+
+type t = { kb_rows : row list }  (* canonical (benchmark, machine, digest) order *)
+
+let empty = { kb_rows = [] }
+let size t = List.length t.kb_rows
+let rows t = t.kb_rows
+
+let programs t =
+  List.sort_uniq compare (List.map (fun r -> (r.rw_benchmark, r.rw_machine)) t.kb_rows)
+
+let finite_vector v = Array.for_all Float.is_finite v
+
+(* Canonicalization.  Contributions sharing a (benchmark, machine,
+   config digest) key merge into one row; the fold runs in a sorted
+   order on both the keys and the contributions within a key, so the
+   floating-point sums — and therefore the result — are independent of
+   input order. *)
+let of_rows contribs =
+  let contribs =
+    List.map
+      (fun r ->
+        if not (finite_vector r.rw_features) then
+          invalid_arg "Kb.of_rows: non-finite feature";
+        if not (Float.is_finite r.rw_speedup && r.rw_speedup > 0.0) then
+          invalid_arg "Kb.of_rows: speedup must be finite and positive";
+        if r.rw_samples < 1 then invalid_arg "Kb.of_rows: samples must be >= 1";
+        {
+          r with
+          rw_benchmark = String.lowercase_ascii r.rw_benchmark;
+          rw_machine = String.lowercase_ascii r.rw_machine;
+        })
+      contribs
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let key = (r.rw_benchmark, r.rw_machine, Optconfig.digest r.rw_config) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (r :: prev))
+    contribs;
+  let merged =
+    Hashtbl.fold (fun key rs acc -> (key, rs) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (_, rs) ->
+           let rs =
+             List.sort
+               (fun a b ->
+                 let c = Float.compare a.rw_speedup b.rw_speedup in
+                 if c <> 0 then c
+                 else
+                   let c = compare a.rw_samples b.rw_samples in
+                   if c <> 0 then c else compare a.rw_features b.rw_features)
+               rs
+           in
+           let first = List.hd rs in
+           let samples = List.fold_left (fun acc r -> acc + r.rw_samples) 0 rs in
+           let weighted =
+             List.fold_left
+               (fun acc r -> acc +. (float_of_int r.rw_samples *. r.rw_speedup))
+               0.0 rs
+           in
+           {
+             first with
+             rw_speedup = weighted /. float_of_int samples;
+             rw_samples = samples;
+           })
+  in
+  { kb_rows = merged }
+
+let merge ts = of_rows (List.concat_map rows ts)
+
+(* The trajectory records each accepted step's relative gain g vs the
+   previous incumbent (candidate time = (1 - g) x incumbent time), so
+   the whole-session speedup vs the start is the inverse product of the
+   residuals.  An empty trajectory is a session that never improved on
+   its start: speedup 1. *)
+let speedup_of_result (r : Codec.session_result) =
+  let residual =
+    List.fold_left (fun acc (_, g) -> acc *. (1.0 -. g)) 1.0 r.Codec.r_trajectory
+  in
+  if Float.is_finite residual && residual > 0.0 then begin
+    let s = 1.0 /. residual in
+    if Float.is_finite s && s > 0.0 then Some s else None
+  end
+  else None
+
+let of_sessions ~features infos =
+  let contribs =
+    List.filter_map
+      (fun (i : Session.info) ->
+        match i.Session.info_result with
+        | None -> None
+        | Some r -> (
+            let benchmark =
+              String.lowercase_ascii i.Session.info_meta.Codec.m_benchmark
+            in
+            let machine = String.lowercase_ascii i.Session.info_meta.Codec.m_machine in
+            match speedup_of_result r with
+            | None -> None
+            | Some speedup -> (
+                match features ~benchmark ~machine with
+                | Some fv when finite_vector fv ->
+                    Some
+                      {
+                        rw_benchmark = benchmark;
+                        rw_machine = machine;
+                        rw_features = Array.copy fv;
+                        rw_config = r.Codec.r_best;
+                        rw_speedup = speedup;
+                        rw_samples = 1;
+                      }
+                | Some _ | None -> None)))
+      infos
+  in
+  of_rows contribs
+
+let build ~dir ~features =
+  Result.map (of_sessions ~features) (Session.list ~dir)
+
+(* ------------------------------------------------------------------ *)
+(* Recommendation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type recommendation = {
+  rec_config : Optconfig.t;
+  rec_predicted : float;
+  rec_support : int;
+  rec_neighbors : (string * float) list;
+}
+
+let similarity d = 1.0 /. (1.0 +. d)
+
+let recommend t ~features ~machine ?(k = 8) ?exclude () =
+  let machine = String.lowercase_ascii machine in
+  let exclude = Option.map String.lowercase_ascii exclude in
+  let dims = Array.length features in
+  let usable =
+    List.filter
+      (fun r ->
+        Array.length r.rw_features = dims
+        && match exclude with Some b -> r.rw_benchmark <> b | None -> true)
+      t.kb_rows
+  in
+  let usable =
+    match List.filter (fun r -> r.rw_machine = machine) usable with
+    | [] -> usable
+    | same_machine -> same_machine
+  in
+  if usable = [] || k <= 0 then []
+  else begin
+    (* one representative vector per donor program, in canonical order *)
+    let donors =
+      List.fold_left
+        (fun acc r ->
+          match acc with
+          | (b, m, _) :: _ when b = r.rw_benchmark && m = r.rw_machine -> acc
+          | _ -> (r.rw_benchmark, r.rw_machine, r.rw_features) :: acc)
+        [] usable
+      |> List.rev
+    in
+    (* z-score statistics over donor vectors plus the query; a
+       zero-variance (or non-finite-σ) dimension carries no signal and
+       drops out of the distance rather than dividing by zero *)
+    let vectors = features :: List.map (fun (_, _, fv) -> fv) donors in
+    let n = List.length vectors in
+    let fn = float_of_int n in
+    let mean =
+      Array.init dims (fun d ->
+          List.fold_left (fun acc fv -> acc +. fv.(d)) 0.0 vectors /. fn)
+    in
+    let sd =
+      Array.init dims (fun d ->
+          if n < 2 then 0.0
+          else
+            sqrt
+              (List.fold_left
+                 (fun acc fv ->
+                   let dx = fv.(d) -. mean.(d) in
+                   acc +. (dx *. dx))
+                 0.0 vectors
+              /. float_of_int (n - 1)))
+    in
+    let active d =
+      Float.is_finite sd.(d) && sd.(d) > 0.0 && Float.is_finite features.(d)
+    in
+    let distance fv =
+      let acc = ref 0.0 in
+      for d = 0 to dims - 1 do
+        if active d && Float.is_finite fv.(d) then begin
+          let dz = (features.(d) -. fv.(d)) /. sd.(d) in
+          acc := !acc +. (dz *. dz)
+        end
+      done;
+      sqrt !acc
+    in
+    let nearest =
+      List.map (fun (b, m, fv) -> (b, m, distance fv)) donors
+      |> List.sort (fun (b1, m1, d1) (b2, m2, d2) ->
+             let c = Float.compare d1 d2 in
+             if c <> 0 then c
+             else
+               let c = String.compare b1 b2 in
+               if c <> 0 then c else String.compare m1 m2)
+      |> List.filteri (fun i _ -> i < k)
+    in
+    (* each nearest program votes for its rows with similarity x samples *)
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun (b, m, d) ->
+        let w = similarity d in
+        List.iter
+          (fun r ->
+            if r.rw_benchmark = b && r.rw_machine = m then begin
+              let key = Optconfig.digest r.rw_config in
+              let config, wsum, wssum, support, nbrs =
+                Option.value
+                  ~default:(r.rw_config, 0.0, 0.0, 0, [])
+                  (Hashtbl.find_opt tbl key)
+              in
+              let vote = w *. float_of_int r.rw_samples in
+              Hashtbl.replace tbl key
+                ( config,
+                  wsum +. vote,
+                  wssum +. (vote *. r.rw_speedup),
+                  support + r.rw_samples,
+                  (b, d) :: nbrs )
+            end)
+          usable)
+      nearest;
+    Hashtbl.fold (fun key v acc -> (key, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (_, (config, wsum, wssum, support, nbrs)) ->
+           (* shrink toward speedup 1 with one pseudo-observation so a
+              lone distant donor cannot promise its whole win *)
+           let predicted = (1.0 +. wssum) /. (1.0 +. wsum) in
+           let nbrs =
+             List.sort_uniq compare nbrs
+             |> List.sort (fun (b1, d1) (b2, d2) ->
+                    let c = Float.compare d1 d2 in
+                    if c <> 0 then c else String.compare b1 b2)
+           in
+           { rec_config = config; rec_predicted = predicted; rec_support = support;
+             rec_neighbors = nbrs })
+    |> List.sort (fun a b ->
+           let c = Float.compare b.rec_predicted a.rec_predicted in
+           if c <> 0 then c
+           else
+             let c = compare b.rec_support a.rec_support in
+             if c <> 0 then c
+             else
+               String.compare
+                 (Optconfig.digest a.rec_config)
+                 (Optconfig.digest b.rec_config))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) r f = Result.bind r f
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("benchmark", Json.String r.rw_benchmark);
+      ("machine", Json.String r.rw_machine);
+      ( "features",
+        Json.List (List.map Codec.float_to_json (Array.to_list r.rw_features)) );
+      ("config", Codec.optconfig_to_json r.rw_config);
+      ("speedup", Codec.float_to_json r.rw_speedup);
+      ("samples", Json.Int r.rw_samples);
+    ]
+
+let row_of_json v =
+  let* rw_benchmark = Json.get_str "benchmark" v in
+  let* rw_machine = Json.get_str "machine" v in
+  let* fj = Json.get_list "features" v in
+  let* feats =
+    List.fold_left
+      (fun acc x ->
+        let* acc = acc in
+        let* f = Codec.float_of_json x in
+        if Float.is_finite f then Ok (f :: acc)
+        else Error "member \"features\": non-finite feature in kb row")
+      (Ok []) fj
+  in
+  let rw_features = Array.of_list (List.rev feats) in
+  let* cj = Json.member "config" v in
+  let* rw_config = Codec.optconfig_of_json cj in
+  let* rw_speedup = Result.bind (Json.member "speedup" v) Codec.float_of_json in
+  let* () =
+    if Float.is_finite rw_speedup && rw_speedup > 0.0 then Ok ()
+    else Error "member \"speedup\": speedup must be finite and positive"
+  in
+  let* rw_samples = Json.get_int "samples" v in
+  let* () =
+    if rw_samples >= 1 then Ok () else Error "member \"samples\": samples must be >= 1"
+  in
+  Ok { rw_benchmark; rw_machine; rw_features; rw_config; rw_speedup; rw_samples }
+
+let to_json t =
+  Json.Obj
+    [
+      ("v", Json.Int Codec.version);
+      ("t", Json.String "kb");
+      ("rows", Json.List (List.map row_to_json t.kb_rows));
+    ]
+
+let of_json v =
+  let* n = Json.get_int "v" v in
+  if n > Codec.version then
+    Error (Printf.sprintf "kb format v%d is newer than v%d" n Codec.version)
+  else
+    let* items = Json.get_list "rows" v in
+    let* parsed =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* r = row_of_json item in
+          Ok (r :: acc))
+        (Ok []) items
+    in
+    Ok (of_rows (List.rev parsed))
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let load path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such knowledge base")
+  else begin
+    let ic = open_in path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let* v = Json.of_string content in
+    Result.map_error (fun e -> path ^ ": " ^ e) (of_json v)
+  end
+
+let load_corpus ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (dir ^ ": no such corpus directory")
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort String.compare
+    in
+    let* kbs =
+      List.fold_left
+        (fun acc f ->
+          let* acc = acc in
+          let* kb = load (Filename.concat dir f) in
+          Ok (kb :: acc))
+        (Ok []) files
+    in
+    Ok (merge kbs)
+  end

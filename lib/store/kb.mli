@@ -1,0 +1,134 @@
+(** Collaborative tuning knowledge base.
+
+    Aggregates every completed session — from one store, or merged
+    across stores — into rows of (program, machine, configuration) →
+    measured speedup, and answers "where should a new tuning run
+    start?" by similarity-weighted collaborative filtering in the
+    spirit of Cereda et al. and the Collective Tuning Initiative:
+
+    - each {e program} (a benchmark × machine pair) carries a feature
+      vector supplied by the caller (static TS features plus a
+      machine-conditioned response signature; see
+      [Peak.Knowledge.features] for the canonical resolver);
+    - feature vectors are normalized per dimension by z-score over the
+      corpus programs plus the query, so no single raw scale dominates
+      the distance; zero-variance dimensions drop out of the distance
+      instead of poisoning it with NaN;
+    - the query's [k] nearest programs vote for their configurations
+      with weight [similarity × samples], where
+      [similarity = 1 / (1 + distance)];
+    - each configuration's predicted speedup is the weighted mean of
+      its donors' measured speedups, shrunk toward 1.0 by one
+      pseudo-observation so a single far-away donor cannot promise a
+      10× win.
+
+    Determinism: rows are kept in a canonical order (benchmark,
+    machine, config digest), aggregation folds contributions in a
+    sorted order, and the codec writes sorted rows — so building or
+    merging the same corpus twice produces byte-identical files, and
+    recommendations are invariant under permutation of the input
+    sessions or merge arguments.  Non-finite features or speedups are
+    rejected at the codec boundary (the v4 rule) and skipped during
+    aggregation. *)
+
+open Peak_compiler
+
+type row = {
+  rw_benchmark : string;  (** Lowercased benchmark name. *)
+  rw_machine : string;  (** Lowercased machine name. *)
+  rw_features : float array;  (** Program feature vector (finite). *)
+  rw_config : Optconfig.t;
+  rw_speedup : float;  (** Measured speedup vs the session's start; finite, > 0. *)
+  rw_samples : int;  (** Sessions aggregated into this row; >= 1. *)
+}
+
+type t
+
+val empty : t
+
+val size : t -> int
+(** Number of aggregated rows. *)
+
+val rows : t -> row list
+(** All rows in canonical (benchmark, machine, config digest) order. *)
+
+val programs : t -> (string * string) list
+(** Distinct (benchmark, machine) pairs, sorted. *)
+
+val of_rows : row list -> t
+(** Canonicalize: rows sharing (benchmark, machine, config digest) are
+    merged into one row with sample-weighted mean speedup and summed
+    samples, folding contributions in a sorted order so the result is
+    independent of input order.  Names are lowercased.
+    @raise Invalid_argument on a non-finite feature or speedup, a
+    nonpositive speedup, or a sample count < 1. *)
+
+val merge : t list -> t
+(** Union of several knowledge bases, re-aggregated; invariant under
+    permutation of the argument list. *)
+
+val speedup_of_result : Codec.session_result -> float option
+(** Whole-session speedup vs its start configuration, derived from the
+    accepted-step trajectory (each step records its relative gain; the
+    speedup is the inverse product of the residuals).  [None] when the
+    product is nonpositive or non-finite. *)
+
+val of_sessions :
+  features:(benchmark:string -> machine:string -> float array option) ->
+  Session.info list ->
+  t
+(** Aggregate completed sessions.  [features] resolves a (lowercased)
+    benchmark × machine pair to its feature vector; sessions it cannot
+    resolve, incomplete sessions, and sessions whose trajectory yields
+    no finite speedup are skipped. *)
+
+val build :
+  dir:string ->
+  features:(benchmark:string -> machine:string -> float array option) ->
+  (t, string) result
+(** [of_sessions] over every session in the store at [dir]. *)
+
+type recommendation = {
+  rec_config : Optconfig.t;
+  rec_predicted : float;  (** Shrunk similarity-weighted speedup estimate. *)
+  rec_support : int;  (** Total donor sessions behind this config. *)
+  rec_neighbors : (string * float) list;
+      (** Contributing donor benchmarks with their normalized feature
+          distance, nearest first. *)
+}
+
+val recommend :
+  t ->
+  features:float array ->
+  machine:string ->
+  ?k:int ->
+  ?exclude:string ->
+  unit ->
+  recommendation list
+(** Ranked start-configuration recommendations for a program with the
+    given feature vector, best predicted speedup first (ties: larger
+    support, then smaller config digest).  Rows from [exclude]'s own
+    benchmark are ignored (hold-out evaluation and warm start both
+    want donors only).  Rows on the query's machine are preferred;
+    when none exist the whole corpus is consulted (the feature
+    vector's machine-response components still carry the machine
+    difference).  [k] (default 8) bounds the donor programs consulted.
+    Empty corpus — or nothing left after exclusion — yields []. *)
+
+(** {1 Codec} *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** Rejects formats newer than {!Codec.version}, non-finite features
+    or speedups, nonpositive speedups and sample counts < 1. *)
+
+val save : t -> string -> unit
+(** Atomic (write-then-rename), sorted, single-line — identical
+    corpora produce byte-identical files. *)
+
+val load : string -> (t, string) result
+
+val load_corpus : dir:string -> (t, string) result
+(** Merge every [*.json] knowledge base in [dir] (sorted filename
+    order, though {!merge} makes the order immaterial).  A missing
+    directory is an error; an empty one yields {!empty}. *)

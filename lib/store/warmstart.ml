@@ -13,19 +13,11 @@ let flag_vector c =
   Array.map (fun f -> if Optconfig.is_enabled c f then 1.0 else 0.0) Flags.all
 
 let mean_vector vs =
+  if vs = [] then invalid_arg "Warmstart.mean_vector: empty sample";
   let n = List.length vs in
   let acc = Array.make Flags.count 0.0 in
   List.iter (fun v -> Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x) v) vs;
   Array.map (fun x -> x /. float_of_int n) acc
-
-let distance a b =
-  let s = ref 0.0 in
-  Array.iteri
-    (fun i x ->
-      let d = x -. b.(i) in
-      s := !s +. (d *. d))
-    a;
-  sqrt !s
 
 (* Completed sessions only, as (benchmark, machine, id, best) rows in
    deterministic (id-sorted, via Session.list) order. *)
@@ -42,17 +34,6 @@ let completed_rows infos =
       | None -> None)
     infos
 
-(* Pick the configuration to transfer from a neighbor: prefer sessions
-   on the target machine, then the smallest session id. *)
-let config_of_neighbor rows ~neighbor ~machine =
-  let own = List.filter (fun (b, _, _, _) -> b = neighbor) rows in
-  let preferred =
-    match List.filter (fun (_, m, _, _) -> m = machine) own with [] -> own | l -> l
-  in
-  match preferred with
-  | (_, _, _, best) :: _ -> Some best
-  | [] -> None
-
 let propose ~dir ~benchmark ~machine =
   match Session.list ~dir with
   | Error e -> Error e
@@ -63,41 +44,53 @@ let propose ~dir ~benchmark ~machine =
       let others = List.filter (fun (b, _, _, _) -> b <> target) rows in
       if others = [] then Ok None
       else begin
+        (* a benchmark's signature is the mean best-config flag vector
+           of its completed sessions, on any machine *)
         let signature name =
-          match List.filter_map (fun (b, _, _, best) -> if b = name then Some (flag_vector best) else None) rows with
+          match
+            List.filter_map
+              (fun (b, _, _, best) -> if b = name then Some (flag_vector best) else None)
+              rows
+          with
           | [] -> None
           | vs -> Some (mean_vector vs)
         in
         let consulted = List.length rows in
         match signature target with
-        | Some target_sig ->
-            (* nearest neighbor over benchmark signatures *)
-            let names =
-              List.sort_uniq String.compare (List.map (fun (b, _, _, _) -> b) others)
+        | Some target_sig -> begin
+            (* delegate to the knowledge base: donors are the other
+               benchmarks, featured by their flag signatures, ranked by
+               similarity-weighted recorded speedup — so a neighbor's
+               best-performing configuration wins, not its oldest
+               session (ties documented in Kb.recommend: larger
+               support, then smaller config digest) *)
+            let kb =
+              Kb.of_sessions
+                ~features:(fun ~benchmark ~machine:_ -> signature benchmark)
+                infos
             in
-            let scored =
-              List.filter_map
-                (fun name ->
-                  Option.map (fun s -> (name, distance target_sig s)) (signature name))
-                names
-            in
-            let best =
-              List.fold_left
-                (fun acc (name, d) ->
-                  match acc with
-                  | Some (_, best_d) when best_d <= d -> acc
-                  | _ -> Some (name, d))
-                None scored
-            in
-            Ok
-              (Option.bind best (fun (neighbor, d) ->
-                   Option.map
-                     (fun start ->
-                       { start; neighbor; origin = Nearest_neighbor d; sessions = consulted })
-                     (config_of_neighbor rows ~neighbor ~machine)))
+            match Kb.recommend kb ~features:target_sig ~machine ~exclude:target () with
+            | [] -> Ok None
+            | best :: _ ->
+                let neighbor, d =
+                  match best.Kb.rec_neighbors with
+                  | (b, d) :: _ -> (b, d)
+                  | [] -> (target, 0.0)
+                in
+                Ok
+                  (Some
+                     {
+                       start = best.Kb.rec_config;
+                       neighbor;
+                       origin = Nearest_neighbor d;
+                       sessions = consulted;
+                     })
+          end
         | None ->
             (* no history for this benchmark: modal best configuration,
-               preferring sessions on the target machine *)
+               preferring sessions on the target machine; ties break on
+               the smallest digest, and the named neighbor is the
+               earliest (smallest session id) user of the winner *)
             let pool =
               match List.filter (fun (_, m, _, _) -> m = machine) others with
               | [] -> others
@@ -110,7 +103,6 @@ let propose ~dir ~benchmark ~machine =
                 Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)))
               pool;
             let winner =
-              (* max count, ties to the smallest digest *)
               Hashtbl.fold (fun d n acc -> (n, d) :: acc) counts []
               |> List.sort (fun (na, da) (nb, db) ->
                      match compare nb na with 0 -> String.compare da db | c -> c)

@@ -1,23 +1,28 @@
 (** Cross-run warm start: propose a search start configuration for a new
     tuning session from what the store already knows.
 
-    In the spirit of collaborative filtering over a shared optimization
-    space: each benchmark's {e signature} is the mean flag vector of the
-    best configurations its completed sessions found; the proposal is
-    the best configuration of the nearest neighbor under Euclidean
-    distance between signatures.  A benchmark with no history of its own
-    falls back to the configuration that was best most often on the
-    target machine.
+    Since the knowledge base landed this is a thin veneer over
+    {!Kb.recommend}: each benchmark's {e signature} is the mean flag
+    vector of the best configurations its completed sessions found, and
+    the proposal is the top similarity-weighted recommendation over the
+    other benchmarks' rows — so a neighbor's {e best-performing}
+    configuration is transferred (ranked by recorded speedup; ties
+    break on support, then config digest), not whichever session
+    happened to have the smallest id.  A benchmark with no history of
+    its own falls back to the configuration that was best most often on
+    the target machine (ties to the smallest config digest; the named
+    neighbor is the winning configuration's earliest session).
 
-    Caveats (documented in the README): a warm start changes the search
-    trajectory, so warm results are not comparable to cold runs; and the
-    proposal transfers an {e outcome}, not a rating — flags that help the
-    neighbor can hurt the target, which the search then has to undo. *)
+    For feature-based recommendation across stores — static TS features
+    plus the machine response signature rather than flag vectors — use
+    {!Kb} directly (the [peak-tune kb] command group). *)
 
 open Peak_compiler
 
 type origin =
-  | Nearest_neighbor of float  (** Signature distance to the neighbor. *)
+  | Nearest_neighbor of float
+      (** Normalized signature distance to the neighbor (see
+          {!Kb.recommend}'s z-scoring). *)
   | Most_frequent  (** No history for this benchmark: modal best config. *)
 
 type proposal = {
@@ -30,5 +35,11 @@ type proposal = {
 val propose :
   dir:string -> benchmark:string -> machine:string -> (proposal option, string) result
 (** [Ok None] when the store has no completed sessions for any other
-    benchmark.  Deterministic: ties break on benchmark name, then
-    session id. *)
+    benchmark.  Deterministic: the ranking and every tie order are
+    total (documented above), so the proposal is a pure function of the
+    store contents. *)
+
+val mean_vector : float array list -> float array
+(** Component-wise mean of flag vectors.
+    @raise Invalid_argument on an empty list (a mean of nothing was
+    formerly a silent array of NaNs). *)

@@ -362,6 +362,11 @@ let significantly_less ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =
   | Insufficient_data | Equal -> false
   | Welch { t_stat; df } -> t_stat < -.t_critical95 ~df
 
+let significantly_greater ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 =
+  match welch_t_summary ~mean1 ~var1 ~n1 ~mean2 ~var2 ~n2 with
+  | Insufficient_data | Equal -> false
+  | Welch { t_stat; df } -> t_stat > t_critical95 ~df
+
 let windows a ~size =
   if size <= 0 then invalid_arg "Stats.windows: size must be positive";
   let n = Array.length a / size in

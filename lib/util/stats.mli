@@ -143,6 +143,14 @@ val significantly_less :
     win.  (Used by the adaptive engine to swap versions only on
     statistically real wins.) *)
 
+val significantly_greater :
+  mean1:float -> var1:float -> n1:int -> mean2:float -> var2:float -> n2:int -> bool
+(** Mirror of {!significantly_less}: is population 1's mean credibly
+    above population 2's?  Same [false] verdicts on
+    {!Insufficient_data} and {!Equal}.  (Used by the two-sided
+    staleness detector: a rating-time baseline credibly above the
+    recent window means the workload got cheaper.) *)
+
 (** {1 Aggregation helpers} *)
 
 val windows : float array -> size:int -> float array array

@@ -89,7 +89,7 @@ let drift_seeds =
    drift is the within-slot staleness state machine; the warp pins the
    window offset and quadruples the F1 walk, an unmistakable regime-B
    cost regression. *)
-let drift_run ~seed ~invocations spec =
+let drift_run ?two_sided ~seed ~invocations spec =
   let b = bench "ART" in
   let tsec = Tsection.make b.Benchmark.ts in
   let base = b.Benchmark.trace Trace.Train ~seed in
@@ -97,7 +97,9 @@ let drift_run ~seed ~invocations spec =
     match Drift.of_string spec with Ok d -> d | Error e -> Alcotest.failf "spec: %s" e
   in
   let trace = Drift.apply ~length:invocations drift base in
-  let a = Adaptive.create ~seed tsec trace Machine.pentium4 ~candidates:good_candidates in
+  let a =
+    Adaptive.create ?two_sided ~seed tsec trace Machine.pentium4 ~candidates:good_candidates
+  in
   (Adaptive.run a ~invocations, drift)
 
 (* A stale verdict needs the incumbent's rating-time baseline plus the
@@ -182,6 +184,58 @@ let test_drift_burst_detected_inside_burst () =
         s.Adaptive.stale_invocations)
     drift_seeds
 
+(* A regime that gets cheaper (the F1 walk shrinks to a quarter) is
+   invisible to the one-sided detector — the window is credibly *below*
+   the baseline — but a leaner regime deserves a leaner configuration,
+   which is exactly what [two_sided] buys. *)
+let downshift_spec seed = Printf.sprintf "seed=%d,step=600,warp=off*0,warp=numf1s*0.25" seed
+
+let test_drift_downshift_needs_two_sided () =
+  List.iter
+    (fun seed ->
+      let invocations = 1500 in
+      let spec = downshift_spec seed in
+      let one, _ = drift_run ~seed ~invocations spec in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: one-sided detector is blind to the downshift" seed)
+        0 one.Adaptive.stale_detections;
+      let two, _ = drift_run ~two_sided:true ~seed ~invocations spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: two-sided detector sees the downshift" seed)
+        true
+        (two.Adaptive.stale_detections >= 1);
+      List.iter
+        (fun at ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: detection at %d not before the shift" seed at)
+            true (at >= 600))
+        two.Adaptive.stale_invocations)
+    drift_seeds
+
+let test_drift_two_sided_no_shift_stays_silent () =
+  (* false-positive control for the second side: without a declared
+     pattern the two-sided engine must stay as quiet as the default *)
+  List.iter
+    (fun seed ->
+      let spec = Printf.sprintf "seed=%d,warp=off*0,warp=numf1s*0.25" seed in
+      let s, _ = drift_run ~two_sided:true ~seed ~invocations:1200 spec in
+      Alcotest.(check int) (Printf.sprintf "seed %d: no detections" seed) 0
+        s.Adaptive.stale_detections)
+    drift_seeds
+
+let test_drift_two_sided_off_is_bit_identical () =
+  (* the option must not perturb the default path: an explicit false is
+     the same engine, field for field *)
+  List.iter
+    (fun seed ->
+      let spec = Printf.sprintf "seed=%d,step=600,warp=off*0,warp=numf1s*4" seed in
+      let s1, _ = drift_run ~seed ~invocations:1500 spec in
+      let s2, _ = drift_run ~two_sided:false ~seed ~invocations:1500 spec in
+      Oracles.check_identical_adaptive
+        (Printf.sprintf "two_sided:false vs default seed %d" seed)
+        s1 s2)
+    drift_seeds
+
 let test_drift_reruns_bit_identical () =
   (* the kill-free differential: same spec, same seed, fresh engine —
      every stats field matches bit for bit *)
@@ -223,6 +277,12 @@ let suites =
         Alcotest.test_case "drift detections match ground truth" `Quick
           test_drift_detections_match_ground_truth;
         Alcotest.test_case "no shift, no detections" `Quick test_drift_no_shift_no_detections;
+        Alcotest.test_case "downshift needs two-sided" `Quick
+          test_drift_downshift_needs_two_sided;
+        Alcotest.test_case "two-sided quiet without shift" `Quick
+          test_drift_two_sided_no_shift_stays_silent;
+        Alcotest.test_case "two-sided off is bit-identical" `Quick
+          test_drift_two_sided_off_is_bit_identical;
         Alcotest.test_case "burst detected inside burst" `Quick
           test_drift_burst_detected_inside_burst;
         Alcotest.test_case "drift reruns bit-identical" `Quick test_drift_reruns_bit_identical;

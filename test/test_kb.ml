@@ -1,0 +1,301 @@
+(* Tests for the collaborative tuning knowledge base: aggregation and
+   recommendation invariant under row permutation and merge order, an
+   exact codec round-trip, graceful degradation on tiny corpora, and
+   byte-identical builds from the same store. *)
+
+open Peak_compiler
+open Peak_store
+
+let with_tmpdir = Oracles.with_tmpdir
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Feature vectors are a deterministic function of the program name, as
+   in reality (the resolver derives them from the benchmark's TS), so
+   rows for the same program always agree. *)
+let feat b m =
+  let h = Hashtbl.hash (String.lowercase_ascii b, String.lowercase_ascii m) in
+  Array.init 4 (fun i -> float_of_int ((h lsr (4 * i)) land 15))
+
+let benches = [ "art"; "swim"; "mgrid"; "crafty"; "gzip"; "mcf"; "twolf" ]
+let machines = [ "m1"; "m2" ]
+
+let gen_row =
+  QCheck.Gen.(
+    map
+      (fun ((b, m), cfg, (sp, n)) ->
+        {
+          Kb.rw_benchmark = b;
+          rw_machine = m;
+          rw_features = feat b m;
+          rw_config = cfg;
+          rw_speedup = 0.25 +. (3.75 *. sp);
+          rw_samples = 1 + n;
+        })
+      (tup3
+         (pair (oneofl benches) (oneofl machines))
+         Test_store.gen_optconfig
+         (pair (float_bound_inclusive 1.0) (int_bound 4))))
+
+let print_row (r : Kb.row) =
+  Printf.sprintf "{%s/%s %s sp=%h n=%d}" r.Kb.rw_benchmark r.Kb.rw_machine
+    (Optconfig.to_string r.Kb.rw_config)
+    r.Kb.rw_speedup r.Kb.rw_samples
+
+let gen_rows = QCheck.Gen.(list_size (int_bound 24) gen_row)
+
+let arb_rows_seed =
+  QCheck.make
+    ~print:(fun (rows, seed) ->
+      Printf.sprintf "seed=%d [%s]" seed (String.concat "; " (List.map print_row rows)))
+    QCheck.Gen.(pair gen_rows (int_bound 1000))
+
+let shuffle seed l =
+  let st = Random.State.make [| seed |] in
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let kb_bytes kb = Json.to_string (Kb.to_json kb)
+
+(* the query program: not in [benches], so it never collides with rows *)
+let query = feat "quux" "m1"
+
+(* structural digest of a recommendation list, comparable with (=) *)
+let rec_key r =
+  ( Optconfig.digest r.Kb.rec_config,
+    r.Kb.rec_predicted,
+    r.Kb.rec_support,
+    r.Kb.rec_neighbors )
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let permutation_invariant =
+  QCheck.Test.make ~count:200 ~name:"kb invariant under row permutation" arb_rows_seed
+    (fun (rows, seed) ->
+      let kb1 = Kb.of_rows rows in
+      let kb2 = Kb.of_rows (shuffle seed rows) in
+      let recs kb = List.map rec_key (Kb.recommend kb ~features:query ~machine:"m1" ()) in
+      kb_bytes kb1 = kb_bytes kb2 && recs kb1 = recs kb2)
+
+let merge_order_invariant =
+  QCheck.Test.make ~count:200 ~name:"kb merge is order-invariant" arb_rows_seed
+    (fun (rows, seed) ->
+      (* split into three shards, merge in two different orders *)
+      let shard i = List.filteri (fun j _ -> j mod 3 = i) rows in
+      let parts = List.map Kb.of_rows [ shard 0; shard 1; shard 2 ] in
+      let a = Kb.merge parts in
+      let b = Kb.merge (shuffle seed parts) in
+      kb_bytes a = kb_bytes b)
+
+let codec_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"kb codec round-trips exactly" arb_rows_seed
+    (fun (rows, _) ->
+      let kb = Kb.of_rows rows in
+      let s = kb_bytes kb in
+      match Json.of_string s with
+      | Error e -> QCheck.Test.fail_reportf "reparse: %s" e
+      | Ok j -> (
+          match Kb.of_json j with
+          | Error e -> QCheck.Test.fail_reportf "decode: %s" e
+          | Ok kb' -> kb_bytes kb' = s))
+
+(* ------------------------------------------------------------------ *)
+(* Degradation and persistence                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_recommends_nothing () =
+  Alcotest.(check int) "empty kb has no rows" 0 (Kb.size Kb.empty);
+  Alcotest.(check int) "empty kb recommends nothing" 0
+    (List.length (Kb.recommend Kb.empty ~features:query ~machine:"m1" ()))
+
+let test_single_row_recommends_it () =
+  let cfg = Optconfig.disable Optconfig.o3 Flags.all.(0) in
+  let row =
+    {
+      Kb.rw_benchmark = "art";
+      rw_machine = "m1";
+      rw_features = feat "art" "m1";
+      rw_config = cfg;
+      rw_speedup = 2.0;
+      rw_samples = 3;
+    }
+  in
+  let kb = Kb.of_rows [ row ] in
+  match Kb.recommend kb ~features:query ~machine:"m1" () with
+  | [ r ] ->
+      Alcotest.(check bool) "the one config comes back" true
+        (Optconfig.equal r.Kb.rec_config cfg);
+      Alcotest.(check int) "support is the row's samples" 3 r.Kb.rec_support;
+      Alcotest.(check bool) "prediction is shrunk toward 1 but above it" true
+        (r.Kb.rec_predicted > 1.0 && r.Kb.rec_predicted < 2.0);
+      Alcotest.(check (list string)) "one donor" [ "art" ]
+        (List.map fst r.Kb.rec_neighbors)
+  | l -> Alcotest.failf "expected exactly one recommendation, got %d" (List.length l)
+
+let test_exclude_self_empties_single_row_corpus () =
+  let row =
+    {
+      Kb.rw_benchmark = "art";
+      rw_machine = "m1";
+      rw_features = feat "art" "m1";
+      rw_config = Optconfig.o3;
+      rw_speedup = 1.5;
+      rw_samples = 1;
+    }
+  in
+  let kb = Kb.of_rows [ row ] in
+  Alcotest.(check int) "own rows excluded" 0
+    (List.length (Kb.recommend kb ~features:query ~machine:"m1" ~exclude:"ART" ()))
+
+let test_of_rows_rejects_bad_rows () =
+  let base =
+    {
+      Kb.rw_benchmark = "art";
+      rw_machine = "m1";
+      rw_features = [| 1.0; 2.0 |];
+      rw_config = Optconfig.o3;
+      rw_speedup = 1.5;
+      rw_samples = 1;
+    }
+  in
+  let rejected r = match Kb.of_rows [ r ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "NaN feature rejected" true
+    (rejected { base with Kb.rw_features = [| Float.nan |] });
+  Alcotest.(check bool) "infinite speedup rejected" true
+    (rejected { base with Kb.rw_speedup = Float.infinity });
+  Alcotest.(check bool) "nonpositive speedup rejected" true
+    (rejected { base with Kb.rw_speedup = 0.0 });
+  Alcotest.(check bool) "zero samples rejected" true
+    (rejected { base with Kb.rw_samples = 0 });
+  Alcotest.(check bool) "the base row itself is fine" false (rejected base)
+
+let test_codec_rejects_nonfinite () =
+  (* the v4 rule holds at the kb boundary too: hand-build a record with
+     a non-finite feature and watch of_json refuse it *)
+  let kb =
+    Kb.of_rows
+      [
+        {
+          Kb.rw_benchmark = "art";
+          rw_machine = "m1";
+          rw_features = [| 1.0 |];
+          rw_config = Optconfig.o3;
+          rw_speedup = 2.0;
+          rw_samples = 1;
+        };
+      ]
+  in
+  let rec tamper field by = function
+    | Json.Obj kvs ->
+        Json.Obj (List.map (fun (k, v) -> (k, if k = field then by else tamper field by v)) kvs)
+    | Json.List l -> Json.List (List.map (tamper field by) l)
+    | j -> j
+  in
+  let refused msg j =
+    match Kb.of_json j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail msg
+  in
+  let j = Kb.to_json kb in
+  refused "nonpositive speedup decoded" (tamper "speedup" (Json.Float (-2.0)) j);
+  refused "non-finite speedup decoded" (tamper "speedup" (Json.String "inf") j);
+  refused "non-finite feature decoded" (tamper "features" (Json.List [ Json.String "nan" ]) j);
+  refused "zero samples decoded" (tamper "samples" (Json.Int 0) j);
+  refused "future version refused" (tamper "v" (Json.Int 999) j)
+
+let test_save_load_and_build_deterministic () =
+  with_tmpdir @@ fun dir ->
+  let resolver ~benchmark ~machine = Some (feat benchmark machine) in
+  let drop i = Optconfig.disable Optconfig.o3 Flags.all.(i) in
+  Test_store.fabricate_session dir ~benchmark:"FOO" ~machine:"M1" ~seed:1 ~best:(drop 0);
+  Test_store.fabricate_session dir ~benchmark:"BAR" ~machine:"M1" ~seed:1 ~best:(drop 1);
+  Test_store.fabricate_session dir ~benchmark:"BAR" ~machine:"M2" ~seed:2 ~best:(drop 2);
+  let build () =
+    match Kb.build ~dir ~features:resolver with
+    | Ok kb -> kb
+    | Error e -> Alcotest.fail e
+  in
+  let kb1 = build () in
+  let kb2 = build () in
+  Alcotest.(check int) "three rows" 3 (Kb.size kb1);
+  Alcotest.(check string) "rebuild is byte-identical" (kb_bytes kb1) (kb_bytes kb2);
+  let f1 = Filename.concat dir "kb1.json" and f2 = Filename.concat dir "kb2.json" in
+  Kb.save kb1 f1;
+  Kb.save kb2 f2;
+  let slurp f = In_channel.with_open_bin f In_channel.input_all in
+  Alcotest.(check string) "saved files are byte-identical" (slurp f1) (slurp f2);
+  (match Kb.load f1 with
+  | Error e -> Alcotest.fail e
+  | Ok kb -> Alcotest.(check string) "load round-trips" (kb_bytes kb1) (kb_bytes kb));
+  match Kb.load_corpus ~dir with
+  | Error e -> Alcotest.fail e
+  | Ok kb ->
+      (* two identical files re-aggregate: same rows, doubled samples *)
+      Alcotest.(check string) "corpus of two copies re-merges"
+        (kb_bytes (Kb.merge [ kb1; kb1 ]))
+        (kb_bytes kb)
+
+let test_speedup_of_result () =
+  let result best trajectory =
+    {
+      Peak_store.Codec.r_method = "RBR";
+      r_strategy = "ie";
+      r_stages = [];
+      r_attempts = [];
+      r_best = best;
+      r_ratings = 1;
+      r_iterations = 1;
+      r_trajectory = trajectory;
+      r_tuning_cycles = 1.0;
+      r_tuning_seconds = 1.0;
+      r_passes = 1;
+      r_invocations = 1;
+      r_quarantined = [];
+      r_retries = 0;
+      r_metrics = None;
+    }
+  in
+  let check_sp msg expected trajectory =
+    match Kb.speedup_of_result (result Optconfig.o3 trajectory) with
+    | Some s -> Alcotest.(check (float 1e-9)) msg expected s
+    | None -> Alcotest.failf "%s: no speedup" msg
+  in
+  check_sp "empty trajectory is 1x" 1.0 [];
+  check_sp "one 90%% step is 10x" 10.0 [ (Optconfig.o3, 0.9) ];
+  check_sp "two steps compound" 4.0 [ (Optconfig.o3, 0.5); (Optconfig.o3, 0.5) ];
+  (match Kb.speedup_of_result (result Optconfig.o3 [ (Optconfig.o3, 1.0) ]) with
+  | None -> ()
+  | Some s -> Alcotest.failf "total-elimination step should not rate: %h" s)
+
+let suites =
+  [
+    ( "store.kb",
+      List.map QCheck_alcotest.to_alcotest
+        [ permutation_invariant; merge_order_invariant; codec_roundtrip ]
+      @ [
+          Alcotest.test_case "empty corpus recommends nothing" `Quick
+            test_empty_recommends_nothing;
+          Alcotest.test_case "single-row corpus recommends that row" `Quick
+            test_single_row_recommends_it;
+          Alcotest.test_case "exclusion can empty the corpus" `Quick
+            test_exclude_self_empties_single_row_corpus;
+          Alcotest.test_case "of_rows validates" `Quick test_of_rows_rejects_bad_rows;
+          Alcotest.test_case "codec rejects bad rows" `Quick test_codec_rejects_nonfinite;
+          Alcotest.test_case "build/save deterministic" `Quick
+            test_save_load_and_build_deterministic;
+          Alcotest.test_case "speedup from trajectory" `Quick test_speedup_of_result;
+        ] );
+  ]

@@ -888,7 +888,7 @@ let test_fallback_resume () =
 (* Warm start                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let fabricate_session dir ~benchmark ~machine ~seed ~best =
+let fabricate_session ?(gain = 0.9) dir ~benchmark ~machine ~seed ~best =
   let id =
     Session.id_for ~benchmark ~machine ~dataset:"train" ~search:"be" ~method_:"rbr" ~seed
   in
@@ -917,7 +917,7 @@ let fabricate_session dir ~benchmark ~machine ~seed ~best =
       r_best = best;
       r_ratings = 1;
       r_iterations = 1;
-      r_trajectory = [ (best, 0.9) ];
+      r_trajectory = [ (best, gain) ];
       r_tuning_cycles = 1.0;
       r_tuning_seconds = 1.0;
       r_passes = 1;
@@ -968,6 +968,37 @@ let test_warmstart () =
   | Ok None -> Alcotest.fail "no fallback proposal"
   | Error e -> Alcotest.fail e
 
+(* Regression: with several recorded configs for the same neighbor, the
+   proposal must be the one with the best recorded speedup — not the one
+   from the smallest session id, which is what the pre-KB fold returned
+   (fold_left over id-sorted sessions kept the first config seen). *)
+let test_warmstart_prefers_better_speedup () =
+  with_tmpdir @@ fun dir ->
+  let drop idxs =
+    List.fold_left (fun c i -> Optconfig.disable c Flags.all.(i)) Optconfig.o3 idxs
+  in
+  let target_best = drop [ 0; 1 ] in
+  let poor = drop [ 0; 1; 2 ] in
+  let good = drop [ 0; 1; 3 ] in
+  fabricate_session dir ~benchmark:"FOO" ~machine:"M1" ~seed:1 ~best:target_best;
+  (* BAR tuned twice: the earlier session (smaller id) found a config
+     worth 1.11x, the later one a config worth 2x *)
+  fabricate_session dir ~benchmark:"BAR" ~machine:"M1" ~seed:1 ~best:poor ~gain:0.1;
+  fabricate_session dir ~benchmark:"BAR" ~machine:"M1" ~seed:2 ~best:good ~gain:0.5;
+  match Warmstart.propose ~dir ~benchmark:"FOO" ~machine:"M1" with
+  | Ok (Some p) ->
+      Alcotest.(check string) "neighbor is BAR" "bar" p.Warmstart.neighbor;
+      Alcotest.(check bool) "the better-performing config wins" true
+        (Optconfig.equal p.Warmstart.start good)
+  | Ok None -> Alcotest.fail "no proposal despite history"
+  | Error e -> Alcotest.fail e
+
+let test_mean_vector_empty_raises () =
+  (* NaN guard: the mean of zero vectors used to be 0/0 per component *)
+  match Warmstart.mean_vector [] with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "mean of nothing produced a %d-vector" (Array.length v)
+
 (* ------------------------------------------------------------------ *)
 
 let suites =
@@ -1013,5 +1044,12 @@ let suites =
         Alcotest.test_case "kill/resume across a fallback decision" `Slow
           test_fallback_resume;
       ] );
-    ("store.warmstart", [ Alcotest.test_case "warm start proposals" `Quick test_warmstart ]);
+    ( "store.warmstart",
+      [
+        Alcotest.test_case "warm start proposals" `Quick test_warmstart;
+        Alcotest.test_case "better-performing neighbor config wins" `Quick
+          test_warmstart_prefers_better_speedup;
+        Alcotest.test_case "mean_vector of nothing raises" `Quick
+          test_mean_vector_empty_raises;
+      ] );
   ]
